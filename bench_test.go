@@ -1,0 +1,360 @@
+// Benchmarks: one target per table/figure in the paper's evaluation (§6).
+// Each benchmark runs a scaled-down version of the corresponding experiment
+// and reports its headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full result set. cmd/mocc-bench prints the same
+// experiments as full tables (use -scale standard there for higher-fidelity
+// models).
+package mocc_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mocc/internal/apps"
+	"mocc/internal/cc"
+	"mocc/internal/core"
+	"mocc/internal/datapath"
+	"mocc/internal/objective"
+	"mocc/internal/pantheon"
+	"mocc/internal/stats"
+	"mocc/internal/trace"
+)
+
+// Benchmarks share one Quick-scale zoo; training happens once, outside any
+// timed region.
+var (
+	benchOnce sync.Once
+	benchZoo  *pantheon.Zoo
+)
+
+func zoo(b *testing.B) *pantheon.Zoo {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchZooLocal := pantheon.NewZoo(pantheon.Quick, 1)
+		benchZooLocal.MOCC() // pre-train outside timed regions
+		benchZoo = benchZooLocal
+	})
+	return benchZoo
+}
+
+func BenchmarkFig1aMotivationThroughput(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	b.ResetTimer()
+	var res pantheon.Fig1aResult
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig1a(s, pantheon.Fig1aConfig{DurationSec: 50, Seed: 1})
+	}
+	for _, series := range res.Series {
+		b.ReportMetric(stats.Mean(series.ThrMbps), series.Scheme+"_Mbps")
+	}
+}
+
+func BenchmarkFig1bThroughputLatencyEllipse(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	b.ResetTimer()
+	var res pantheon.Fig1bResult
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig1b(s, 6, 150, 1)
+	}
+	b.ReportMetric(res.MOCCRange[1].MeanThrMbps, "mocc_thr_Mbps")
+	b.ReportMetric(res.MOCCRange[0].MeanLatencyMs, "mocc_lat_ms")
+}
+
+func BenchmarkFig1cAuroraRetraining(b *testing.B) {
+	z := zoo(b)
+	b.ResetTimer()
+	var res pantheon.Fig1cResult
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig1c(z, 20)
+	}
+	b.ReportMetric(float64(res.ConvergedAt), "converge_iter")
+}
+
+func BenchmarkFig5Throughput(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	b.ResetTimer()
+	var res pantheon.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunSweep(s, pantheon.SweepConfig{Axis: pantheon.AxisBandwidth, Steps: 120, Seed: 1})
+	}
+	for _, name := range []string{"mocc-throughput", "cubic", "bbr"} {
+		if series := res.SeriesFor(name); series != nil {
+			b.ReportMetric(stats.Mean(series.Util), name+"_util")
+		}
+	}
+}
+
+func BenchmarkFig5Latency(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	b.ResetTimer()
+	var res pantheon.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunSweep(s, pantheon.SweepConfig{Axis: pantheon.AxisLatency, Steps: 120, Seed: 1})
+	}
+	for _, name := range []string{"mocc-latency", "cubic", "bbr"} {
+		if series := res.SeriesFor(name); series != nil {
+			b.ReportMetric(stats.Mean(series.LatR), name+"_latratio")
+		}
+	}
+}
+
+func BenchmarkFig6HundredObjectives(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	b.ResetTimer()
+	var res pantheon.Fig6Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig6(s, pantheon.Fig6Config{Objectives: 20, Conditions: 3, Steps: 100, Seed: 1})
+	}
+	for _, name := range []string{"mocc", "enhanced-aurora", "aurora", "cubic"} {
+		b.ReportMetric(res.MeanReward(name), name+"_reward")
+	}
+}
+
+func BenchmarkFig7aQuickAdaptation(b *testing.B) {
+	z := zoo(b)
+	cfg := pantheon.DefaultFig7Config()
+	cfg.Iters = 16
+	cfg.SnapshotEvery = 0
+	b.ResetTimer()
+	var res pantheon.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig7(z, cfg)
+	}
+	b.ReportMetric(float64(res.MOCCConverge), "mocc_converge_iter")
+	b.ReportMetric(float64(res.AuroraConverge), "aurora_converge_iter")
+	b.ReportMetric(res.InitialGain, "initial_gain")
+}
+
+func BenchmarkFig7bNoForgetting(b *testing.B) {
+	z := zoo(b)
+	cfg := pantheon.DefaultFig7Config()
+	cfg.Iters = 16
+	cfg.SnapshotEvery = 8
+	cfg.EvalSteps = 100
+	b.ResetTimer()
+	var res pantheon.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig7(z, cfg)
+	}
+	if n := len(res.OldAppMOCC); n > 0 {
+		b.ReportMetric(res.OldAppMOCC[n-1], "mocc_oldapp_reward")
+	}
+	if n := len(res.OldAppAurora); n > 0 {
+		b.ReportMetric(res.OldAppAurora[n-1], "aurora_oldapp_reward")
+	}
+}
+
+func BenchmarkFig8VideoStreaming(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	cfg := apps.DefaultVideoConfig()
+	cfg.DurationSec = 50
+	b.ResetTimer()
+	var res pantheon.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = pantheon.RunFig8(s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, session := range res.Sessions {
+		b.ReportMetric(session.AvgThroughput, session.Scheme+"_Mbps")
+	}
+}
+
+func BenchmarkFig9RealTimeComm(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	cfg := apps.DefaultRTCConfig()
+	cfg.DurationSec = 30
+	b.ResetTimer()
+	var res pantheon.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig9(s, cfg)
+	}
+	for _, session := range res.Sessions {
+		b.ReportMetric(session.MeanMs, session.Scheme+"_gap_ms")
+	}
+}
+
+func BenchmarkFig10BulkTransfer(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	cfg := apps.DefaultBulkConfig()
+	cfg.FileMBytes = 4
+	cfg.Transfers = 4
+	b.ResetTimer()
+	var res pantheon.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig10(s, cfg)
+	}
+	for _, r := range res.Results {
+		b.ReportMetric(r.MeanFCT, r.Scheme+"_fct_s")
+	}
+}
+
+func BenchmarkFig11FairnessDynamics(b *testing.B) {
+	cfg := pantheon.DefaultFairnessConfig()
+	cfg.StaggerSec = 20
+	cfg.DurationSec = 80
+	b.ResetTimer()
+	var res pantheon.FairnessResult
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFairness(func() cc.Algorithm { return cc.NewCubic() }, "cubic", cfg)
+	}
+	b.ReportMetric(stats.Mean(res.JainPerSec), "cubic_jain")
+}
+
+func BenchmarkFig12JainIndex(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	cfg := pantheon.DefaultFairnessConfig()
+	cfg.StaggerSec = 20
+	cfg.DurationSec = 80
+	b.ResetTimer()
+	var res pantheon.Fig12Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig12(s, cfg)
+	}
+	for _, name := range []string{"cubic", "mocc-balance", "bbr"} {
+		if xs := res.Jain[name]; len(xs) > 0 {
+			b.ReportMetric(stats.Mean(xs), name+"_jain")
+		}
+	}
+}
+
+func BenchmarkFig13VariantCompetition(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	cfg := pantheon.DefaultCompeteConfig()
+	b.ResetTimer()
+	var res pantheon.Fig13Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig13(s, cfg)
+	}
+	for _, p := range res.Pairs {
+		b.ReportMetric(p.Ratio, p.LabelA+"_vs_"+p.LabelB)
+	}
+}
+
+func BenchmarkFig14WeightFriendliness(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	cfg := pantheon.DefaultCompeteConfig()
+	b.ResetTimer()
+	var res pantheon.Fig14Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig14(s, cfg, []float64{20, 60})
+	}
+	for wi, ratios := range res.Ratios {
+		b.ReportMetric(stats.Mean(ratios), fmt.Sprintf("w%d_ratio", wi+1))
+	}
+}
+
+func BenchmarkFig15TCPFriendliness(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	cfg := pantheon.DefaultCompeteConfig()
+	b.ResetTimer()
+	var res pantheon.Fig15Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig15(s, cfg, []float64{20, 80})
+	}
+	for _, name := range []string{"mocc-throughput", "mocc-latency", "bbr", "vegas"} {
+		if xs := res.Ratios[name]; len(xs) > 0 {
+			b.ReportMetric(stats.Mean(xs), name+"_vs_cubic")
+		}
+	}
+}
+
+func BenchmarkFig16OmegaSweep(b *testing.B) {
+	b.ResetTimer()
+	var res pantheon.Fig16Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig16(pantheon.Fig16Config{
+			Omegas: []int{3, 6, 10}, EvalObjectives: 8, EvalSteps: 80, Seed: 1,
+		})
+	}
+	for _, omega := range []int{3, 6, 10} {
+		b.ReportMetric(stats.Mean(res.Rewards[omega]), "omega")
+	}
+}
+
+func BenchmarkFig17CPUOverhead(b *testing.B) {
+	z := zoo(b)
+	model := z.MOCC()
+	mk := func(name string) cc.Algorithm {
+		return model.AlgorithmFor(name, objective.ThroughputPref)
+	}
+	cfg := datapath.DefaultOverheadConfig()
+	cfg.DurationSec = 10
+	b.ResetTimer()
+	var rows []datapath.Overhead
+	for i := 0; i < b.N; i++ {
+		rows = datapath.MeasureOverhead([]datapath.OverheadScheme{
+			{Label: "cubic-kernel", Alg: cc.NewCubic(), Mode: datapath.KernelSpace},
+			{Label: "mocc-ccp", Alg: mk("mocc-ccp"), Mode: datapath.KernelSpace},
+			{Label: "mocc-udt", Alg: mk("mocc-udt"), Mode: datapath.UserSpace},
+		}, cfg)
+	}
+	for _, o := range rows {
+		b.ReportMetric(o.CPUShare, o.Scheme+"_us_per_s")
+	}
+}
+
+func BenchmarkFig18PPOvsDQN(b *testing.B) {
+	z := zoo(b)
+	b.ResetTimer()
+	var res pantheon.Fig18Result
+	for i := 0; i < b.N; i++ {
+		res = pantheon.RunFig18(z, pantheon.Fig18Config{
+			EvalObjectives: 6, EvalConditions: 2, EvalSteps: 100, Seed: 1,
+		})
+	}
+	b.ReportMetric(stats.Mean(res.PPORewards), "ppo_reward")
+	b.ReportMetric(stats.Mean(res.DQNRewards), "dqn_reward")
+}
+
+func BenchmarkFig19TrainingSpeedup(b *testing.B) {
+	cfg := pantheon.DefaultFig19Config()
+	cfg.Omega = 6
+	cfg.ItersPerObjective = 4
+	cfg.RolloutSteps = 128
+	b.ResetTimer()
+	var res pantheon.Fig19Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = pantheon.RunFig19(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SpeedupTransfer, "transfer_speedup")
+	b.ReportMetric(res.SpeedupParallel, "parallel_speedup")
+}
+
+// BenchmarkTable2Inference measures the per-decision cost of the MOCC
+// policy network (Table 2 architecture), the quantity behind Figure 17's
+// user-space overhead.
+func BenchmarkTable2Inference(b *testing.B) {
+	model := core.NewModel(core.HistoryLen, 1)
+	w := objective.ThroughputPref
+	obs := make([]float64, 3*core.HistoryLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = model.ActFor(w, obs)
+	}
+}
+
+// BenchmarkTable3Simulator measures raw simulator throughput: monitor
+// intervals per second for the training environment.
+func BenchmarkTable3Simulator(b *testing.B) {
+	factory := core.TrainingEnvs(traceTrainingRanges(), core.HistoryLen)
+	env := factory(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.ApplyAction(0.1)
+		env.Step()
+	}
+}
+
+// traceTrainingRanges avoids an extra import alias in the benchmark above.
+func traceTrainingRanges() trace.NetRanges { return trace.TrainingRanges() }

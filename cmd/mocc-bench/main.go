@@ -1,0 +1,257 @@
+// Command mocc-bench regenerates any table or figure from the paper's
+// evaluation (§6) as text output. Learned models are trained in-process at
+// the requested scale (deterministic per seed), then the experiment runs
+// against the simulators.
+//
+// Usage:
+//
+//	mocc-bench -fig 5 -scale quick
+//	mocc-bench -fig all -scale standard -seed 3
+//
+// Figure ids: 1a 1b 1c 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mocc/internal/apps"
+	"mocc/internal/cc"
+	"mocc/internal/core"
+	"mocc/internal/datapath"
+	"mocc/internal/objective"
+	"mocc/internal/pantheon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mocc-bench: ")
+
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate (1a..19 or all)")
+		scale = flag.String("scale", "quick", "model training scale: quick | standard")
+		seed  = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	var zscale pantheon.Scale
+	switch *scale {
+	case "quick":
+		zscale = pantheon.Quick
+	case "standard":
+		zscale = pantheon.Standard
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	zoo := pantheon.NewZoo(zscale, *seed)
+	schemes := pantheon.NewSchemes(zoo)
+	out := os.Stdout
+
+	runners := map[string]func(){
+		"1a": func() {
+			res := pantheon.RunFig1a(schemes, pantheon.Fig1aConfig{DurationSec: 50, Seed: *seed})
+			t := pantheon.Table{Title: "Figure 1a throughput under varying bandwidth (Mbps, mean/min/max)",
+				Header: []string{"scheme", "mean", "min", "max"}}
+			for _, s := range res.Series {
+				mean, lo, hi := seriesStats(s.ThrMbps)
+				t.AddF(s.Scheme, mean, lo, hi)
+			}
+			mean, lo, hi := seriesStats(res.Capacity.ThrMbps)
+			t.AddF(res.Capacity.Scheme, mean, lo, hi)
+			mustWrite(t, out)
+		},
+		"1b": func() {
+			mustWrite(pantheon.RunFig1b(schemes, 8, 250, *seed).Table(), out)
+		},
+		"1c": func() {
+			res := pantheon.RunFig1c(zoo, 0)
+			fmt.Fprintf(out, "== Figure 1c Aurora re-training ==\nconverged at iteration %d of %d\n",
+				res.ConvergedAt, len(res.Curve))
+			printCurve(out, res.Curve, 10)
+		},
+		"5": func() {
+			for _, axis := range []pantheon.SweepAxis{
+				pantheon.AxisBandwidth, pantheon.AxisLatency, pantheon.AxisLoss, pantheon.AxisBuffer,
+			} {
+				res := pantheon.RunSweep(schemes, pantheon.SweepConfig{Axis: axis, Steps: 300, Seed: *seed})
+				util, lat := res.Tables()
+				mustWrite(util, out)
+				mustWrite(lat, out)
+			}
+		},
+		"6": func() {
+			res := pantheon.RunFig6(schemes, pantheon.Fig6Config{
+				Objectives: 100, Conditions: 10, Steps: 200, Seed: *seed,
+			})
+			mustWrite(res.Table(), out)
+		},
+		"7": func() {
+			cfg := pantheon.DefaultFig7Config()
+			cfg.Seed = *seed
+			res := pantheon.RunFig7(zoo, cfg)
+			mustWrite(res.Table(), out)
+		},
+		"8": func() {
+			res, err := pantheon.RunFig8(schemes, apps.DefaultVideoConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			mustWrite(res.Table(), out)
+		},
+		"9": func() {
+			mustWrite(pantheon.RunFig9(schemes, apps.DefaultRTCConfig()).Table(), out)
+		},
+		"10": func() {
+			mustWrite(pantheon.RunFig10(schemes, apps.DefaultBulkConfig()).Table(), out)
+		},
+		"11": func() {
+			cfg := pantheon.DefaultFairnessConfig()
+			cfg.Seed = *seed
+			for _, scheme := range []string{"cubic", "vegas", "bbr", "copa", "pcc-vivace", "mocc"} {
+				factory := factoryFor(schemes, scheme)
+				res := pantheon.RunFairness(factory, scheme, cfg)
+				t := pantheon.Table{Title: "Figure 11 fairness dynamics: " + scheme,
+					Header: []string{"flow", "mean Mbps (steady)", "Jain(mean)"}}
+				for i, series := range res.Throughput {
+					mean, _, _ := seriesStats(series[len(series)/2:])
+					t.AddF(fmt.Sprintf("%s-%d", scheme, i), mean, meanOf(res.JainPerSec))
+				}
+				mustWrite(t, out)
+			}
+		},
+		"12": func() {
+			cfg := pantheon.DefaultFairnessConfig()
+			cfg.Seed = *seed
+			mustWrite(pantheon.RunFig12(schemes, cfg).Table(), out)
+		},
+		"13": func() {
+			mustWrite(pantheon.RunFig13(schemes, pantheon.DefaultCompeteConfig()).Table(), out)
+		},
+		"14": func() {
+			mustWrite(pantheon.RunFig14(schemes, pantheon.DefaultCompeteConfig(),
+				[]float64{10, 30, 50, 70, 90}).Table(), out)
+		},
+		"15": func() {
+			mustWrite(pantheon.RunFig15(schemes, pantheon.DefaultCompeteConfig(),
+				[]float64{20, 40, 60, 80, 100, 120}).Table(), out)
+		},
+		"16": func() {
+			res := pantheon.RunFig16(pantheon.Fig16Config{
+				Omegas: []int{3, 6, 10}, EvalObjectives: 20, EvalSteps: 150, Seed: *seed,
+			})
+			mustWrite(res.Table(), out)
+		},
+		"17": func() {
+			mocc := zoo.MOCC()
+			aurora := zoo.AuroraThroughput()
+			mk := func(name string) cc.Algorithm {
+				return mocc.AlgorithmFor(name, objective.ThroughputPref)
+			}
+			rows := datapath.MeasureOverhead([]datapath.OverheadScheme{
+				{Label: "cubic", Alg: cc.NewCubic(), Mode: datapath.KernelSpace},
+				{Label: "vegas", Alg: cc.NewVegas(), Mode: datapath.KernelSpace},
+				{Label: "bbr", Alg: cc.NewBBR(), Mode: datapath.KernelSpace},
+				{Label: "orca", Alg: schemes.OrcaAlgorithm(), Mode: datapath.KernelSpace},
+				{Label: "mocc-kernel", Alg: mk("mocc-ccp"), Mode: datapath.KernelSpace},
+				{Label: "pcc-vivace", Alg: cc.NewVivace(), Mode: datapath.UserSpace},
+				{Label: "aurora", Alg: cc.NewRLRate("aurora", cc.PolicyFunc(aurora.Act), core.HistoryLen), Mode: datapath.UserSpace},
+				{Label: "mocc-udt", Alg: mk("mocc-udt"), Mode: datapath.UserSpace},
+			}, datapath.DefaultOverheadConfig())
+			if err := datapath.WriteOverheadTable(out, rows); err != nil {
+				log.Fatal(err)
+			}
+		},
+		"18": func() {
+			mustWrite(pantheon.RunFig18(zoo, pantheon.Fig18Config{
+				EvalObjectives: 10, EvalConditions: 3, EvalSteps: 150, Seed: *seed,
+			}).Table(), out)
+		},
+		"19": func() {
+			res, err := pantheon.RunFig19(pantheon.DefaultFig19Config())
+			if err != nil {
+				log.Fatal(err)
+			}
+			mustWrite(res.Table(), out)
+		},
+	}
+
+	if *fig == "all" {
+		order := []string{"1a", "1b", "1c", "5", "6", "7", "8", "9", "10",
+			"11", "12", "13", "14", "15", "16", "17", "18", "19"}
+		for _, id := range order {
+			fmt.Fprintf(out, "\n")
+			runners[id]()
+		}
+		return
+	}
+	runner, ok := runners[*fig]
+	if !ok {
+		log.Fatalf("unknown figure %q", *fig)
+	}
+	runner()
+}
+
+// mustWrite renders a pantheon table, exiting on error.
+func mustWrite(t pantheon.Table, out *os.File) {
+	if err := t.Write(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(out)
+}
+
+// factoryFor maps a scheme name to a constructor.
+func factoryFor(s *pantheon.Schemes, name string) cc.AlgorithmFactory {
+	switch name {
+	case "cubic":
+		return func() cc.Algorithm { return cc.NewCubic() }
+	case "vegas":
+		return func() cc.Algorithm { return cc.NewVegas() }
+	case "bbr":
+		return func() cc.Algorithm { return cc.NewBBR() }
+	case "copa":
+		return func() cc.Algorithm { return cc.NewCopa() }
+	case "pcc-allegro":
+		return func() cc.Algorithm { return cc.NewAllegro() }
+	case "pcc-vivace":
+		return func() cc.Algorithm { return cc.NewVivace() }
+	case "mocc":
+		return func() cc.Algorithm { return s.MOCCAlgorithm("mocc", objective.BalancePref) }
+	default:
+		log.Fatalf("unknown scheme %q", name)
+		return nil
+	}
+}
+
+// seriesStats returns mean/min/max of a series.
+func seriesStats(xs []float64) (mean, lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return sum / float64(len(xs)), lo, hi
+}
+
+// meanOf returns the mean of xs.
+func meanOf(xs []float64) float64 {
+	m, _, _ := seriesStats(xs)
+	return m
+}
+
+// printCurve prints every nth point of a learning curve.
+func printCurve(out *os.File, curve []float64, every int) {
+	for i := 0; i < len(curve); i += every {
+		fmt.Fprintf(out, "iter %4d  reward %.3f\n", i, curve[i])
+	}
+}

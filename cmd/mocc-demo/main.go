@@ -1,0 +1,122 @@
+// Command mocc-demo runs a live congestion-controlled transfer over a real
+// UDP loopback socket: it starts a receiver, paces packets under the chosen
+// controller, and prints the per-interval behaviour. This is the
+// user-space (UDT-style) deployment path of §5 exercised end to end.
+//
+// Usage:
+//
+//	mocc-demo -scheme cubic -duration 2s
+//	mocc-demo -scheme mocc -weights "0.8,0.1,0.1" -duration 2s
+//	mocc-demo -scheme mocc -model mocc-model.json -drop 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mocc/internal/cc"
+	"mocc/internal/core"
+	"mocc/internal/datapath"
+	"mocc/internal/nn"
+	"mocc/internal/objective"
+	"mocc/internal/pantheon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mocc-demo: ")
+
+	var (
+		scheme   = flag.String("scheme", "mocc", "controller: mocc | cubic | vegas | bbr | copa | pcc-allegro | pcc-vivace")
+		weights  = flag.String("weights", "0.8,0.1,0.1", "MOCC preference <thr,lat,loss>")
+		model    = flag.String("model", "", "pre-trained model file (empty = quick in-process training)")
+		duration = flag.Duration("duration", 2*time.Second, "transfer duration")
+		drop     = flag.Float64("drop", 0, "receiver drop probability (emulated loss)")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	alg, err := buildAlgorithm(*scheme, *weights, *model, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	recv, err := datapath.StartReceiver("127.0.0.1:0", *drop, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recv.Close()
+	log.Printf("receiver on %s (drop=%.1f%%)", recv.Addr(), *drop*100)
+
+	stats, err := datapath.RunTransfer(datapath.TransferConfig{
+		Addr:     recv.Addr(),
+		Alg:      alg,
+		Duration: *duration,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheme      %s\n", alg.Name())
+	fmt.Printf("duration    %s\n", stats.Duration.Round(time.Millisecond))
+	fmt.Printf("sent        %d packets\n", stats.Sent)
+	fmt.Printf("acked       %d packets\n", stats.Acked)
+	fmt.Printf("lost        %d packets (inferred)\n", stats.Lost)
+	fmt.Printf("avg RTT     %s\n", stats.AvgRTT.Round(time.Microsecond))
+	fmt.Printf("throughput  %.1f Mbps\n", stats.ThroughputMbps)
+	if n := len(stats.Reports); n > 0 {
+		fmt.Println("last monitor intervals:")
+		start := n - 5
+		if start < 0 {
+			start = 0
+		}
+		for i := start; i < n; i++ {
+			r := stats.Reports[i]
+			fmt.Printf("  MI %2d: rate %.0f pps, delivered %.0f pps, rtt %.2f ms, loss %.1f%%\n",
+				i, r.SendRate, r.Throughput, r.AvgRTT*1000, r.LossRate*100)
+		}
+	}
+}
+
+// buildAlgorithm resolves a scheme name into a controller, training or
+// loading MOCC as needed.
+func buildAlgorithm(scheme, weights, modelPath string, seed int64) (cc.Algorithm, error) {
+	switch scheme {
+	case "cubic":
+		return cc.NewCubic(), nil
+	case "vegas":
+		return cc.NewVegas(), nil
+	case "bbr":
+		return cc.NewBBR(), nil
+	case "copa":
+		return cc.NewCopa(), nil
+	case "pcc-allegro":
+		return cc.NewAllegro(), nil
+	case "pcc-vivace":
+		return cc.NewVivace(), nil
+	case "mocc":
+		w, err := objective.Parse(weights)
+		if err != nil {
+			return nil, err
+		}
+		model := core.NewModel(core.HistoryLen, seed)
+		if modelPath != "" {
+			snap, err := nn.LoadFile(modelPath)
+			if err != nil {
+				return nil, err
+			}
+			if err := model.Restore(snap); err != nil {
+				return nil, err
+			}
+		} else {
+			log.Print("no -model given; quick-training MOCC in process (seconds)...")
+			zoo := pantheon.NewZoo(pantheon.Quick, seed)
+			model = zoo.MOCC()
+		}
+		return model.AlgorithmFor(fmt.Sprintf("mocc%v", w), w), nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+}

@@ -1,0 +1,69 @@
+// Command mocc-train runs MOCC's two-phase offline training (§4.2) and
+// writes the trained model to a JSON file consumable by mocc.LoadModel and
+// cmd/mocc-bench.
+//
+// Usage:
+//
+//	mocc-train -scale quick -out model.json
+//	mocc-train -scale full -omega 36 -seed 7 -out mocc-full.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mocc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mocc-train: ")
+
+	var (
+		scale = flag.String("scale", "quick", "training scale: quick | standard | full")
+		omega = flag.Int("omega", 0, "override landmark objective count (0 = scale default)")
+		seed  = flag.Int64("seed", 1, "training seed")
+		out   = flag.String("out", "mocc-model.json", "output model path")
+		quiet = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var opts mocc.TrainingOptions
+	switch *scale {
+	case "quick":
+		opts = mocc.QuickTraining()
+	case "standard":
+		opts = mocc.QuickTraining()
+		opts.Omega = 10
+		opts.BootstrapIters = 12
+		opts.BootstrapCycles = 3
+		opts.TraverseCycles = 2
+		opts.RolloutSteps = 512
+		opts.EpisodeLen = 128
+	case "full":
+		opts = mocc.FullTraining()
+	default:
+		log.Fatalf("unknown scale %q (want quick, standard or full)", *scale)
+	}
+	if *omega > 0 {
+		opts.Omega = *omega
+	}
+	opts.Seed = *seed
+	if !*quiet {
+		opts.Progress = func(line string) { log.Print(line) }
+	}
+
+	start := time.Now()
+	lib, err := mocc.Train(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lib.SaveModel(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stdout, "trained omega=%d seed=%d in %s -> %s\n",
+		opts.Omega, opts.Seed, time.Since(start).Round(time.Millisecond), *out)
+}

@@ -1,0 +1,34 @@
+// Command sepcheck is a development aid: it trains the zoo at a chosen
+// scale and prints the preference separation of the MOCC variants, the
+// quantity behind Figures 5, 13 and 14.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"mocc/internal/objective"
+	"mocc/internal/pantheon"
+	"mocc/internal/trace"
+)
+
+func main() {
+	scale := flag.String("scale", "standard", "quick | standard")
+	flag.Parse()
+	zscale := pantheon.Standard
+	if *scale == "quick" {
+		zscale = pantheon.Quick
+	}
+	start := time.Now()
+	zoo := pantheon.NewZoo(zscale, 1)
+	s := pantheon.NewSchemes(zoo)
+	cond := trace.Condition{BandwidthMbps: 3, LatencyMs: 30, QueuePkts: 200, LossRate: 0}
+	thr := pantheon.RunScheme(s.MOCCAlgorithm("mocc-thr", objective.ThroughputPref), cond, 300, 7)
+	lat := pantheon.RunScheme(s.MOCCAlgorithm("mocc-lat", objective.LatencyPref), cond, 300, 7)
+	bal := pantheon.RunScheme(s.MOCCAlgorithm("mocc-bal", objective.BalancePref), cond, 300, 7)
+	fmt.Println("trained+adapted in", time.Since(start).Round(time.Second))
+	fmt.Printf("thr policy: util %.3f latRatio %.3f loss %.4f\n", thr.Utilization, thr.LatencyRatio, thr.LossRate)
+	fmt.Printf("lat policy: util %.3f latRatio %.3f loss %.4f\n", lat.Utilization, lat.LatencyRatio, lat.LossRate)
+	fmt.Printf("bal policy: util %.3f latRatio %.3f loss %.4f\n", bal.Utilization, bal.LatencyRatio, bal.LossRate)
+}

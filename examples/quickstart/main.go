@@ -1,0 +1,104 @@
+// Quickstart: train a MOCC model, register two applications with opposite
+// preferences, and drive the §5 control loop (Register → ReportStatus →
+// GetSendingRate) against a little in-process link model.
+//
+// The link model below stands in for *your* datapath: anything that can
+// count sent/acked/lost packets and measure RTTs per interval can host MOCC.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mocc"
+)
+
+// link is a minimal fluid bottleneck: fixed capacity, drop-tail queue.
+type link struct {
+	capacityPps float64
+	queuePkts   float64
+	maxQueue    float64
+	baseRTT     time.Duration
+}
+
+// transfer pushes `rate` pkts/s through the link for d and reports what a
+// sender would observe.
+func (l *link) transfer(rate float64, d time.Duration) mocc.Status {
+	sec := d.Seconds()
+	sent := rate * sec
+	q1 := l.queuePkts + sent - l.capacityPps*sec
+	lost := 0.0
+	if q1 > l.maxQueue {
+		lost = q1 - l.maxQueue
+		q1 = l.maxQueue
+	}
+	if q1 < 0 {
+		q1 = 0
+	}
+	delivered := sent - lost - (q1 - l.queuePkts)
+	if delivered < 0 {
+		delivered = 0
+	}
+	queueDelay := time.Duration((l.queuePkts + q1) / 2 / l.capacityPps * float64(time.Second))
+	l.queuePkts = q1
+	return mocc.Status{
+		Duration:     d,
+		PacketsSent:  sent,
+		PacketsAcked: delivered,
+		PacketsLost:  lost,
+		AvgRTT:       l.baseRTT + queueDelay,
+		MinRTT:       l.baseRTT,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training MOCC (quick scale, a few seconds)...")
+	lib, err := mocc.Train(mocc.QuickTraining())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One model, two applications, two different objectives.
+	bulk, err := lib.Register(mocc.ThroughputPreference)
+	if err != nil {
+		log.Fatal(err)
+	}
+	call, err := lib.Register(mocc.RTCPreference)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each app drives its own link (1000 pkts/s ≈ 12 Mbps at 1500 B).
+	links := map[mocc.AppID]*link{
+		bulk: {capacityPps: 1000, maxQueue: 200, baseRTT: 40 * time.Millisecond},
+		call: {capacityPps: 1000, maxQueue: 200, baseRTT: 40 * time.Millisecond},
+	}
+	names := map[mocc.AppID]string{bulk: "bulk (thr-pref)", call: "call (rtc-pref)"}
+
+	const mi = 40 * time.Millisecond
+	fmt.Printf("%-18s %12s %12s %10s\n", "app", "rate (pps)", "thr (pps)", "rtt (ms)")
+	for step := 1; step <= 150; step++ {
+		for _, id := range []mocc.AppID{bulk, call} {
+			rate, err := lib.GetSendingRate(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st := links[id].transfer(rate, mi)
+			if err := lib.ReportStatus(id, st); err != nil {
+				log.Fatal(err)
+			}
+			if step%30 == 0 {
+				fmt.Printf("%-18s %12.0f %12.0f %10.1f\n",
+					names[id], rate, st.PacketsAcked/mi.Seconds(),
+					float64(st.AvgRTT.Microseconds())/1000)
+			}
+		}
+	}
+	fmt.Println("\nsame model, two objectives: the throughput app pushes the")
+	fmt.Println("queue for bandwidth, the call app backs off to keep RTT low.")
+}

@@ -1,0 +1,44 @@
+// Rtc reproduces the §6.3 real-time-communication scenario (Figure 9): an
+// application-limited call shares a link with background traffic and the
+// receiver-side inter-packet delay decides call quality. MOCC runs with the
+// RTC preference <0.4, 0.5, 0.1> — throughput still matters, but lag kills
+// calls.
+//
+//	go run ./examples/rtc
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mocc/internal/apps"
+	"mocc/internal/pantheon"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training models (quick scale)...")
+	zoo := pantheon.NewZoo(pantheon.Quick, 1)
+	schemes := pantheon.NewSchemes(zoo)
+
+	res := pantheon.RunFig9(schemes, apps.DefaultRTCConfig())
+	t := res.Table()
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ninter-packet delay over time (first 10 seconds, ms):")
+	for _, s := range res.Sessions {
+		n := len(s.InterPacketMs)
+		if n > 10 {
+			n = 10
+		}
+		fmt.Printf("  %-8s", s.Scheme)
+		for _, g := range s.InterPacketMs[:n] {
+			fmt.Printf(" %5.1f", g)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,40 @@
+// Videostream reproduces the §6.3 video-streaming scenario (Figure 8): an
+// MPC-style ABR client streams chunks over a congested bottleneck, once per
+// congestion-control scheme. MOCC runs with the throughput preference
+// <0.8, 0.1, 0.1> because playback buffers absorb latency.
+//
+//	go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mocc/internal/apps"
+	"mocc/internal/pantheon"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training models (quick scale)...")
+	zoo := pantheon.NewZoo(pantheon.Quick, 1)
+	schemes := pantheon.NewSchemes(zoo)
+
+	cfg := apps.DefaultVideoConfig()
+	res, err := pantheon.RunFig8(schemes, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := res.Table()
+	if err := t.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-scheme quality histograms (chunks per level 0..5):")
+	for _, s := range res.Sessions {
+		fmt.Printf("  %-8s %v\n", s.Scheme, s.ABR.QualityCounts)
+	}
+}

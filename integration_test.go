@@ -1,0 +1,142 @@
+package mocc_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mocc"
+	"mocc/internal/cc"
+	"mocc/internal/core"
+	"mocc/internal/datapath"
+	"mocc/internal/netsim"
+	"mocc/internal/nn"
+	"mocc/internal/objective"
+	"mocc/internal/trace"
+)
+
+// TestEndToEndTrainSaveLoadDeploy exercises the full product pipeline:
+// offline training via the public API, model persistence, reload, and
+// deployment of the loaded model as a flow in the packet-level simulator
+// alongside a TCP competitor.
+func TestEndToEndTrainSaveLoadDeploy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training pipeline in -short mode")
+	}
+	opts := mocc.QuickTraining()
+	opts.Omega = 3
+	opts.BootstrapIters = 4
+	opts.BootstrapCycles = 1
+	opts.TraverseCycles = 0
+	lib, err := mocc.Train(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := lib.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload through the internal layer and deploy in netsim.
+	model := core.NewModel(core.HistoryLen, 0)
+	snap, err := nn.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	link := netsim.LinkConfig{
+		Capacity:  trace.Constant(1000),
+		OWD:       0.020,
+		QueuePkts: 80,
+	}
+	n := netsim.NewNetwork(link, 1)
+	moccFlow := n.AddFlow(netsim.FlowConfig{
+		Alg:  model.AlgorithmFor("mocc", objective.ThroughputPref),
+		Seed: 1,
+	})
+	cubicFlow := n.AddFlow(netsim.FlowConfig{Alg: cc.NewCubic(), Seed: 2})
+	n.Run(30)
+
+	if moccFlow.DeliveredTotal == 0 {
+		t.Fatal("deployed MOCC flow delivered nothing")
+	}
+	if cubicFlow.DeliveredTotal == 0 {
+		t.Fatal("cubic competitor delivered nothing")
+	}
+	// Neither flow may starve (the deployment guards guarantee this).
+	share := float64(moccFlow.DeliveredTotal) /
+		float64(moccFlow.DeliveredTotal+cubicFlow.DeliveredTotal)
+	if share < 0.02 || share > 0.98 {
+		t.Errorf("pathological share %v for deployed MOCC flow", share)
+	}
+}
+
+// TestEndToEndUDPDatapath runs a trained policy over the real UDP loopback
+// datapath — the user-space deployment of §5 outside any simulator.
+func TestEndToEndUDPDatapath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training pipeline in -short mode")
+	}
+	model := core.NewModel(core.HistoryLen, 1) // untrained weights are fine:
+	// the datapath contract (reports in, rates out) is what is under test.
+	alg := model.AlgorithmFor("mocc-udp", objective.RTCPref)
+
+	recv, err := datapath.StartReceiver("127.0.0.1:0", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	stats, err := datapath.RunTransfer(datapath.TransferConfig{
+		Addr:     recv.Addr(),
+		Alg:      alg,
+		Duration: 400 * time.Millisecond,
+		MI:       20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sent == 0 || stats.Acked == 0 {
+		t.Fatalf("UDP transfer moved no data: %+v", stats)
+	}
+	for _, r := range stats.Reports {
+		if math.IsNaN(r.SendRate) || r.SendRate < 0 {
+			t.Fatalf("bad report rate %v", r.SendRate)
+		}
+	}
+}
+
+// TestProfileToLibraryFlow maps application-level requirements (§7) onto
+// weights and registers them through the public API.
+func TestProfileToLibraryFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training pipeline in -short mode")
+	}
+	opts := mocc.QuickTraining()
+	opts.Omega = 3
+	opts.BootstrapIters = 2
+	opts.BootstrapCycles = 1
+	opts.TraverseCycles = 0
+	lib, err := mocc.Train(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, profile := range objective.CommonProfiles() {
+		w, err := profile.Weights()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		app, err := lib.Register(mocc.Weights{Thr: w.Thr, Lat: w.Lat, Loss: w.Loss})
+		if err != nil {
+			t.Fatalf("%s: register: %v", name, err)
+		}
+		rate, err := lib.GetSendingRate(app)
+		if err != nil || rate <= 0 {
+			t.Fatalf("%s: rate %v, err %v", name, rate, err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package apps implements the three real-application workloads of §6.3 over
+// the packet-level simulator: adaptive-bitrate video streaming (Pensieve
+// style, Figure 8), real-time communications (Salsify style, Figure 9), and
+// bulk data transfer (Figure 10).
+package apps
+
+import (
+	"errors"
+	"math"
+)
+
+// ABRConfig describes the video stream and player.
+type ABRConfig struct {
+	// BitratesMbps are the available quality-level encodings, lowest
+	// first. The defaults follow Pensieve's six levels.
+	BitratesMbps []float64
+	// ChunkSec is the playback duration of one chunk.
+	ChunkSec float64
+	// BufferMaxSec caps the playback buffer.
+	BufferMaxSec float64
+	// SafetyFactor discounts the predicted bandwidth before picking a
+	// level (the conservative term in MPC-style controllers).
+	SafetyFactor float64
+	// PredictorWindow is how many past chunk downloads feed the harmonic
+	// mean bandwidth predictor.
+	PredictorWindow int
+}
+
+// DefaultABRConfig returns the Pensieve-style setup used by Figure 8.
+func DefaultABRConfig() ABRConfig {
+	return ABRConfig{
+		BitratesMbps:    []float64{0.3, 0.75, 1.2, 1.85, 2.85, 4.3},
+		ChunkSec:        4,
+		BufferMaxSec:    30,
+		SafetyFactor:    0.9,
+		PredictorWindow: 5,
+	}
+}
+
+// ABRResult reports one streaming session.
+type ABRResult struct {
+	// Levels is the quality level chosen per chunk (0 = lowest).
+	Levels []int
+	// QualityCounts histograms chunks per level (the Figure 8 bars).
+	QualityCounts []int
+	// RebufferSec is total stall time.
+	RebufferSec float64
+	// AvgLevel is the mean quality level.
+	AvgLevel float64
+	// AvgBitrateMbps is the mean selected bitrate.
+	AvgBitrateMbps float64
+}
+
+// SimulateABR plays a video over a measured per-second throughput trace
+// (Mbps): an MPC-style controller predicts bandwidth with a harmonic mean of
+// recent downloads and picks the highest sustainable level given the buffer.
+// The trace-driven decomposition (congestion control produces the
+// achievable-throughput series; the ABR loop consumes it) mirrors how
+// Pensieve's own simulator is driven.
+func SimulateABR(throughputMbps []float64, cfg ABRConfig) (ABRResult, error) {
+	if len(cfg.BitratesMbps) == 0 || cfg.ChunkSec <= 0 {
+		return ABRResult{}, errors.New("apps: invalid ABR config")
+	}
+	if len(throughputMbps) == 0 {
+		return ABRResult{}, errors.New("apps: empty throughput trace")
+	}
+
+	res := ABRResult{QualityCounts: make([]int, len(cfg.BitratesMbps))}
+	var (
+		bufferSec float64
+		clock     float64 // position in the throughput trace (seconds)
+		history   []float64
+	)
+
+	traceAt := func(t float64) float64 {
+		idx := int(t)
+		if idx >= len(throughputMbps) {
+			idx = len(throughputMbps) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		v := throughputMbps[idx]
+		if v < 0.01 {
+			v = 0.01
+		}
+		return v
+	}
+
+	// Predict bandwidth as the harmonic mean of recent per-chunk rates.
+	predict := func() float64 {
+		if len(history) == 0 {
+			return traceAt(clock)
+		}
+		var invSum float64
+		for _, h := range history {
+			invSum += 1 / math.Max(h, 0.01)
+		}
+		return float64(len(history)) / invSum
+	}
+
+	totalTraceSec := float64(len(throughputMbps))
+	for clock < totalTraceSec {
+		pred := predict() * cfg.SafetyFactor
+		// Highest level downloadable in at most the chunk duration plus
+		// whatever buffer cushion exists.
+		level := 0
+		for l := len(cfg.BitratesMbps) - 1; l >= 0; l-- {
+			downloadSec := cfg.BitratesMbps[l] * cfg.ChunkSec / pred
+			if downloadSec <= cfg.ChunkSec+bufferSec-cfg.ChunkSec/2 {
+				level = l
+				break
+			}
+		}
+
+		// Download the chunk second-by-second against the trace.
+		chunkMbits := cfg.BitratesMbps[level] * cfg.ChunkSec
+		var downloadSec float64
+		remaining := chunkMbits
+		for remaining > 0 {
+			rate := traceAt(clock + downloadSec)
+			step := math.Min(1, remaining/rate)
+			remaining -= rate * step
+			downloadSec += step
+			if clock+downloadSec >= totalTraceSec {
+				break
+			}
+		}
+		if remaining > 0 {
+			break // trace exhausted mid-chunk
+		}
+
+		// Buffer drains while downloading; rebuffer when it empties.
+		drained := bufferSec - downloadSec
+		if drained < 0 {
+			res.RebufferSec += -drained
+			drained = 0
+		}
+		bufferSec = math.Min(drained+cfg.ChunkSec, cfg.BufferMaxSec)
+		clock += downloadSec
+
+		history = append(history, chunkMbits/downloadSec)
+		if len(history) > cfg.PredictorWindow {
+			history = history[1:]
+		}
+		res.Levels = append(res.Levels, level)
+		res.QualityCounts[level]++
+	}
+
+	if len(res.Levels) > 0 {
+		var levelSum float64
+		var brSum float64
+		for _, l := range res.Levels {
+			levelSum += float64(l)
+			brSum += cfg.BitratesMbps[l]
+		}
+		res.AvgLevel = levelSum / float64(len(res.Levels))
+		res.AvgBitrateMbps = brSum / float64(len(res.Levels))
+	}
+	return res, nil
+}

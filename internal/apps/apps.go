@@ -1,0 +1,275 @@
+package apps
+
+import (
+	"math"
+
+	"mocc/internal/cc"
+	"mocc/internal/netsim"
+	"mocc/internal/stats"
+	"mocc/internal/trace"
+)
+
+// VideoConfig parameterizes the §6.3 video-streaming experiment: a CC flow
+// fetches chunks over a bottleneck shared with background traffic; the
+// achievable-throughput series drives the ABR controller.
+type VideoConfig struct {
+	LinkMbps    float64
+	RTTms       float64
+	QueuePkts   int
+	LossRate    float64
+	DurationSec float64
+	// BackgroundMbps adds a competing CUBIC flow of roughly this demand
+	// (0 disables it). Real Internet paths are never idle; this keeps the
+	// CC scheme honest.
+	BackgroundMbps float64
+	ABR            ABRConfig
+	Seed           int64
+}
+
+// DefaultVideoConfig mirrors the paper's home-network-like setup (the Fig. 8
+// traces peak around 8 Mbps).
+func DefaultVideoConfig() VideoConfig {
+	return VideoConfig{
+		LinkMbps:       8,
+		RTTms:          40,
+		QueuePkts:      300,
+		LossRate:       0.001,
+		DurationSec:    100,
+		BackgroundMbps: 2,
+		ABR:            DefaultABRConfig(),
+		Seed:           1,
+	}
+}
+
+// VideoResult reports one scheme's streaming session (Figure 8).
+type VideoResult struct {
+	Scheme string
+	// ThroughputMbps is the per-second delivered series (Fig. 8 top).
+	ThroughputMbps []float64
+	AvgThroughput  float64
+	// ABR holds the chunk-quality outcome (Fig. 8 bottom).
+	ABR ABRResult
+}
+
+// RunVideo streams video over the given congestion controller.
+func RunVideo(alg cc.Algorithm, cfg VideoConfig) (VideoResult, error) {
+	link := netsim.LinkConfig{
+		Capacity:  trace.Constant(trace.MbpsToPktsPerSec(cfg.LinkMbps, 1500)),
+		OWD:       cfg.RTTms / 2 / 1000,
+		QueuePkts: cfg.QueuePkts,
+		LossRate:  cfg.LossRate,
+	}
+	n := netsim.NewNetwork(link, cfg.Seed)
+	video := n.AddFlow(netsim.FlowConfig{Alg: alg, Label: "video", Seed: cfg.Seed})
+	if cfg.BackgroundMbps > 0 {
+		n.AddFlow(netsim.FlowConfig{
+			Alg:     cc.NewCubic(),
+			Label:   "background",
+			MaxRate: trace.MbpsToPktsPerSec(cfg.BackgroundMbps, 1500) * 2,
+			Seed:    cfg.Seed + 1,
+		})
+	}
+	n.Run(cfg.DurationSec)
+
+	series := video.ThroughputSeries(1, cfg.DurationSec)
+	mbps := make([]float64, len(series))
+	for i, p := range series {
+		mbps[i] = trace.PktsPerSecToMbps(p, 1500)
+	}
+	abr, err := SimulateABR(mbps, cfg.ABR)
+	if err != nil {
+		return VideoResult{}, err
+	}
+	return VideoResult{
+		Scheme:         alg.Name(),
+		ThroughputMbps: mbps,
+		AvgThroughput:  stats.Mean(mbps),
+		ABR:            abr,
+	}, nil
+}
+
+// RTCConfig parameterizes the real-time-communication experiment: an
+// application-limited flow (a video call) shares the link with background
+// traffic; inter-packet delay at the receiver is the quality metric
+// (Figure 9).
+type RTCConfig struct {
+	LinkMbps    float64
+	RTTms       float64
+	QueuePkts   int
+	DurationSec float64
+	// SourceMbps is the call's maximum media rate; the flow is
+	// application-limited to min(cc rate, source rate).
+	SourceMbps     float64
+	BackgroundMbps float64
+	Seed           int64
+}
+
+// DefaultRTCConfig mirrors the paper's conference-call setup.
+func DefaultRTCConfig() RTCConfig {
+	return RTCConfig{
+		LinkMbps:       10,
+		RTTms:          40,
+		QueuePkts:      250,
+		DurationSec:    50,
+		SourceMbps:     4,
+		BackgroundMbps: 6,
+		Seed:           1,
+	}
+}
+
+// RTCResult reports inter-packet delay over time (Figure 9).
+type RTCResult struct {
+	Scheme string
+	// InterPacketMs is the mean inter-arrival gap per second.
+	InterPacketMs []float64
+	MeanMs        float64
+	StdMs         float64
+}
+
+// appLimited wraps an Algorithm so the offered rate never exceeds the
+// application's media rate (Salsify adapts frame size to the transport's
+// rate, but never sends faster than the codec produces).
+type appLimited struct {
+	cc.Algorithm
+	maxRate float64
+}
+
+func (a *appLimited) InitialRate(baseRTT float64) float64 {
+	return math.Min(a.Algorithm.InitialRate(baseRTT), a.maxRate)
+}
+
+func (a *appLimited) Update(r cc.Report) float64 {
+	return math.Min(a.Algorithm.Update(r), a.maxRate)
+}
+
+// RunRTC measures receiver-side inter-packet delay for the scheme under a
+// competing CUBIC flow.
+func RunRTC(alg cc.Algorithm, cfg RTCConfig) RTCResult {
+	link := netsim.LinkConfig{
+		Capacity:  trace.Constant(trace.MbpsToPktsPerSec(cfg.LinkMbps, 1500)),
+		OWD:       cfg.RTTms / 2 / 1000,
+		QueuePkts: cfg.QueuePkts,
+	}
+	n := netsim.NewNetwork(link, cfg.Seed)
+	rtc := n.AddFlow(netsim.FlowConfig{
+		Alg:   &appLimited{Algorithm: alg, maxRate: trace.MbpsToPktsPerSec(cfg.SourceMbps, 1500)},
+		Label: "rtc",
+		Seed:  cfg.Seed,
+	})
+	if cfg.BackgroundMbps > 0 {
+		n.AddFlow(netsim.FlowConfig{
+			Alg:     cc.NewCubic(),
+			Label:   "background",
+			MaxRate: trace.MbpsToPktsPerSec(cfg.BackgroundMbps, 1500) * 2,
+			Seed:    cfg.Seed + 1,
+		})
+	}
+
+	// Collect per-second inter-arrival gaps via the delivery hook.
+	nBuckets := int(cfg.DurationSec)
+	sumGap := make([]float64, nBuckets)
+	cntGap := make([]float64, nBuckets)
+	lastArrival := -1.0
+	rtc.OnDeliver = func(t float64) {
+		if lastArrival >= 0 {
+			idx := int(t)
+			if idx >= 0 && idx < nBuckets {
+				sumGap[idx] += t - lastArrival
+				cntGap[idx]++
+			}
+		}
+		lastArrival = t
+	}
+	n.Run(cfg.DurationSec)
+
+	res := RTCResult{Scheme: alg.Name()}
+	var w stats.Welford
+	for i := 0; i < nBuckets; i++ {
+		if cntGap[i] == 0 {
+			continue
+		}
+		gapMs := sumGap[i] / cntGap[i] * 1000
+		res.InterPacketMs = append(res.InterPacketMs, gapMs)
+		w.Add(gapMs)
+	}
+	res.MeanMs = w.Mean()
+	res.StdMs = w.StdDev()
+	return res
+}
+
+// BulkConfig parameterizes the bulk-transfer experiment (Figure 10): a
+// fixed-size file is transferred repeatedly over a link with 0.5% random
+// loss; the flow-completion time distribution is the result.
+type BulkConfig struct {
+	LinkMbps    float64
+	RTTms       float64
+	QueuePkts   int
+	LossRate    float64
+	FileMBytes  float64
+	Transfers   int
+	MaxDuration float64 // per-transfer simulation bound (s)
+	Seed        int64
+}
+
+// DefaultBulkConfig follows the paper: 0.5% random loss to emulate
+// background interference. The file size is scaled from the paper's 100 MB
+// to keep runs laptop-fast; FCT ordering is size-independent once flows
+// reach steady state.
+func DefaultBulkConfig() BulkConfig {
+	return BulkConfig{
+		LinkMbps:    50,
+		RTTms:       20,
+		QueuePkts:   500,
+		LossRate:    0.005,
+		FileMBytes:  10,
+		Transfers:   10,
+		MaxDuration: 120,
+		Seed:        1,
+	}
+}
+
+// BulkResult reports the FCT distribution (Figure 10).
+type BulkResult struct {
+	Scheme  string
+	FCTs    []float64 // seconds, one per completed transfer
+	MeanFCT float64
+	StdFCT  float64
+	// Incomplete counts transfers that missed MaxDuration.
+	Incomplete int
+}
+
+// RunBulk performs repeated file transfers with fresh controller state.
+func RunBulk(factory cc.AlgorithmFactory, cfg BulkConfig) BulkResult {
+	packets := int(cfg.FileMBytes * 1e6 / 1500)
+	link := netsim.LinkConfig{
+		Capacity:  trace.Constant(trace.MbpsToPktsPerSec(cfg.LinkMbps, 1500)),
+		OWD:       cfg.RTTms / 2 / 1000,
+		QueuePkts: cfg.QueuePkts,
+		LossRate:  cfg.LossRate,
+	}
+	res := BulkResult{}
+	var w stats.Welford
+	for i := 0; i < cfg.Transfers; i++ {
+		alg := factory()
+		if res.Scheme == "" {
+			res.Scheme = alg.Name()
+		}
+		n := netsim.NewNetwork(link, cfg.Seed+int64(i)*31)
+		f := n.AddFlow(netsim.FlowConfig{
+			Alg:          alg,
+			Label:        "bulk",
+			PacketBudget: packets,
+			Seed:         cfg.Seed + int64(i),
+		})
+		n.Run(cfg.MaxDuration)
+		if !f.Completed {
+			res.Incomplete++
+			continue
+		}
+		res.FCTs = append(res.FCTs, f.CompletionTime)
+		w.Add(f.CompletionTime)
+	}
+	res.MeanFCT = w.Mean()
+	res.StdFCT = w.StdDev()
+	return res
+}

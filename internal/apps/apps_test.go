@@ -1,0 +1,213 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"mocc/internal/cc"
+)
+
+func TestSimulateABRValidation(t *testing.T) {
+	if _, err := SimulateABR(nil, DefaultABRConfig()); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := SimulateABR([]float64{1}, ABRConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestSimulateABRHighBandwidthPicksTopLevel(t *testing.T) {
+	trace := make([]float64, 120)
+	for i := range trace {
+		trace[i] = 20 // 20 Mbps: far above the 4.3 Mbps top bitrate
+	}
+	res, err := SimulateABR(trace, DefaultABRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) == 0 {
+		t.Fatal("no chunks downloaded")
+	}
+	top := len(DefaultABRConfig().BitratesMbps) - 1
+	topCount := res.QualityCounts[top]
+	if float64(topCount) < 0.7*float64(len(res.Levels)) {
+		t.Errorf("only %d/%d chunks at the top level on a fat link", topCount, len(res.Levels))
+	}
+	if res.RebufferSec > 1 {
+		t.Errorf("rebuffering %v s on a fat link", res.RebufferSec)
+	}
+}
+
+func TestSimulateABRLowBandwidthPicksBottomLevels(t *testing.T) {
+	trace := make([]float64, 120)
+	for i := range trace {
+		trace[i] = 0.4 // barely above the lowest level
+	}
+	res, err := SimulateABR(trace, DefaultABRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgLevel > 1 {
+		t.Errorf("avg level %v on a starved link", res.AvgLevel)
+	}
+}
+
+func TestSimulateABRBandwidthOrderingMonotone(t *testing.T) {
+	mk := func(mbps float64) ABRResult {
+		trace := make([]float64, 100)
+		for i := range trace {
+			trace[i] = mbps
+		}
+		res, err := SimulateABR(trace, DefaultABRConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	lo, mid, hi := mk(0.8), mk(2), mk(6)
+	if !(lo.AvgBitrateMbps <= mid.AvgBitrateMbps && mid.AvgBitrateMbps <= hi.AvgBitrateMbps) {
+		t.Errorf("bitrate not monotone in bandwidth: %v, %v, %v",
+			lo.AvgBitrateMbps, mid.AvgBitrateMbps, hi.AvgBitrateMbps)
+	}
+}
+
+func TestSimulateABRCountsConsistent(t *testing.T) {
+	trace := make([]float64, 80)
+	for i := range trace {
+		trace[i] = 1.5 + 1.2*math.Sin(float64(i)/7)
+	}
+	res, err := SimulateABR(trace, DefaultABRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, c := range res.QualityCounts {
+		sum += c
+	}
+	if sum != len(res.Levels) {
+		t.Errorf("histogram total %d != chunk count %d", sum, len(res.Levels))
+	}
+}
+
+func TestRunVideoProducesSessions(t *testing.T) {
+	cfg := DefaultVideoConfig()
+	cfg.DurationSec = 40
+	res, err := RunVideo(cc.NewCubic(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "cubic" {
+		t.Errorf("scheme %q", res.Scheme)
+	}
+	if len(res.ThroughputMbps) != 40 {
+		t.Fatalf("series length %d", len(res.ThroughputMbps))
+	}
+	if res.AvgThroughput <= 0 || res.AvgThroughput > cfg.LinkMbps+1 {
+		t.Errorf("avg throughput %v", res.AvgThroughput)
+	}
+	if len(res.ABR.Levels) == 0 {
+		t.Error("no chunks streamed")
+	}
+}
+
+func TestRunVideoBackgroundReducesThroughput(t *testing.T) {
+	cfg := DefaultVideoConfig()
+	cfg.DurationSec = 40
+	solo := cfg
+	solo.BackgroundMbps = 0
+	withBg, err := RunVideo(cc.NewCubic(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone, err := RunVideo(cc.NewCubic(), solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withBg.AvgThroughput > alone.AvgThroughput+0.5 {
+		t.Errorf("background traffic did not cost throughput: %v vs %v",
+			withBg.AvgThroughput, alone.AvgThroughput)
+	}
+}
+
+func TestRunRTCMeasuresGaps(t *testing.T) {
+	cfg := DefaultRTCConfig()
+	cfg.DurationSec = 25
+	res := RunRTC(cc.NewVegas(), cfg)
+	if res.Scheme != "vegas" {
+		t.Errorf("scheme %q", res.Scheme)
+	}
+	if len(res.InterPacketMs) < 10 {
+		t.Fatalf("too few samples: %d", len(res.InterPacketMs))
+	}
+	if res.MeanMs <= 0 || math.IsNaN(res.MeanMs) {
+		t.Errorf("mean gap %v", res.MeanMs)
+	}
+	// App-limited at 4 Mbps = 333 pkts/s: gaps can't be below 1/capacity
+	// and shouldn't hugely exceed 1/source rate under a working scheme.
+	if res.MeanMs > 60 {
+		t.Errorf("mean gap %v ms implausibly high", res.MeanMs)
+	}
+}
+
+func TestRunRTCAppLimited(t *testing.T) {
+	// Without background traffic, gaps approach the source pacing
+	// interval (1/333 pkts/s = 3 ms).
+	cfg := DefaultRTCConfig()
+	cfg.DurationSec = 25
+	cfg.BackgroundMbps = 0
+	res := RunRTC(cc.NewCubic(), cfg)
+	if res.MeanMs < 2 || res.MeanMs > 8 {
+		t.Errorf("uncontended app-limited gap %v ms, want ~3-4", res.MeanMs)
+	}
+}
+
+func TestRunBulkFCTs(t *testing.T) {
+	cfg := DefaultBulkConfig()
+	cfg.FileMBytes = 2
+	cfg.Transfers = 4
+	res := RunBulk(func() cc.Algorithm { return cc.NewCubic() }, cfg)
+	if res.Scheme != "cubic" {
+		t.Errorf("scheme %q", res.Scheme)
+	}
+	if res.Incomplete > 0 {
+		t.Fatalf("%d transfers incomplete", res.Incomplete)
+	}
+	if len(res.FCTs) != 4 {
+		t.Fatalf("FCT count %d", len(res.FCTs))
+	}
+	// 2 MB at 50 Mbps floor: at least 0.32 s; with loss and ramp-up it
+	// lands somewhere below 30 s.
+	for _, fct := range res.FCTs {
+		if fct < 0.3 || fct > 30 {
+			t.Errorf("FCT %v s implausible", fct)
+		}
+	}
+	if res.MeanFCT <= 0 || res.StdFCT < 0 {
+		t.Errorf("stats: mean %v std %v", res.MeanFCT, res.StdFCT)
+	}
+}
+
+func TestRunBulkFasterLinkFasterFCT(t *testing.T) {
+	slow := DefaultBulkConfig()
+	slow.FileMBytes = 1
+	slow.Transfers = 2
+	slow.LinkMbps = 10
+	fast := slow
+	fast.LinkMbps = 40
+	rSlow := RunBulk(func() cc.Algorithm { return cc.NewCubic() }, slow)
+	rFast := RunBulk(func() cc.Algorithm { return cc.NewCubic() }, fast)
+	if rFast.MeanFCT >= rSlow.MeanFCT {
+		t.Errorf("faster link not faster: %v vs %v", rFast.MeanFCT, rSlow.MeanFCT)
+	}
+}
+
+func TestRunBulkIncompleteDetection(t *testing.T) {
+	cfg := DefaultBulkConfig()
+	cfg.FileMBytes = 100
+	cfg.Transfers = 1
+	cfg.MaxDuration = 0.5 // impossible deadline
+	res := RunBulk(func() cc.Algorithm { return cc.NewCubic() }, cfg)
+	if res.Incomplete != 1 {
+		t.Errorf("incomplete = %d, want 1", res.Incomplete)
+	}
+}

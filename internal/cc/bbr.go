@@ -1,0 +1,130 @@
+package cc
+
+import "math"
+
+// bbrState enumerates the BBR state machine phases.
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+)
+
+// BBR implements a monitor-interval model of BBR (Cardwell et al. 2016):
+// it maintains windowed estimates of bottleneck bandwidth (max delivered
+// rate) and min RTT, and paces at gain-cycled multiples of the bandwidth
+// estimate.
+type BBR struct {
+	state      bbrState
+	btlBw      float64   // bottleneck bandwidth estimate (pkts/s)
+	bwSamples  []float64 // sliding max window
+	minRTT     float64
+	fullBwCnt  int     // rounds without 25% bandwidth growth
+	lastFullBw float64 // bandwidth at last growth check
+	cycleIdx   int
+	rate       float64
+}
+
+// bbr gain constants from the BBR paper.
+const (
+	bbrHighGain    = 2.885 // 2/ln(2): startup gain
+	bbrDrainGain   = 1 / bbrHighGain
+	bbrBwWindowLen = 10 // MIs in the max-bandwidth filter
+)
+
+// bbrCycleGains is the ProbeBW pacing-gain cycle.
+var bbrCycleGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// NewBBR returns a BBR controller.
+func NewBBR() *BBR {
+	b := &BBR{}
+	b.Reset(0)
+	return b
+}
+
+// Name implements Algorithm.
+func (b *BBR) Name() string { return "bbr" }
+
+// Reset implements Algorithm.
+func (b *BBR) Reset(int64) {
+	b.state = bbrStartup
+	b.btlBw = 0
+	b.bwSamples = b.bwSamples[:0]
+	b.minRTT = 0
+	b.fullBwCnt = 0
+	b.lastFullBw = 0
+	b.cycleIdx = 0
+	b.rate = 0
+}
+
+// InitialRate implements Algorithm.
+func (b *BBR) InitialRate(baseRTT float64) float64 {
+	if baseRTT <= 0 {
+		baseRTT = defaultRTT
+	}
+	b.rate = clampRate(initialCwnd / baseRTT)
+	return b.rate
+}
+
+// State exposes the current phase for tests.
+func (b *BBR) State() int { return int(b.state) }
+
+// BtlBw exposes the bandwidth estimate for tests.
+func (b *BBR) BtlBw() float64 { return b.btlBw }
+
+// updateBw maintains the windowed-max bandwidth filter.
+func (b *BBR) updateBw(sample float64) {
+	b.bwSamples = append(b.bwSamples, sample)
+	if len(b.bwSamples) > bbrBwWindowLen {
+		b.bwSamples = b.bwSamples[1:]
+	}
+	maxBw := 0.0
+	for _, s := range b.bwSamples {
+		if s > maxBw {
+			maxBw = s
+		}
+	}
+	b.btlBw = maxBw
+}
+
+// Update implements Algorithm.
+func (b *BBR) Update(r Report) float64 {
+	if r.Throughput > 0 {
+		b.updateBw(r.Throughput)
+	}
+	if r.MinRTT > 0 && (b.minRTT == 0 || r.MinRTT < b.minRTT) {
+		b.minRTT = r.MinRTT
+	}
+	rtt := b.minRTT
+	if rtt <= 0 {
+		rtt = defaultRTT
+	}
+
+	switch b.state {
+	case bbrStartup:
+		// Exit startup once bandwidth stops growing 25% for 3 rounds.
+		if b.btlBw > b.lastFullBw*1.25 {
+			b.lastFullBw = b.btlBw
+			b.fullBwCnt = 0
+		} else {
+			b.fullBwCnt++
+		}
+		if b.fullBwCnt >= 3 {
+			b.state = bbrDrain
+		}
+		b.rate = clampRate(math.Max(b.btlBw*bbrHighGain, b.rate*1.5))
+	case bbrDrain:
+		b.rate = clampRate(b.btlBw * bbrDrainGain)
+		// Queue drained when measured RTT approaches min RTT.
+		if r.AvgRTT <= 1.25*rtt {
+			b.state = bbrProbeBW
+			b.cycleIdx = 0
+		}
+	case bbrProbeBW:
+		gain := bbrCycleGains[b.cycleIdx]
+		b.cycleIdx = (b.cycleIdx + 1) % len(bbrCycleGains)
+		b.rate = clampRate(b.btlBw * gain)
+	}
+	return b.rate
+}

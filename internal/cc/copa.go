@@ -1,0 +1,97 @@
+package cc
+
+import "math"
+
+// Copa implements the delay-based Copa controller (Arun & Balakrishnan,
+// NSDI 2018) at monitor-interval granularity: it steers the sending rate
+// toward the target rate 1/(delta * dq), where dq is the measured queuing
+// delay, using a velocity parameter that doubles while the direction of
+// adjustment is consistent.
+type Copa struct {
+	// Delta trades throughput for delay (default 0.5).
+	Delta float64
+
+	rate     float64
+	velocity float64
+	lastDir  int // +1 increasing, -1 decreasing, 0 unknown
+	dirRuns  int
+	minRTT   float64
+	rtt      srtt
+}
+
+// NewCopa returns a Copa controller with the default delta of 0.5.
+func NewCopa() *Copa {
+	c := &Copa{Delta: 0.5}
+	c.Reset(0)
+	return c
+}
+
+// Name implements Algorithm.
+func (c *Copa) Name() string { return "copa" }
+
+// Reset implements Algorithm.
+func (c *Copa) Reset(int64) {
+	c.rate = 0
+	c.velocity = 1
+	c.lastDir = 0
+	c.dirRuns = 0
+	c.minRTT = 0
+	c.rtt = srtt{}
+}
+
+// InitialRate implements Algorithm.
+func (c *Copa) InitialRate(baseRTT float64) float64 {
+	if baseRTT <= 0 {
+		baseRTT = defaultRTT
+	}
+	c.rate = clampRate(initialCwnd / baseRTT)
+	return c.rate
+}
+
+// TargetRate exposes Copa's current target for tests, given the smoothed
+// queuing delay estimate.
+func (c *Copa) TargetRate() float64 {
+	dq := c.rtt.get() - c.minRTT
+	if dq < 1e-4 {
+		dq = 1e-4 // cap the target when the queue is empty
+	}
+	return 1 / (c.Delta * dq)
+}
+
+// Update implements Algorithm.
+func (c *Copa) Update(r Report) float64 {
+	rtt := c.rtt.update(r.AvgRTT)
+	if r.MinRTT > 0 && (c.minRTT == 0 || r.MinRTT < c.minRTT) {
+		c.minRTT = r.MinRTT
+	}
+
+	target := c.TargetRate()
+
+	dir := +1
+	if c.rate > target {
+		dir = -1
+	}
+	if dir == c.lastDir {
+		c.dirRuns++
+		if c.dirRuns >= 3 {
+			c.velocity = math.Min(c.velocity*2, 1<<16)
+		}
+	} else {
+		c.velocity = 1
+		c.dirRuns = 0
+	}
+	c.lastDir = dir
+
+	// Rate moves by velocity packets per RTT per delta (the Copa update
+	// expressed on rates: delta-rate = v / (delta * rtt)).
+	step := c.velocity / (c.Delta * math.Max(rtt, 1e-3))
+	c.rate = clampRate(c.rate + float64(dir)*step)
+
+	// Never overshoot the target within one update.
+	if dir > 0 && c.rate > target {
+		c.rate = clampRate(target)
+	} else if dir < 0 && c.rate < target {
+		c.rate = clampRate(target)
+	}
+	return c.rate
+}

@@ -1,0 +1,86 @@
+package cc
+
+import "math"
+
+// Cubic implements TCP CUBIC (Ha, Rhee, Xu 2008), the loss-based baseline:
+// on packet loss the window is reduced by the multiplicative factor beta and
+// then grows along the cubic curve W(t) = C(t-K)^3 + Wmax.
+type Cubic struct {
+	// C is the cubic scaling constant (0.4 per the paper/Linux default).
+	C float64
+	// Beta is the multiplicative decrease factor (0.7 Linux default).
+	Beta float64
+
+	cwnd       float64
+	ssthresh   float64
+	wMax       float64
+	epochStart float64 // time since last loss event (s)
+	inEpoch    bool
+	rtt        srtt
+	clock      float64
+}
+
+// NewCubic returns a CUBIC controller with Linux-default parameters.
+func NewCubic() *Cubic {
+	c := &Cubic{C: 0.4, Beta: 0.7}
+	c.Reset(0)
+	return c
+}
+
+// Name implements Algorithm.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Reset implements Algorithm.
+func (c *Cubic) Reset(int64) {
+	c.cwnd = initialCwnd
+	c.ssthresh = math.Inf(1)
+	c.wMax = 0
+	c.inEpoch = false
+	c.epochStart = 0
+	c.clock = 0
+	c.rtt = srtt{}
+}
+
+// InitialRate implements Algorithm.
+func (c *Cubic) InitialRate(baseRTT float64) float64 {
+	return cwndToRate(c.cwnd, baseRTT)
+}
+
+// Cwnd exposes the current congestion window (packets) for tests.
+func (c *Cubic) Cwnd() float64 { return c.cwnd }
+
+// Update implements Algorithm.
+func (c *Cubic) Update(r Report) float64 {
+	rtt := c.rtt.update(r.AvgRTT)
+	c.clock += r.Duration
+
+	if r.LossEvent() {
+		// Multiplicative decrease and new cubic epoch.
+		c.wMax = c.cwnd
+		c.cwnd = math.Max(minCwnd, c.cwnd*c.Beta)
+		c.ssthresh = c.cwnd
+		c.inEpoch = true
+		c.epochStart = c.clock
+	} else if c.cwnd < c.ssthresh {
+		// Slow start: one packet per ack.
+		c.cwnd = math.Min(maxCwnd, c.cwnd+r.Delivered)
+	} else if c.inEpoch {
+		// Congestion avoidance along the cubic curve.
+		t := c.clock - c.epochStart
+		k := math.Cbrt(c.wMax * (1 - c.Beta) / c.C)
+		target := c.C*math.Pow(t-k, 3) + c.wMax
+		if target > c.cwnd {
+			// Approach the target over one RTT.
+			c.cwnd += (target - c.cwnd) * math.Min(1, r.Duration/math.Max(rtt, 1e-3))
+		} else {
+			// Modest concave growth near/below the plateau.
+			c.cwnd += 0.01 * r.Delivered / math.Max(c.cwnd, 1)
+		}
+		c.cwnd = math.Min(maxCwnd, math.Max(minCwnd, c.cwnd))
+	} else {
+		// No loss seen yet after leaving slow start: linear growth.
+		c.cwnd = math.Min(maxCwnd, c.cwnd+r.Delivered/math.Max(c.cwnd, 1))
+	}
+
+	return cwndToRate(c.cwnd, rtt)
+}

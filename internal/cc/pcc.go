@@ -1,0 +1,171 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+)
+
+// UtilityFunc scores one monitor interval for PCC-style online learning.
+type UtilityFunc func(r Report) float64
+
+// AllegroUtility is the PCC Allegro utility (Dong et al., NSDI 2015):
+// throughput scaled by a steep sigmoid loss penalty cutting in at 5% loss,
+// u = T * (1 - L) * sigmoid(-alpha*(L - 0.05)) with alpha=100.
+func AllegroUtility(r Report) float64 {
+	const alpha = 100.0
+	sig := 1 / (1 + math.Exp(alpha*(r.LossRate-0.05)))
+	return r.Throughput * (1 - r.LossRate) * sig
+}
+
+// VivaceLatencyState carries the RTT-gradient estimate Vivace's utility
+// needs across intervals.
+type vivaceLatencyState struct {
+	prevRTT float64
+}
+
+// vivaceUtility is the PCC Vivace utility (Dong et al., NSDI 2018):
+// u = T^0.9 - b*T*max(0, dRTT/dt) - c*T*L with b=900, c=11.35.
+func (v *vivaceLatencyState) utility(r Report) float64 {
+	const (
+		exponent = 0.9
+		b        = 900.0
+		c        = 11.35
+	)
+	grad := 0.0
+	if v.prevRTT > 0 && r.Duration > 0 {
+		grad = (r.AvgRTT - v.prevRTT) / r.Duration
+	}
+	v.prevRTT = r.AvgRTT
+	if grad < 0 {
+		grad = 0
+	}
+	return math.Pow(math.Max(r.Throughput, 0), exponent) -
+		b*r.Throughput*grad - c*r.Throughput*r.LossRate
+}
+
+// pccPhase enumerates the micro-experiment state machine.
+type pccPhase int
+
+const (
+	pccTrialUp pccPhase = iota
+	pccTrialDown
+	pccDecide
+)
+
+// PCC is the shared online-learning rate controller behind Allegro and
+// Vivace: it runs paired micro-experiments at rate*(1±eps), compares
+// utilities, and moves the base rate toward the better direction, with a
+// step size that grows under consistent gradient signs (Allegro's
+// confidence amplification / Vivace's gradient ascent).
+type PCC struct {
+	name    string
+	utility UtilityFunc
+	// Epsilon is the probe perturbation (0.05 per the PCC papers).
+	Epsilon float64
+	// BaseStepFrac is the rate-relative step for one utility-gradient
+	// confidence level.
+	BaseStepFrac float64
+
+	rate       float64
+	phase      pccPhase
+	utilUp     float64
+	utilDown   float64
+	confidence int
+	lastDir    int
+	rng        *rand.Rand
+	latState   *vivaceLatencyState // non-nil for Vivace
+}
+
+// NewAllegro returns a PCC Allegro controller.
+func NewAllegro() *PCC {
+	p := &PCC{name: "pcc-allegro", utility: AllegroUtility, Epsilon: 0.05, BaseStepFrac: 0.05}
+	p.Reset(0)
+	return p
+}
+
+// NewVivace returns a PCC Vivace controller with the latency-aware utility.
+func NewVivace() *PCC {
+	p := &PCC{name: "pcc-vivace", Epsilon: 0.05, BaseStepFrac: 0.05}
+	p.Reset(0)
+	return p
+}
+
+// Name implements Algorithm.
+func (p *PCC) Name() string { return p.name }
+
+// Reset implements Algorithm.
+func (p *PCC) Reset(seed int64) {
+	p.rate = 0
+	p.phase = pccTrialUp
+	p.confidence = 1
+	p.lastDir = 0
+	p.rng = rand.New(rand.NewSource(seed))
+	if p.name == "pcc-vivace" {
+		p.latState = &vivaceLatencyState{}
+		p.utility = p.latState.utility
+	}
+}
+
+// InitialRate implements Algorithm.
+func (p *PCC) InitialRate(baseRTT float64) float64 {
+	if baseRTT <= 0 {
+		baseRTT = defaultRTT
+	}
+	p.rate = clampRate(2 * initialCwnd / baseRTT)
+	return p.probeRate()
+}
+
+// probeRate returns the rate to offer for the current phase.
+func (p *PCC) probeRate() float64 {
+	switch p.phase {
+	case pccTrialUp:
+		return clampRate(p.rate * (1 + p.Epsilon))
+	case pccTrialDown:
+		return clampRate(p.rate * (1 - p.Epsilon))
+	default:
+		return clampRate(p.rate)
+	}
+}
+
+// Rate exposes the base (non-probing) rate for tests.
+func (p *PCC) Rate() float64 { return p.rate }
+
+// Update implements Algorithm.
+func (p *PCC) Update(r Report) float64 {
+	switch p.phase {
+	case pccTrialUp:
+		p.utilUp = p.utility(r)
+		p.phase = pccTrialDown
+	case pccTrialDown:
+		p.utilDown = p.utility(r)
+		p.phase = pccDecide
+	case pccDecide:
+		dir := 0
+		if p.utilUp > p.utilDown {
+			dir = +1
+		} else if p.utilDown > p.utilUp {
+			dir = -1
+		}
+		if dir != 0 {
+			if dir == p.lastDir {
+				p.confidence = min(p.confidence+1, 8)
+			} else {
+				p.confidence = 1
+			}
+			p.lastDir = dir
+			step := p.BaseStepFrac * float64(p.confidence)
+			p.rate = clampRate(p.rate * (1 + float64(dir)*step))
+		} else {
+			p.confidence = 1
+		}
+		p.phase = pccTrialUp
+	}
+	return p.probeRate()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

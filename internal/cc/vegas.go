@@ -1,0 +1,88 @@
+package cc
+
+import "math"
+
+// Vegas implements TCP Vegas (Brakmo & Peterson 1994), the delay-based
+// baseline: it estimates the number of packets queued at the bottleneck as
+// diff = cwnd * (RTT - baseRTT) / RTT and holds it between Alpha and Beta.
+type Vegas struct {
+	// Alpha and Beta are the queue-occupancy thresholds in packets
+	// (classic values 2 and 4).
+	Alpha, Beta float64
+
+	cwnd    float64
+	baseRTT float64
+	rtt     srtt
+	inSS    bool
+}
+
+// NewVegas returns a Vegas controller with the classic alpha=2, beta=4.
+func NewVegas() *Vegas {
+	v := &Vegas{Alpha: 2, Beta: 4}
+	v.Reset(0)
+	return v
+}
+
+// Name implements Algorithm.
+func (v *Vegas) Name() string { return "vegas" }
+
+// Reset implements Algorithm.
+func (v *Vegas) Reset(int64) {
+	v.cwnd = initialCwnd
+	v.baseRTT = 0
+	v.rtt = srtt{}
+	v.inSS = true
+}
+
+// InitialRate implements Algorithm.
+func (v *Vegas) InitialRate(baseRTT float64) float64 {
+	return cwndToRate(v.cwnd, baseRTT)
+}
+
+// Cwnd exposes the congestion window for tests.
+func (v *Vegas) Cwnd() float64 { return v.cwnd }
+
+// QueueEstimate returns Vegas's estimate of packets it has queued at the
+// bottleneck, given the latest smoothed RTT.
+func (v *Vegas) QueueEstimate() float64 {
+	rtt := v.rtt.get()
+	if v.baseRTT <= 0 || rtt <= 0 {
+		return 0
+	}
+	return v.cwnd * (rtt - v.baseRTT) / rtt
+}
+
+// Update implements Algorithm.
+func (v *Vegas) Update(r Report) float64 {
+	rtt := v.rtt.update(r.AvgRTT)
+	if r.MinRTT > 0 && (v.baseRTT == 0 || r.MinRTT < v.baseRTT) {
+		v.baseRTT = r.MinRTT
+	}
+
+	if r.LossEvent() {
+		v.cwnd = math.Max(minCwnd, v.cwnd*0.75)
+		v.inSS = false
+		return cwndToRate(v.cwnd, rtt)
+	}
+
+	diff := v.QueueEstimate()
+	if v.inSS {
+		// Vegas slow start: double every other RTT until the queue
+		// estimate crosses alpha; per-interval we grow by delivered/2.
+		if diff > v.Alpha {
+			v.inSS = false
+		} else {
+			v.cwnd = math.Min(maxCwnd, v.cwnd+r.Delivered/2)
+			return cwndToRate(v.cwnd, rtt)
+		}
+	}
+
+	switch {
+	case diff < v.Alpha:
+		v.cwnd++
+	case diff > v.Beta:
+		v.cwnd--
+	}
+	v.cwnd = math.Max(minCwnd, math.Min(maxCwnd, v.cwnd))
+	return cwndToRate(v.cwnd, rtt)
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mocc/internal/cc"
+	"mocc/internal/gym"
+	"mocc/internal/nn"
+	"mocc/internal/objective"
+	"mocc/internal/rl"
+	"mocc/internal/trace"
+)
+
+var (
+	wThr = objective.Weights{Thr: 0.8, Lat: 0.1, Loss: 0.1}
+	wLat = objective.Weights{Thr: 0.1, Lat: 0.8, Loss: 0.1}
+)
+
+// fastEnvs is a small, fixed link for quick training tests.
+func fastEnvs(historyLen int) rl.EnvFactory {
+	return FixedEnv(trace.Condition{
+		BandwidthMbps: 12, LatencyMs: 10, QueuePkts: 100, LossRate: 0,
+	}, historyLen)
+}
+
+func TestModelShapes(t *testing.T) {
+	m := NewModel(10, 1)
+	if m.ObsSize() != 33 {
+		t.Errorf("ObsSize = %d, want 33", m.ObsSize())
+	}
+	obs := make([]float64, 33)
+	mean, std := m.PolicyForward(obs)
+	if math.IsNaN(mean) || std <= 0 {
+		t.Errorf("bad policy output: %v, %v", mean, std)
+	}
+	if v := m.ValueForward(obs); math.IsNaN(v) {
+		t.Errorf("bad value: %v", v)
+	}
+}
+
+func TestModelPanicsOnWrongObsSize(t *testing.T) {
+	m := NewModel(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.PolicyForward(make([]float64, 12)) // missing the 3 weight entries
+}
+
+// TestModelGradientCheck validates the full preference-sub-network
+// composition (forward + backward) against finite differences, for both the
+// actor and critic halves.
+func TestModelGradientCheck(t *testing.T) {
+	m := NewModel(3, 7)
+	obs := []float64{
+		0.2, 0.1, -0.3, 0.5, 0.0, 0.7, -0.2, 0.4, 0.1, // network history (3x3)
+		0.5, 0.3, 0.2, // weights
+	}
+
+	nn.ZeroGrad(m.ActorParams())
+	m.PolicyForward(obs)
+	m.PolicyBackward(1, 0)
+	checkGrads(t, "actor", m.ActorParams(), func() float64 {
+		mean, _ := m.PolicyForward(obs)
+		return mean
+	})
+
+	nn.ZeroGrad(m.CriticParams())
+	m.ValueForward(obs)
+	m.ValueBackward(1)
+	checkGrads(t, "critic", m.CriticParams(), func() float64 {
+		return m.ValueForward(obs)
+	})
+}
+
+func checkGrads(t *testing.T, label string, params []*nn.Param, eval func() float64) {
+	t.Helper()
+	const eps = 1e-6
+	for _, p := range params {
+		if p.Name == "logstd" {
+			continue // not part of the mean path
+		}
+		for j := range p.Value {
+			orig := p.Value[j]
+			p.Value[j] = orig + eps
+			up := eval()
+			p.Value[j] = orig - eps
+			down := eval()
+			p.Value[j] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-p.Grad[j]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("%s %s[%d]: numeric %v vs analytic %v", label, p.Name, j, numeric, p.Grad[j])
+			}
+		}
+	}
+}
+
+func TestModelPreferenceChangesOutput(t *testing.T) {
+	m := NewModel(4, 3)
+	netObs := []float64{0.5, 0.2, 0.1, 0.3, 0.1, 0, 0.2, 0.4, -0.1, 0.6, 0.2, 0.05}
+	aThr := m.ActFor(wThr, netObs)
+	aLat := m.ActFor(wLat, netObs)
+	if aThr == aLat {
+		t.Error("preference sub-network has no effect on the action")
+	}
+}
+
+func TestModelCloneAndSnapshot(t *testing.T) {
+	m := NewModel(4, 5)
+	c := m.Clone()
+	netObs := make([]float64, 12)
+	if m.ActFor(wThr, netObs) != c.ActFor(wThr, netObs) {
+		t.Error("clone differs from original")
+	}
+	// Mutating the clone must not affect the original.
+	c.AllParams()[0].Value[0] += 1
+	if m.ActFor(wThr, netObs) == c.ActFor(wThr, netObs) {
+		t.Error("clone aliases original parameters")
+	}
+
+	snap := m.Snapshot()
+	m2 := NewModel(4, 999)
+	if err := m2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m.ActFor(wLat, netObs) != m2.ActFor(wLat, netObs) {
+		t.Error("restored model differs")
+	}
+	// Restoring into a different architecture fails.
+	m3 := NewModel(6, 1)
+	if err := m3.Restore(snap); err == nil {
+		t.Error("expected restore error for mismatched architecture")
+	}
+}
+
+func TestPolicyForAppendsWeights(t *testing.T) {
+	m := NewModel(4, 2)
+	netObs := []float64{0.1, 0, 0, 0.2, 0, 0, 0.3, 0, 0, 0.4, 0, 0}
+	p := m.PolicyFor(wThr)
+	if got, want := p.Act(netObs), m.ActFor(wThr, netObs); got != want {
+		t.Errorf("PolicyFor.Act = %v, want %v", got, want)
+	}
+}
+
+func TestAlgorithmForDrivesEnv(t *testing.T) {
+	m := NewModel(10, 2)
+	alg := m.AlgorithmFor("", wThr)
+	if alg.Name() != "mocc" {
+		t.Errorf("default name = %q", alg.Name())
+	}
+	env := gym.New(gym.Config{
+		Bandwidth: trace.Constant(1000), LatencyMs: 20, QueuePkts: 100, Seed: 1,
+	})
+	ms := cc.Drive(env, alg, 20, 1)
+	for i, m := range ms {
+		if math.IsNaN(m.SendRate) || m.SendRate <= 0 {
+			t.Fatalf("bad rate %v at step %d", m.SendRate, i)
+		}
+	}
+}
+
+func TestTrainerValidation(t *testing.T) {
+	cfg := DefaultTrainConfig()
+	if _, err := NewOfflineTrainer(nil, cfg); err == nil {
+		t.Error("nil model accepted")
+	}
+	m := NewModel(4, 1)
+	if _, err := NewOfflineTrainer(m, cfg); err == nil {
+		t.Error("nil Envs accepted")
+	}
+	cfg.Envs = fastEnvs(4)
+	cfg.Omega = 1
+	if _, err := NewOfflineTrainer(m, cfg); err == nil {
+		t.Error("tiny Omega accepted")
+	}
+	cfg.Omega = 3
+	cfg.RolloutSteps = 0
+	if _, err := NewOfflineTrainer(m, cfg); err == nil {
+		t.Error("zero rollout steps accepted")
+	}
+}
+
+// smallTrainConfig returns a fast configuration for end-to-end tests.
+func smallTrainConfig(historyLen int) TrainConfig {
+	ppo := rl.DefaultPPOConfig()
+	ppo.EntropyInit = 0.02
+	ppo.EntropyFinal = 0.001
+	ppo.EntropyDecayIters = 20
+	return TrainConfig{
+		Omega:           3,
+		BootstrapIters:  4,
+		BootstrapCycles: 2,
+		TraverseIters:   1,
+		TraverseCycles:  1,
+		RolloutSteps:    256,
+		EpisodeLen:      64,
+		Workers:         1,
+		Seed:            1,
+		PPO:             ppo,
+		Envs:            fastEnvs(historyLen),
+	}
+}
+
+func TestOfflineTrainingImprovesReward(t *testing.T) {
+	m := NewModel(4, 1)
+	cfg := smallTrainConfig(4)
+	trainer, err := NewOfflineTrainer(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evalEnv := cfg.Envs(4242)
+	before := rl.EvaluateActor(func(obs []float64) float64 {
+		return m.ActFor(wThr, obs)
+	}, evalEnv, wThr, false, 150)
+
+	res, err := trainer.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIters := cfg.BootstrapCycles*3*cfg.BootstrapIters + cfg.TraverseCycles*objective.LandmarkCount(objective.StepForOmega(cfg.Omega))*cfg.TraverseIters
+	if res.TotalIters() != wantIters {
+		t.Errorf("TotalIters = %d, want %d", res.TotalIters(), wantIters)
+	}
+	if len(res.Curve) != wantIters {
+		t.Errorf("curve length = %d, want %d", len(res.Curve), wantIters)
+	}
+
+	after := rl.EvaluateActor(func(obs []float64) float64 {
+		return m.ActFor(wThr, obs)
+	}, evalEnv, wThr, false, 150)
+	if after <= before {
+		t.Errorf("offline training did not improve reward: %v -> %v", before, after)
+	}
+}
+
+func TestOfflineTrainingParallelMatchesConfig(t *testing.T) {
+	m := NewModel(4, 1)
+	cfg := smallTrainConfig(4)
+	cfg.Workers = 3
+	cfg.BootstrapCycles = 1
+	cfg.BootstrapIters = 2
+	cfg.TraverseCycles = 0
+	trainer, err := NewOfflineTrainer(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trainer.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BootstrapIters != 6 {
+		t.Errorf("bootstrap iters = %d, want 6", res.BootstrapIters)
+	}
+	for _, p := range m.AllParams() {
+		for _, v := range p.Value {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite parameter after parallel training")
+			}
+		}
+	}
+}
+
+func TestTrainIndividuallyCountsIterations(t *testing.T) {
+	cfg := smallTrainConfig(4)
+	total, err := TrainIndividually(cfg, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * objective.LandmarkCount(objective.StepForOmega(cfg.Omega)); total != want {
+		t.Errorf("total iters = %d, want %d", total, want)
+	}
+}
+
+func TestAdapterValidation(t *testing.T) {
+	m := NewModel(4, 1)
+	cfg := DefaultAdaptConfig()
+	if _, err := NewAdapter(nil, cfg); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewAdapter(m, cfg); err == nil {
+		t.Error("nil Envs accepted")
+	}
+	cfg.Envs = fastEnvs(4)
+	cfg.MaxIters = 0
+	if _, err := NewAdapter(m, cfg); err == nil {
+		t.Error("zero MaxIters accepted")
+	}
+}
+
+func TestAdaptImprovesNewObjective(t *testing.T) {
+	// Pre-train briefly on the throughput objective, then adapt to the
+	// latency objective; the latency reward should improve.
+	m := NewModel(4, 1)
+	tcfg := smallTrainConfig(4)
+	tcfg.TraverseCycles = 0
+	trainer, err := NewOfflineTrainer(m, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trainer.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	acfg := DefaultAdaptConfig()
+	acfg.Envs = fastEnvs(4)
+	acfg.MaxIters = 25
+	acfg.RolloutSteps = 256
+	acfg.EpisodeLen = 64
+	adapter, err := NewAdapter(m, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter.Register(wThr)
+
+	res := adapter.Adapt(wLat)
+	if len(res.Curve) != acfg.MaxIters {
+		t.Fatalf("curve length = %d", len(res.Curve))
+	}
+	early := (res.Curve[0] + res.Curve[1] + res.Curve[2]) / 3
+	n := len(res.Curve)
+	late := (res.Curve[n-1] + res.Curve[n-2] + res.Curve[n-3]) / 3
+	if late < early-0.02 {
+		t.Errorf("adaptation regressed: early %v late %v", early, late)
+	}
+	if adapter.Pool().Len() != 2 {
+		t.Errorf("pool size = %d, want 2 (old + new)", adapter.Pool().Len())
+	}
+}
+
+func TestAdaptWithSnapshots(t *testing.T) {
+	m := NewModel(4, 1)
+	cfg := DefaultAdaptConfig()
+	cfg.Envs = fastEnvs(4)
+	cfg.MaxIters = 8
+	cfg.RolloutSteps = 128
+	cfg.EpisodeLen = 64
+	adapter, err := NewAdapter(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iters []int
+	adapter.AdaptWithSnapshots(wLat, 4, func(iter int, snap *Model) {
+		iters = append(iters, iter)
+		if snap == adapter.Model {
+			t.Error("snapshot aliases live model")
+		}
+	})
+	if len(iters) != 2 || iters[0] != 4 || iters[1] != 8 {
+		t.Errorf("snapshot iterations = %v, want [4 8]", iters)
+	}
+}
+
+func TestReplayUsesPool(t *testing.T) {
+	// With replay enabled and a registered old objective, Step must still
+	// work and keep parameters finite (the Equation 6 joint update).
+	m := NewModel(4, 1)
+	cfg := DefaultAdaptConfig()
+	cfg.Envs = fastEnvs(4)
+	cfg.MaxIters = 4
+	cfg.RolloutSteps = 128
+	cfg.EpisodeLen = 64
+	adapter, err := NewAdapter(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter.Register(wThr)
+	adapter.Step(wLat)
+	for _, p := range m.AllParams() {
+		for _, v := range p.Value {
+			if math.IsNaN(v) {
+				t.Fatal("NaN parameter after replay step")
+			}
+		}
+	}
+}
+
+func TestConvergenceIndex(t *testing.T) {
+	// Monotone rise: converges near the plateau.
+	curve := []float64{0, 0.5, 0.9, 0.99, 1.0, 1.0, 1.0}
+	idx := ConvergenceIndex(curve, 0.99, 1)
+	if idx != 3 && idx != 4 {
+		t.Errorf("ConvergenceIndex = %d, want 3 or 4", idx)
+	}
+	// Flat curve: no gain.
+	if idx := ConvergenceIndex([]float64{1, 1, 1}, 0.99, 1); idx != -1 {
+		t.Errorf("flat curve index = %d, want -1", idx)
+	}
+	if idx := ConvergenceIndex(nil, 0.99, 1); idx != -1 {
+		t.Errorf("empty curve index = %d, want -1", idx)
+	}
+	// Declining curve: never gains.
+	if idx := ConvergenceIndex([]float64{5, 4, 3}, 0.99, 1); idx != -1 {
+		t.Errorf("declining curve index = %d, want -1", idx)
+	}
+}
+
+func TestConvergenceIndexSmoothsNoise(t *testing.T) {
+	// A noisy early spike must not count as convergence when smoothing.
+	curve := []float64{0, 0.2, 1.0, 0.1, 0.3, 0.5, 0.8, 0.9, 0.95, 0.97, 0.99, 1.0, 1.0, 1.0, 1.0}
+	raw := ConvergenceIndex(curve, 0.99, 1)
+	smoothed := ConvergenceIndex(curve, 0.99, 5)
+	if raw != 2 {
+		t.Errorf("raw index = %d, want 2 (the spike)", raw)
+	}
+	if smoothed <= 2 {
+		t.Errorf("smoothed index = %d, should be past the spike", smoothed)
+	}
+}
+
+func TestTableTwoConstants(t *testing.T) {
+	if Gamma != 0.99 {
+		t.Errorf("Gamma = %v", Gamma)
+	}
+	if LearningRate != 0.001 {
+		t.Errorf("LearningRate = %v", LearningRate)
+	}
+	if ActionScale != 0.025 {
+		t.Errorf("ActionScale = %v", ActionScale)
+	}
+	if HistoryLen != 10 {
+		t.Errorf("HistoryLen = %v", HistoryLen)
+	}
+	if OmegaDefault != 36 {
+		t.Errorf("OmegaDefault = %v", OmegaDefault)
+	}
+}
+
+func TestTrainingEnvsSamplesRanges(t *testing.T) {
+	factory := TrainingEnvs(trace.TrainingRanges(), 4)
+	seen := map[float64]bool{}
+	for seed := int64(0); seed < 10; seed++ {
+		env := factory(seed)
+		bw := env.Config().Bandwidth.At(0)
+		seen[bw] = true
+		mbps := trace.PktsPerSecToMbps(bw, PacketBytes)
+		if mbps < 1-1e-9 || mbps > 5+1e-9 {
+			t.Errorf("sampled bandwidth %v Mbps outside training range", mbps)
+		}
+	}
+	if len(seen) < 5 {
+		t.Error("environment sampling not diverse across seeds")
+	}
+}

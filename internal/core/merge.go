@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mocc/internal/nn"
+)
+
+// MergeModels averages the parameters of several same-architecture models
+// into a fresh model, optionally weighted (nil weights = uniform). This is
+// the building block for the model-sharing / federated-learning direction
+// the paper sketches in §7: devices train locally and exchange models
+// instead of traffic traces. Federated averaging of policy networks is
+// lossy (policies are not convex in parameters), so merged models are
+// starting points for further adaptation, not drop-in replacements — the
+// same caveat applies to FedAvg generally.
+func MergeModels(models []*Model, weights []float64) (*Model, error) {
+	if len(models) == 0 {
+		return nil, errors.New("core: no models to merge")
+	}
+	if weights != nil && len(weights) != len(models) {
+		return nil, fmt.Errorf("core: %d weights for %d models", len(weights), len(models))
+	}
+	hl := models[0].HistoryLen
+	for i, m := range models[1:] {
+		if m.HistoryLen != hl {
+			return nil, fmt.Errorf("core: model %d has history length %d, want %d", i+1, m.HistoryLen, hl)
+		}
+	}
+
+	var total float64
+	norm := make([]float64, len(models))
+	for i := range models {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+			if w < 0 {
+				return nil, fmt.Errorf("core: negative merge weight %v", w)
+			}
+		}
+		norm[i] = w
+		total += w
+	}
+	if total <= 0 {
+		return nil, errors.New("core: merge weights sum to zero")
+	}
+	for i := range norm {
+		norm[i] /= total
+	}
+
+	out := models[0].Clone()
+	outParams := out.AllParams()
+	// Zero the accumulator, then add weighted contributions.
+	for _, p := range outParams {
+		for j := range p.Value {
+			p.Value[j] = 0
+		}
+	}
+	for mi, m := range models {
+		src := m.AllParams()
+		if len(src) != len(outParams) {
+			return nil, fmt.Errorf("core: model %d has mismatched parameters", mi)
+		}
+		for pi, p := range src {
+			if len(p.Value) != len(outParams[pi].Value) {
+				return nil, fmt.Errorf("core: model %d parameter %q size mismatch", mi, p.Name)
+			}
+			for j, v := range p.Value {
+				outParams[pi].Value[j] += norm[mi] * v
+			}
+		}
+	}
+	return out, nil
+}
+
+// DistillInto copies src's parameters into dst (same architecture),
+// returning an error on mismatch. Convenience wrapper for model-sharing
+// workflows where a device adopts a peer's model wholesale.
+func DistillInto(dst, src *Model) error {
+	return nn.CopyParams(dst.AllParams(), src.AllParams())
+}

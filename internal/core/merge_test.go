@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMergeModelsUniform(t *testing.T) {
+	a := NewModel(4, 1)
+	b := NewModel(4, 2)
+	merged, err := MergeModels([]*Model{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every merged parameter is the arithmetic mean.
+	ap, bp, mp := a.AllParams(), b.AllParams(), merged.AllParams()
+	for i := range mp {
+		for j := range mp[i].Value {
+			want := (ap[i].Value[j] + bp[i].Value[j]) / 2
+			if math.Abs(mp[i].Value[j]-want) > 1e-12 {
+				t.Fatalf("param %s[%d] = %v, want %v", mp[i].Name, j, mp[i].Value[j], want)
+			}
+		}
+	}
+}
+
+func TestMergeModelsWeighted(t *testing.T) {
+	a := NewModel(4, 1)
+	b := NewModel(4, 2)
+	// Weight 3:1 toward a.
+	merged, err := MergeModels([]*Model{a, b}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, bp, mp := a.AllParams(), b.AllParams(), merged.AllParams()
+	for i := range mp {
+		for j := range mp[i].Value {
+			want := 0.75*ap[i].Value[j] + 0.25*bp[i].Value[j]
+			if math.Abs(mp[i].Value[j]-want) > 1e-12 {
+				t.Fatalf("weighted merge wrong at %s[%d]", mp[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestMergeModelsSingleIsClone(t *testing.T) {
+	a := NewModel(4, 7)
+	merged, err := MergeModels([]*Model{a}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netObs := make([]float64, 12)
+	if merged.ActFor(wThr, netObs) != a.ActFor(wThr, netObs) {
+		t.Error("single-model merge differs from source")
+	}
+	// And is independent storage.
+	merged.AllParams()[0].Value[0] += 1
+	if merged.ActFor(wThr, netObs) == a.ActFor(wThr, netObs) {
+		t.Error("merged model aliases source parameters")
+	}
+}
+
+func TestMergeModelsErrors(t *testing.T) {
+	a := NewModel(4, 1)
+	b := NewModel(6, 1) // different architecture
+	if _, err := MergeModels(nil, nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := MergeModels([]*Model{a, b}, nil); err == nil {
+		t.Error("mismatched architectures accepted")
+	}
+	if _, err := MergeModels([]*Model{a}, []float64{1, 2}); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := MergeModels([]*Model{a}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := MergeModels([]*Model{a}, []float64{0}); err == nil {
+		t.Error("zero-sum weights accepted")
+	}
+}
+
+func TestDistillInto(t *testing.T) {
+	src := NewModel(4, 3)
+	dst := NewModel(4, 99)
+	if err := DistillInto(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	netObs := make([]float64, 12)
+	if dst.ActFor(wLat, netObs) != src.ActFor(wLat, netObs) {
+		t.Error("distilled model differs")
+	}
+	other := NewModel(6, 1)
+	if err := DistillInto(other, src); err == nil {
+		t.Error("mismatched distill accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Package core implements the paper's contribution: the MOCC
+// multi-objective congestion-control model (§4). The policy and value
+// networks are extended with a preference sub-network that embeds the
+// application weight vector; the reward is dynamically parameterized by the
+// same vector (Equation 2); offline training runs the two-phase
+// bootstrapping + fast-traversing schedule (§4.2, Appendix B); and online
+// adaptation transfers the offline model to unseen objectives with
+// requirement replay (§4.3, Equation 6).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mocc/internal/cc"
+	"mocc/internal/gym"
+	"mocc/internal/nn"
+	"mocc/internal/objective"
+)
+
+// Architecture constants from §5 and Figure 3.
+const (
+	// Hidden1 and Hidden2 are the trunk hidden sizes (64, 32).
+	Hidden1 = 64
+	Hidden2 = 32
+	// PrefFeatures is the width of the preference sub-network's feature
+	// transformation of the 3-dim weight vector.
+	PrefFeatures = 16
+	// WeightDim is the application requirement dimensionality.
+	WeightDim = 3
+)
+
+// logStd clamp bounds shared with the single-objective agent.
+const (
+	minLogStd = -3.0
+	maxLogStd = 1.0
+)
+
+// Model is the MOCC actor-critic with preference sub-networks (Figure 3).
+// Observations are the concatenation [network history (3·η) | weight vector
+// (3)]; each half-network first transforms the weight vector through its
+// preference sub-network and concatenates the features with the network
+// history before the trunk.
+//
+// Model implements rl.ActorCritic.
+type Model struct {
+	HistoryLen int
+
+	actorPref  *nn.MLP // 3 -> PrefFeatures (tanh output)
+	actorTrunk *nn.MLP // 3η+PrefFeatures -> 64 -> 32 -> 1
+	actorAct   *nn.Tanh
+
+	criticPref  *nn.MLP
+	criticTrunk *nn.MLP
+	criticAct   *nn.Tanh
+
+	logStd *nn.Param
+}
+
+// NewModel builds a model for η-step history observations.
+func NewModel(historyLen int, seed int64) *Model {
+	if historyLen <= 0 {
+		historyLen = gym.DefaultHistoryLen
+	}
+	rng := rand.New(rand.NewSource(seed))
+	netDim := 3 * historyLen
+	m := &Model{
+		HistoryLen:  historyLen,
+		actorPref:   nn.NewMLP(rng, WeightDim, PrefFeatures),
+		actorAct:    nn.NewTanh(PrefFeatures),
+		actorTrunk:  nn.NewMLP(rng, netDim+PrefFeatures, Hidden1, Hidden2, 1),
+		criticPref:  nn.NewMLP(rng, WeightDim, PrefFeatures),
+		criticAct:   nn.NewTanh(PrefFeatures),
+		criticTrunk: nn.NewMLP(rng, netDim+PrefFeatures, Hidden1, Hidden2, 1),
+		logStd:      &nn.Param{Name: "logstd", Value: []float64{0}, Grad: []float64{0}},
+	}
+	return m
+}
+
+// ObsSize implements rl.ActorCritic: 3·η network features + 3 weights.
+func (m *Model) ObsSize() int { return 3*m.HistoryLen + WeightDim }
+
+// split separates an observation into network history and weight vector.
+func (m *Model) split(obs []float64) (net, w []float64) {
+	netDim := 3 * m.HistoryLen
+	if len(obs) != netDim+WeightDim {
+		panic(fmt.Sprintf("core: observation length %d, want %d", len(obs), netDim+WeightDim))
+	}
+	return obs[:netDim], obs[netDim:]
+}
+
+// forward runs one half-network (pref sub-network + trunk).
+func forward(pref *nn.MLP, act *nn.Tanh, trunk *nn.MLP, net, w []float64) float64 {
+	feat := act.Forward(pref.Forward(w))
+	joint := make([]float64, 0, len(net)+len(feat))
+	joint = append(joint, net...)
+	joint = append(joint, feat...)
+	return trunk.Forward(joint)[0]
+}
+
+// backward propagates a scalar output gradient through one half-network.
+func backward(pref *nn.MLP, act *nn.Tanh, trunk *nn.MLP, netDim int, dOut float64) {
+	gJoint := trunk.Backward([]float64{dOut})
+	// The first netDim entries are input gradients (discarded); the rest
+	// flow into the preference sub-network.
+	pref.Backward(act.Backward(gJoint[netDim:]))
+}
+
+// PolicyForward implements rl.ActorCritic.
+func (m *Model) PolicyForward(obs []float64) (mean, std float64) {
+	net, w := m.split(obs)
+	mean = forward(m.actorPref, m.actorAct, m.actorTrunk, net, w)
+	ls := math.Max(minLogStd, math.Min(maxLogStd, m.logStd.Value[0]))
+	return mean, math.Exp(ls)
+}
+
+// PolicyBackward implements rl.ActorCritic.
+func (m *Model) PolicyBackward(dMean, dLogStd float64) {
+	backward(m.actorPref, m.actorAct, m.actorTrunk, 3*m.HistoryLen, dMean)
+	if ls := m.logStd.Value[0]; ls > minLogStd && ls < maxLogStd {
+		m.logStd.Grad[0] += dLogStd
+	}
+}
+
+// ValueForward implements rl.ActorCritic.
+func (m *Model) ValueForward(obs []float64) float64 {
+	net, w := m.split(obs)
+	return forward(m.criticPref, m.criticAct, m.criticTrunk, net, w)
+}
+
+// ValueBackward implements rl.ActorCritic.
+func (m *Model) ValueBackward(dV float64) {
+	backward(m.criticPref, m.criticAct, m.criticTrunk, 3*m.HistoryLen, dV)
+}
+
+// ActorParams implements rl.ActorCritic.
+func (m *Model) ActorParams() []*nn.Param {
+	ps := append([]*nn.Param{}, m.actorPref.Params()...)
+	ps = append(ps, m.actorTrunk.Params()...)
+	return append(ps, m.logStd)
+}
+
+// CriticParams implements rl.ActorCritic.
+func (m *Model) CriticParams() []*nn.Param {
+	ps := append([]*nn.Param{}, m.criticPref.Params()...)
+	return append(ps, m.criticTrunk.Params()...)
+}
+
+// AllParams returns every trainable parameter (for snapshots and transfer).
+func (m *Model) AllParams() []*nn.Param {
+	return append(m.ActorParams(), m.CriticParams()...)
+}
+
+// CopyFrom copies all parameters from src (same architecture required).
+func (m *Model) CopyFrom(src *Model) error {
+	return nn.CopyParams(m.AllParams(), src.AllParams())
+}
+
+// Clone returns an independent deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := NewModel(m.HistoryLen, 0)
+	if err := c.CopyFrom(m); err != nil {
+		panic("core: clone of identical architecture failed: " + err.Error())
+	}
+	return c
+}
+
+// Snapshot captures the model parameters for serialization.
+func (m *Model) Snapshot() nn.Snapshot { return nn.TakeSnapshot(m.AllParams()) }
+
+// Restore loads parameters from a snapshot taken from an identical
+// architecture.
+func (m *Model) Restore(s nn.Snapshot) error { return s.Restore(m.AllParams()) }
+
+// ActFor returns the deterministic action for a network-history observation
+// under preference w.
+func (m *Model) ActFor(w objective.Weights, netObs []float64) float64 {
+	obs := make([]float64, 0, len(netObs)+WeightDim)
+	obs = append(obs, netObs...)
+	obs = append(obs, w.Thr, w.Lat, w.Loss)
+	mean, _ := m.PolicyForward(obs)
+	return mean
+}
+
+// PolicyFor returns a congestion-control policy bound to preference w: it
+// accepts plain network observations (3·η) and internally appends the weight
+// vector, so a single MOCC model serves any registered application.
+func (m *Model) PolicyFor(w objective.Weights) cc.Policy {
+	return cc.PolicyFunc(func(netObs []float64) float64 {
+		return m.ActFor(w, netObs)
+	})
+}
+
+// AlgorithmFor wraps the model as a named cc.Algorithm for preference w,
+// ready to drive any datapath or simulator.
+func (m *Model) AlgorithmFor(name string, w objective.Weights) cc.Algorithm {
+	if name == "" {
+		name = "mocc"
+	}
+	return cc.NewRLRate(name, m.PolicyFor(w), m.HistoryLen)
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math/rand"
+
+	"mocc/internal/gym"
+	"mocc/internal/rl"
+	"mocc/internal/trace"
+)
+
+// Table 2 parameter settings.
+const (
+	// Gamma is the reward discount factor.
+	Gamma = 0.99
+	// LearningRate is the Adam learning rate.
+	LearningRate = 0.001
+	// ActionScale is the rate-change damping factor α of Equation 1.
+	ActionScale = gym.ActionScale
+	// HistoryLen is the statistics history length η.
+	HistoryLen = gym.DefaultHistoryLen
+	// OmegaDefault is the number of landmark objectives ω (§6.5 finds 36
+	// is the sweet spot).
+	OmegaDefault = 36
+)
+
+// PacketBytes is the MTU-sized packet assumed for Mbps conversions
+// throughout the evaluation.
+const PacketBytes = 1500
+
+// TrainingEnvs returns an environment factory that samples the Table 3
+// training ranges: each seed draws an independent link condition, so
+// successive episodes expose the agent to the full training distribution.
+// Half the episodes add non-reactive cross traffic (20-60% of capacity) so
+// the learned policies neither starve against competitors nor assume they
+// own the queue — the same robustness training Orca and Aurora report.
+func TrainingEnvs(ranges trace.NetRanges, historyLen int) rl.EnvFactory {
+	return func(seed int64) *gym.Env {
+		rng := rand.New(rand.NewSource(seed))
+		cond := ranges.Sample(rng)
+		// Cap the buffer at 6x the bandwidth-delay product: Table 3's raw
+		// 3000-packet queues on 1-5 Mbps links take tens of seconds (many
+		// hundreds of MIs) to drain, which no finite episode can teach a
+		// latency policy to undo. A BDP-relative cap keeps latency
+		// consequences observable within an episode while still covering
+		// deep-buffer regimes.
+		bdp := trace.MbpsToPktsPerSec(cond.BandwidthMbps, PacketBytes) * 2 * cond.LatencyMs / 1000
+		if maxQ := int(6 * bdp); cond.QueuePkts > maxQ && maxQ >= 2 {
+			cond.QueuePkts = maxQ
+		}
+		cfg := gym.FromCondition(cond, PacketBytes, rng.Int63())
+		cfg.HistoryLen = historyLen
+		if rng.Float64() < 0.4 {
+			frac := 0.2 + 0.4*rng.Float64()
+			crossRate := frac * cfg.Bandwidth.At(0)
+			if rng.Float64() < 0.5 {
+				cfg.CrossTraffic = trace.Constant(crossRate)
+			} else {
+				// On/off competitor for burstier dynamics.
+				cfg.CrossTraffic = trace.Step{Low: 0, High: crossRate, Period: 1 + 3*rng.Float64()}
+			}
+		}
+		return gym.New(cfg)
+	}
+}
+
+// FixedEnv returns a factory that always produces the given link condition
+// (used by evaluation and the adaptation experiments, where the paper holds
+// the network fixed while the objective changes).
+func FixedEnv(cond trace.Condition, historyLen int) rl.EnvFactory {
+	return func(seed int64) *gym.Env {
+		cfg := gym.FromCondition(cond, PacketBytes, seed)
+		cfg.HistoryLen = historyLen
+		return gym.New(cfg)
+	}
+}

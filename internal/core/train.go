@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mocc/internal/objective"
+	"mocc/internal/rl"
+)
+
+// TrainConfig controls the two-phase offline training of §4.2.
+type TrainConfig struct {
+	// Omega is the landmark objective count ω (Table 2: 36). The lattice
+	// step is derived via objective.StepForOmega.
+	Omega int
+	// BootstrapIters is the number of PPO iterations per bootstrap
+	// objective per cycle; BootstrapCycles alternates over the three
+	// bootstraps so they improve in balance.
+	BootstrapIters  int
+	BootstrapCycles int
+	// TraverseIters is the small number of PPO iterations per objective
+	// visit during fast traversing ("we do not train an objective until
+	// convergence but only for a few steps").
+	TraverseIters int
+	// TraverseCycles is how many times the full sorted objective list is
+	// traversed.
+	TraverseCycles int
+	// RolloutSteps is the number of transitions collected per PPO
+	// iteration; EpisodeLen bounds each episode (and re-samples the link).
+	RolloutSteps int
+	EpisodeLen   int
+	// Workers > 1 enables goroutine-parallel rollout collection,
+	// splitting RolloutSteps evenly across workers.
+	Workers int
+	// Seed drives all environment sampling and action noise.
+	Seed int64
+	// PPO carries the optimizer hyperparameters.
+	PPO rl.PPOConfig
+	// Envs generates training environments (defaults to Table 3 training
+	// ranges when nil — set explicitly in tests for speed).
+	Envs rl.EnvFactory
+	// Progress, when non-nil, receives a line per training milestone.
+	Progress func(string)
+}
+
+// DefaultTrainConfig returns a full-scale configuration following the paper;
+// tests and benches shrink it.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Omega:           OmegaDefault,
+		BootstrapIters:  20,
+		BootstrapCycles: 5,
+		TraverseIters:   2,
+		TraverseCycles:  3,
+		RolloutSteps:    512,
+		EpisodeLen:      128,
+		Workers:         4,
+		Seed:            1,
+		PPO:             rl.DefaultPPOConfig(),
+	}
+}
+
+// CurvePoint is one point of a training curve.
+type CurvePoint struct {
+	Iteration int
+	Objective objective.Weights
+	Reward    float64 // mean per-step Equation 2 reward of the iteration's rollout
+}
+
+// OfflineResult summarizes a two-phase offline training run.
+type OfflineResult struct {
+	Curve          []CurvePoint
+	Order          []objective.Weights // fast-traversing visit order
+	BootstrapIters int
+	TraverseIters  int
+}
+
+// TotalIters returns the number of PPO iterations performed.
+func (r *OfflineResult) TotalIters() int { return r.BootstrapIters + r.TraverseIters }
+
+// OfflineTrainer runs the §4.2 two-phase schedule against a Model.
+type OfflineTrainer struct {
+	Model *Model
+	Cfg   TrainConfig
+
+	ppo       *rl.PPO
+	collector *rl.ParallelCollector
+	seedCtr   int64
+}
+
+// NewOfflineTrainer validates the configuration and prepares the trainer.
+func NewOfflineTrainer(model *Model, cfg TrainConfig) (*OfflineTrainer, error) {
+	if model == nil {
+		return nil, errors.New("core: nil model")
+	}
+	if cfg.Envs == nil {
+		return nil, errors.New("core: TrainConfig.Envs is required")
+	}
+	if cfg.Omega < 3 {
+		return nil, fmt.Errorf("core: Omega %d too small (need >= 3)", cfg.Omega)
+	}
+	if cfg.RolloutSteps <= 0 || cfg.EpisodeLen <= 0 {
+		return nil, errors.New("core: RolloutSteps and EpisodeLen must be positive")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	t := &OfflineTrainer{
+		Model:   model,
+		Cfg:     cfg,
+		ppo:     rl.NewPPO(model, cfg.PPO),
+		seedCtr: cfg.Seed,
+	}
+	if cfg.Workers > 1 {
+		hl := model.HistoryLen
+		t.collector = rl.NewParallelCollector(cfg.Workers, func() rl.ActorCritic {
+			return NewModel(hl, 0)
+		})
+	}
+	return t, nil
+}
+
+// PPO exposes the underlying trainer (e.g. for entropy-schedule inspection).
+func (t *OfflineTrainer) PPO() *rl.PPO { return t.ppo }
+
+// nextSeed returns a fresh deterministic seed.
+func (t *OfflineTrainer) nextSeed() int64 {
+	t.seedCtr++
+	return t.seedCtr * 2654435761 // Knuth multiplicative spread
+}
+
+// collectCfg builds the per-iteration collection settings.
+func (t *OfflineTrainer) collectCfg(steps int) rl.CollectConfig {
+	return rl.CollectConfig{
+		Steps:          steps,
+		EpisodeLen:     t.Cfg.EpisodeLen,
+		IncludeWeights: true,
+		MaxAction:      2,
+	}
+}
+
+// Iterate runs a single PPO iteration on objective w and returns the
+// rollout's mean reward. With Workers > 1 the rollout is split across
+// parallel collectors and the losses averaged, which is gradient-equivalent
+// to one large rollout.
+func (t *OfflineTrainer) Iterate(w objective.Weights) (float64, error) {
+	if t.collector == nil {
+		ro := rl.Collect(t.Model, t.Cfg.Envs, w, t.collectCfg(t.Cfg.RolloutSteps), t.nextSeed())
+		st := t.ppo.Update(ro)
+		return st.MeanReward, nil
+	}
+	n := t.collector.Workers()
+	per := t.Cfg.RolloutSteps / n
+	if per < t.Cfg.EpisodeLen {
+		per = t.Cfg.EpisodeLen
+	}
+	tasks := make([]rl.CollectTask, n)
+	for i := range tasks {
+		tasks[i] = rl.CollectTask{Weights: w, Seed: t.nextSeed()}
+	}
+	rollouts, err := t.collector.Collect(t.Model, t.Cfg.Envs, t.collectCfg(per), tasks)
+	if err != nil {
+		return 0, err
+	}
+	st := t.ppo.UpdateMulti(rollouts)
+	return st.MeanReward, nil
+}
+
+// progress emits a milestone line when configured.
+func (t *OfflineTrainer) progress(format string, args ...any) {
+	if t.Cfg.Progress != nil {
+		t.Cfg.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Run executes the full two-phase schedule: bootstrapping over the three
+// pivot objectives, then fast traversing of the ω landmarks in the
+// Appendix B neighbourhood order.
+func (t *OfflineTrainer) Run() (*OfflineResult, error) {
+	step := objective.StepForOmega(t.Cfg.Omega)
+	landmarks := objective.Landmarks(step)
+	bootstraps := objective.DefaultBootstraps(step)
+	order, err := objective.SortObjectives(landmarks, bootstraps)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &OfflineResult{Order: make([]objective.Weights, len(order))}
+	for i, p := range order {
+		res.Order[i] = p.Weights()
+	}
+
+	// Phase 1: bootstrapping — train the pivot objectives in alternation
+	// so the base model improves on all of them in balance.
+	t.progress("bootstrap: %d cycles x %d objectives x %d iters",
+		t.Cfg.BootstrapCycles, len(bootstraps), t.Cfg.BootstrapIters)
+	for cycle := 0; cycle < t.Cfg.BootstrapCycles; cycle++ {
+		for _, b := range bootstraps {
+			w := b.Weights()
+			for it := 0; it < t.Cfg.BootstrapIters; it++ {
+				reward, err := t.Iterate(w)
+				if err != nil {
+					return nil, err
+				}
+				res.BootstrapIters++
+				res.Curve = append(res.Curve, CurvePoint{
+					Iteration: len(res.Curve), Objective: w, Reward: reward,
+				})
+			}
+		}
+		t.progress("bootstrap cycle %d/%d done", cycle+1, t.Cfg.BootstrapCycles)
+	}
+
+	// Phase 2: fast traversing — visit every landmark a few iterations at
+	// a time, cycling until the configured passes complete.
+	t.progress("fast traverse: %d cycles x %d objectives x %d iters",
+		t.Cfg.TraverseCycles, len(order), t.Cfg.TraverseIters)
+	for cycle := 0; cycle < t.Cfg.TraverseCycles; cycle++ {
+		for _, p := range order {
+			w := p.Weights()
+			for it := 0; it < t.Cfg.TraverseIters; it++ {
+				reward, err := t.Iterate(w)
+				if err != nil {
+					return nil, err
+				}
+				res.TraverseIters++
+				res.Curve = append(res.Curve, CurvePoint{
+					Iteration: len(res.Curve), Objective: w, Reward: reward,
+				})
+			}
+		}
+		t.progress("traverse cycle %d/%d done", cycle+1, t.Cfg.TraverseCycles)
+	}
+	return res, nil
+}
+
+// TrainIndividually trains one fresh single-objective run per landmark
+// without any transfer — the "Individual Training" baseline of Figure 19.
+// historyLen must match the environments produced by cfg.Envs. It returns
+// the total PPO iterations consumed (the wall-clock proxy).
+func TrainIndividually(cfg TrainConfig, historyLen, itersPerObjective int) (int, error) {
+	step := objective.StepForOmega(cfg.Omega)
+	total := 0
+	for _, p := range objective.Landmarks(step) {
+		model := NewModel(historyLen, cfg.Seed)
+		t, err := NewOfflineTrainer(model, cfg)
+		if err != nil {
+			return 0, err
+		}
+		w := p.Weights()
+		for i := 0; i < itersPerObjective; i++ {
+			if _, err := t.Iterate(w); err != nil {
+				return 0, err
+			}
+			total++
+		}
+	}
+	return total, nil
+}

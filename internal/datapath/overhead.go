@@ -1,0 +1,87 @@
+package datapath
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mocc/internal/cc"
+	"mocc/internal/gym"
+	"mocc/internal/trace"
+)
+
+// OverheadScheme pairs a controller with its deployment mode for the
+// Figure 17 comparison.
+type OverheadScheme struct {
+	Label string
+	Alg   cc.Algorithm
+	Mode  Mode
+}
+
+// OverheadConfig parameterizes the Figure 17 run: the paper sends traffic
+// on a 40 Mbps link with 20 ms RTT and a 1xBDP buffer.
+type OverheadConfig struct {
+	LinkMbps    float64
+	RTTms       float64
+	DurationSec float64
+	ReportEvery int // CCP aggregation factor for kernel-mode schemes
+	Seed        int64
+}
+
+// DefaultOverheadConfig mirrors the paper's setup.
+func DefaultOverheadConfig() OverheadConfig {
+	return OverheadConfig{
+		LinkMbps:    40,
+		RTTms:       20,
+		DurationSec: 30,
+		ReportEvery: 10,
+		Seed:        1,
+	}
+}
+
+// MeasureOverhead drives each scheme through its shim over the simulated
+// link and reports control-plane CPU accounting. The ordering — user-space
+// learned controllers far above kernel-split ones, which sit near classic
+// TCP — is the Figure 17 result.
+func MeasureOverhead(schemes []OverheadScheme, cfg OverheadConfig) []Overhead {
+	capacity := trace.MbpsToPktsPerSec(cfg.LinkMbps, 1500)
+	bdp := int(capacity * cfg.RTTms / 1000)
+	env := gym.Config{
+		Bandwidth: trace.Constant(capacity),
+		LatencyMs: cfg.RTTms / 2,
+		QueuePkts: bdp,
+		Seed:      cfg.Seed,
+	}
+	miSec := 2 * (cfg.RTTms / 2) / 1000
+	steps := int(cfg.DurationSec / miSec)
+
+	out := make([]Overhead, 0, len(schemes))
+	for _, s := range schemes {
+		shim := NewShim(s.Alg, s.Mode, cfg.ReportEvery)
+		e := gym.New(env)
+		cc.Drive(e, shim, steps, cfg.Seed)
+		o := shim.Overhead()
+		o.Scheme = s.Label
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CPUShare < out[j].CPUShare })
+	return out
+}
+
+// WriteOverheadTable renders Figure 17 as text.
+func WriteOverheadTable(w io.Writer, rows []Overhead) error {
+	if _, err := fmt.Fprintln(w, "== Figure 17 control-plane CPU overhead =="); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-28s %-12s %12s %12s %16s\n",
+		"scheme", "mode", "invocations", "intervals", "us per sim-sec"); err != nil {
+		return err
+	}
+	for _, o := range rows {
+		if _, err := fmt.Fprintf(w, "%-28s %-12s %12d %12d %16.2f\n",
+			o.Scheme, o.Mode, o.Invocations, o.Intervals, o.CPUShare); err != nil {
+			return err
+		}
+	}
+	return nil
+}

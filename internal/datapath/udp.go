@@ -1,0 +1,345 @@
+package datapath
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"mocc/internal/cc"
+)
+
+// Wire format: a fixed 18-byte header, padded to the payload size for data
+// packets.
+//
+//	[0]    magic (0xAC)
+//	[1]    type: 0 = data, 1 = ack
+//	[2:10] sequence number (big endian)
+//	[10:18] sender timestamp, unix nanos (echoed in acks)
+const (
+	headerBytes = 18
+	magicByte   = 0xAC
+	typeData    = 0
+	typeAck     = 1
+)
+
+// Receiver is a UDP sink that acknowledges every data packet (optionally
+// dropping a configured fraction to emulate loss on loopback links).
+type Receiver struct {
+	conn     *net.UDPConn
+	dropProb float64
+	rng      *rand.Rand
+	mu       sync.Mutex
+	received int
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// StartReceiver binds a UDP socket on addr ("127.0.0.1:0" picks a free
+// port) and serves acknowledgements until Close.
+func StartReceiver(addr string, dropProb float64, seed int64) (*Receiver, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("datapath: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("datapath: listening on %q: %w", addr, err)
+	}
+	r := &Receiver{
+		conn:     conn,
+		dropProb: dropProb,
+		rng:      rand.New(rand.NewSource(seed)),
+		done:     make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.serve()
+	return r, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (r *Receiver) Addr() string { return r.conn.LocalAddr().String() }
+
+// Received returns the count of accepted data packets.
+func (r *Receiver) Received() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.received
+}
+
+// Close stops the receiver and releases the socket.
+func (r *Receiver) Close() error {
+	select {
+	case <-r.done:
+	default:
+		close(r.done)
+	}
+	err := r.conn.Close()
+	r.wg.Wait()
+	return err
+}
+
+// serve echoes acks for data packets.
+func (r *Receiver) serve() {
+	defer r.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			default:
+				continue
+			}
+		}
+		if n < headerBytes || buf[0] != magicByte || buf[1] != typeData {
+			continue
+		}
+		r.mu.Lock()
+		drop := r.dropProb > 0 && r.rng.Float64() < r.dropProb
+		if !drop {
+			r.received++
+		}
+		r.mu.Unlock()
+		if drop {
+			continue
+		}
+		ack := make([]byte, headerBytes)
+		copy(ack, buf[:headerBytes])
+		ack[1] = typeAck
+		_, _ = r.conn.WriteToUDP(ack, peer)
+	}
+}
+
+// TransferConfig drives one UDP sender session.
+type TransferConfig struct {
+	// Addr is the receiver's address.
+	Addr string
+	// Alg paces the sender; any cc.Algorithm works, including MOCC
+	// policies wrapped via core.Model.AlgorithmFor.
+	Alg cc.Algorithm
+	// Duration bounds the transfer.
+	Duration time.Duration
+	// MI is the monitor-interval length (default 20 ms).
+	MI time.Duration
+	// PayloadBytes sizes data packets (default 1200).
+	PayloadBytes int
+	// MaxRatePps caps pacing (default 20000 pkts/s; loopback is fast).
+	MaxRatePps float64
+	// LossTimeout declares unacked packets lost after this long
+	// (default 4x the observed min RTT, floor 20 ms).
+	LossTimeout time.Duration
+}
+
+// TransferStats summarizes a finished UDP transfer.
+type TransferStats struct {
+	Sent, Acked, Lost int
+	AvgRTT            time.Duration
+	ThroughputMbps    float64
+	Duration          time.Duration
+	Reports           []cc.Report
+}
+
+// RunTransfer paces packets to the receiver under the control of cfg.Alg,
+// reporting per-MI statistics to the algorithm exactly as the simulator
+// does. It demonstrates that the learned controllers run unchanged over a
+// real socket datapath.
+func RunTransfer(cfg TransferConfig) (TransferStats, error) {
+	var stats TransferStats
+	if cfg.Alg == nil {
+		return stats, errors.New("datapath: TransferConfig.Alg is required")
+	}
+	if cfg.Duration <= 0 {
+		return stats, errors.New("datapath: TransferConfig.Duration must be positive")
+	}
+	if cfg.MI <= 0 {
+		cfg.MI = 20 * time.Millisecond
+	}
+	if cfg.PayloadBytes < headerBytes {
+		cfg.PayloadBytes = 1200
+	}
+	if cfg.MaxRatePps <= 0 {
+		cfg.MaxRatePps = 20000
+	}
+
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return stats, fmt.Errorf("datapath: resolving %q: %w", cfg.Addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return stats, fmt.Errorf("datapath: dialing %q: %w", cfg.Addr, err)
+	}
+	defer conn.Close()
+
+	var (
+		mu          sync.Mutex
+		outstanding = map[uint64]time.Time{}
+		miAcked     int
+		miRTTSum    time.Duration
+		totalAcked  int
+		rttSum      time.Duration
+		minRTT      time.Duration
+	)
+
+	// Ack collector.
+	stop := make(chan struct{})
+	var ackWG sync.WaitGroup
+	ackWG.Add(1)
+	go func() {
+		defer ackWG.Done()
+		buf := make([]byte, 2048)
+		for {
+			_ = conn.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
+			n, err := conn.Read(buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					select {
+					case <-stop:
+						return
+					default:
+						continue
+					}
+				}
+				return
+			}
+			if n < headerBytes || buf[0] != magicByte || buf[1] != typeAck {
+				continue
+			}
+			seq := binary.BigEndian.Uint64(buf[2:10])
+			now := time.Now()
+			mu.Lock()
+			if sentAt, ok := outstanding[seq]; ok {
+				delete(outstanding, seq)
+				rtt := now.Sub(sentAt)
+				miAcked++
+				miRTTSum += rtt
+				totalAcked++
+				rttSum += rtt
+				if minRTT == 0 || rtt < minRTT {
+					minRTT = rtt
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+
+	// Pacing loop.
+	cfg.Alg.Reset(1)
+	rate := math.Min(cfg.Alg.InitialRate(0.001), cfg.MaxRatePps)
+	pkt := make([]byte, cfg.PayloadBytes)
+	pkt[0] = magicByte
+	pkt[1] = typeData
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	nextMI := start.Add(cfg.MI)
+	var seq uint64
+	miSent := 0
+	nextSend := start
+
+	for time.Now().Before(deadline) {
+		now := time.Now()
+		if now.Before(nextSend) {
+			time.Sleep(nextSend.Sub(now))
+			continue
+		}
+		seq++
+		binary.BigEndian.PutUint64(pkt[2:10], seq)
+		binary.BigEndian.PutUint64(pkt[10:18], uint64(time.Now().UnixNano()))
+		if _, err := conn.Write(pkt); err == nil {
+			mu.Lock()
+			outstanding[seq] = time.Now()
+			mu.Unlock()
+			miSent++
+			stats.Sent++
+		}
+		nextSend = nextSend.Add(time.Duration(float64(time.Second) / rate))
+		if nextSend.Before(time.Now().Add(-50 * time.Millisecond)) {
+			nextSend = time.Now() // don't burst to catch up after stalls
+		}
+
+		if time.Now().After(nextMI) {
+			rate = math.Min(cfg.updateMI(&mu, outstanding, &miSent, &miAcked, &miRTTSum, minRTT, &stats), cfg.MaxRatePps)
+			nextMI = nextMI.Add(cfg.MI)
+		}
+	}
+
+	close(stop)
+	ackWG.Wait()
+
+	stats.Duration = time.Since(start)
+	mu.Lock()
+	stats.Acked = totalAcked
+	if totalAcked > 0 {
+		stats.AvgRTT = rttSum / time.Duration(totalAcked)
+	}
+	mu.Unlock()
+	if secs := stats.Duration.Seconds(); secs > 0 {
+		stats.ThroughputMbps = float64(stats.Acked*cfg.PayloadBytes) * 8 / 1e6 / secs
+	}
+	return stats, nil
+}
+
+// updateMI closes one monitor interval: infers losses, builds the report,
+// and consults the algorithm for the next rate.
+func (cfg TransferConfig) updateMI(mu *sync.Mutex, outstanding map[uint64]time.Time,
+	miSent, miAcked *int, miRTTSum *time.Duration, minRTT time.Duration, stats *TransferStats) float64 {
+
+	timeout := cfg.LossTimeout
+	if timeout <= 0 {
+		timeout = 4 * minRTT
+		if timeout < 20*time.Millisecond {
+			timeout = 20 * time.Millisecond
+		}
+	}
+
+	mu.Lock()
+	now := time.Now()
+	lost := 0
+	for seq, sentAt := range outstanding {
+		if now.Sub(sentAt) > timeout {
+			delete(outstanding, seq)
+			lost++
+		}
+	}
+	sent, acked := *miSent, *miAcked
+	rttSum := *miRTTSum
+	*miSent, *miAcked, *miRTTSum = 0, 0, 0
+	mu.Unlock()
+
+	stats.Lost += lost
+	d := cfg.MI.Seconds()
+	avgRTT := 0.0
+	if acked > 0 {
+		avgRTT = (rttSum / time.Duration(acked)).Seconds()
+	} else if minRTT > 0 {
+		avgRTT = minRTT.Seconds()
+	} else {
+		avgRTT = 0.001
+	}
+	minRTTs := minRTT.Seconds()
+	if minRTTs <= 0 {
+		minRTTs = avgRTT
+	}
+	report := cc.Report{
+		Duration:   d,
+		Sent:       float64(sent),
+		Delivered:  float64(acked),
+		Lost:       float64(lost),
+		SendRate:   float64(sent) / d,
+		Throughput: float64(acked) / d,
+		AvgRTT:     avgRTT,
+		MinRTT:     minRTTs,
+	}
+	if sent > 0 {
+		report.LossRate = float64(lost) / float64(sent)
+	}
+	stats.Reports = append(stats.Reports, report)
+	return cfg.Alg.Update(report)
+}

@@ -1,0 +1,449 @@
+// Package netsim is a packet-level, event-driven network simulator: the
+// repository's stand-in for the Pantheon emulation testbed the paper
+// evaluates on (§6). Multiple flows, each driven by any cc.Algorithm, share
+// a bottleneck link with a drop-tail queue, configurable propagation delay,
+// capacity trace and random loss. It supports staggered flow start/stop
+// times (fairness dynamics, Figure 11), heterogeneous schemes on one link
+// (friendliness, Figures 13-15) and finite transfers (flow-completion time,
+// Figure 10).
+//
+// The bottleneck is modeled as a FIFO fixed-rate server with a virtual
+// queue: a packet arriving at time t departs at max(t, lastDeparture) +
+// 1/capacity, and is dropped when the backlog (lastDeparture - t) * capacity
+// exceeds the buffer. This is exact for drop-tail FIFO queues and avoids
+// per-packet queue structures.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mocc/internal/cc"
+	"mocc/internal/trace"
+)
+
+// LinkConfig describes the shared bottleneck.
+type LinkConfig struct {
+	// Capacity is the service rate schedule in packets/second.
+	Capacity trace.Bandwidth
+	// OWD is the one-way propagation delay in seconds (bottleneck to
+	// receiver; the reverse path adds the same again).
+	OWD float64
+	// QueuePkts is the drop-tail buffer size in packets.
+	QueuePkts int
+	// LossRate is the random (non-congestive) loss probability.
+	LossRate float64
+}
+
+// BDP returns the bandwidth-delay product in packets at time 0.
+func (l LinkConfig) BDP() float64 {
+	return l.Capacity.At(0) * 2 * l.OWD
+}
+
+// FlowConfig describes one flow.
+type FlowConfig struct {
+	// Label names the flow in results (defaults to the algorithm name).
+	Label string
+	// Alg is the congestion controller driving the flow.
+	Alg cc.Algorithm
+	// Start and Stop bound the flow's active period in seconds
+	// (Stop = 0 means run until the simulation ends).
+	Start, Stop float64
+	// MIms is the monitor-interval length in milliseconds (default: one
+	// base RTT).
+	MIms float64
+	// PacketBudget ends the flow after this many delivered packets
+	// (0 = unlimited); used for flow-completion-time experiments.
+	PacketBudget int
+	// MaxRate caps the pacing rate in packets/second; 0 selects 4x the
+	// link capacity, the NIC-speed stand-in that also bounds the event
+	// count when a controller misbehaves.
+	MaxRate float64
+	// Seed drives the algorithm's internal randomness.
+	Seed int64
+}
+
+// MIStat is one monitor interval of one flow.
+type MIStat struct {
+	Time       float64 // MI end time (s)
+	SendRate   float64 // configured rate during the MI (pkts/s)
+	Throughput float64 // delivered rate (pkts/s)
+	AvgRTT     float64 // mean RTT of packets delivered in the MI (s)
+	LossRate   float64 // lost/sent within the MI
+	Sent       float64
+	Delivered  float64
+	Lost       float64
+	Queue      float64 // bottleneck backlog at MI end (pkts)
+}
+
+// Flow is one sender-receiver pair. Result fields are valid after Run.
+type Flow struct {
+	ID    int
+	Label string
+	Cfg   FlowConfig
+
+	// Stats holds one entry per completed monitor interval.
+	Stats []MIStat
+	// Totals over the whole run.
+	SentTotal, DeliveredTotal, LostTotal int
+	// Completed / CompletionTime report PacketBudget termination.
+	Completed      bool
+	CompletionTime float64
+	// RTT of every delivered packet is aggregated here.
+	SumRTT float64
+
+	// OnDeliver, when set, is invoked at each packet delivery with the
+	// delivery time (used for inter-packet delay measurements, Figure 9).
+	OnDeliver func(t float64)
+
+	rate    float64
+	active  bool
+	stopped bool
+	minRTT  float64
+
+	// per-MI accumulators
+	miSent, miDelivered, miLost int
+	miRTTSum                    float64
+	miStart                     float64
+}
+
+// event kinds.
+const (
+	evSend = iota
+	evDeliver
+	evMI
+	evStart
+	evStop
+)
+
+// event is one scheduled simulator action.
+type event struct {
+	time float64
+	seq  int64 // tiebreaker for deterministic ordering
+	kind int
+	flow *Flow
+	// deliver payload
+	sendTime float64
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// Network is one simulation instance. Not safe for concurrent use.
+type Network struct {
+	Link  LinkConfig
+	Flows []*Flow
+
+	events  eventHeap
+	seq     int64
+	now     float64
+	rng     *rand.Rand
+	lastDep float64 // bottleneck virtual-queue horizon
+}
+
+// NewNetwork creates a simulator for the given bottleneck. seed drives the
+// random-loss process.
+func NewNetwork(link LinkConfig, seed int64) *Network {
+	if link.Capacity == nil {
+		panic("netsim: LinkConfig.Capacity is required")
+	}
+	if link.QueuePkts <= 0 {
+		link.QueuePkts = 1000
+	}
+	return &Network{
+		Link: link,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddFlow registers a flow; call before Run.
+func (n *Network) AddFlow(cfg FlowConfig) *Flow {
+	if cfg.Alg == nil {
+		panic("netsim: FlowConfig.Alg is required")
+	}
+	if cfg.MIms <= 0 {
+		cfg.MIms = math.Max(10, 2*n.Link.OWD*1000)
+	}
+	if cfg.MaxRate <= 0 {
+		cfg.MaxRate = 4 * n.Link.Capacity.At(0)
+	}
+	label := cfg.Label
+	if label == "" {
+		label = cfg.Alg.Name()
+	}
+	f := &Flow{
+		ID:     len(n.Flows),
+		Label:  label,
+		Cfg:    cfg,
+		minRTT: math.Inf(1),
+	}
+	n.Flows = append(n.Flows, f)
+	return f
+}
+
+// schedule pushes an event.
+func (n *Network) schedule(t float64, kind int, f *Flow, sendTime float64) {
+	n.seq++
+	heap.Push(&n.events, event{time: t, seq: n.seq, kind: kind, flow: f, sendTime: sendTime})
+}
+
+// Now returns the current simulation time.
+func (n *Network) Now() float64 { return n.now }
+
+// QueueBacklog returns the bottleneck backlog in packets at time t.
+func (n *Network) QueueBacklog(t float64) float64 {
+	backlog := (n.lastDep - t) * n.Link.Capacity.At(t)
+	if backlog < 0 {
+		return 0
+	}
+	return backlog
+}
+
+// Run executes the simulation until the given duration (seconds). It may be
+// called once per Network.
+func (n *Network) Run(duration float64) {
+	baseRTT := 2 * n.Link.OWD
+	for _, f := range n.Flows {
+		f.Cfg.Alg.Reset(f.Cfg.Seed)
+		f.rate = math.Min(f.Cfg.Alg.InitialRate(baseRTT), f.Cfg.MaxRate)
+		n.schedule(f.Cfg.Start, evStart, f, 0)
+		if f.Cfg.Stop > f.Cfg.Start {
+			n.schedule(f.Cfg.Stop, evStop, f, 0)
+		}
+	}
+
+	for n.events.Len() > 0 {
+		e := heap.Pop(&n.events).(event)
+		if e.time > duration {
+			break
+		}
+		n.now = e.time
+		switch e.kind {
+		case evStart:
+			f := e.flow
+			f.active = true
+			f.miStart = n.now
+			n.schedule(n.now, evSend, f, 0)
+			n.schedule(n.now+f.Cfg.MIms/1000, evMI, f, 0)
+		case evStop:
+			e.flow.active = false
+			e.flow.stopped = true
+		case evSend:
+			n.handleSend(e.flow)
+		case evDeliver:
+			n.handleDeliver(e.flow, e.sendTime)
+		case evMI:
+			n.handleMI(e.flow)
+		}
+	}
+	n.now = duration
+}
+
+// handleSend transmits one packet into the bottleneck and schedules the
+// next transmission at the current pacing rate.
+func (n *Network) handleSend(f *Flow) {
+	if !f.active {
+		return
+	}
+	f.SentTotal++
+	f.miSent++
+
+	capNow := math.Max(n.Link.Capacity.At(n.now), 0.1)
+	if n.rng.Float64() < n.Link.LossRate {
+		// Random (non-congestive) loss.
+		f.LostTotal++
+		f.miLost++
+	} else if n.QueueBacklog(n.now) >= float64(n.Link.QueuePkts) {
+		// Drop-tail: buffer full.
+		f.LostTotal++
+		f.miLost++
+	} else {
+		dep := math.Max(n.now, n.lastDep) + 1/capNow
+		n.lastDep = dep
+		n.schedule(dep+n.Link.OWD, evDeliver, f, n.now)
+	}
+
+	next := n.now + 1/math.Max(f.rate, 0.1)
+	n.schedule(next, evSend, f, 0)
+}
+
+// handleDeliver records a packet arrival at the receiver.
+func (n *Network) handleDeliver(f *Flow, sendTime float64) {
+	f.DeliveredTotal++
+	f.miDelivered++
+	rtt := (n.now - sendTime) + n.Link.OWD // forward path so far + return path
+	f.miRTTSum += rtt
+	f.SumRTT += rtt
+	if rtt < f.minRTT {
+		f.minRTT = rtt
+	}
+	if f.OnDeliver != nil {
+		f.OnDeliver(n.now)
+	}
+	if f.Cfg.PacketBudget > 0 && f.DeliveredTotal >= f.Cfg.PacketBudget && !f.Completed {
+		f.Completed = true
+		f.CompletionTime = n.now
+		f.active = false
+	}
+}
+
+// handleMI closes one monitor interval: records stats, consults the
+// algorithm for the next rate, and schedules the next MI.
+func (n *Network) handleMI(f *Flow) {
+	if f.stopped || (f.Completed && !f.active) {
+		return
+	}
+	d := n.now - f.miStart
+	if d <= 0 {
+		d = f.Cfg.MIms / 1000
+	}
+	sent := float64(f.miSent)
+	delivered := float64(f.miDelivered)
+	lost := float64(f.miLost)
+	avgRTT := 0.0
+	if f.miDelivered > 0 {
+		avgRTT = f.miRTTSum / delivered
+	} else if !math.IsInf(f.minRTT, 1) {
+		avgRTT = f.minRTT
+	} else {
+		avgRTT = 2 * n.Link.OWD
+	}
+	lossRate := 0.0
+	if sent > 0 {
+		lossRate = lost / sent
+	}
+	minRTT := f.minRTT
+	if math.IsInf(minRTT, 1) {
+		minRTT = 2 * n.Link.OWD
+	}
+
+	stat := MIStat{
+		Time:       n.now,
+		SendRate:   f.rate,
+		Throughput: delivered / d,
+		AvgRTT:     avgRTT,
+		LossRate:   lossRate,
+		Sent:       sent,
+		Delivered:  delivered,
+		Lost:       lost,
+		Queue:      n.QueueBacklog(n.now),
+	}
+	f.Stats = append(f.Stats, stat)
+
+	report := cc.Report{
+		Duration:   d,
+		Sent:       sent,
+		Delivered:  delivered,
+		Lost:       lost,
+		SendRate:   f.rate,
+		Throughput: stat.Throughput,
+		AvgRTT:     avgRTT,
+		MinRTT:     minRTT,
+		LossRate:   lossRate,
+	}
+	f.rate = f.Cfg.Alg.Update(report)
+	if math.IsNaN(f.rate) || f.rate <= 0 {
+		f.rate = 0.5
+	}
+	if f.rate > f.Cfg.MaxRate {
+		f.rate = f.Cfg.MaxRate
+	}
+
+	f.miSent, f.miDelivered, f.miLost = 0, 0, 0
+	f.miRTTSum = 0
+	f.miStart = n.now
+	n.schedule(n.now+f.Cfg.MIms/1000, evMI, f, 0)
+}
+
+// InFlight returns the packets still unaccounted for at the end of the run
+// (sent but neither delivered nor lost) for flow f: packets in the queue or
+// on the wire when the simulation stopped.
+func (f *Flow) InFlight() int {
+	return f.SentTotal - f.DeliveredTotal - f.LostTotal
+}
+
+// AvgThroughput returns the mean delivered rate (pkts/s) over [from, to].
+func (f *Flow) AvgThroughput(from, to float64) float64 {
+	var delivered float64
+	for _, s := range f.Stats {
+		if s.Time >= from && s.Time <= to {
+			delivered += s.Delivered
+		}
+	}
+	if to <= from {
+		return 0
+	}
+	return delivered / (to - from)
+}
+
+// AvgRTT returns the delivery-weighted mean RTT over [from, to].
+func (f *Flow) AvgRTT(from, to float64) float64 {
+	var sum, count float64
+	for _, s := range f.Stats {
+		if s.Time >= from && s.Time <= to && s.Delivered > 0 {
+			sum += s.AvgRTT * s.Delivered
+			count += s.Delivered
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}
+
+// AvgLossRate returns total lost / total sent over [from, to].
+func (f *Flow) AvgLossRate(from, to float64) float64 {
+	var lost, sent float64
+	for _, s := range f.Stats {
+		if s.Time >= from && s.Time <= to {
+			lost += s.Lost
+			sent += s.Sent
+		}
+	}
+	if sent == 0 {
+		return 0
+	}
+	return lost / sent
+}
+
+// ThroughputSeries returns per-bucket delivered rates (pkts/s) with the
+// given bucket width in seconds over [0, horizon] — the Figure 11 series.
+func (f *Flow) ThroughputSeries(bucket, horizon float64) []float64 {
+	nB := int(math.Ceil(horizon / bucket))
+	out := make([]float64, nB)
+	for _, s := range f.Stats {
+		idx := int(s.Time / bucket)
+		if idx >= 0 && idx < nB {
+			out[idx] += s.Delivered
+		}
+	}
+	for i := range out {
+		out[i] /= bucket
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (f *Flow) String() string {
+	return fmt.Sprintf("flow %d (%s): sent=%d delivered=%d lost=%d",
+		f.ID, f.Label, f.SentTotal, f.DeliveredTotal, f.LostTotal)
+}

@@ -1,0 +1,289 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"mocc/internal/cc"
+	"mocc/internal/trace"
+)
+
+// fixedRate is a trivial Algorithm that always requests the same rate.
+type fixedRate struct {
+	rate float64
+	name string
+}
+
+func (f *fixedRate) Name() string {
+	if f.name == "" {
+		return "fixed"
+	}
+	return f.name
+}
+func (f *fixedRate) Reset(int64)                 {}
+func (f *fixedRate) InitialRate(float64) float64 { return f.rate }
+func (f *fixedRate) Update(cc.Report) float64    { return f.rate }
+
+// link12 is a 1000 pkts/s, 20 ms OWD bottleneck with a 1xBDP buffer.
+func link12() LinkConfig {
+	return LinkConfig{
+		Capacity:  trace.Constant(1000),
+		OWD:       0.020,
+		QueuePkts: 40,
+	}
+}
+
+func TestNewNetworkPanicsWithoutCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewNetwork(LinkConfig{}, 1)
+}
+
+func TestAddFlowPanicsWithoutAlg(t *testing.T) {
+	n := NewNetwork(link12(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.AddFlow(FlowConfig{})
+}
+
+func TestBDP(t *testing.T) {
+	if got := link12().BDP(); math.Abs(got-40) > 1e-9 {
+		t.Errorf("BDP = %v, want 40", got)
+	}
+}
+
+func TestSingleFlowUnderload(t *testing.T) {
+	n := NewNetwork(link12(), 1)
+	f := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 500}})
+	n.Run(10)
+
+	if f.LostTotal != 0 {
+		t.Errorf("losses on an underloaded link: %d", f.LostTotal)
+	}
+	// ~500 pkts/s for 10 s.
+	if f.DeliveredTotal < 4800 || f.DeliveredTotal > 5100 {
+		t.Errorf("delivered %d, want ~5000", f.DeliveredTotal)
+	}
+	// RTT should be close to the base RTT (40 ms) plus one service time.
+	avgRTT := f.SumRTT / float64(f.DeliveredTotal)
+	if avgRTT < 0.040 || avgRTT > 0.045 {
+		t.Errorf("avg RTT %v, want ~0.041", avgRTT)
+	}
+}
+
+func TestConservationInvariant(t *testing.T) {
+	n := NewNetwork(link12(), 2)
+	f1 := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 900}})
+	f2 := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 900}})
+	n.Run(10)
+	for _, f := range []*Flow{f1, f2} {
+		if f.InFlight() < 0 {
+			t.Errorf("%v: negative in-flight %d", f, f.InFlight())
+		}
+		// In-flight at the end is at most queue + one BDP worth.
+		if f.InFlight() > n.Link.QueuePkts+int(n.Link.BDP())+10 {
+			t.Errorf("%v: implausible in-flight %d", f, f.InFlight())
+		}
+		if f.SentTotal != f.DeliveredTotal+f.LostTotal+f.InFlight() {
+			t.Errorf("%v: conservation violated", f)
+		}
+	}
+}
+
+func TestOverloadCausesDropsAndQueueing(t *testing.T) {
+	n := NewNetwork(link12(), 3)
+	f := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 2000}})
+	n.Run(5)
+	if f.LostTotal == 0 {
+		t.Error("2x overload produced no drops")
+	}
+	// Delivered rate is capped by capacity.
+	rate := float64(f.DeliveredTotal) / 5
+	if rate > 1050 {
+		t.Errorf("delivered rate %v exceeds capacity", rate)
+	}
+	// Sustained overload keeps the queue full: RTT near base + Q/C.
+	late := f.Stats[len(f.Stats)-1]
+	wantRTT := 0.040 + 40.0/1000
+	if math.Abs(late.AvgRTT-wantRTT) > 0.01 {
+		t.Errorf("late RTT %v, want ~%v (full queue)", late.AvgRTT, wantRTT)
+	}
+}
+
+func TestRandomLossRateObserved(t *testing.T) {
+	link := link12()
+	link.LossRate = 0.05
+	n := NewNetwork(link, 4)
+	f := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 500}})
+	n.Run(20)
+	got := float64(f.LostTotal) / float64(f.SentTotal)
+	if math.Abs(got-0.05) > 0.015 {
+		t.Errorf("observed loss %v, want ~0.05", got)
+	}
+}
+
+func TestTwoEqualFlowsShareFairly(t *testing.T) {
+	n := NewNetwork(link12(), 5)
+	f1 := n.AddFlow(FlowConfig{Alg: cc.NewCubic(), Label: "a"})
+	f2 := n.AddFlow(FlowConfig{Alg: cc.NewCubic(), Label: "b"})
+	n.Run(60)
+	t1 := f1.AvgThroughput(30, 60)
+	t2 := f2.AvgThroughput(30, 60)
+	sum := t1 + t2
+	if sum < 700 {
+		t.Fatalf("two cubics only achieved %v pkts/s total", sum)
+	}
+	ratio := t1 / t2
+	if ratio < 0.55 || ratio > 1.8 {
+		t.Errorf("unfair split: %v vs %v (ratio %v)", t1, t2, ratio)
+	}
+}
+
+func TestStaggeredStartStop(t *testing.T) {
+	n := NewNetwork(link12(), 6)
+	f := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 500}, Start: 2, Stop: 4})
+	n.Run(6)
+	// Roughly 2 seconds of sending at 500 pkts/s.
+	if f.SentTotal < 900 || f.SentTotal > 1100 {
+		t.Errorf("sent %d, want ~1000", f.SentTotal)
+	}
+	// No MI stats before start.
+	if len(f.Stats) > 0 && f.Stats[0].Time < 2 {
+		t.Errorf("first MI at %v, before flow start", f.Stats[0].Time)
+	}
+}
+
+func TestPacketBudgetCompletion(t *testing.T) {
+	n := NewNetwork(link12(), 7)
+	f := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 500}, PacketBudget: 1000})
+	n.Run(30)
+	if !f.Completed {
+		t.Fatal("flow never completed")
+	}
+	// 1000 packets at 500 pkts/s: ~2 s plus propagation.
+	if f.CompletionTime < 1.9 || f.CompletionTime > 3 {
+		t.Errorf("completion time %v, want ~2s", f.CompletionTime)
+	}
+	// No further deliveries counted after completion beyond the budget+wire.
+	if f.DeliveredTotal > 1100 {
+		t.Errorf("delivered %d after budget 1000", f.DeliveredTotal)
+	}
+}
+
+func TestOnDeliverCallback(t *testing.T) {
+	n := NewNetwork(link12(), 8)
+	f := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 100}})
+	var times []float64
+	f.OnDeliver = func(ts float64) { times = append(times, ts) }
+	n.Run(2)
+	if len(times) != f.DeliveredTotal {
+		t.Errorf("callback count %d != delivered %d", len(times), f.DeliveredTotal)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatal("deliveries out of order")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, int) {
+		link := link12()
+		link.LossRate = 0.02
+		n := NewNetwork(link, 42)
+		f1 := n.AddFlow(FlowConfig{Alg: cc.NewCubic()})
+		f2 := n.AddFlow(FlowConfig{Alg: cc.NewBBR(), Start: 1})
+		n.Run(15)
+		return f1.DeliveredTotal, f2.DeliveredTotal
+	}
+	a1, a2 := run()
+	b1, b2 := run()
+	if a1 != b1 || a2 != b2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", a1, a2, b1, b2)
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	n := NewNetwork(link12(), 9)
+	f := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 500}})
+	n.Run(10)
+	series := f.ThroughputSeries(1, 10)
+	if len(series) != 10 {
+		t.Fatalf("series length %d, want 10", len(series))
+	}
+	// Middle buckets near 500 pkts/s.
+	for i := 2; i < 9; i++ {
+		if math.Abs(series[i]-500) > 60 {
+			t.Errorf("bucket %d = %v, want ~500", i, series[i])
+		}
+	}
+}
+
+func TestWindowedAverages(t *testing.T) {
+	n := NewNetwork(link12(), 10)
+	f := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 400}})
+	n.Run(10)
+	if thr := f.AvgThroughput(2, 8); math.Abs(thr-400) > 40 {
+		t.Errorf("AvgThroughput = %v, want ~400", thr)
+	}
+	if rtt := f.AvgRTT(2, 8); rtt < 0.040 || rtt > 0.050 {
+		t.Errorf("AvgRTT = %v, want ~0.041", rtt)
+	}
+	if lr := f.AvgLossRate(2, 8); lr != 0 {
+		t.Errorf("AvgLossRate = %v, want 0", lr)
+	}
+	if thr := f.AvgThroughput(5, 5); thr != 0 {
+		t.Errorf("degenerate window throughput = %v", thr)
+	}
+}
+
+func TestVaryingCapacityTrace(t *testing.T) {
+	link := link12()
+	link.Capacity = trace.Step{Low: 500, High: 1500, Period: 2}
+	n := NewNetwork(link, 11)
+	f := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 5000}})
+	n.Run(8)
+	// Average capacity is ~1000; delivered rate must track it, not the
+	// offered 5000.
+	rate := float64(f.DeliveredTotal) / 8
+	if rate < 800 || rate > 1200 {
+		t.Errorf("delivered rate %v, want ~1000 on alternating link", rate)
+	}
+}
+
+func TestMOCCStyleRLFlowRuns(t *testing.T) {
+	// An RLRate algorithm with a null policy must run end-to-end in the
+	// packet simulator.
+	n := NewNetwork(link12(), 12)
+	alg := cc.NewRLRate("rl", cc.PolicyFunc(func([]float64) float64 { return 0.5 }), 10)
+	f := n.AddFlow(FlowConfig{Alg: alg})
+	n.Run(10)
+	if f.DeliveredTotal == 0 {
+		t.Error("RL flow delivered nothing")
+	}
+	for _, s := range f.Stats {
+		if math.IsNaN(s.SendRate) || s.SendRate <= 0 {
+			t.Fatalf("bad send rate %v", s.SendRate)
+		}
+	}
+}
+
+func TestQueueBacklogBounds(t *testing.T) {
+	n := NewNetwork(link12(), 13)
+	n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 3000}})
+	// Track the maximum backlog during the run via MI stats.
+	n.Run(5)
+	for _, f := range n.Flows {
+		for _, s := range f.Stats {
+			if s.Queue < 0 || s.Queue > float64(n.Link.QueuePkts)+2 {
+				t.Fatalf("backlog %v outside [0, %d]", s.Queue, n.Link.QueuePkts)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam adaptive learning-rate optimizer (Kingma & Ba,
+// 2014), the optimizer the paper selects over plain SGD (§5).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	params []*Param
+	m      [][]float64 // first-moment estimates
+	v      [][]float64 // second-moment estimates
+	t      int         // step count
+}
+
+// NewAdam creates an Adam optimizer over the given parameters with the
+// standard defaults (β1=0.9, β2=0.999, ε=1e-8) and the supplied learning
+// rate (the paper uses 0.001, Table 2).
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{
+		LR:      lr,
+		Beta1:   0.9,
+		Beta2:   0.999,
+		Epsilon: 1e-8,
+		params:  params,
+		m:       make([][]float64, len(params)),
+		v:       make([][]float64, len(params)),
+	}
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.Value))
+		a.v[i] = make([]float64, len(p.Value))
+	}
+	return a
+}
+
+// Step applies one Adam update using the gradients currently accumulated in
+// the parameters, then leaves the gradients untouched (call ZeroGrad to
+// reset them). NaN or infinite gradients are skipped defensively so a single
+// bad rollout cannot destroy the model.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				continue
+			}
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mHat := m[j] / bc1
+			vHat := v[j] / bc2
+			p.Value[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		}
+	}
+}
+
+// Steps returns the number of optimizer steps taken.
+func (a *Adam) Steps() int { return a.t }
+
+// Reset clears optimizer state (moments and step count), keeping the
+// parameter bindings. Used when transferring a model to a new objective so
+// stale momentum does not bleed across tasks.
+func (a *Adam) Reset() {
+	a.t = 0
+	for i := range a.m {
+		for j := range a.m[i] {
+			a.m[i][j] = 0
+			a.v[i][j] = 0
+		}
+	}
+}
+
+// SGD is a plain stochastic-gradient-descent optimizer, retained as the
+// comparison point the paper mentions when motivating Adam.
+type SGD struct {
+	LR     float64
+	params []*Param
+}
+
+// NewSGD creates an SGD optimizer with the given learning rate.
+func NewSGD(params []*Param, lr float64) *SGD {
+	return &SGD{LR: lr, params: params}
+}
+
+// Step applies one gradient-descent update.
+func (s *SGD) Step() {
+	for _, p := range s.params {
+		for j, g := range p.Grad {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				continue
+			}
+			p.Value[j] -= s.LR * g
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// halfLog2Pi is 0.5*ln(2π), the constant term of the Gaussian log-density.
+const halfLog2Pi = 0.9189385332046727
+
+// GaussianLogProb returns ln N(a; mean, std) for a scalar diagonal-Gaussian
+// action dimension.
+func GaussianLogProb(a, mean, std float64) float64 {
+	if std <= 0 {
+		std = 1e-8
+	}
+	z := (a - mean) / std
+	return -0.5*z*z - math.Log(std) - halfLog2Pi
+}
+
+// GaussianEntropy returns the differential entropy of N(·; mean, std):
+// 0.5*ln(2πe σ²).
+func GaussianEntropy(std float64) float64 {
+	if std <= 0 {
+		std = 1e-8
+	}
+	return 0.5 + halfLog2Pi + math.Log(std)
+}
+
+// GaussianSample draws a ~ N(mean, std) using rng.
+func GaussianSample(rng *rand.Rand, mean, std float64) float64 {
+	return mean + std*rng.NormFloat64()
+}
+
+// GaussianLogProbGrad returns the partial derivatives of
+// ln N(a; mean, std) with respect to the mean and with respect to
+// logStd = ln(std). These feed the policy-gradient backward pass.
+func GaussianLogProbGrad(a, mean, std float64) (dMean, dLogStd float64) {
+	if std <= 0 {
+		std = 1e-8
+	}
+	z := (a - mean) / std
+	dMean = z / std
+	dLogStd = z*z - 1
+	return dMean, dLogStd
+}
+
+// Softmax returns the softmax distribution of logits, computed stably.
+func Softmax(logits []float64) []float64 {
+	if len(logits) == 0 {
+		return nil
+	}
+	maxL := logits[0]
+	for _, l := range logits[1:] {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, l := range logits {
+		e := math.Exp(l - maxL)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Argmax returns the index of the largest element (first on ties); -1 for an
+// empty slice.
+func Argmax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,267 @@
+// Package nn is a small, dependency-free neural-network library sufficient
+// to reproduce the MOCC model: fully connected layers with tanh activations,
+// manual reverse-mode differentiation, an Adam optimizer, a diagonal-Gaussian
+// policy head, and JSON model serialization.
+//
+// The library processes one sample at a time and accumulates gradients
+// across a minibatch; for the 64x32 networks the paper uses (§5) this is
+// both simple and fast.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is a flat tensor of trainable values together with its accumulated
+// gradient. Layers expose their parameters as []*Param so optimizers can
+// treat a whole network uniformly.
+type Param struct {
+	Name  string
+	Value []float64
+	Grad  []float64
+}
+
+// newParam allocates a named parameter of n values.
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, Value: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Layer is a differentiable computation stage. Forward caches whatever state
+// Backward needs; Backward consumes the gradient of the loss with respect to
+// the layer output and returns the gradient with respect to the input,
+// accumulating parameter gradients along the way.
+type Layer interface {
+	Forward(x []float64) []float64
+	Backward(gradOut []float64) []float64
+	Params() []*Param
+	OutSize() int
+	InSize() int
+}
+
+// Linear is a fully connected layer: y = Wx + b, with W stored row-major
+// (out x in).
+type Linear struct {
+	In, Out int
+	W       *Param
+	B       *Param
+
+	lastIn []float64 // cached input from Forward
+}
+
+// NewLinear creates a Linear layer with Xavier/Glorot-uniform initialized
+// weights drawn from rng and zero biases.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   newParam(fmt.Sprintf("linear_%dx%d_w", out, in), in*out),
+		B:   newParam(fmt.Sprintf("linear_%dx%d_b", out, in), out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range l.W.Value {
+		l.W.Value[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return l
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x []float64) []float64 {
+	if len(x) != l.In {
+		panic(fmt.Sprintf("nn: Linear input size %d, want %d", len(x), l.In))
+	}
+	l.lastIn = append(l.lastIn[:0], x...)
+	y := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		sum := l.B.Value[o]
+		row := l.W.Value[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		y[o] = sum
+	}
+	return y
+}
+
+// Backward implements Layer. It accumulates dL/dW and dL/db and returns
+// dL/dx for the cached input.
+func (l *Linear) Backward(gradOut []float64) []float64 {
+	if len(gradOut) != l.Out {
+		panic(fmt.Sprintf("nn: Linear grad size %d, want %d", len(gradOut), l.Out))
+	}
+	gradIn := make([]float64, l.In)
+	for o, g := range gradOut {
+		l.B.Grad[o] += g
+		row := l.W.Value[o*l.In : (o+1)*l.In]
+		growRow := l.W.Grad[o*l.In : (o+1)*l.In]
+		for i := 0; i < l.In; i++ {
+			growRow[i] += g * l.lastIn[i]
+			gradIn[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// OutSize implements Layer.
+func (l *Linear) OutSize() int { return l.Out }
+
+// InSize implements Layer.
+func (l *Linear) InSize() int { return l.In }
+
+// Tanh is an element-wise tanh activation layer.
+type Tanh struct {
+	size    int
+	lastOut []float64
+}
+
+// NewTanh creates a tanh activation over vectors of the given size.
+func NewTanh(size int) *Tanh { return &Tanh{size: size} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x []float64) []float64 {
+	if len(x) != t.size {
+		panic(fmt.Sprintf("nn: Tanh input size %d, want %d", len(x), t.size))
+	}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Tanh(v)
+	}
+	t.lastOut = y
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut []float64) []float64 {
+	gradIn := make([]float64, len(gradOut))
+	for i, g := range gradOut {
+		y := t.lastOut[i]
+		gradIn[i] = g * (1 - y*y)
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// OutSize implements Layer.
+func (t *Tanh) OutSize() int { return t.size }
+
+// InSize implements Layer.
+func (t *Tanh) InSize() int { return t.size }
+
+// MLP chains layers into a feed-forward network.
+type MLP struct {
+	Layers []Layer
+}
+
+// NewMLP builds a tanh MLP with the given layer sizes; sizes[0] is the input
+// dimension and sizes[len-1] the (linear) output dimension. Hidden layers
+// use tanh activations, matching the paper's architecture (§5).
+func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	var layers []Layer
+	for i := 0; i < len(sizes)-1; i++ {
+		layers = append(layers, NewLinear(sizes[i], sizes[i+1], rng))
+		if i < len(sizes)-2 {
+			layers = append(layers, NewTanh(sizes[i+1]))
+		}
+	}
+	return &MLP{Layers: layers}
+}
+
+// Forward implements Layer.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (m *MLP) Backward(gradOut []float64) []float64 {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		gradOut = m.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params implements Layer.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutSize implements Layer.
+func (m *MLP) OutSize() int { return m.Layers[len(m.Layers)-1].OutSize() }
+
+// InSize implements Layer.
+func (m *MLP) InSize() int { return m.Layers[0].InSize() }
+
+// ZeroGrad clears the gradients of every parameter in the network.
+func ZeroGrad(ps []*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// CopyParams copies parameter values (not gradients) from src to dst. The
+// two networks must have identical shapes.
+func CopyParams(dst, src []*Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		if len(dst[i].Value) != len(src[i].Value) {
+			return fmt.Errorf("nn: parameter %d size mismatch %d vs %d",
+				i, len(dst[i].Value), len(src[i].Value))
+		}
+		copy(dst[i].Value, src[i].Value)
+	}
+	return nil
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm; it returns the pre-clip norm.
+func ClipGradNorm(ps []*Param, maxNorm float64) float64 {
+	var sumSq float64
+	for _, p := range ps {
+		for _, g := range p.Grad {
+			sumSq += g * g
+		}
+	}
+	norm := math.Sqrt(sumSq)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range ps {
+			for i := range p.Grad {
+				p.Grad[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// NumParams counts the scalar parameters in ps.
+func NumParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += len(p.Value)
+	}
+	return n
+}

@@ -1,0 +1,446 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearForwardKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(2, 2, rng)
+	copy(l.W.Value, []float64{1, 2, 3, 4}) // rows: [1 2], [3 4]
+	copy(l.B.Value, []float64{10, 20})
+	y := l.Forward([]float64{1, 1})
+	if y[0] != 13 || y[1] != 27 {
+		t.Errorf("Forward = %v, want [13 27]", y)
+	}
+}
+
+func TestLinearPanicsOnBadSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(3, 2, rng)
+	assertPanics(t, func() { l.Forward([]float64{1}) })
+	l.Forward([]float64{1, 2, 3})
+	assertPanics(t, func() { l.Backward([]float64{1, 2, 3}) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestTanhForwardBackward(t *testing.T) {
+	th := NewTanh(2)
+	y := th.Forward([]float64{0, 1000})
+	if y[0] != 0 || math.Abs(y[1]-1) > 1e-9 {
+		t.Errorf("tanh forward = %v", y)
+	}
+	g := th.Backward([]float64{1, 1})
+	if math.Abs(g[0]-1) > 1e-12 {
+		t.Errorf("tanh'(0) = %v, want 1", g[0])
+	}
+	if math.Abs(g[1]) > 1e-6 {
+		t.Errorf("tanh'(large) = %v, want ~0", g[1])
+	}
+}
+
+func TestMLPShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, 4, 8, 3)
+	if m.InSize() != 4 || m.OutSize() != 3 {
+		t.Errorf("sizes = (%d, %d), want (4, 3)", m.InSize(), m.OutSize())
+	}
+	y := m.Forward([]float64{1, 2, 3, 4})
+	if len(y) != 3 {
+		t.Fatalf("output len = %d, want 3", len(y))
+	}
+	// 4*8+8 + 8*3+3 = 67 params.
+	if n := NumParams(m.Params()); n != 67 {
+		t.Errorf("NumParams = %d, want 67", n)
+	}
+}
+
+// TestMLPGradientCheck verifies backprop against central finite differences
+// on a scalar loss L = sum(y). This is the load-bearing correctness test for
+// the whole learning stack.
+func TestMLPGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, 3, 5, 4, 2)
+	x := []float64{0.3, -0.7, 1.1}
+
+	loss := func() float64 {
+		y := m.Forward(x)
+		s := 0.0
+		for _, v := range y {
+			s += v
+		}
+		return s
+	}
+
+	// Analytic gradients.
+	ZeroGrad(m.Params())
+	y := m.Forward(x)
+	gradOut := make([]float64, len(y))
+	for i := range gradOut {
+		gradOut[i] = 1
+	}
+	m.Backward(gradOut)
+
+	const eps = 1e-6
+	for _, p := range m.Params() {
+		for j := range p.Value {
+			orig := p.Value[j]
+			p.Value[j] = orig + eps
+			up := loss()
+			p.Value[j] = orig - eps
+			down := loss()
+			p.Value[j] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := p.Grad[j]
+			if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("param %s[%d]: numeric %v vs analytic %v", p.Name, j, numeric, analytic)
+			}
+		}
+	}
+}
+
+// TestMLPInputGradientCheck validates the gradient returned with respect to
+// the input vector, which the preference sub-network composition relies on.
+func TestMLPInputGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP(rng, 4, 6, 1)
+	x := []float64{0.5, -0.2, 0.9, -1.3}
+
+	ZeroGrad(m.Params())
+	m.Forward(x)
+	gradIn := m.Backward([]float64{1})
+
+	const eps = 1e-6
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		up := m.Forward(x)[0]
+		x[i] = orig - eps
+		down := m.Forward(x)[0]
+		x[i] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-gradIn[i]) > 1e-5*(1+math.Abs(numeric)) {
+			t.Fatalf("input grad %d: numeric %v vs analytic %v", i, numeric, gradIn[i])
+		}
+	}
+}
+
+func TestGradientAccumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, 2, 2)
+	ZeroGrad(m.Params())
+	for k := 0; k < 3; k++ {
+		m.Forward([]float64{1, 1})
+		m.Backward([]float64{1, 0})
+	}
+	// dL/db[0] accumulates 1 per pass.
+	lin := m.Layers[0].(*Linear)
+	if math.Abs(lin.B.Grad[0]-3) > 1e-12 {
+		t.Errorf("accumulated bias grad = %v, want 3", lin.B.Grad[0])
+	}
+	ZeroGrad(m.Params())
+	if lin.B.Grad[0] != 0 {
+		t.Error("ZeroGrad did not clear gradients")
+	}
+}
+
+func TestAdamReducesQuadraticLoss(t *testing.T) {
+	// Minimize f(w) = (w-3)^2 with Adam; gradient = 2(w-3).
+	p := newParam("w", 1)
+	p.Value[0] = -5
+	opt := NewAdam([]*Param{p}, 0.1)
+	for i := 0; i < 2000; i++ {
+		p.ZeroGrad()
+		p.Grad[0] = 2 * (p.Value[0] - 3)
+		opt.Step()
+	}
+	if math.Abs(p.Value[0]-3) > 1e-3 {
+		t.Errorf("Adam converged to %v, want 3", p.Value[0])
+	}
+	if opt.Steps() != 2000 {
+		t.Errorf("Steps = %d, want 2000", opt.Steps())
+	}
+}
+
+func TestAdamSkipsNonFiniteGradients(t *testing.T) {
+	p := newParam("w", 2)
+	p.Value[0], p.Value[1] = 1, 1
+	opt := NewAdam([]*Param{p}, 0.5)
+	p.Grad[0] = math.NaN()
+	p.Grad[1] = math.Inf(1)
+	opt.Step()
+	if p.Value[0] != 1 || p.Value[1] != 1 {
+		t.Errorf("non-finite gradients changed params: %v", p.Value)
+	}
+}
+
+func TestAdamReset(t *testing.T) {
+	p := newParam("w", 1)
+	opt := NewAdam([]*Param{p}, 0.1)
+	p.Grad[0] = 1
+	opt.Step()
+	opt.Reset()
+	if opt.Steps() != 0 {
+		t.Errorf("Steps after Reset = %d, want 0", opt.Steps())
+	}
+	if opt.m[0][0] != 0 || opt.v[0][0] != 0 {
+		t.Error("moments not cleared by Reset")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := newParam("w", 1)
+	p.Value[0] = 10
+	opt := NewSGD([]*Param{p}, 0.1)
+	p.Grad[0] = 5
+	opt.Step()
+	if math.Abs(p.Value[0]-9.5) > 1e-12 {
+		t.Errorf("SGD step = %v, want 9.5", p.Value[0])
+	}
+}
+
+func TestCopyParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewMLP(rng, 3, 4, 2)
+	b := NewMLP(rng, 3, 4, 2)
+	if err := CopyParams(b.Params(), a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	ya, yb := a.Forward(x), b.Forward(x)
+	for i := range ya {
+		if ya[i] != yb[i] {
+			t.Fatalf("outputs differ after CopyParams: %v vs %v", ya, yb)
+		}
+	}
+	c := NewMLP(rng, 3, 5, 2)
+	if err := CopyParams(c.Params(), a.Params()); err == nil {
+		t.Error("expected error copying between mismatched networks")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := newParam("w", 2)
+	p.Grad[0], p.Grad[1] = 3, 4 // norm 5
+	norm := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Errorf("reported norm = %v, want 5", norm)
+	}
+	clipped := math.Hypot(p.Grad[0], p.Grad[1])
+	if math.Abs(clipped-1) > 1e-12 {
+		t.Errorf("post-clip norm = %v, want 1", clipped)
+	}
+	// Below threshold: unchanged.
+	p.Grad[0], p.Grad[1] = 0.3, 0.4
+	ClipGradNorm([]*Param{p}, 1)
+	if p.Grad[0] != 0.3 || p.Grad[1] != 0.4 {
+		t.Error("gradients below max norm were modified")
+	}
+}
+
+func TestGaussianLogProb(t *testing.T) {
+	// Standard normal at 0: ln(1/sqrt(2π)).
+	want := -0.5 * math.Log(2*math.Pi)
+	if got := GaussianLogProb(0, 0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("logprob = %v, want %v", got, want)
+	}
+	// Symmetric about the mean.
+	if a, b := GaussianLogProb(2, 1, 0.5), GaussianLogProb(0, 1, 0.5); math.Abs(a-b) > 1e-12 {
+		t.Errorf("asymmetric log-prob: %v vs %v", a, b)
+	}
+	// Degenerate std does not produce NaN.
+	if v := GaussianLogProb(1, 1, 0); math.IsNaN(v) {
+		t.Error("zero-std log-prob is NaN")
+	}
+}
+
+func TestGaussianLogProbGradCheck(t *testing.T) {
+	const eps = 1e-6
+	for _, c := range []struct{ a, mean, std float64 }{
+		{0.5, 0, 1}, {-1, 2, 0.3}, {0, 0, 2},
+	} {
+		dMean, dLogStd := GaussianLogProbGrad(c.a, c.mean, c.std)
+		numMean := (GaussianLogProb(c.a, c.mean+eps, c.std) - GaussianLogProb(c.a, c.mean-eps, c.std)) / (2 * eps)
+		logStd := math.Log(c.std)
+		numLogStd := (GaussianLogProb(c.a, c.mean, math.Exp(logStd+eps)) -
+			GaussianLogProb(c.a, c.mean, math.Exp(logStd-eps))) / (2 * eps)
+		if math.Abs(dMean-numMean) > 1e-5 {
+			t.Errorf("dMean = %v, numeric %v (case %+v)", dMean, numMean, c)
+		}
+		if math.Abs(dLogStd-numLogStd) > 1e-5 {
+			t.Errorf("dLogStd = %v, numeric %v (case %+v)", dLogStd, numLogStd, c)
+		}
+	}
+}
+
+func TestGaussianEntropy(t *testing.T) {
+	// Entropy of N(0,1) = 0.5*ln(2πe) ≈ 1.4189.
+	want := 0.5 * math.Log(2*math.Pi*math.E)
+	if got := GaussianEntropy(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("entropy = %v, want %v", got, want)
+	}
+	if GaussianEntropy(2) <= GaussianEntropy(1) {
+		t.Error("entropy should increase with std")
+	}
+}
+
+func TestGaussianSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var sum, sumSq float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := GaussianSample(rng, 3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.1 {
+		t.Errorf("sample mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Errorf("sample variance = %v, want ~4", variance)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 1, 1})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Errorf("uniform softmax = %v", p)
+		}
+	}
+	// Stability with large logits.
+	p = Softmax([]float64{1000, 1000})
+	if math.IsNaN(p[0]) || math.Abs(p[0]-0.5) > 1e-12 {
+		t.Errorf("large-logit softmax = %v", p)
+	}
+	if Softmax(nil) != nil {
+		t.Error("Softmax(nil) should be nil")
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	f := func(logits []float64) bool {
+		if len(logits) == 0 {
+			return true
+		}
+		for i := range logits {
+			logits[i] = math.Mod(logits[i], 50) // keep finite
+			if math.IsNaN(logits[i]) {
+				logits[i] = 0
+			}
+		}
+		p := Softmax(logits)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if got := Argmax([]float64{1, 5, 3}); got != 1 {
+		t.Errorf("Argmax = %d, want 1", got)
+	}
+	if got := Argmax([]float64{2, 2}); got != 0 {
+		t.Errorf("tie Argmax = %d, want 0", got)
+	}
+	if got := Argmax(nil); got != -1 {
+		t.Errorf("empty Argmax = %d, want -1", got)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMLP(rng, 3, 4, 2)
+	snap := TakeSnapshot(m.Params())
+
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewMLP(rand.New(rand.NewSource(999)), 3, 4, 2)
+	if err := loaded.Restore(m2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.4, -0.5, 0.6}
+	y1, y2 := m.Forward(x), m2.Forward(x)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("restored model differs: %v vs %v", y1, y2)
+		}
+	}
+}
+
+func TestSnapshotRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := NewMLP(rng, 3, 4, 2)
+	snap := TakeSnapshot(m.Params())
+
+	other := NewMLP(rng, 3, 5, 2)
+	if err := snap.Restore(other.Params()); err == nil {
+		t.Error("expected error restoring into different architecture")
+	}
+
+	bad := snap
+	bad.Format = "bogus"
+	if err := bad.Restore(m.Params()); err == nil {
+		t.Error("expected error for unknown format")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMLP(rng, 2, 3, 1)
+	path := t.TempDir() + "/model.json"
+	if err := TakeSnapshot(m.Params()).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Restore(m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := NewMLP(rng, 2, 2)
+	snap := TakeSnapshot(m.Params())
+	before := snap.Params[0].Values[0]
+	m.Params()[0].Value[0] += 100
+	if snap.Params[0].Values[0] != before {
+		t.Error("snapshot aliases live parameters")
+	}
+}

@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot is a JSON-serializable dump of a parameter set, keyed by
+// parameter name in declaration order. It is the on-disk model format used
+// by cmd/mocc-train and cmd/mocc-bench.
+type Snapshot struct {
+	Format string      `json:"format"`
+	Params []ParamDump `json:"params"`
+}
+
+// ParamDump is one parameter tensor within a Snapshot.
+type ParamDump struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// snapshotFormat identifies the serialization schema version.
+const snapshotFormat = "mocc-model-v1"
+
+// TakeSnapshot captures current parameter values.
+func TakeSnapshot(ps []*Param) Snapshot {
+	s := Snapshot{Format: snapshotFormat, Params: make([]ParamDump, len(ps))}
+	for i, p := range ps {
+		s.Params[i] = ParamDump{
+			Name:   p.Name,
+			Values: append([]float64(nil), p.Value...),
+		}
+	}
+	return s
+}
+
+// Restore loads snapshot values into ps. Parameters are matched positionally
+// and validated by name and size, so a snapshot can only be restored into a
+// network of the identical architecture.
+func (s Snapshot) Restore(ps []*Param) error {
+	if s.Format != snapshotFormat {
+		return fmt.Errorf("nn: unknown snapshot format %q", s.Format)
+	}
+	if len(s.Params) != len(ps) {
+		return fmt.Errorf("nn: snapshot has %d params, network has %d", len(s.Params), len(ps))
+	}
+	for i, d := range s.Params {
+		if d.Name != ps[i].Name {
+			return fmt.Errorf("nn: snapshot param %d is %q, network expects %q", i, d.Name, ps[i].Name)
+		}
+		if len(d.Values) != len(ps[i].Value) {
+			return fmt.Errorf("nn: snapshot param %q has %d values, network expects %d",
+				d.Name, len(d.Values), len(ps[i].Value))
+		}
+	}
+	for i, d := range s.Params {
+		copy(ps[i].Value, d.Values)
+	}
+	return nil
+}
+
+// Write serializes the snapshot as JSON.
+func (s Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot from r.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("nn: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// SaveFile writes the snapshot to the named file.
+func (s Snapshot) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: creating model file: %w", err)
+	}
+	defer f.Close()
+	if err := s.Write(f); err != nil {
+		return fmt.Errorf("nn: writing model file: %w", err)
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a snapshot from the named file.
+func LoadFile(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("nn: opening model file: %w", err)
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

@@ -1,0 +1,82 @@
+package objective
+
+import (
+	"errors"
+	"math"
+)
+
+// AppProfile expresses an application-level requirement in the units
+// applications actually think in — bandwidth, latency and loss bounds —
+// rather than abstract weights. §7 of the paper ("Expressing application
+// requirements") calls for exactly this mapping layer: today operators set
+// weight vectors by expertise; this rule-based mapper automates the common
+// cases. All bounds are optional (zero = don't care).
+type AppProfile struct {
+	// MinBandwidthMbps is the throughput the app needs for good UX
+	// (e.g., HDTV wants >34 Mbps, §2.1).
+	MinBandwidthMbps float64
+	// MaxLatencyMs is the end-to-end latency budget (e.g., autonomous
+	// driving wants <15 ms, §2.1).
+	MaxLatencyMs float64
+	// MaxLossPct is the tolerable packet loss percentage (e.g.,
+	// video/audio conferencing tolerates <0.1%/1%, §2.1).
+	MaxLossPct float64
+	// Interactive marks request/response or conversational traffic,
+	// nudging the balance toward latency even when no explicit latency
+	// bound is given.
+	Interactive bool
+}
+
+// reference scales: requirements at (or beyond) these levels saturate the
+// corresponding urgency score.
+const (
+	refBandwidthMbps = 50.0 // >= 50 Mbps demand = max throughput urgency
+	refLatencyMs     = 10.0 // <= 10 ms budget = max latency urgency
+	refLossPct       = 0.1  // <= 0.1% tolerance = max loss urgency
+)
+
+// Weights maps the profile onto a preference vector. Each stated bound
+// produces an urgency in (0, 1]; urgencies are then normalized onto the
+// open simplex. A profile with no bounds yields the balanced preference.
+func (p AppProfile) Weights() (Weights, error) {
+	if p.MinBandwidthMbps < 0 || p.MaxLatencyMs < 0 || p.MaxLossPct < 0 {
+		return Weights{}, errors.New("objective: negative bound in AppProfile")
+	}
+	// Baseline urgency keeps every metric in play (the model is defined
+	// on the open simplex and applications rarely mean "zero weight").
+	const baseline = 0.15
+
+	thr := baseline
+	if p.MinBandwidthMbps > 0 {
+		thr += math.Min(p.MinBandwidthMbps/refBandwidthMbps, 1)
+	}
+
+	lat := baseline
+	if p.MaxLatencyMs > 0 {
+		// Tighter budgets mean higher urgency.
+		lat += math.Min(refLatencyMs/p.MaxLatencyMs, 1)
+	}
+	if p.Interactive {
+		lat += 0.5
+	}
+
+	loss := baseline
+	if p.MaxLossPct > 0 {
+		loss += math.Min(refLossPct/p.MaxLossPct, 1)
+	}
+
+	return Weights{Thr: thr, Lat: lat, Loss: loss}.Normalize(), nil
+}
+
+// CommonProfiles returns named example profiles covering the paper's §2.1
+// application classes, useful as documentation and in tests.
+func CommonProfiles() map[string]AppProfile {
+	return map[string]AppProfile{
+		"hdtv":          {MinBandwidthMbps: 34},
+		"autonomous":    {MaxLatencyMs: 15, Interactive: true},
+		"conferencing":  {MinBandwidthMbps: 2, MaxLatencyMs: 150, MaxLossPct: 0.1, Interactive: true},
+		"bulk-transfer": {MinBandwidthMbps: 50},
+		"web-browsing":  {Interactive: true},
+		"iot-telemetry": {MaxLossPct: 0.5},
+	}
+}

@@ -1,0 +1,122 @@
+package objective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppProfileEmptyIsBalanced(t *testing.T) {
+	w, err := AppProfile{}.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("invalid weights: %v", err)
+	}
+	if math.Abs(w.Thr-w.Lat) > 1e-9 || math.Abs(w.Lat-w.Loss) > 1e-9 {
+		t.Errorf("empty profile not balanced: %v", w)
+	}
+}
+
+func TestAppProfileBandwidthDemandRaisesThr(t *testing.T) {
+	hdtv, err := AppProfile{MinBandwidthMbps: 34}.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdtv.Thr <= hdtv.Lat || hdtv.Thr <= hdtv.Loss {
+		t.Errorf("bandwidth-hungry profile not throughput-dominant: %v", hdtv)
+	}
+	// More demand, more throughput weight.
+	modest, _ := AppProfile{MinBandwidthMbps: 5}.Weights()
+	if hdtv.Thr <= modest.Thr {
+		t.Errorf("34 Mbps demand (%v) should out-weigh 5 Mbps (%v)", hdtv.Thr, modest.Thr)
+	}
+}
+
+func TestAppProfileLatencyBudgetRaisesLat(t *testing.T) {
+	car, err := AppProfile{MaxLatencyMs: 15, Interactive: true}.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if car.Lat <= car.Thr || car.Lat <= car.Loss {
+		t.Errorf("latency-critical profile not latency-dominant: %v", car)
+	}
+	// Tighter budget, higher latency weight.
+	loose, _ := AppProfile{MaxLatencyMs: 500}.Weights()
+	tight, _ := AppProfile{MaxLatencyMs: 15}.Weights()
+	if tight.Lat <= loose.Lat {
+		t.Errorf("15 ms budget (%v) should out-weigh 500 ms (%v)", tight.Lat, loose.Lat)
+	}
+}
+
+func TestAppProfileLossToleranceRaisesLoss(t *testing.T) {
+	strict, err := AppProfile{MaxLossPct: 0.1}.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Loss <= strict.Thr || strict.Loss <= strict.Lat {
+		t.Errorf("loss-strict profile not loss-dominant: %v", strict)
+	}
+}
+
+func TestAppProfileInteractiveNudgesLatency(t *testing.T) {
+	plain, _ := AppProfile{MinBandwidthMbps: 10}.Weights()
+	inter, _ := AppProfile{MinBandwidthMbps: 10, Interactive: true}.Weights()
+	if inter.Lat <= plain.Lat {
+		t.Errorf("interactive flag did not raise latency weight: %v vs %v", inter.Lat, plain.Lat)
+	}
+}
+
+func TestAppProfileRejectsNegativeBounds(t *testing.T) {
+	bad := []AppProfile{
+		{MinBandwidthMbps: -1},
+		{MaxLatencyMs: -5},
+		{MaxLossPct: -0.1},
+	}
+	for _, p := range bad {
+		if _, err := p.Weights(); err == nil {
+			t.Errorf("profile %+v accepted", p)
+		}
+	}
+}
+
+func TestAppProfileAlwaysValidSimplex(t *testing.T) {
+	f := func(bw, lat, loss float64, interactive bool) bool {
+		p := AppProfile{
+			MinBandwidthMbps: math.Abs(math.Mod(bw, 1000)),
+			MaxLatencyMs:     math.Abs(math.Mod(lat, 10000)),
+			MaxLossPct:       math.Abs(math.Mod(loss, 100)),
+			Interactive:      interactive,
+		}
+		w, err := p.Weights()
+		return err == nil && w.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonProfilesProduceSensibleWeights(t *testing.T) {
+	profiles := CommonProfiles()
+	if len(profiles) < 5 {
+		t.Fatalf("only %d common profiles", len(profiles))
+	}
+	ws := map[string]Weights{}
+	for name, p := range profiles {
+		w, err := p.Weights()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: invalid weights %v", name, w)
+		}
+		ws[name] = w
+	}
+	if ws["hdtv"].Thr <= ws["autonomous"].Thr {
+		t.Error("hdtv should weigh throughput above autonomous driving")
+	}
+	if ws["autonomous"].Lat <= ws["hdtv"].Lat {
+		t.Error("autonomous driving should weigh latency above hdtv")
+	}
+}

@@ -1,0 +1,179 @@
+package pantheon
+
+import (
+	"fmt"
+	"math"
+
+	"mocc/internal/cc"
+	"mocc/internal/netsim"
+	"mocc/internal/objective"
+	"mocc/internal/stats"
+	"mocc/internal/trace"
+)
+
+// FairnessConfig parameterizes the Figure 11/12 fairness runs: the paper
+// uses a 12 Mbps, 20 ms RTT, 1xBDP dumbbell with three same-scheme flows
+// starting at 100 s intervals.
+type FairnessConfig struct {
+	BandwidthMbps float64
+	RTTms         float64
+	BDPMultiple   float64
+	Flows         int
+	StaggerSec    float64
+	DurationSec   float64
+	Seed          int64
+}
+
+// DefaultFairnessConfig returns the paper's setup.
+func DefaultFairnessConfig() FairnessConfig {
+	return FairnessConfig{
+		BandwidthMbps: 12,
+		RTTms:         20,
+		BDPMultiple:   1,
+		Flows:         3,
+		StaggerSec:    100,
+		DurationSec:   300,
+		Seed:          1,
+	}
+}
+
+// fairnessLink converts the config into a netsim bottleneck.
+func (c FairnessConfig) link() netsim.LinkConfig {
+	capacity := trace.MbpsToPktsPerSec(c.BandwidthMbps, 1500)
+	owd := c.RTTms / 2 / 1000
+	queue := int(math.Max(2, capacity*c.RTTms/1000*c.BDPMultiple))
+	return netsim.LinkConfig{
+		Capacity:  trace.Constant(capacity),
+		OWD:       owd,
+		QueuePkts: queue,
+	}
+}
+
+// FairnessResult holds one scheme's Figure 11 dynamics and Figure 12 Jain
+// samples.
+type FairnessResult struct {
+	Scheme string
+	// Throughput[i] is flow i's per-second delivered Mbps series.
+	Throughput [][]float64
+	// JainPerSec is Jain's index computed each second over the flows
+	// active at that time.
+	JainPerSec []float64
+}
+
+// RunFairness runs n same-scheme flows with staggered starts and returns
+// the dynamics plus per-second Jain indices.
+func RunFairness(factory cc.AlgorithmFactory, schemeName string, cfg FairnessConfig) FairnessResult {
+	n := netsim.NewNetwork(cfg.link(), cfg.Seed)
+	flows := make([]*netsim.Flow, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		flows[i] = n.AddFlow(netsim.FlowConfig{
+			Alg:   factory(),
+			Label: fmt.Sprintf("%s-%d", schemeName, i),
+			Start: float64(i) * cfg.StaggerSec,
+			Seed:  cfg.Seed + int64(i),
+		})
+	}
+	n.Run(cfg.DurationSec)
+
+	res := FairnessResult{Scheme: schemeName}
+	horizon := cfg.DurationSec
+	series := make([][]float64, cfg.Flows)
+	for i, f := range flows {
+		pkts := f.ThroughputSeries(1, horizon)
+		mbps := make([]float64, len(pkts))
+		for j, p := range pkts {
+			mbps[j] = trace.PktsPerSecToMbps(p, 1500)
+		}
+		series[i] = mbps
+	}
+	res.Throughput = series
+
+	// Jain index per second over active flows.
+	for sec := 0; sec < int(horizon); sec++ {
+		var active []float64
+		for i, f := range flows {
+			started := float64(sec) >= f.Cfg.Start+2 // grace period after start
+			if started && sec < len(series[i]) {
+				active = append(active, series[i][sec])
+			}
+		}
+		if len(active) >= 2 {
+			res.JainPerSec = append(res.JainPerSec, stats.JainIndex(active))
+		}
+	}
+	return res
+}
+
+// Fig12Result maps scheme name to its Jain samples (the Figure 12 CDFs).
+type Fig12Result struct {
+	Jain map[string][]float64
+}
+
+// RunFig12 computes Jain CDFs for every baseline plus three MOCC weight
+// variants.
+func RunFig12(s *Schemes, cfg FairnessConfig) Fig12Result {
+	res := Fig12Result{Jain: map[string][]float64{}}
+	for _, f := range s.Baselines() {
+		factory := f
+		name := factory().Name()
+		fr := RunFairness(factory, name, cfg)
+		res.Jain[name] = fr.JainPerSec
+	}
+	// Aurora.
+	fr := RunFairness(func() cc.Algorithm { return s.AuroraThroughputAlgorithm() }, "aurora", cfg)
+	res.Jain["aurora"] = fr.JainPerSec
+	// MOCC variants.
+	variants := []struct {
+		name string
+		w    objective.Weights
+	}{
+		{"mocc-throughput", objective.ThroughputPref},
+		{"mocc-latency", objective.LatencyPref},
+		{"mocc-balance", objective.BalancePref},
+	}
+	for _, v := range variants {
+		vLocal := v
+		fr := RunFairness(func() cc.Algorithm {
+			return s.MOCCAlgorithm(vLocal.name, vLocal.w)
+		}, v.name, cfg)
+		res.Jain[v.name] = fr.JainPerSec
+	}
+	return res
+}
+
+// Table renders Figure 12 as Jain quantiles.
+func (r Fig12Result) Table() Table {
+	t := Table{
+		Title:  "Figure 12 Jain fairness index",
+		Header: []string{"scheme", "p10", "p50", "mean"},
+	}
+	names := make([]string, 0, len(r.Jain))
+	for n := range r.Jain {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		xs := r.Jain[n]
+		if len(xs) == 0 {
+			t.Add(n, "-", "-", "-")
+			continue
+		}
+		p10, _ := stats.Percentile(xs, 10)
+		p50, _ := stats.Percentile(xs, 50)
+		t.Add(n,
+			fmt.Sprintf("%.3f", p10),
+			fmt.Sprintf("%.3f", p50),
+			fmt.Sprintf("%.3f", stats.Mean(xs)))
+	}
+	return t
+}
+
+// sortStrings is a tiny insertion sort to avoid importing sort twice in
+// small files (kept for symmetry with other helpers).
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package pantheon
+
+import (
+	"fmt"
+
+	"mocc/internal/cc"
+	"mocc/internal/netsim"
+	"mocc/internal/objective"
+	"mocc/internal/trace"
+)
+
+// CompeteConfig parameterizes a two-flow competition (Figures 13-15).
+type CompeteConfig struct {
+	BandwidthMbps float64
+	RTTms         float64
+	BDPMultiple   float64
+	DurationSec   float64
+	// MeasureFrom discards the ramp-up before computing the ratio.
+	MeasureFrom float64
+	Seed        int64
+}
+
+// DefaultCompeteConfig is the paper's friendliness setup: 20 Mbps, 20 ms,
+// 1xBDP.
+func DefaultCompeteConfig() CompeteConfig {
+	return CompeteConfig{
+		BandwidthMbps: 20,
+		RTTms:         20,
+		BDPMultiple:   1,
+		DurationSec:   30,
+		MeasureFrom:   10,
+		Seed:          1,
+	}
+}
+
+// CompeteResult reports a pairwise competition.
+type CompeteResult struct {
+	LabelA, LabelB string
+	ThrA, ThrB     float64 // Mbps over the measurement window
+	// Ratio is ThrA / ThrB — the friendliness ratio when B is the
+	// reference flow (Cubic in Figure 15).
+	Ratio float64
+	// SeriesA/B are per-second Mbps (the Figure 13 panels).
+	SeriesA, SeriesB []float64
+}
+
+// Compete runs flow A and flow B together on one bottleneck.
+func Compete(algA, algB cc.Algorithm, labelA, labelB string, cfg CompeteConfig) CompeteResult {
+	link := FairnessConfig{
+		BandwidthMbps: cfg.BandwidthMbps,
+		RTTms:         cfg.RTTms,
+		BDPMultiple:   cfg.BDPMultiple,
+	}.link()
+	n := netsim.NewNetwork(link, cfg.Seed)
+	fa := n.AddFlow(netsim.FlowConfig{Alg: algA, Label: labelA, Seed: cfg.Seed})
+	fb := n.AddFlow(netsim.FlowConfig{Alg: algB, Label: labelB, Seed: cfg.Seed + 1})
+	n.Run(cfg.DurationSec)
+
+	thrA := trace.PktsPerSecToMbps(fa.AvgThroughput(cfg.MeasureFrom, cfg.DurationSec), 1500)
+	thrB := trace.PktsPerSecToMbps(fb.AvgThroughput(cfg.MeasureFrom, cfg.DurationSec), 1500)
+	ratio := 0.0
+	if thrB > 0 {
+		ratio = thrA / thrB
+	}
+	toMbps := func(xs []float64) []float64 {
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = trace.PktsPerSecToMbps(x, 1500)
+		}
+		return out
+	}
+	return CompeteResult{
+		LabelA: labelA, LabelB: labelB,
+		ThrA: thrA, ThrB: thrB, Ratio: ratio,
+		SeriesA: toMbps(fa.ThroughputSeries(1, cfg.DurationSec)),
+		SeriesB: toMbps(fb.ThroughputSeries(1, cfg.DurationSec)),
+	}
+}
+
+// Fig13Result holds the four pairwise competitions of Figure 13.
+type Fig13Result struct {
+	Pairs []CompeteResult
+}
+
+// RunFig13 runs the paper's pairwise MOCC-variant competitions plus the
+// Cubic-vs-Vegas reference panel.
+func RunFig13(s *Schemes, cfg CompeteConfig) Fig13Result {
+	mk := func(name string, w objective.Weights) cc.Algorithm {
+		return s.MOCCAlgorithm(name, w)
+	}
+	var res Fig13Result
+	res.Pairs = append(res.Pairs,
+		Compete(mk("mocc-throughput", objective.ThroughputPref),
+			mk("mocc-balance", objective.BalancePref),
+			"mocc-throughput", "mocc-balance", cfg),
+		Compete(mk("mocc-throughput", objective.ThroughputPref),
+			mk("mocc-latency", objective.LatencyPref),
+			"mocc-throughput", "mocc-latency", cfg),
+		Compete(mk("mocc-latency", objective.LatencyPref),
+			mk("mocc-balance", objective.BalancePref),
+			"mocc-latency", "mocc-balance", cfg),
+		Compete(cc.NewCubic(), cc.NewVegas(), "cubic", "vegas", cfg),
+	)
+	return res
+}
+
+// Table renders Figure 13.
+func (r Fig13Result) Table() Table {
+	t := Table{
+		Title:  "Figure 13 pairwise competitions (Mbps)",
+		Header: []string{"flow A", "flow B", "thr A", "thr B", "A/B"},
+	}
+	for _, p := range r.Pairs {
+		t.Add(p.LabelA, p.LabelB,
+			fmt.Sprintf("%.2f", p.ThrA),
+			fmt.Sprintf("%.2f", p.ThrB),
+			fmt.Sprintf("%.2f", p.Ratio))
+	}
+	return t
+}
+
+// Fig14Weights are the six MOCC weight variants of Figure 14, ordered from
+// most aggressive (w1) to most deferential (w6).
+var Fig14Weights = []objective.Weights{
+	{Thr: 0.8, Lat: 0.1, Loss: 0.1},
+	{Thr: 0.6, Lat: 0.3, Loss: 0.1},
+	{Thr: 0.5, Lat: 0.3, Loss: 0.2},
+	{Thr: 0.2, Lat: 0.4, Loss: 0.4},
+	{Thr: 0.1, Lat: 0.8, Loss: 0.1},
+	{Thr: 0.1, Lat: 0.1, Loss: 0.8},
+}
+
+// Fig14Result maps each weight variant to its throughput ratio against the
+// balanced MOCC reference flow, across RTTs.
+type Fig14Result struct {
+	RTTms  []float64
+	Ratios [][]float64 // [variant][rtt]
+}
+
+// RunFig14 competes each weight variant against MOCC-Balance while varying
+// the RTT from 10 to 90 ms (20 Mbps link), reproducing the 0.43-2.04
+// throughput-ratio spread.
+func RunFig14(s *Schemes, cfg CompeteConfig, rtts []float64) Fig14Result {
+	if len(rtts) == 0 {
+		rtts = []float64{10, 30, 50, 70, 90}
+	}
+	res := Fig14Result{RTTms: rtts, Ratios: make([][]float64, len(Fig14Weights))}
+	for wi, w := range Fig14Weights {
+		for _, rtt := range rtts {
+			c := cfg
+			c.RTTms = rtt
+			r := Compete(
+				s.MOCCAlgorithm(fmt.Sprintf("mocc-w%d", wi+1), w),
+				s.MOCCAlgorithm("mocc-balance", objective.BalancePref),
+				fmt.Sprintf("w%d", wi+1), "balance", c)
+			res.Ratios[wi] = append(res.Ratios[wi], r.Ratio)
+		}
+	}
+	return res
+}
+
+// Table renders Figure 14.
+func (r Fig14Result) Table() Table {
+	header := []string{"variant"}
+	for _, rtt := range r.RTTms {
+		header = append(header, fmt.Sprintf("%gms", rtt))
+	}
+	t := Table{Title: "Figure 14 MOCC weight-variant throughput ratio vs balance", Header: header}
+	for wi, ratios := range r.Ratios {
+		row := []string{fmt.Sprintf("w%d %v", wi+1, Fig14Weights[wi])}
+		for _, x := range ratios {
+			row = append(row, fmt.Sprintf("%.2f", x))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig15Result maps each scheme to its friendliness ratio against a Cubic
+// flow across RTTs: delivery rate of the scheme / delivery rate of Cubic.
+type Fig15Result struct {
+	RTTms  []float64
+	Ratios map[string][]float64
+}
+
+// RunFig15 evaluates every scheme (plus three MOCC variants) against TCP
+// Cubic across RTTs 20-120 ms.
+func RunFig15(s *Schemes, cfg CompeteConfig, rtts []float64) Fig15Result {
+	if len(rtts) == 0 {
+		rtts = []float64{20, 40, 60, 80, 100, 120}
+	}
+	type entry struct {
+		name    string
+		factory func() cc.Algorithm
+	}
+	entries := []entry{
+		{"mocc-throughput", func() cc.Algorithm { return s.MOCCAlgorithm("mocc-throughput", objective.ThroughputPref) }},
+		{"mocc-balance", func() cc.Algorithm { return s.MOCCAlgorithm("mocc-balance", objective.BalancePref) }},
+		{"mocc-latency", func() cc.Algorithm { return s.MOCCAlgorithm("mocc-latency", objective.LatencyPref) }},
+		{"aurora", s.AuroraThroughputAlgorithm},
+	}
+	for _, f := range s.Baselines() {
+		factory := f
+		name := factory().Name()
+		if name == "cubic" {
+			continue // the reference flow
+		}
+		entries = append(entries, entry{name, func() cc.Algorithm { return factory() }})
+	}
+
+	res := Fig15Result{RTTms: rtts, Ratios: map[string][]float64{}}
+	for _, e := range entries {
+		for _, rtt := range rtts {
+			c := cfg
+			c.RTTms = rtt
+			r := Compete(e.factory(), cc.NewCubic(), e.name, "cubic", c)
+			res.Ratios[e.name] = append(res.Ratios[e.name], r.Ratio)
+		}
+	}
+	return res
+}
+
+// Table renders Figure 15.
+func (r Fig15Result) Table() Table {
+	header := []string{"scheme"}
+	for _, rtt := range r.RTTms {
+		header = append(header, fmt.Sprintf("%gms", rtt))
+	}
+	t := Table{Title: "Figure 15 friendliness ratio vs Cubic", Header: header}
+	names := make([]string, 0, len(r.Ratios))
+	for n := range r.Ratios {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		row := []string{n}
+		for _, x := range r.Ratios[n] {
+			row = append(row, fmt.Sprintf("%.2f", x))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,240 @@
+package pantheon
+
+import (
+	"fmt"
+
+	"mocc/internal/cc"
+	"mocc/internal/gym"
+	"mocc/internal/objective"
+	"mocc/internal/rl"
+	"mocc/internal/stats"
+	"mocc/internal/trace"
+)
+
+// Fig1aConfig parameterizes the motivation throughput-trace experiment:
+// one-way delay 20 ms, bottleneck oscillating 20-30 Mbps, 0.02% loss (§2.2).
+type Fig1aConfig struct {
+	DurationSec float64
+	Seed        int64
+}
+
+// Fig1aSeries is one scheme's throughput-over-time line plus the capacity
+// trace.
+type Fig1aSeries struct {
+	Scheme  string
+	TimeS   []float64
+	ThrMbps []float64
+}
+
+// Fig1aResult holds the Figure 1(a) series.
+type Fig1aResult struct {
+	Series   []Fig1aSeries
+	Capacity Fig1aSeries // the "Link bandwidth" line
+}
+
+// motivationLink returns the §2.2 simulated network: 20 ms OWD, 20-30 Mbps
+// alternating bottleneck, 0.02% loss.
+func motivationLink() gym.Config {
+	return gym.Config{
+		Bandwidth: trace.Step{
+			Low:    trace.MbpsToPktsPerSec(20, 1500),
+			High:   trace.MbpsToPktsPerSec(30, 1500),
+			Period: 10,
+		},
+		LatencyMs: 20,
+		QueuePkts: 500,
+		LossRate:  0.0002,
+	}
+}
+
+// RunFig1a reproduces Figure 1(a): CUBIC and Vegas under-utilize the varying
+// link while the RL schemes (Aurora, Orca) track it.
+func RunFig1a(s *Schemes, cfg Fig1aConfig) Fig1aResult {
+	if cfg.DurationSec <= 0 {
+		cfg.DurationSec = 50
+	}
+	link := motivationLink()
+	link.Seed = cfg.Seed
+	miSec := link.MIms / 1000
+	if miSec == 0 {
+		miSec = 2 * link.LatencyMs / 1000
+	}
+	steps := int(cfg.DurationSec / miSec)
+
+	algs := []cc.Algorithm{
+		cc.NewCubic(),
+		cc.NewVegas(),
+		s.AuroraThroughputAlgorithm(),
+		s.OrcaAlgorithm(),
+	}
+	var res Fig1aResult
+	for _, alg := range algs {
+		env := gym.New(link)
+		ms := cc.Drive(env, alg, steps, cfg.Seed)
+		series := Fig1aSeries{Scheme: alg.Name()}
+		for _, m := range ms {
+			series.TimeS = append(series.TimeS, m.Time)
+			series.ThrMbps = append(series.ThrMbps, trace.PktsPerSecToMbps(m.Throughput, 1500))
+		}
+		res.Series = append(res.Series, series)
+	}
+	// Capacity line.
+	capSeries := Fig1aSeries{Scheme: "link-bandwidth"}
+	for i := 0; i < steps; i++ {
+		t := float64(i) * miSec
+		capSeries.TimeS = append(capSeries.TimeS, t)
+		capSeries.ThrMbps = append(capSeries.ThrMbps, trace.PktsPerSecToMbps(link.Bandwidth.At(t), 1500))
+	}
+	res.Capacity = capSeries
+	return res
+}
+
+// Fig1bPoint is one scheme's throughput-delay 1-sigma ellipse (Figure 1(b)).
+type Fig1bPoint struct {
+	Scheme  string
+	Ellipse stats.Ellipse
+	// MeanThrMbps / MeanLatencyMs are the ellipse center.
+	MeanThrMbps   float64
+	MeanLatencyMs float64
+}
+
+// Fig1bResult holds every scheme's ellipse plus the MOCC preference range
+// (the throughput-pref and latency-pref endpoints of the blue line).
+type Fig1bResult struct {
+	Points    []Fig1bPoint
+	MOCCRange [2]Fig1bPoint // [latency-pref endpoint, throughput-pref endpoint]
+}
+
+// RunFig1b reproduces Figure 1(b): each scheme runs repeatedly on the
+// motivation link; each run is one (throughput, latency) sample; the
+// maximum-likelihood 2D Gaussian's 1-sigma contour summarizes the scheme.
+func RunFig1b(s *Schemes, runs int, stepsPerRun int, seed int64) Fig1bResult {
+	if runs <= 0 {
+		runs = 8
+	}
+	if stepsPerRun <= 0 {
+		stepsPerRun = 250
+	}
+	type entry struct {
+		name    string
+		factory func() cc.Algorithm
+	}
+	entries := []entry{
+		{"aurora-throughput", s.AuroraThroughputAlgorithm},
+		{"aurora-latency", s.AuroraLatencyAlgorithm},
+		{"orca", s.OrcaAlgorithm},
+	}
+	for _, f := range s.Baselines() {
+		factory := f
+		entries = append(entries, entry{factory().Name(), func() cc.Algorithm { return factory() }})
+	}
+
+	link := motivationLink()
+	measure := func(factory func() cc.Algorithm, name string) Fig1bPoint {
+		var thrs, lats []float64
+		for r := 0; r < runs; r++ {
+			cfg := link
+			cfg.Seed = seed + int64(r)
+			env := gym.New(cfg)
+			ms := cc.Drive(env, factory(), stepsPerRun, cfg.Seed)
+			sum := Summarize(name, trace.Condition{}, ms)
+			thrs = append(thrs, sum.ThroughputMbps)
+			lats = append(lats, sum.AvgRTTms/2) // one-way latency as plotted
+		}
+		g, err := stats.FitGaussian2D(thrs, lats)
+		if err != nil {
+			return Fig1bPoint{Scheme: name}
+		}
+		return Fig1bPoint{
+			Scheme:        name,
+			Ellipse:       g.SigmaEllipse(1),
+			MeanThrMbps:   g.MeanX,
+			MeanLatencyMs: g.MeanY,
+		}
+	}
+
+	var res Fig1bResult
+	for _, e := range entries {
+		res.Points = append(res.Points, measure(e.factory, e.name))
+	}
+	res.MOCCRange[0] = measure(func() cc.Algorithm {
+		return s.MOCCAlgorithm("mocc-latency", objective.LatencyPref)
+	}, "mocc-latency")
+	res.MOCCRange[1] = measure(func() cc.Algorithm {
+		return s.MOCCAlgorithm("mocc-throughput", objective.ThroughputPref)
+	}, "mocc-throughput")
+	return res
+}
+
+// Table renders Figure 1(b) as rows of ellipse centers.
+func (r Fig1bResult) Table() Table {
+	t := Table{
+		Title:  "Figure 1b throughput-delay ellipses (1-sigma)",
+		Header: []string{"scheme", "thr (Mbps)", "lat (ms)", "semi-major", "semi-minor"},
+	}
+	add := func(p Fig1bPoint) {
+		t.Add(p.Scheme,
+			fmt.Sprintf("%.2f", p.MeanThrMbps),
+			fmt.Sprintf("%.2f", p.MeanLatencyMs),
+			fmt.Sprintf("%.2f", p.Ellipse.SemiMajor),
+			fmt.Sprintf("%.2f", p.Ellipse.SemiMinor))
+	}
+	for _, p := range r.Points {
+		add(p)
+	}
+	add(r.MOCCRange[0])
+	add(r.MOCCRange[1])
+	return t
+}
+
+// Fig1cResult is the Aurora-retraining learning curve (Figure 1(c)): reward
+// versus iteration when a new objective forces training from scratch.
+type Fig1cResult struct {
+	Curve       []float64
+	ConvergedAt int
+}
+
+// RunFig1c trains a fresh Aurora from scratch on the latency objective and
+// reports the learning curve and its 99%-gain convergence iteration,
+// demonstrating the "takes more than one hour" problem at simulation scale.
+func RunFig1c(z *Zoo, iters int) Fig1cResult {
+	if iters <= 0 {
+		iters = z.Params().auroraIters
+	}
+	_, curve := z.trainAuroraPublic(objective.LatencyPref, iters, z.Seed+77)
+	return Fig1cResult{
+		Curve:       curve,
+		ConvergedAt: convergenceIdx(curve),
+	}
+}
+
+// trainAuroraPublic exposes from-scratch Aurora training for experiments.
+func (z *Zoo) trainAuroraPublic(w objective.Weights, iters int, seed int64) (*rl.PlainAgent, []float64) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	return z.trainAurora(w, iters, seed)
+}
+
+// convergenceIdx applies the paper's 99%-of-max-gain convergence rule.
+func convergenceIdx(curve []float64) int {
+	if len(curve) == 0 {
+		return -1
+	}
+	start := curve[0]
+	maxV := start
+	for _, v := range curve {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= start {
+		return -1
+	}
+	threshold := start + 0.99*(maxV-start)
+	for i, v := range curve {
+		if v >= threshold {
+			return i
+		}
+	}
+	return -1
+}

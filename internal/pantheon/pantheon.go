@@ -1,0 +1,149 @@
+// Package pantheon is the evaluation harness: the counterpart of the
+// Pantheon testbed plus the paper's experiment scripts. It trains the model
+// zoo (MOCC, Aurora variants, Orca, MOCC-DQN) at a configurable scale, runs
+// every figure's experiment against the simulators, and renders the same
+// rows/series the paper reports.
+package pantheon
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mocc/internal/cc"
+	"mocc/internal/gym"
+	"mocc/internal/trace"
+)
+
+// RunSummary condenses one single-flow run for the sweep figures.
+type RunSummary struct {
+	Scheme         string
+	Condition      trace.Condition
+	Utilization    float64 // mean delivered/capacity over the measured window
+	LatencyRatio   float64 // mean RTT / base RTT
+	LossRate       float64
+	ThroughputMbps float64
+	AvgRTTms       float64
+	Reward         float64 // Equation 2 under the run's weight vector (0 if n/a)
+}
+
+// warmupFrac is the fraction of each run discarded before measuring, so
+// slow-start transients do not pollute steady-state numbers.
+const warmupFrac = 0.25
+
+// Summarize reduces per-MI metrics to a RunSummary, discarding the warmup
+// prefix.
+func Summarize(scheme string, cond trace.Condition, ms []gym.Metrics) RunSummary {
+	start := int(float64(len(ms)) * warmupFrac)
+	if start >= len(ms) {
+		start = 0
+	}
+	window := ms[start:]
+	var util, latRatio, loss, thr, rtt float64
+	for _, m := range window {
+		util += math.Min(m.Utilization, 1)
+		latRatio += m.LatencyRatioToBase()
+		loss += m.LossRate
+		thr += m.Throughput
+		rtt += m.AvgRTT
+	}
+	n := float64(len(window))
+	return RunSummary{
+		Scheme:         scheme,
+		Condition:      cond,
+		Utilization:    util / n,
+		LatencyRatio:   latRatio / n,
+		LossRate:       loss / n,
+		ThroughputMbps: trace.PktsPerSecToMbps(thr/n, 1500),
+		AvgRTTms:       rtt / n * 1000,
+	}
+}
+
+// RunScheme executes one algorithm on one condition for the given number of
+// monitor intervals and summarizes the result.
+func RunScheme(alg cc.Algorithm, cond trace.Condition, steps int, seed int64) RunSummary {
+	cfg := gym.FromCondition(cond, 1500, seed)
+	env := gym.New(cfg)
+	ms := cc.Drive(env, alg, steps, seed)
+	return Summarize(alg.Name(), cond, ms)
+}
+
+// Table is a simple text table for experiment output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddF appends a row formatting each value with %v / %.3f as appropriate.
+func (t *Table) AddF(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table as aligned text.
+func (t *Table) Write(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if _, err := fmt.Fprintf(w, "%s%s  ", c, spaces(pad)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := writeRow(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spaces returns n spaces.
+func spaces(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ' '
+	}
+	return string(b)
+}

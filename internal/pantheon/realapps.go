@@ -1,0 +1,117 @@
+package pantheon
+
+import (
+	"fmt"
+
+	"mocc/internal/apps"
+	"mocc/internal/cc"
+	"mocc/internal/objective"
+)
+
+// appSchemes returns the four schemes of the §6.3 application experiments:
+// MOCC (with the given preference) against the kernel TCP incumbents.
+func appSchemes(s *Schemes, pref objective.Weights) []func() cc.Algorithm {
+	return []func() cc.Algorithm{
+		func() cc.Algorithm { return s.MOCCAlgorithm("mocc", pref) },
+		func() cc.Algorithm { return cc.NewCubic() },
+		func() cc.Algorithm { return cc.NewBBR() },
+		func() cc.Algorithm { return cc.NewVegas() },
+	}
+}
+
+// Fig8Result holds the video-streaming comparison.
+type Fig8Result struct {
+	Sessions []apps.VideoResult
+}
+
+// RunFig8 streams video under each scheme with the throughput preference
+// for MOCC (w = <0.8, 0.1, 0.1>, §6.3).
+func RunFig8(s *Schemes, cfg apps.VideoConfig) (Fig8Result, error) {
+	var res Fig8Result
+	for _, factory := range appSchemes(s, objective.ThroughputPref) {
+		session, err := apps.RunVideo(factory(), cfg)
+		if err != nil {
+			return res, err
+		}
+		res.Sessions = append(res.Sessions, session)
+	}
+	return res, nil
+}
+
+// Table renders Figure 8.
+func (r Fig8Result) Table() Table {
+	t := Table{
+		Title:  "Figure 8 video streaming",
+		Header: []string{"scheme", "avg thr (Mbps)", "avg level", "top-level chunks", "rebuffer (s)"},
+	}
+	for _, s := range r.Sessions {
+		top := 0
+		if n := len(s.ABR.QualityCounts); n > 0 {
+			top = s.ABR.QualityCounts[n-1]
+		}
+		t.Add(s.Scheme,
+			fmt.Sprintf("%.2f", s.AvgThroughput),
+			fmt.Sprintf("%.2f", s.ABR.AvgLevel),
+			fmt.Sprint(top),
+			fmt.Sprintf("%.1f", s.ABR.RebufferSec))
+	}
+	return t
+}
+
+// Fig9Result holds the RTC comparison.
+type Fig9Result struct {
+	Sessions []apps.RTCResult
+}
+
+// RunFig9 measures inter-packet delay under each scheme with the RTC
+// preference for MOCC (w = <0.4, 0.5, 0.1>, §6.3).
+func RunFig9(s *Schemes, cfg apps.RTCConfig) Fig9Result {
+	var res Fig9Result
+	for _, factory := range appSchemes(s, objective.RTCPref) {
+		res.Sessions = append(res.Sessions, apps.RunRTC(factory(), cfg))
+	}
+	return res
+}
+
+// Table renders Figure 9.
+func (r Fig9Result) Table() Table {
+	t := Table{
+		Title:  "Figure 9 real-time communication",
+		Header: []string{"scheme", "inter-packet delay (ms)", "stddev (ms)"},
+	}
+	for _, s := range r.Sessions {
+		t.Add(s.Scheme, fmt.Sprintf("%.2f", s.MeanMs), fmt.Sprintf("%.2f", s.StdMs))
+	}
+	return t
+}
+
+// Fig10Result holds the bulk-transfer comparison.
+type Fig10Result struct {
+	Results []apps.BulkResult
+}
+
+// RunFig10 measures flow-completion times under each scheme with the bulk
+// preference for MOCC (approximating the paper's greedy <1, 0, 0>).
+func RunFig10(s *Schemes, cfg apps.BulkConfig) Fig10Result {
+	var res Fig10Result
+	for _, factory := range appSchemes(s, objective.BulkPref) {
+		f := factory
+		res.Results = append(res.Results, apps.RunBulk(func() cc.Algorithm { return f() }, cfg))
+	}
+	return res
+}
+
+// Table renders Figure 10.
+func (r Fig10Result) Table() Table {
+	t := Table{
+		Title:  "Figure 10 bulk transfer",
+		Header: []string{"scheme", "mean FCT (s)", "stddev (s)", "incomplete"},
+	}
+	for _, s := range r.Results {
+		t.Add(s.Scheme,
+			fmt.Sprintf("%.2f", s.MeanFCT),
+			fmt.Sprintf("%.3f", s.StdFCT),
+			fmt.Sprint(s.Incomplete))
+	}
+	return t
+}

@@ -1,0 +1,164 @@
+package pantheon
+
+import (
+	"fmt"
+
+	"mocc/internal/cc"
+	"mocc/internal/objective"
+	"mocc/internal/trace"
+)
+
+// SweepAxis identifies which link parameter Figure 5 varies.
+type SweepAxis string
+
+// Figure 5 sweep axes.
+const (
+	AxisBandwidth SweepAxis = "bandwidth" // Fig 5(a)/(e): 10-50 Mbps
+	AxisLatency   SweepAxis = "latency"   // Fig 5(b)/(f): 10-200 ms
+	AxisLoss      SweepAxis = "loss"      // Fig 5(c)/(g): 0-10%
+	AxisBuffer    SweepAxis = "buffer"    // Fig 5(d)/(h): 500-5000 pkts
+)
+
+// defaultSweepBase is the condition held fixed on the non-swept axes,
+// matching the midpoints of the paper's testing ranges (Table 3).
+func defaultSweepBase() trace.Condition {
+	return trace.Condition{
+		BandwidthMbps: 30,
+		LatencyMs:     40,
+		QueuePkts:     1000,
+		LossRate:      0,
+	}
+}
+
+// SweepPoints returns the x-axis values the paper plots for an axis.
+func SweepPoints(axis SweepAxis) []float64 {
+	switch axis {
+	case AxisBandwidth:
+		return []float64{10, 20, 30, 40, 50}
+	case AxisLatency:
+		return []float64{10, 40, 70, 100, 130, 160, 200}
+	case AxisLoss:
+		return []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10} // percent
+	case AxisBuffer:
+		return []float64{500, 1500, 2500, 3500, 5000}
+	default:
+		return nil
+	}
+}
+
+// conditionAt applies one sweep point to the base condition.
+func conditionAt(base trace.Condition, axis SweepAxis, v float64) trace.Condition {
+	c := base
+	switch axis {
+	case AxisBandwidth:
+		c.BandwidthMbps = v
+	case AxisLatency:
+		c.LatencyMs = v
+	case AxisLoss:
+		c.LossRate = v / 100
+	case AxisBuffer:
+		c.QueuePkts = int(v)
+	}
+	return c
+}
+
+// SweepConfig parameterizes a Figure 5 run.
+type SweepConfig struct {
+	Axis SweepAxis
+	// Steps is the number of monitor intervals per point per scheme.
+	Steps int
+	// Seed drives the run.
+	Seed int64
+	// Base overrides the default fixed condition when non-zero.
+	Base *trace.Condition
+}
+
+// SweepSeries is one scheme's line in a Figure 5 panel.
+type SweepSeries struct {
+	Scheme string
+	X      []float64
+	Util   []float64 // link utilization (Fig 5 a-d)
+	LatR   []float64 // latency ratio to base (Fig 5 e-h)
+}
+
+// SweepResult holds every scheme's series for one axis.
+type SweepResult struct {
+	Axis   SweepAxis
+	Series []SweepSeries
+}
+
+// RunSweep reproduces one Figure 5 panel pair: it evaluates every baseline,
+// the two Aurora variants, Orca, and MOCC under both the throughput
+// preference (<0.8,0.1,0.1>) and the latency preference (<0.1,0.8,0.1>)
+// across the axis points.
+func RunSweep(s *Schemes, cfg SweepConfig) SweepResult {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 300
+	}
+	base := defaultSweepBase()
+	if cfg.Base != nil {
+		base = *cfg.Base
+	}
+	points := SweepPoints(cfg.Axis)
+
+	type entry struct {
+		name    string
+		factory func() cc.Algorithm
+	}
+	entries := []entry{
+		{"mocc-throughput", func() cc.Algorithm { return s.MOCCAlgorithm("mocc-throughput", objective.ThroughputPref) }},
+		{"mocc-latency", func() cc.Algorithm { return s.MOCCAlgorithm("mocc-latency", objective.LatencyPref) }},
+		{"aurora-throughput", s.AuroraThroughputAlgorithm},
+		{"aurora-latency", s.AuroraLatencyAlgorithm},
+		{"orca", s.OrcaAlgorithm},
+	}
+	for _, f := range s.Baselines() {
+		factory := f
+		entries = append(entries, entry{factory().Name(), func() cc.Algorithm { return factory() }})
+	}
+
+	res := SweepResult{Axis: cfg.Axis}
+	for _, e := range entries {
+		series := SweepSeries{Scheme: e.name, X: points}
+		for i, v := range points {
+			cond := conditionAt(base, cfg.Axis, v)
+			sum := RunScheme(e.factory(), cond, cfg.Steps, cfg.Seed+int64(i))
+			series.Util = append(series.Util, sum.Utilization)
+			series.LatR = append(series.LatR, sum.LatencyRatio)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res
+}
+
+// Tables renders the utilization and latency-ratio panels as text tables.
+func (r SweepResult) Tables() (util, lat Table) {
+	points := SweepPoints(r.Axis)
+	header := []string{"scheme"}
+	for _, p := range points {
+		header = append(header, fmt.Sprintf("%g", p))
+	}
+	util = Table{Title: fmt.Sprintf("Figure 5 link utilization vs %s", r.Axis), Header: header}
+	lat = Table{Title: fmt.Sprintf("Figure 5 latency ratio vs %s", r.Axis), Header: header}
+	for _, s := range r.Series {
+		uRow := []string{s.Scheme}
+		lRow := []string{s.Scheme}
+		for i := range s.X {
+			uRow = append(uRow, fmt.Sprintf("%.3f", s.Util[i]))
+			lRow = append(lRow, fmt.Sprintf("%.3f", s.LatR[i]))
+		}
+		util.Rows = append(util.Rows, uRow)
+		lat.Rows = append(lat.Rows, lRow)
+	}
+	return util, lat
+}
+
+// Series returns the named scheme's series, or nil.
+func (r SweepResult) SeriesFor(scheme string) *SweepSeries {
+	for i := range r.Series {
+		if r.Series[i].Scheme == scheme {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,400 @@
+package pantheon
+
+import (
+	"sync"
+
+	"mocc/internal/cc"
+	"mocc/internal/core"
+	"mocc/internal/objective"
+	"mocc/internal/rl"
+	"mocc/internal/trace"
+)
+
+// Scale selects how much compute the zoo spends training models. The paper
+// trains for hours on a cluster; Quick reproduces the qualitative shape in
+// seconds, Standard in a couple of minutes.
+type Scale int
+
+const (
+	// Quick is for unit tests: minimal iterations.
+	Quick Scale = iota
+	// Standard is for benchmarks and the CLI tools.
+	Standard
+)
+
+// zooScaleParams maps a scale to training volumes.
+type zooScaleParams struct {
+	moccCfg         core.TrainConfig
+	auroraIters     int
+	rolloutSteps    int
+	episodeLen      int
+	enhancedAuroraN int // pre-trained Aurora variants for Figure 6
+	enhancedIters   int
+	dqnSteps        int
+	dqnObjectives   int
+	adaptIters      int // per-objective online specialization budget
+}
+
+// params returns the training volumes for the scale.
+func params(s Scale, seed int64) zooScaleParams {
+	ppo := rl.DefaultPPOConfig()
+	ppo.EntropyInit = 0.03
+	ppo.EntropyFinal = 0.002
+	ppo.EntropyDecayIters = 60
+	ppo.Seed = seed
+	if s == Standard {
+		ppo.EntropyInit = 0.05
+		ppo.EntropyDecayIters = 150
+	}
+
+	switch s {
+	case Standard:
+		return zooScaleParams{
+			moccCfg: core.TrainConfig{
+				Omega:           36,
+				BootstrapIters:  25,
+				BootstrapCycles: 5,
+				TraverseIters:   2,
+				TraverseCycles:  3,
+				RolloutSteps:    512,
+				EpisodeLen:      128,
+				Workers:         8,
+				Seed:            seed,
+				PPO:             ppo,
+			},
+			auroraIters:     60,
+			rolloutSteps:    512,
+			episodeLen:      128,
+			enhancedAuroraN: 6,
+			enhancedIters:   25,
+			dqnSteps:        20000,
+			dqnObjectives:   6,
+			adaptIters:      40,
+		}
+	default: // Quick
+		return zooScaleParams{
+			moccCfg: core.TrainConfig{
+				Omega:           10,
+				BootstrapIters:  10,
+				BootstrapCycles: 2,
+				TraverseIters:   1,
+				TraverseCycles:  2,
+				RolloutSteps:    256,
+				EpisodeLen:      64,
+				Workers:         4,
+				Seed:            seed,
+				PPO:             ppo,
+			},
+			auroraIters:     25,
+			rolloutSteps:    256,
+			episodeLen:      64,
+			enhancedAuroraN: 3,
+			enhancedIters:   10,
+			dqnSteps:        6000,
+			dqnObjectives:   3,
+			adaptIters:      8,
+		}
+	}
+}
+
+// Zoo lazily trains and caches every learned model the experiments need.
+// All training is seeded and deterministic for a given (scale, seed).
+type Zoo struct {
+	ScaleUsed Scale
+	Seed      int64
+
+	p    zooScaleParams
+	envs rl.EnvFactory
+
+	mu        sync.Mutex
+	mocc      *core.Model
+	moccCurve []core.CurvePoint
+	adapted   map[objective.Weights]*core.Model
+	auroraThr *rl.PlainAgent
+	auroraLat *rl.PlainAgent
+	orca      *rl.PlainAgent
+	enhanced  []enhancedModel
+	dqn       *rl.DQNAgent
+}
+
+// enhancedModel pairs a pre-trained Aurora with its training objective.
+type enhancedModel struct {
+	W     objective.Weights
+	Agent *rl.PlainAgent
+}
+
+// NewZoo builds a zoo training on the Table 3 training ranges.
+func NewZoo(scale Scale, seed int64) *Zoo {
+	return &Zoo{
+		ScaleUsed: scale,
+		Seed:      seed,
+		p:         params(scale, seed),
+		envs:      core.TrainingEnvs(trace.TrainingRanges(), core.HistoryLen),
+	}
+}
+
+// Envs exposes the training environment factory.
+func (z *Zoo) Envs() rl.EnvFactory { return z.envs }
+
+// Params exposes the scale parameters (read-only use).
+func (z *Zoo) Params() zooScaleParams { return z.p }
+
+// MOCC returns the offline-trained multi-objective model, training it on
+// first use.
+func (z *Zoo) MOCC() *core.Model {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.mocc != nil {
+		return z.mocc
+	}
+	model := core.NewModel(core.HistoryLen, z.Seed)
+	cfg := z.p.moccCfg
+	cfg.Envs = z.envs
+	trainer, err := core.NewOfflineTrainer(model, cfg)
+	if err != nil {
+		panic("pantheon: zoo training config invalid: " + err.Error())
+	}
+	res, err := trainer.Run()
+	if err != nil {
+		panic("pantheon: zoo MOCC training failed: " + err.Error())
+	}
+	z.mocc = model
+	z.moccCurve = res.Curve
+	return z.mocc
+}
+
+// MOCCTrainingCurve returns the offline training curve (training MOCC first
+// if needed).
+func (z *Zoo) MOCCTrainingCurve() []core.CurvePoint {
+	z.MOCC()
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	return z.moccCurve
+}
+
+// MOCCAdapted returns the offline model specialized to w by a short online
+// adaptation run — exactly what deployment does when an application
+// registers (§4.3). Results are cached per weight vector. The replay pool
+// holds the bootstrap objectives so old policies are rehearsed during
+// specialization.
+func (z *Zoo) MOCCAdapted(w objective.Weights, iters int) *core.Model {
+	base := z.MOCC() // train offline model first (locks internally)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.adapted == nil {
+		z.adapted = make(map[objective.Weights]*core.Model)
+	}
+	if m, ok := z.adapted[w]; ok {
+		return m
+	}
+	if iters <= 0 {
+		iters = z.p.adaptIters
+	}
+	model := base.Clone()
+	acfg := core.DefaultAdaptConfig()
+	acfg.Envs = z.envs
+	acfg.MaxIters = iters
+	acfg.RolloutSteps = z.p.rolloutSteps
+	acfg.EpisodeLen = z.p.episodeLen
+	acfg.Seed = z.Seed + 9000 + int64(len(z.adapted))
+	// Specialization wants mild exploration that dies quickly.
+	acfg.PPO.EntropyInit = 0.05
+	acfg.PPO.EntropyFinal = 0.005
+	acfg.PPO.EntropyDecayIters = iters
+	adapter, err := core.NewAdapter(model, acfg)
+	if err != nil {
+		panic("pantheon: zoo adapter config: " + err.Error())
+	}
+	step := objective.StepForOmega(z.p.moccCfg.Omega)
+	for _, b := range objective.DefaultBootstraps(step) {
+		adapter.Register(b.Weights())
+	}
+	adapter.Adapt(w)
+	z.adapted[w] = model
+	return model
+}
+
+// trainAurora trains one fixed-objective PlainAgent (the Aurora baseline)
+// and returns the agent and its learning curve.
+func (z *Zoo) trainAurora(w objective.Weights, iters int, seed int64) (*rl.PlainAgent, []float64) {
+	agent := rl.NewPlainAgent(3*core.HistoryLen, seed)
+	ppoCfg := z.p.moccCfg.PPO
+	ppoCfg.Seed = seed
+	ppo := rl.NewPPO(agent, ppoCfg)
+	cfg := rl.CollectConfig{
+		Steps:      z.p.rolloutSteps,
+		EpisodeLen: z.p.episodeLen,
+	}
+	curve := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		ro := rl.Collect(agent, z.envs, w, cfg, seed+int64(i)*7919)
+		st := ppo.Update(ro)
+		curve = append(curve, st.MeanReward)
+	}
+	return agent, curve
+}
+
+// AuroraThroughput returns the throughput-objective Aurora model.
+func (z *Zoo) AuroraThroughput() *rl.PlainAgent {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.auroraThr == nil {
+		z.auroraThr, _ = z.trainAurora(objective.ThroughputPref, z.p.auroraIters, z.Seed+1)
+	}
+	return z.auroraThr
+}
+
+// AuroraLatency returns the latency-objective Aurora model.
+func (z *Zoo) AuroraLatency() *rl.PlainAgent {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.auroraLat == nil {
+		z.auroraLat, _ = z.trainAurora(objective.LatencyPref, z.p.auroraIters, z.Seed+2)
+	}
+	return z.auroraLat
+}
+
+// OrcaPolicy returns the RL half of the Orca baseline. Orca's published
+// objective weighs throughput over delay (Table 1); we train a PlainAgent on
+// a matching weight vector and deploy it as CUBIC's multiplier.
+func (z *Zoo) OrcaPolicy() *rl.PlainAgent {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.orca == nil {
+		z.orca, _ = z.trainAurora(objective.Weights{Thr: 0.6, Lat: 0.3, Loss: 0.1}, z.p.auroraIters, z.Seed+3)
+	}
+	return z.orca
+}
+
+// EnhancedAurora returns N pre-trained single-objective Aurora models whose
+// objectives are spread over the simplex — the "enhanced Aurora" comparison
+// of Figure 6. Selecting the best model for a requested objective is the
+// caller's job (see NearestEnhanced).
+func (z *Zoo) EnhancedAurora() []objective.Weights {
+	z.ensureEnhanced()
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	out := make([]objective.Weights, len(z.enhanced))
+	for i, e := range z.enhanced {
+		out[i] = e.W
+	}
+	return out
+}
+
+// ensureEnhanced trains the enhanced-Aurora set once.
+func (z *Zoo) ensureEnhanced() {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.enhanced != nil {
+		return
+	}
+	// Spread the training objectives over the simplex lattice.
+	step := objective.StepForOmega(z.p.enhancedAuroraN)
+	landmarks := objective.LandmarkWeights(step)
+	if len(landmarks) > z.p.enhancedAuroraN {
+		// Evenly subsample.
+		sub := make([]objective.Weights, 0, z.p.enhancedAuroraN)
+		strideN := len(landmarks) / z.p.enhancedAuroraN
+		if strideN < 1 {
+			strideN = 1
+		}
+		for i := 0; i < len(landmarks) && len(sub) < z.p.enhancedAuroraN; i += strideN {
+			sub = append(sub, landmarks[i])
+		}
+		landmarks = sub
+	}
+	for i, w := range landmarks {
+		agent, _ := z.trainAurora(w, z.p.enhancedIters, z.Seed+100+int64(i))
+		z.enhanced = append(z.enhanced, enhancedModel{W: w, Agent: agent})
+	}
+}
+
+// NearestEnhanced returns the enhanced-Aurora agent whose training objective
+// is closest to w (how the Figure 6 experiment selects among the 10 models).
+func (z *Zoo) NearestEnhanced(w objective.Weights) *rl.PlainAgent {
+	z.ensureEnhanced()
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	best := 0
+	for i := 1; i < len(z.enhanced); i++ {
+		if w.Distance(z.enhanced[i].W) < w.Distance(z.enhanced[best].W) {
+			best = i
+		}
+	}
+	return z.enhanced[best].Agent
+}
+
+// MOCCDQN returns the DQN-trained multi-objective model for the Figure 18
+// ablation: same observation space as MOCC (weights embedded) but a
+// discretized action space.
+func (z *Zoo) MOCCDQN() *rl.DQNAgent {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.dqn != nil {
+		return z.dqn
+	}
+	cfg := rl.DefaultDQNConfig()
+	cfg.Seed = z.Seed + 4
+	agent := rl.NewDQNAgent(3*core.HistoryLen+3, cfg)
+	objs := objective.UniformObjectives(z.p.dqnObjectives, z.Seed+5)
+	stepsPer := z.p.dqnSteps / len(objs)
+	for _, w := range objs {
+		agent.TrainEpisodes(z.envs, w, true, stepsPer, z.p.episodeLen)
+	}
+	z.dqn = agent
+	return z.dqn
+}
+
+// Schemes bundles every evaluated algorithm constructor for the sweep and
+// fairness experiments. Learned schemes capture zoo models lazily.
+type Schemes struct {
+	zoo *Zoo
+}
+
+// NewSchemes wraps a zoo.
+func NewSchemes(z *Zoo) *Schemes { return &Schemes{zoo: z} }
+
+// Baselines returns fresh instances of all hand-crafted and online-learning
+// baselines.
+func (s *Schemes) Baselines() []cc.AlgorithmFactory {
+	return []cc.AlgorithmFactory{
+		func() cc.Algorithm { return cc.NewCubic() },
+		func() cc.Algorithm { return cc.NewVegas() },
+		func() cc.Algorithm { return cc.NewBBR() },
+		func() cc.Algorithm { return cc.NewCopa() },
+		func() cc.Algorithm { return cc.NewAllegro() },
+		func() cc.Algorithm { return cc.NewVivace() },
+	}
+}
+
+// MOCCAlgorithm returns a fresh MOCC algorithm bound to w, using the
+// deployment path: the offline model plus a short online specialization for
+// the registered objective (§4.3). Specialized models are cached in the zoo.
+func (s *Schemes) MOCCAlgorithm(name string, w objective.Weights) cc.Algorithm {
+	return s.zoo.MOCCAdapted(w, 0).AlgorithmFor(name, w)
+}
+
+// MOCCOfflineAlgorithm returns MOCC using only the offline pre-trained
+// model, no online adaptation — the configuration §6.1 evaluates in the
+// 100-objective experiment (Figure 6).
+func (s *Schemes) MOCCOfflineAlgorithm(name string, w objective.Weights) cc.Algorithm {
+	return s.zoo.MOCC().AlgorithmFor(name, w)
+}
+
+// AuroraThroughputAlgorithm returns Aurora trained for throughput.
+func (s *Schemes) AuroraThroughputAlgorithm() cc.Algorithm {
+	agent := s.zoo.AuroraThroughput()
+	return cc.NewRLRate("aurora-throughput", cc.PolicyFunc(agent.Act), core.HistoryLen)
+}
+
+// AuroraLatencyAlgorithm returns Aurora trained for latency.
+func (s *Schemes) AuroraLatencyAlgorithm() cc.Algorithm {
+	agent := s.zoo.AuroraLatency()
+	return cc.NewRLRate("aurora-latency", cc.PolicyFunc(agent.Act), core.HistoryLen)
+}
+
+// OrcaAlgorithm returns the Orca two-level controller.
+func (s *Schemes) OrcaAlgorithm() cc.Algorithm {
+	agent := s.zoo.OrcaPolicy()
+	return cc.NewOrca(cc.PolicyFunc(agent.Act), core.HistoryLen)
+}

@@ -1,0 +1,93 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"mocc/internal/nn"
+)
+
+// PlainAgent is the single-objective actor-critic of Aurora (Figure 2a): a
+// 64x32 tanh MLP policy head producing the Gaussian action mean, a learnable
+// state-independent log-std, and a critic of the same trunk shape. It has no
+// preference input; MOCC's preference-sub-network model lives in
+// internal/core.
+type PlainAgent struct {
+	actor  *nn.MLP
+	critic *nn.MLP
+	logStd *nn.Param
+	obsLen int
+}
+
+// logStd bounds keep the exploration noise in a sane range.
+const (
+	minLogStd = -3.0
+	maxLogStd = 1.0
+)
+
+// NewPlainAgent builds an agent for observations of length obsLen with the
+// paper's hidden sizes (64, 32).
+func NewPlainAgent(obsLen int, seed int64) *PlainAgent {
+	rng := rand.New(rand.NewSource(seed))
+	a := &PlainAgent{
+		actor:  nn.NewMLP(rng, obsLen, 64, 32, 1),
+		critic: nn.NewMLP(rng, obsLen, 64, 32, 1),
+		logStd: &nn.Param{Name: "logstd", Value: []float64{0}, Grad: []float64{0}},
+		obsLen: obsLen,
+	}
+	return a
+}
+
+// ObsSize implements ActorCritic.
+func (a *PlainAgent) ObsSize() int { return a.obsLen }
+
+// PolicyForward implements ActorCritic.
+func (a *PlainAgent) PolicyForward(obs []float64) (mean, std float64) {
+	mean = a.actor.Forward(obs)[0]
+	ls := math.Max(minLogStd, math.Min(maxLogStd, a.logStd.Value[0]))
+	return mean, math.Exp(ls)
+}
+
+// PolicyBackward implements ActorCritic.
+func (a *PlainAgent) PolicyBackward(dMean, dLogStd float64) {
+	a.actor.Backward([]float64{dMean})
+	// No gradient through the clamp boundary.
+	if ls := a.logStd.Value[0]; ls > minLogStd && ls < maxLogStd {
+		a.logStd.Grad[0] += dLogStd
+	}
+}
+
+// ValueForward implements ActorCritic.
+func (a *PlainAgent) ValueForward(obs []float64) float64 {
+	return a.critic.Forward(obs)[0]
+}
+
+// ValueBackward implements ActorCritic.
+func (a *PlainAgent) ValueBackward(dV float64) {
+	a.critic.Backward([]float64{dV})
+}
+
+// ActorParams implements ActorCritic.
+func (a *PlainAgent) ActorParams() []*nn.Param {
+	return append(a.actor.Params(), a.logStd)
+}
+
+// CriticParams implements ActorCritic.
+func (a *PlainAgent) CriticParams() []*nn.Param { return a.critic.Params() }
+
+// Act returns the deterministic (mean) action for an observation; it
+// satisfies the congestion-control Policy interface for deployment.
+func (a *PlainAgent) Act(obs []float64) float64 {
+	m, _ := a.PolicyForward(obs)
+	return m
+}
+
+// AllParams returns actor and critic parameters for snapshotting.
+func (a *PlainAgent) AllParams() []*nn.Param {
+	return append(a.ActorParams(), a.CriticParams()...)
+}
+
+// CopyFrom copies all parameters from another PlainAgent of identical shape.
+func (a *PlainAgent) CopyFrom(src *PlainAgent) error {
+	return nn.CopyParams(a.AllParams(), src.AllParams())
+}

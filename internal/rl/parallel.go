@@ -1,0 +1,81 @@
+package rl
+
+import (
+	"sync"
+
+	"mocc/internal/nn"
+	"mocc/internal/objective"
+)
+
+// Paramed is any model whose full parameter set can be copied, the minimal
+// capability parallel collection needs to fan a master model out to worker
+// replicas.
+type Paramed interface {
+	AllParams() []*nn.Param
+}
+
+// CollectTask describes one rollout request for parallel collection.
+type CollectTask struct {
+	Weights objective.Weights
+	Seed    int64
+}
+
+// ParallelCollector gathers rollouts concurrently using per-worker replica
+// agents, the goroutine equivalent of the paper's Ray/RLlib parallel
+// environments (§5). Forward passes mutate layer caches, so workers never
+// share a model; instead the master's parameters are copied into each
+// replica before every collection round.
+type ParallelCollector struct {
+	replicas []ActorCritic
+}
+
+// NewParallelCollector builds a collector with workers replicas created by
+// factory (each must have the master's architecture).
+func NewParallelCollector(workers int, factory func() ActorCritic) *ParallelCollector {
+	if workers < 1 {
+		workers = 1
+	}
+	pc := &ParallelCollector{replicas: make([]ActorCritic, workers)}
+	for i := range pc.replicas {
+		pc.replicas[i] = factory()
+	}
+	return pc
+}
+
+// Workers returns the replica count.
+func (pc *ParallelCollector) Workers() int { return len(pc.replicas) }
+
+// Collect synchronizes every replica with master and then collects one
+// rollout per task, running up to Workers() tasks concurrently. Results are
+// returned in task order regardless of completion order, keeping training
+// deterministic for a fixed seed set.
+func (pc *ParallelCollector) Collect(master Paramed, envs EnvFactory, cfg CollectConfig, tasks []CollectTask) ([]Rollout, error) {
+	masterParams := master.AllParams()
+	for _, rep := range pc.replicas {
+		repParamed, ok := rep.(Paramed)
+		if !ok {
+			continue
+		}
+		if err := nn.CopyParams(repParamed.AllParams(), masterParams); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]Rollout, len(tasks))
+	sem := make(chan int, len(pc.replicas))
+	for i := range pc.replicas {
+		sem <- i
+	}
+	var wg sync.WaitGroup
+	for ti, task := range tasks {
+		wg.Add(1)
+		go func(ti int, task CollectTask) {
+			defer wg.Done()
+			worker := <-sem
+			defer func() { sem <- worker }()
+			out[ti] = Collect(pc.replicas[worker], envs, task.Weights, cfg, task.Seed)
+		}(ti, task)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,235 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"mocc/internal/nn"
+)
+
+// PPOConfig holds the Proximal Policy Optimization hyperparameters; the
+// defaults follow Table 2 and §5 of the paper (and stable-baselines, which
+// the authors built on).
+type PPOConfig struct {
+	// Gamma is the reward discount factor (Table 2: 0.99).
+	Gamma float64
+	// ClipEps is the surrogate clipping threshold ε (§5: 0.2).
+	ClipEps float64
+	// LR is the Adam learning rate (Table 2: 0.001).
+	LR float64
+	// EntropyInit/EntropyFinal/EntropyDecayIters implement the paper's β
+	// schedule: decay from 1 to 0.1 over 1000 iterations (§5).
+	EntropyInit       float64
+	EntropyFinal      float64
+	EntropyDecayIters int
+	// Epochs is the number of passes over each rollout per update.
+	Epochs int
+	// MinibatchSize splits the rollout for gradient steps.
+	MinibatchSize int
+	// ValueCoef scales the critic loss.
+	ValueCoef float64
+	// MaxGradNorm clips the global gradient norm per minibatch.
+	MaxGradNorm float64
+	// Seed drives minibatch shuffling.
+	Seed int64
+}
+
+// DefaultPPOConfig returns the paper's hyperparameters.
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		Gamma:             0.99,
+		ClipEps:           0.2,
+		LR:                0.001,
+		EntropyInit:       1.0,
+		EntropyFinal:      0.1,
+		EntropyDecayIters: 1000,
+		Epochs:            4,
+		MinibatchSize:     64,
+		ValueCoef:         0.5,
+		MaxGradNorm:       0.5,
+		Seed:              1,
+	}
+}
+
+// UpdateStats reports diagnostics from one PPO update.
+type UpdateStats struct {
+	PolicyLoss   float64
+	ValueLoss    float64
+	Entropy      float64
+	ClipFraction float64
+	Beta         float64 // entropy coefficient used
+	MeanReward   float64 // from the rollout(s)
+}
+
+// PPO trains an ActorCritic with the clipped surrogate objective
+// (Equations 3-5).
+type PPO struct {
+	Agent     ActorCritic
+	Cfg       PPOConfig
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+	rng       *rand.Rand
+	iter      int
+}
+
+// NewPPO builds a trainer around the agent.
+func NewPPO(agent ActorCritic, cfg PPOConfig) *PPO {
+	return &PPO{
+		Agent:     agent,
+		Cfg:       cfg,
+		actorOpt:  nn.NewAdam(agent.ActorParams(), cfg.LR),
+		criticOpt: nn.NewAdam(agent.CriticParams(), cfg.LR),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Iter returns the number of PPO updates applied.
+func (p *PPO) Iter() int { return p.iter }
+
+// SetIter overrides the iteration counter (used when resuming a transferred
+// model so the entropy schedule continues from the right point).
+func (p *PPO) SetIter(i int) { p.iter = i }
+
+// ResetOptimizers clears Adam state, e.g. after transferring weights to a
+// new objective so stale momentum does not leak across tasks.
+func (p *PPO) ResetOptimizers() {
+	p.actorOpt.Reset()
+	p.criticOpt.Reset()
+}
+
+// Beta returns the entropy coefficient for the current iteration, following
+// the paper's 1 -> 0.1 decay over 1000 iterations.
+func (p *PPO) Beta() float64 {
+	c := p.Cfg
+	if c.EntropyDecayIters <= 0 {
+		return c.EntropyFinal
+	}
+	frac := float64(p.iter) / float64(c.EntropyDecayIters)
+	if frac > 1 {
+		frac = 1
+	}
+	return c.EntropyInit + (c.EntropyFinal-c.EntropyInit)*frac
+}
+
+// Update performs one PPO iteration on a single rollout.
+func (p *PPO) Update(ro Rollout) UpdateStats {
+	return p.UpdateMulti([]Rollout{ro})
+}
+
+// UpdateMulti performs one PPO iteration over several rollouts jointly,
+// averaging their losses — this is the requirement-replay objective of
+// Equation 6 when called with the new-objective and replayed-objective
+// rollouts.
+func (p *PPO) UpdateMulti(rollouts []Rollout) UpdateStats {
+	var all []Transition
+	var rewardSum float64
+	for _, ro := range rollouts {
+		ro.ComputeReturns(p.Cfg.Gamma)
+		all = append(all, ro.Trans...)
+		rewardSum += ro.MeanReward
+	}
+	if len(all) == 0 {
+		return UpdateStats{}
+	}
+	beta := p.Beta()
+	stats := UpdateStats{Beta: beta, MeanReward: rewardSum / float64(len(rollouts))}
+
+	idx := make([]int, len(all))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	mb := p.Cfg.MinibatchSize
+	if mb <= 0 || mb > len(all) {
+		mb = len(all)
+	}
+
+	var lossCount, clipCount, sampleCount float64
+	for epoch := 0; epoch < max(p.Cfg.Epochs, 1); epoch++ {
+		p.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += mb {
+			end := start + mb
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			n := float64(len(batch))
+
+			nn.ZeroGrad(p.Agent.ActorParams())
+			nn.ZeroGrad(p.Agent.CriticParams())
+
+			for _, i := range batch {
+				tr := all[i]
+				mean, std := p.Agent.PolicyForward(tr.Obs)
+				logProb := nn.GaussianLogProb(tr.Action, mean, std)
+				ratio := math.Exp(logProb - tr.LogProb)
+				// Guard against numeric explosions on stale samples.
+				if ratio > 20 {
+					ratio = 20
+				}
+
+				adv := tr.Advantage
+				clipped := ratio < 1-p.Cfg.ClipEps || ratio > 1+p.Cfg.ClipEps
+				// Gradient of -min(r·A, clip(r)·A): zero when the
+				// clipped branch is active AND it is the smaller one.
+				useUnclipped := true
+				if clipped {
+					clipR := math.Max(1-p.Cfg.ClipEps, math.Min(1+p.Cfg.ClipEps, ratio))
+					if clipR*adv < ratio*adv {
+						useUnclipped = false
+					}
+					clipCount++
+				}
+				sampleCount++
+
+				dMean, dLogStd := 0.0, 0.0
+				if useUnclipped {
+					gm, gs := nn.GaussianLogProbGrad(tr.Action, mean, std)
+					// d(-r·A)/dθ = -A·r·dlogπ/dθ.
+					dMean = -adv * ratio * gm
+					dLogStd = -adv * ratio * gs
+				}
+				// Entropy bonus: H = c + logStd, so d(-βH)/dlogStd = -β.
+				dLogStd -= beta
+
+				p.Agent.PolicyBackward(dMean/n, dLogStd/n)
+
+				surr := math.Min(ratio*adv, math.Max(1-p.Cfg.ClipEps, math.Min(1+p.Cfg.ClipEps, ratio))*adv)
+				stats.PolicyLoss += -surr
+				stats.Entropy += nn.GaussianEntropy(std)
+
+				// Critic: 0.5·(V - R)².
+				v := p.Agent.ValueForward(tr.Obs)
+				dv := p.Cfg.ValueCoef * (v - tr.Return)
+				p.Agent.ValueBackward(dv / n)
+				stats.ValueLoss += 0.5 * (v - tr.Return) * (v - tr.Return)
+				lossCount++
+			}
+
+			if p.Cfg.MaxGradNorm > 0 {
+				nn.ClipGradNorm(p.Agent.ActorParams(), p.Cfg.MaxGradNorm)
+				nn.ClipGradNorm(p.Agent.CriticParams(), p.Cfg.MaxGradNorm)
+			}
+			p.actorOpt.Step()
+			p.criticOpt.Step()
+		}
+	}
+
+	if lossCount > 0 {
+		stats.PolicyLoss /= lossCount
+		stats.ValueLoss /= lossCount
+		stats.Entropy /= lossCount
+	}
+	if sampleCount > 0 {
+		stats.ClipFraction = clipCount / sampleCount
+	}
+	p.iter++
+	return stats
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

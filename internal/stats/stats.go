@@ -1,0 +1,337 @@
+// Package stats provides the statistical primitives used throughout the
+// MOCC evaluation harness: summary statistics, percentiles, empirical CDFs,
+// Jain's fairness index, and 2D Gaussian ellipse fitting for the
+// throughput-latency scatter plots (Figure 1b).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the smallest element of xs. It returns ErrEmpty for an empty
+// slice.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs. It returns ErrEmpty for an empty
+// slice.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. The input is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// JainIndex computes Jain's fairness index for a set of per-flow allocations:
+//
+//	J = (Σx)² / (n · Σx²)
+//
+// It is 1 when all allocations are equal and approaches 1/n under maximal
+// unfairness. Zero-valued inputs yield an index of 0 by convention.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// CDFPoint is a single point on an empirical CDF curve.
+type CDFPoint struct {
+	Value float64 // sample value
+	Prob  float64 // P(X <= Value)
+}
+
+// CDF computes the empirical cumulative distribution of xs. The returned
+// points are sorted by value, with Prob = rank/n. The input is not modified.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	points := make([]CDFPoint, len(sorted))
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		points[i] = CDFPoint{Value: v, Prob: float64(i+1) / n}
+	}
+	return points
+}
+
+// CDFAt evaluates the empirical CDF of xs at value v: the fraction of samples
+// that are <= v.
+func CDFAt(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	count := 0
+	for _, x := range xs {
+		if x <= v {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+// Quantiles returns the values of the empirical distribution at each of the
+// requested cumulative probabilities (each in [0,1]).
+func Quantiles(xs []float64, probs []float64) ([]float64, error) {
+	out := make([]float64, len(probs))
+	for i, p := range probs {
+		v, err := Percentile(xs, p*100)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Gaussian2D summarizes a set of (x, y) points as a maximum-likelihood 2D
+// Gaussian: mean vector plus covariance matrix. The paper uses the 1-sigma
+// elliptic contour of this fit for the throughput-delay plot (Figure 1b).
+type Gaussian2D struct {
+	MeanX, MeanY float64
+	VarX, VarY   float64
+	CovXY        float64
+}
+
+// FitGaussian2D fits a maximum-likelihood 2D Gaussian to paired samples.
+// xs and ys must have equal, nonzero length.
+func FitGaussian2D(xs, ys []float64) (Gaussian2D, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return Gaussian2D{}, errors.New("stats: mismatched or empty paired samples")
+	}
+	g := Gaussian2D{MeanX: Mean(xs), MeanY: Mean(ys)}
+	n := float64(len(xs))
+	for i := range xs {
+		dx := xs[i] - g.MeanX
+		dy := ys[i] - g.MeanY
+		g.VarX += dx * dx
+		g.VarY += dy * dy
+		g.CovXY += dx * dy
+	}
+	g.VarX /= n
+	g.VarY /= n
+	g.CovXY /= n
+	return g, nil
+}
+
+// Ellipse describes the 1-sigma elliptic contour of a 2D Gaussian: center,
+// semi-axes and rotation angle (radians, counter-clockwise from +x).
+type Ellipse struct {
+	CenterX, CenterY float64
+	SemiMajor        float64
+	SemiMinor        float64
+	Angle            float64
+}
+
+// SigmaEllipse returns the k-sigma elliptic contour of g, derived from the
+// eigendecomposition of the covariance matrix.
+func (g Gaussian2D) SigmaEllipse(k float64) Ellipse {
+	// Eigenvalues of [[VarX, CovXY], [CovXY, VarY]].
+	tr := g.VarX + g.VarY
+	det := g.VarX*g.VarY - g.CovXY*g.CovXY
+	disc := math.Sqrt(math.Max(0, tr*tr/4-det))
+	l1 := tr/2 + disc
+	l2 := tr/2 - disc
+	if l2 < 0 {
+		l2 = 0
+	}
+	angle := 0.0
+	if g.CovXY != 0 || g.VarX != g.VarY {
+		angle = math.Atan2(l1-g.VarX, g.CovXY)
+		if g.CovXY == 0 {
+			if g.VarX >= g.VarY {
+				angle = 0
+			} else {
+				angle = math.Pi / 2
+			}
+		}
+	}
+	return Ellipse{
+		CenterX:   g.MeanX,
+		CenterY:   g.MeanY,
+		SemiMajor: k * math.Sqrt(l1),
+		SemiMinor: k * math.Sqrt(l2),
+		Angle:     angle,
+	}
+}
+
+// Welford maintains running mean/variance without storing samples. The zero
+// value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates a new sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of samples seen.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// EWMA is an exponentially weighted moving average with configurable decay.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA creates an EWMA where each new sample contributes fraction alpha
+// (0 < alpha <= 1) of the updated value.
+func NewEWMA(alpha float64) *EWMA {
+	return &EWMA{alpha: alpha}
+}
+
+// Add incorporates a sample and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any samples).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether any sample has been added.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Clamp limits x to the inclusive range [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be >= 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

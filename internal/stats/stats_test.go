@@ -1,0 +1,347 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v, %v; want -1, nil", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 7 {
+		t.Errorf("Max = %v, %v; want 7, nil", mx, err)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct {
+		p, want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("empty percentile err = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("expected error for p > 100")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("expected error for p < 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m, err := Median([]float64{9, 1, 5})
+	if err != nil || m != 5 {
+		t.Errorf("Median = %v, %v; want 5", m, err)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("equal allocations: Jain = %v, want 1", got)
+	}
+	// One flow hogging everything: J -> 1/n.
+	if got := JainIndex([]float64{10, 0, 0}); !almostEqual(got, 1.0/3, 1e-12) {
+		t.Errorf("max unfairness: Jain = %v, want 1/3", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("Jain(nil) = %v, want 0", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Errorf("Jain(zeros) = %v, want 0", got)
+	}
+}
+
+func TestJainIndexBounds(t *testing.T) {
+	// Property: for positive allocations, 1/n <= J <= 1.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			// Keep magnitudes bounded so Σx² cannot overflow.
+			xs = append(xs, math.Abs(math.Mod(r, 1e6))+0.001)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainIndex(xs)
+		n := float64(len(xs))
+		return j >= 1/n-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("CDF length = %d, want 3", len(pts))
+	}
+	wantVals := []float64{1, 2, 3}
+	wantProbs := []float64{1.0 / 3, 2.0 / 3, 1}
+	for i, p := range pts {
+		if p.Value != wantVals[i] || !almostEqual(p.Prob, wantProbs[i], 1e-12) {
+			t.Errorf("point %d = %+v, want {%v %v}", i, p, wantVals[i], wantProbs[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := CDFAt(xs, 2.5); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDFAt(2.5) = %v, want 0.5", got)
+	}
+	if got := CDFAt(xs, 0); got != 0 {
+		t.Errorf("CDFAt(0) = %v, want 0", got)
+	}
+	if got := CDFAt(xs, 10); got != 1 {
+		t.Errorf("CDFAt(10) = %v, want 1", got)
+	}
+	if got := CDFAt(nil, 1); got != 0 {
+		t.Errorf("CDFAt(nil) = %v, want 0", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		pts := CDF(xs)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value < pts[i-1].Value || pts[i].Prob < pts[i-1].Prob {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	qs, err := Quantiles(xs, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5}
+	for i := range qs {
+		if !almostEqual(qs[i], want[i], 1e-12) {
+			t.Errorf("quantile %d = %v, want %v", i, qs[i], want[i])
+		}
+	}
+	if _, err := Quantiles(nil, []float64{0.5}); err == nil {
+		t.Error("expected error for empty sample")
+	}
+}
+
+func TestFitGaussian2D(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{2, 4, 6}
+	g, err := FitGaussian2D(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g.MeanX, 2, 1e-12) || !almostEqual(g.MeanY, 4, 1e-12) {
+		t.Errorf("mean = (%v, %v), want (2, 4)", g.MeanX, g.MeanY)
+	}
+	// Perfect correlation: cov = sqrt(varX*varY).
+	if !almostEqual(g.CovXY, math.Sqrt(g.VarX*g.VarY), 1e-9) {
+		t.Errorf("cov = %v, want %v", g.CovXY, math.Sqrt(g.VarX*g.VarY))
+	}
+	if _, err := FitGaussian2D(xs, ys[:2]); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+	if _, err := FitGaussian2D(nil, nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestSigmaEllipse(t *testing.T) {
+	// Axis-aligned case: varX=4, varY=1, no covariance.
+	g := Gaussian2D{MeanX: 1, MeanY: 2, VarX: 4, VarY: 1}
+	e := g.SigmaEllipse(1)
+	if !almostEqual(e.SemiMajor, 2, 1e-9) || !almostEqual(e.SemiMinor, 1, 1e-9) {
+		t.Errorf("axes = (%v, %v), want (2, 1)", e.SemiMajor, e.SemiMinor)
+	}
+	if !almostEqual(e.Angle, 0, 1e-9) {
+		t.Errorf("angle = %v, want 0", e.Angle)
+	}
+	if e.CenterX != 1 || e.CenterY != 2 {
+		t.Errorf("center = (%v, %v), want (1, 2)", e.CenterX, e.CenterY)
+	}
+	// Swapped variances rotate the major axis to y.
+	g2 := Gaussian2D{VarX: 1, VarY: 4}
+	e2 := g2.SigmaEllipse(2)
+	if !almostEqual(e2.SemiMajor, 4, 1e-9) {
+		t.Errorf("2-sigma major = %v, want 4", e2.SemiMajor)
+	}
+	if !almostEqual(math.Abs(e2.Angle), math.Pi/2, 1e-9) {
+		t.Errorf("angle = %v, want ±π/2", e2.Angle)
+	}
+}
+
+func TestSigmaEllipseMajorAtLeastMinor(t *testing.T) {
+	f := func(vx, vy, cov float64) bool {
+		vx = math.Abs(math.Mod(vx, 1e9))
+		vy = math.Abs(math.Mod(vy, 1e9))
+		cov = math.Mod(cov, 1e9)
+		// Constrain covariance to be physically realizable.
+		maxCov := math.Sqrt(vx * vy)
+		cov = math.Mod(math.Abs(cov), maxCov+1e-9)
+		e := Gaussian2D{VarX: vx, VarY: vy, CovXY: cov}.SigmaEllipse(1)
+		return e.SemiMajor >= e.SemiMinor-1e-12 && !math.IsNaN(e.SemiMinor)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 5
+		w.Add(xs[i])
+	}
+	if w.Count() != 1000 {
+		t.Errorf("count = %d, want 1000", w.Count())
+	}
+	if !almostEqual(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("welford mean %v != batch mean %v", w.Mean(), Mean(xs))
+	}
+	if !almostEqual(w.Variance(), Variance(xs), 1e-6) {
+		t.Errorf("welford var %v != batch var %v", w.Variance(), Variance(xs))
+	}
+	if !almostEqual(w.StdDev(), StdDev(xs), 1e-6) {
+		t.Errorf("welford std %v != batch std %v", w.StdDev(), StdDev(xs))
+	}
+}
+
+func TestWelfordFewSamples(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 {
+		t.Error("zero-sample variance should be 0")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Errorf("single sample: mean %v var %v", w.Mean(), w.Variance())
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Error("fresh EWMA should not be initialized")
+	}
+	if got := e.Add(10); got != 10 {
+		t.Errorf("first Add = %v, want 10", got)
+	}
+	if got := e.Add(20); !almostEqual(got, 15, 1e-12) {
+		t.Errorf("second Add = %v, want 15", got)
+	}
+	if !almostEqual(e.Value(), 15, 1e-12) {
+		t.Errorf("Value = %v, want 15", e.Value())
+	}
+	if !e.Initialized() {
+		t.Error("EWMA should be initialized after Add")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	for _, c := range []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-5, 0, 10, 0},
+		{15, 0, 10, 10},
+		{0, 0, 0, 0},
+	} {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v, %v, %v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 10, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	if len(xs) != len(want) {
+		t.Fatalf("len = %d, want %d", len(xs), len(want))
+	}
+	for i := range xs {
+		if !almostEqual(xs[i], want[i], 1e-12) {
+			t.Errorf("xs[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("degenerate Linspace = %v", got)
+	}
+}

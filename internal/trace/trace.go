@@ -1,0 +1,196 @@
+// Package trace generates the time-varying link condition schedules used by
+// both the training environment and the evaluation harness: constant,
+// stepped, oscillating and random-walk bandwidth traces, plus helpers for
+// sampling network-condition ranges (Table 3 of the paper).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Bandwidth is a time-varying bandwidth schedule. Implementations must be
+// safe for repeated evaluation (pure functions of time).
+type Bandwidth interface {
+	// At returns the link capacity in packets/second at time t (seconds).
+	At(t float64) float64
+}
+
+// Constant is a fixed-rate bandwidth trace.
+type Constant float64
+
+// At implements Bandwidth.
+func (c Constant) At(float64) float64 { return float64(c) }
+
+// Step alternates between Low and High every Period seconds, starting at Low.
+// It reproduces the "link bandwidth varies between 20-30Mbps" motivation
+// setup of Figure 1(a).
+type Step struct {
+	Low, High float64 // packets/second
+	Period    float64 // seconds per level
+}
+
+// At implements Bandwidth.
+func (s Step) At(t float64) float64 {
+	if s.Period <= 0 {
+		return s.Low
+	}
+	phase := int(math.Floor(t / s.Period))
+	if phase%2 == 0 {
+		return s.Low
+	}
+	return s.High
+}
+
+// Sine oscillates smoothly around Mean with the given Amplitude and Period.
+type Sine struct {
+	Mean      float64
+	Amplitude float64
+	Period    float64
+}
+
+// At implements Bandwidth.
+func (s Sine) At(t float64) float64 {
+	if s.Period <= 0 {
+		return s.Mean
+	}
+	v := s.Mean + s.Amplitude*math.Sin(2*math.Pi*t/s.Period)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// RandomWalk holds a bandwidth level for Interval seconds, then jumps to a
+// uniform value in [Low, High]. Jumps are pre-generated from a seed so the
+// trace is deterministic and pure.
+type RandomWalk struct {
+	levels   []float64
+	interval float64
+}
+
+// NewRandomWalk builds a deterministic random-walk trace covering duration
+// seconds with a new level every interval seconds.
+func NewRandomWalk(low, high, interval, duration float64, seed int64) *RandomWalk {
+	if interval <= 0 {
+		interval = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := int(math.Ceil(duration/interval)) + 1
+	if n < 1 {
+		n = 1
+	}
+	levels := make([]float64, n)
+	for i := range levels {
+		levels[i] = low + rng.Float64()*(high-low)
+	}
+	return &RandomWalk{levels: levels, interval: interval}
+}
+
+// At implements Bandwidth. Times beyond the generated duration repeat the
+// final level.
+func (r *RandomWalk) At(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / r.interval)
+	if idx >= len(r.levels) {
+		idx = len(r.levels) - 1
+	}
+	return r.levels[idx]
+}
+
+// MbpsToPktsPerSec converts megabits/second to packets/second assuming
+// pktBytes bytes per packet.
+func MbpsToPktsPerSec(mbps float64, pktBytes int) float64 {
+	return mbps * 1e6 / 8 / float64(pktBytes)
+}
+
+// PktsPerSecToMbps converts packets/second to megabits/second assuming
+// pktBytes bytes per packet.
+func PktsPerSecToMbps(pps float64, pktBytes int) float64 {
+	return pps * float64(pktBytes) * 8 / 1e6
+}
+
+// Range is an inclusive numeric interval used to describe a sampling range
+// for a network parameter.
+type Range struct {
+	Low, High float64
+}
+
+// Sample draws a uniform value from the range.
+func (r Range) Sample(rng *rand.Rand) float64 {
+	if r.High <= r.Low {
+		return r.Low
+	}
+	return r.Low + rng.Float64()*(r.High-r.Low)
+}
+
+// Mid returns the midpoint of the range.
+func (r Range) Mid() float64 { return (r.Low + r.High) / 2 }
+
+// Contains reports whether v lies inside the range (inclusive).
+func (r Range) Contains(v float64) bool { return v >= r.Low && v <= r.High }
+
+// String implements fmt.Stringer.
+func (r Range) String() string { return fmt.Sprintf("[%g, %g]", r.Low, r.High) }
+
+// NetRanges bundles the four sampled link parameters from Table 3.
+type NetRanges struct {
+	BandwidthMbps Range // bottleneck capacity
+	LatencyMs     Range // one-way propagation delay
+	QueuePkts     Range // bottleneck buffer size
+	LossRate      Range // random (non-congestive) loss probability
+}
+
+// TrainingRanges are the Table 3 "Training" parameters:
+// 1-5 Mbps, 10-50 ms, 0-3000 pkts, 0-3% loss.
+func TrainingRanges() NetRanges {
+	return NetRanges{
+		BandwidthMbps: Range{1, 5},
+		LatencyMs:     Range{10, 50},
+		QueuePkts:     Range{2, 3000},
+		LossRate:      Range{0, 0.03},
+	}
+}
+
+// TestingRanges are the Table 3 "Testing" parameters:
+// 10-50 Mbps, 10-200 ms, 500-5000 pkts, 0-10% loss. Evaluation deliberately
+// exceeds the training ranges to probe robustness.
+func TestingRanges() NetRanges {
+	return NetRanges{
+		BandwidthMbps: Range{10, 50},
+		LatencyMs:     Range{10, 200},
+		QueuePkts:     Range{500, 5000},
+		LossRate:      Range{0, 0.10},
+	}
+}
+
+// Condition is one concrete draw of link parameters.
+type Condition struct {
+	BandwidthMbps float64
+	LatencyMs     float64
+	QueuePkts     int
+	LossRate      float64
+}
+
+// Sample draws a concrete condition from the ranges.
+func (nr NetRanges) Sample(rng *rand.Rand) Condition {
+	q := int(nr.QueuePkts.Sample(rng))
+	if q < 2 {
+		q = 2
+	}
+	return Condition{
+		BandwidthMbps: nr.BandwidthMbps.Sample(rng),
+		LatencyMs:     nr.LatencyMs.Sample(rng),
+		QueuePkts:     q,
+		LossRate:      nr.LossRate.Sample(rng),
+	}
+}
+
+// String implements fmt.Stringer.
+func (c Condition) String() string {
+	return fmt.Sprintf("bw=%.1fMbps owd=%.0fms queue=%dpkts loss=%.2f%%",
+		c.BandwidthMbps, c.LatencyMs, c.QueuePkts, c.LossRate*100)
+}

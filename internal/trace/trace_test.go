@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant(100)
+	for _, at := range []float64{0, 1, 1e6} {
+		if got := c.At(at); got != 100 {
+			t.Errorf("Constant.At(%v) = %v, want 100", at, got)
+		}
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := Step{Low: 10, High: 20, Period: 5}
+	cases := []struct {
+		t, want float64
+	}{
+		{0, 10}, {4.9, 10}, {5, 20}, {9.9, 20}, {10, 10}, {15.1, 20},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("Step.At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Degenerate period falls back to Low.
+	if got := (Step{Low: 3, High: 9}).At(7); got != 3 {
+		t.Errorf("zero-period Step.At = %v, want 3", got)
+	}
+}
+
+func TestSine(t *testing.T) {
+	s := Sine{Mean: 25, Amplitude: 5, Period: 10}
+	if got := s.At(0); !close(got, 25) {
+		t.Errorf("Sine.At(0) = %v, want 25", got)
+	}
+	if got := s.At(2.5); !close(got, 30) {
+		t.Errorf("Sine.At(2.5) = %v, want 30", got)
+	}
+	if got := s.At(7.5); !close(got, 20) {
+		t.Errorf("Sine.At(7.5) = %v, want 20", got)
+	}
+	// Amplitude exceeding mean clamps at zero.
+	neg := Sine{Mean: 1, Amplitude: 10, Period: 4}
+	if got := neg.At(3); got != 0 {
+		t.Errorf("clamped Sine.At = %v, want 0", got)
+	}
+	flat := Sine{Mean: 7}
+	if got := flat.At(123); got != 7 {
+		t.Errorf("zero-period Sine.At = %v, want 7", got)
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRandomWalkDeterminism(t *testing.T) {
+	a := NewRandomWalk(10, 50, 2, 60, 42)
+	b := NewRandomWalk(10, 50, 2, 60, 42)
+	for ti := 0.0; ti < 60; ti += 0.5 {
+		if a.At(ti) != b.At(ti) {
+			t.Fatalf("same seed diverged at t=%v", ti)
+		}
+	}
+	c := NewRandomWalk(10, 50, 2, 60, 43)
+	same := true
+	for ti := 0.0; ti < 60; ti += 2 {
+		if a.At(ti) != c.At(ti) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestRandomWalkBounds(t *testing.T) {
+	rw := NewRandomWalk(5, 15, 1, 100, 1)
+	for ti := -1.0; ti < 200; ti += 0.7 {
+		v := rw.At(ti)
+		if v < 5 || v > 15 {
+			t.Fatalf("At(%v) = %v outside [5, 15]", ti, v)
+		}
+	}
+}
+
+func TestRandomWalkHoldsLevel(t *testing.T) {
+	rw := NewRandomWalk(0, 100, 5, 50, 9)
+	if rw.At(0.1) != rw.At(4.9) {
+		t.Error("level changed within an interval")
+	}
+}
+
+func TestUnitConversionRoundTrip(t *testing.T) {
+	f := func(mbps float64) bool {
+		mbps = math.Abs(math.Mod(mbps, 1e9))
+		pps := MbpsToPktsPerSec(mbps, 1500)
+		back := PktsPerSecToMbps(pps, 1500)
+		return math.Abs(back-mbps) < 1e-9*(1+mbps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// 12 Mbps at 1500B packets = 1000 pkts/s.
+	if got := MbpsToPktsPerSec(12, 1500); !close(got, 1000) {
+		t.Errorf("MbpsToPktsPerSec(12, 1500) = %v, want 1000", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := Range{10, 20}
+	if !r.Contains(10) || !r.Contains(20) || !r.Contains(15) {
+		t.Error("Contains failed for in-range values")
+	}
+	if r.Contains(9.999) || r.Contains(20.001) {
+		t.Error("Contains accepted out-of-range values")
+	}
+	if r.Mid() != 15 {
+		t.Errorf("Mid = %v, want 15", r.Mid())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if v := r.Sample(rng); v < 10 || v > 20 {
+			t.Fatalf("Sample = %v outside range", v)
+		}
+	}
+	// Degenerate range.
+	if got := (Range{5, 5}).Sample(rng); got != 5 {
+		t.Errorf("degenerate Sample = %v, want 5", got)
+	}
+	if s := r.String(); s != "[10, 20]" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTableThreeRanges(t *testing.T) {
+	tr := TrainingRanges()
+	if tr.BandwidthMbps != (Range{1, 5}) {
+		t.Errorf("training bandwidth = %v", tr.BandwidthMbps)
+	}
+	if tr.LossRate.High != 0.03 {
+		t.Errorf("training loss high = %v, want 0.03", tr.LossRate.High)
+	}
+	te := TestingRanges()
+	if te.BandwidthMbps != (Range{10, 50}) {
+		t.Errorf("testing bandwidth = %v", te.BandwidthMbps)
+	}
+	if te.LatencyMs.High != 200 {
+		t.Errorf("testing latency high = %v, want 200", te.LatencyMs.High)
+	}
+	if te.QueuePkts != (Range{500, 5000}) {
+		t.Errorf("testing queue = %v", te.QueuePkts)
+	}
+	if te.LossRate.High != 0.10 {
+		t.Errorf("testing loss high = %v, want 0.10", te.LossRate.High)
+	}
+}
+
+func TestNetRangesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nr := TestingRanges()
+	for i := 0; i < 200; i++ {
+		c := nr.Sample(rng)
+		if !nr.BandwidthMbps.Contains(c.BandwidthMbps) {
+			t.Fatalf("bandwidth %v out of range", c.BandwidthMbps)
+		}
+		if !nr.LatencyMs.Contains(c.LatencyMs) {
+			t.Fatalf("latency %v out of range", c.LatencyMs)
+		}
+		if c.QueuePkts < 2 {
+			t.Fatalf("queue %v below minimum", c.QueuePkts)
+		}
+		if !nr.LossRate.Contains(c.LossRate) {
+			t.Fatalf("loss %v out of range", c.LossRate)
+		}
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	c := Condition{BandwidthMbps: 12, LatencyMs: 20, QueuePkts: 100, LossRate: 0.01}
+	want := "bw=12.0Mbps owd=20ms queue=100pkts loss=1.00%"
+	if got := c.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

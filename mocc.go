@@ -1,0 +1,331 @@
+// Package mocc is the public library API of the MOCC multi-objective
+// congestion controller (Ma et al., EuroSys 2022): one trained model serves
+// any number of applications, each registered with its own performance
+// preference over throughput, latency and loss.
+//
+// The deployment surface follows §5 of the paper exactly:
+//
+//	lib, _ := mocc.Train(mocc.QuickTraining())      // or LoadModel
+//	app, _ := lib.Register(mocc.Weights{Thr: 0.8, Lat: 0.1, Loss: 0.1})
+//	for each monitor interval {
+//	    lib.ReportStatus(app, status)               // what the network did
+//	    rate, _ := lib.GetSendingRate(app)          // packets/second to pace at
+//	}
+//
+// Unseen preferences work immediately (the preference sub-network
+// interpolates between trained landmarks); OnlineAdapt fine-tunes the model
+// toward a specific objective without forgetting previously registered ones
+// (requirement replay, §4.3).
+package mocc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mocc/internal/cc"
+	"mocc/internal/core"
+	"mocc/internal/objective"
+	"mocc/internal/rl"
+	"mocc/internal/trace"
+)
+
+// Weights expresses an application requirement: the relative importance of
+// throughput, latency, and packet loss. Weights must be strictly positive
+// and sum to 1; use Normalize for free-form inputs.
+type Weights struct {
+	Thr, Lat, Loss float64
+}
+
+// Common presets matching the paper's evaluation.
+var (
+	// ThroughputPreference suits bulk and streaming apps (<0.8,0.1,0.1>).
+	ThroughputPreference = Weights{0.8, 0.1, 0.1}
+	// LatencyPreference suits interactive apps (<0.1,0.8,0.1>).
+	LatencyPreference = Weights{0.1, 0.8, 0.1}
+	// RTCPreference suits real-time calls (<0.4,0.5,0.1>).
+	RTCPreference = Weights{0.4, 0.5, 0.1}
+	// BalancedPreference weighs all three metrics equally.
+	BalancedPreference = Weights{1.0 / 3, 1.0 / 3, 1.0 / 3}
+)
+
+// Normalize clamps and rescales arbitrary non-negative weights onto the
+// valid simplex.
+func (w Weights) Normalize() Weights {
+	n := objective.Weights{Thr: w.Thr, Lat: w.Lat, Loss: w.Loss}.Normalize()
+	return Weights{n.Thr, n.Lat, n.Loss}
+}
+
+// internal converts to the internal representation, validating first.
+func (w Weights) internal() (objective.Weights, error) {
+	return objective.New(w.Thr, w.Lat, w.Loss)
+}
+
+// Status reports one monitor interval of network behaviour to MOCC
+// (the ReportStatus(s_t) call of §5).
+type Status struct {
+	// Duration of the interval.
+	Duration time.Duration
+	// PacketsSent / PacketsAcked / PacketsLost during the interval.
+	PacketsSent  float64
+	PacketsAcked float64
+	PacketsLost  float64
+	// AvgRTT is the mean round-trip time observed during the interval;
+	// MinRTT is the minimum ever observed on the path.
+	AvgRTT time.Duration
+	MinRTT time.Duration
+}
+
+// report converts to the internal controller report.
+func (s Status) report() cc.Report {
+	d := s.Duration.Seconds()
+	r := cc.Report{
+		Duration:  d,
+		Sent:      s.PacketsSent,
+		Delivered: s.PacketsAcked,
+		Lost:      s.PacketsLost,
+		AvgRTT:    s.AvgRTT.Seconds(),
+		MinRTT:    s.MinRTT.Seconds(),
+	}
+	if d > 0 {
+		r.SendRate = r.Sent / d
+		r.Throughput = r.Delivered / d
+	}
+	if r.Sent > 0 {
+		r.LossRate = r.Lost / r.Sent
+	}
+	return r
+}
+
+// AppID identifies a registered application.
+type AppID int
+
+// Library is a deployable MOCC instance: one model, many applications.
+// All methods are safe for concurrent use.
+type Library struct {
+	mu      sync.Mutex
+	model   *core.Model
+	adapter *core.Adapter
+	apps    map[AppID]*appState
+	nextID  AppID
+}
+
+// appState is one registered application's controller.
+type appState struct {
+	weights objective.Weights
+	alg     cc.Algorithm
+	rate    float64
+}
+
+// TrainingOptions configures offline training (§4.2).
+type TrainingOptions struct {
+	// Omega is the landmark objective count (Table 2 default: 36).
+	Omega int
+	// BootstrapIters / TraverseCycles scale the two training phases.
+	BootstrapIters  int
+	BootstrapCycles int
+	TraverseIters   int
+	TraverseCycles  int
+	// RolloutSteps / EpisodeLen control per-iteration experience.
+	RolloutSteps int
+	EpisodeLen   int
+	// Workers enables parallel rollout collection.
+	Workers int
+	// Seed makes training reproducible.
+	Seed int64
+	// Progress, when non-nil, receives training milestones.
+	Progress func(string)
+}
+
+// QuickTraining returns a laptop-scale configuration (seconds of training)
+// that exercises every mechanism; FullTraining returns the paper-scale
+// settings (ω=36, hours of training).
+func QuickTraining() TrainingOptions {
+	return TrainingOptions{
+		Omega:           3,
+		BootstrapIters:  8,
+		BootstrapCycles: 2,
+		TraverseIters:   1,
+		TraverseCycles:  1,
+		RolloutSteps:    256,
+		EpisodeLen:      64,
+		Workers:         4,
+		Seed:            1,
+	}
+}
+
+// FullTraining returns the paper-scale two-phase schedule.
+func FullTraining() TrainingOptions {
+	return TrainingOptions{
+		Omega:           core.OmegaDefault,
+		BootstrapIters:  40,
+		BootstrapCycles: 10,
+		TraverseIters:   2,
+		TraverseCycles:  5,
+		RolloutSteps:    1024,
+		EpisodeLen:      256,
+		Workers:         8,
+		Seed:            1,
+	}
+}
+
+// Train runs two-phase offline training on the Table 3 network distribution
+// and returns a ready-to-use library.
+func Train(opts TrainingOptions) (*Library, error) {
+	model := core.NewModel(core.HistoryLen, opts.Seed)
+	ppo := rl.DefaultPPOConfig()
+	ppo.EntropyInit = 0.03
+	ppo.EntropyFinal = 0.002
+	ppo.EntropyDecayIters = 60
+	ppo.Seed = opts.Seed
+	cfg := core.TrainConfig{
+		Omega:           opts.Omega,
+		BootstrapIters:  opts.BootstrapIters,
+		BootstrapCycles: opts.BootstrapCycles,
+		TraverseIters:   opts.TraverseIters,
+		TraverseCycles:  opts.TraverseCycles,
+		RolloutSteps:    opts.RolloutSteps,
+		EpisodeLen:      opts.EpisodeLen,
+		Workers:         opts.Workers,
+		Seed:            opts.Seed,
+		PPO:             ppo,
+		Envs:            core.TrainingEnvs(trace.TrainingRanges(), core.HistoryLen),
+		Progress:        opts.Progress,
+	}
+	trainer, err := core.NewOfflineTrainer(model, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mocc: configuring trainer: %w", err)
+	}
+	if _, err := trainer.Run(); err != nil {
+		return nil, fmt.Errorf("mocc: offline training: %w", err)
+	}
+	return newLibrary(model)
+}
+
+// LoadModel builds a library from a model file produced by SaveModel or
+// cmd/mocc-train.
+func LoadModel(path string) (*Library, error) {
+	model := core.NewModel(core.HistoryLen, 0)
+	snap, err := loadSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Restore(snap); err != nil {
+		return nil, fmt.Errorf("mocc: restoring model: %w", err)
+	}
+	return newLibrary(model)
+}
+
+// newLibrary wires a model into a library with online adaptation ready.
+func newLibrary(model *core.Model) (*Library, error) {
+	acfg := core.DefaultAdaptConfig()
+	acfg.Envs = core.TrainingEnvs(trace.TrainingRanges(), core.HistoryLen)
+	adapter, err := core.NewAdapter(model, acfg)
+	if err != nil {
+		return nil, fmt.Errorf("mocc: configuring adapter: %w", err)
+	}
+	return &Library{
+		model:   model,
+		adapter: adapter,
+		apps:    make(map[AppID]*appState),
+	}, nil
+}
+
+// SaveModel writes the trained model to a JSON file.
+func (l *Library) SaveModel(path string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.model.Snapshot().SaveFile(path)
+}
+
+// Register announces a new application and its preference (§5's
+// Register(w)). The returned AppID scopes the other calls. Unseen
+// preferences are served immediately by the multi-objective model.
+func (l *Library) Register(w Weights) (AppID, error) {
+	iw, err := w.internal()
+	if err != nil {
+		return 0, fmt.Errorf("mocc: invalid weights: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := l.nextID
+	l.nextID++
+	alg := l.model.AlgorithmFor(fmt.Sprintf("mocc-app-%d", id), iw)
+	alg.Reset(int64(id))
+	l.apps[id] = &appState{
+		weights: iw,
+		alg:     alg,
+		rate:    alg.InitialRate(0.04),
+	}
+	l.adapter.Register(iw)
+	return id, nil
+}
+
+// Unregister removes an application.
+func (l *Library) Unregister(id AppID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.apps[id]; !ok {
+		return fmt.Errorf("mocc: unknown app %d", id)
+	}
+	delete(l.apps, id)
+	return nil
+}
+
+// ReportStatus feeds the latest interval measurements for an application
+// (§5's ReportStatus(s_t)) and recomputes its sending rate.
+func (l *Library) ReportStatus(id AppID, st Status) error {
+	if st.Duration <= 0 {
+		return errors.New("mocc: Status.Duration must be positive")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	app, ok := l.apps[id]
+	if !ok {
+		return fmt.Errorf("mocc: unknown app %d", id)
+	}
+	app.rate = app.alg.Update(st.report())
+	return nil
+}
+
+// GetSendingRate returns the current pacing rate in packets/second for the
+// application (§5's GetSendingRate()).
+func (l *Library) GetSendingRate(id AppID) (float64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	app, ok := l.apps[id]
+	if !ok {
+		return 0, fmt.Errorf("mocc: unknown app %d", id)
+	}
+	return app.rate, nil
+}
+
+// Apps returns the number of registered applications.
+func (l *Library) Apps() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.apps)
+}
+
+// OnlineAdapt fine-tunes the model toward w for up to iters iterations
+// using transfer learning with requirement replay (§4.3): previously
+// registered applications are rehearsed so their policies are preserved.
+// It returns the per-iteration reward curve of the new objective.
+func (l *Library) OnlineAdapt(w Weights, iters int) ([]float64, error) {
+	iw, err := w.internal()
+	if err != nil {
+		return nil, fmt.Errorf("mocc: invalid weights: %w", err)
+	}
+	if iters <= 0 {
+		return nil, errors.New("mocc: iters must be positive")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	curve := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		curve = append(curve, l.adapter.Step(iw))
+	}
+	l.adapter.Register(iw)
+	return curve, nil
+}

@@ -1,0 +1,251 @@
+package mocc
+
+import (
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// trainOnce shares one quick-trained library across tests.
+var (
+	libOnce sync.Once
+	testLib *Library
+	libErr  error
+)
+
+func sharedLibrary(t *testing.T) *Library {
+	t.Helper()
+	libOnce.Do(func() {
+		testLib, libErr = Train(QuickTraining())
+	})
+	if libErr != nil {
+		t.Fatalf("training library: %v", libErr)
+	}
+	return testLib
+}
+
+func steadyStatus(sent, acked, lost float64, rtt time.Duration) Status {
+	return Status{
+		Duration:     40 * time.Millisecond,
+		PacketsSent:  sent,
+		PacketsAcked: acked,
+		PacketsLost:  lost,
+		AvgRTT:       rtt,
+		MinRTT:       40 * time.Millisecond,
+	}
+}
+
+func TestWeightsNormalize(t *testing.T) {
+	w := Weights{8, 1, 1}.Normalize()
+	if math.Abs(w.Thr+w.Lat+w.Loss-1) > 1e-9 {
+		t.Errorf("normalized weights sum to %v", w.Thr+w.Lat+w.Loss)
+	}
+	if math.Abs(w.Thr-0.8) > 1e-9 {
+		t.Errorf("Thr = %v, want 0.8", w.Thr)
+	}
+}
+
+func TestPresetsAreValid(t *testing.T) {
+	for _, w := range []Weights{ThroughputPreference, LatencyPreference, RTCPreference, BalancedPreference} {
+		if _, err := w.internal(); err != nil {
+			t.Errorf("preset %+v invalid: %v", w, err)
+		}
+	}
+}
+
+func TestRegisterReportGetRateLoop(t *testing.T) {
+	lib := sharedLibrary(t)
+	app, err := lib.Register(ThroughputPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Unregister(app)
+
+	rate0, err := lib.GetSendingRate(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate0 <= 0 {
+		t.Fatalf("initial rate %v", rate0)
+	}
+
+	// Drive the §5 loop for a while; rates must stay positive and finite.
+	rate := rate0
+	for i := 0; i < 50; i++ {
+		sent := rate * 0.04
+		if err := lib.ReportStatus(app, steadyStatus(sent, sent, 0, 40*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		rate, err = lib.GetSendingRate(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate <= 0 || math.IsNaN(rate) {
+			t.Fatalf("rate %v at iteration %d", rate, i)
+		}
+	}
+}
+
+func TestRegisterRejectsInvalidWeights(t *testing.T) {
+	lib := sharedLibrary(t)
+	for _, w := range []Weights{{0, 0.5, 0.5}, {1, 0, 0}, {0.5, 0.5, 0.5}} {
+		if _, err := lib.Register(w); err == nil {
+			t.Errorf("Register(%+v) accepted invalid weights", w)
+		}
+	}
+}
+
+func TestMultipleAppsIndependentRates(t *testing.T) {
+	lib := sharedLibrary(t)
+	thr, err := lib.Register(ThroughputPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := lib.Register(LatencyPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Unregister(thr)
+	defer lib.Unregister(lat)
+
+	if lib.Apps() < 2 {
+		t.Errorf("Apps = %d", lib.Apps())
+	}
+
+	// Feed both apps identical congestion signals (queueing RTT rising);
+	// the two preferences may react differently but both must stay sane.
+	for i := 0; i < 30; i++ {
+		st := steadyStatus(40, 38, 2, time.Duration(60+i)*time.Millisecond)
+		if err := lib.ReportStatus(thr, st); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.ReportStatus(lat, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rThr, _ := lib.GetSendingRate(thr)
+	rLat, _ := lib.GetSendingRate(lat)
+	if rThr <= 0 || rLat <= 0 {
+		t.Fatalf("rates: %v, %v", rThr, rLat)
+	}
+}
+
+func TestUnknownAppErrors(t *testing.T) {
+	lib := sharedLibrary(t)
+	if _, err := lib.GetSendingRate(AppID(9999)); err == nil {
+		t.Error("GetSendingRate accepted unknown app")
+	}
+	if err := lib.ReportStatus(AppID(9999), steadyStatus(10, 10, 0, time.Millisecond)); err == nil {
+		t.Error("ReportStatus accepted unknown app")
+	}
+	if err := lib.Unregister(AppID(9999)); err == nil {
+		t.Error("Unregister accepted unknown app")
+	}
+}
+
+func TestReportStatusValidation(t *testing.T) {
+	lib := sharedLibrary(t)
+	app, err := lib.Register(BalancedPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Unregister(app)
+	if err := lib.ReportStatus(app, Status{}); err == nil {
+		t.Error("zero-duration status accepted")
+	}
+}
+
+func TestSaveAndLoadModel(t *testing.T) {
+	lib := sharedLibrary(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := lib.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded model must produce identical rates for identical input.
+	a1, err := lib.Register(RTCPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Unregister(a1)
+	a2, err := loaded.Register(RTCPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := steadyStatus(100, 95, 5, 50*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if err := lib.ReportStatus(a1, st); err != nil {
+			t.Fatal(err)
+		}
+		if err := loaded.ReportStatus(a2, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, _ := lib.GetSendingRate(a1)
+	r2, _ := loaded.GetSendingRate(a2)
+	if math.Abs(r1-r2) > 1e-9 {
+		t.Errorf("loaded model diverges: %v vs %v", r1, r2)
+	}
+}
+
+func TestLoadModelMissingFile(t *testing.T) {
+	if _, err := LoadModel("/nonexistent/model.json"); err == nil {
+		t.Error("missing model accepted")
+	}
+}
+
+func TestOnlineAdapt(t *testing.T) {
+	lib := sharedLibrary(t)
+	curve, err := lib.OnlineAdapt(Weights{0.2, 0.7, 0.1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for _, r := range curve {
+		if r < 0 || r > 1 || math.IsNaN(r) {
+			t.Errorf("reward %v out of range", r)
+		}
+	}
+	if _, err := lib.OnlineAdapt(Weights{0, 1, 0}, 1); err == nil {
+		t.Error("invalid weights accepted")
+	}
+	if _, err := lib.OnlineAdapt(BalancedPreference, 0); err == nil {
+		t.Error("zero iters accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	lib := sharedLibrary(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			app, err := lib.Register(BalancedPreference)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer lib.Unregister(app)
+			for i := 0; i < 20; i++ {
+				st := steadyStatus(50, 48, 2, 45*time.Millisecond)
+				if err := lib.ReportStatus(app, st); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := lib.GetSendingRate(app); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,16 @@
+package mocc
+
+import (
+	"fmt"
+
+	"mocc/internal/nn"
+)
+
+// loadSnapshot reads a model snapshot from disk.
+func loadSnapshot(path string) (nn.Snapshot, error) {
+	snap, err := nn.LoadFile(path)
+	if err != nil {
+		return nn.Snapshot{}, fmt.Errorf("mocc: loading model %q: %w", path, err)
+	}
+	return snap, nil
+}
