@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: all build vet test bench ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Micro-benchmarks for the NN/PPO hot path (run with -count for stability).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/nn ./internal/rl
+
+ci: all

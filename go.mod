@@ -1,0 +1,3 @@
+module mocc
+
+go 1.24

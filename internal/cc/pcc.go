@@ -162,10 +162,3 @@ func (p *PCC) Update(r Report) float64 {
 	}
 	return p.probeRate()
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -56,6 +56,15 @@ type Model struct {
 	criticAct   *nn.Tanh
 
 	logStd *nn.Param
+
+	// Scratch arenas for the batched forward/backward paths. The actor and
+	// critic may share the assembly buffers because every Linear layer
+	// copies its input into its own cache before the next batched call.
+	wBuf     []float64 // [n x WeightDim] extracted weight vectors
+	jointBuf []float64 // [n x (netDim+PrefFeatures)] trunk inputs
+	featGrad []float64 // [n x PrefFeatures] gradients into the pref net
+	obsBuf   []float64 // single-observation assembly for ActFor
+	d1       [1]float64
 }
 
 // NewModel builds a model for η-step history observations.
@@ -90,34 +99,59 @@ func (m *Model) split(obs []float64) (net, w []float64) {
 	return obs[:netDim], obs[netDim:]
 }
 
-// forward runs one half-network (pref sub-network + trunk).
-func forward(pref *nn.MLP, act *nn.Tanh, trunk *nn.MLP, net, w []float64) float64 {
-	feat := act.Forward(pref.Forward(w))
-	joint := make([]float64, 0, len(net)+len(feat))
-	joint = append(joint, net...)
-	joint = append(joint, feat...)
-	return trunk.Forward(joint)[0]
+// forwardBatch runs one half-network (pref sub-network + trunk) over n
+// row-major [n x ObsSize] observations, returning the [n x 1] outputs
+// (aliasing trunk scratch). Each row is split into network history and
+// weight vector; the weight features are concatenated with the history
+// before the trunk, all inside reusable arenas.
+func (m *Model) forwardBatch(pref *nn.MLP, act *nn.Tanh, trunk *nn.MLP, obs []float64, n int) []float64 {
+	netDim := 3 * m.HistoryLen
+	obsDim := netDim + WeightDim
+	if len(obs) != n*obsDim {
+		panic(fmt.Sprintf("core: observation batch length %d, want %d rows x %d", len(obs), n, obsDim))
+	}
+	m.wBuf = nn.Grow(m.wBuf, n*WeightDim)
+	for r := 0; r < n; r++ {
+		copy(m.wBuf[r*WeightDim:(r+1)*WeightDim], obs[r*obsDim+netDim:(r+1)*obsDim])
+	}
+	feat := act.ForwardBatch(pref.ForwardBatch(m.wBuf, n), n)
+
+	jointDim := netDim + PrefFeatures
+	m.jointBuf = nn.Grow(m.jointBuf, n*jointDim)
+	for r := 0; r < n; r++ {
+		copy(m.jointBuf[r*jointDim:r*jointDim+netDim], obs[r*obsDim:r*obsDim+netDim])
+		copy(m.jointBuf[r*jointDim+netDim:(r+1)*jointDim], feat[r*PrefFeatures:(r+1)*PrefFeatures])
+	}
+	return trunk.ForwardBatch(m.jointBuf, n)
 }
 
-// backward propagates a scalar output gradient through one half-network.
-func backward(pref *nn.MLP, act *nn.Tanh, trunk *nn.MLP, netDim int, dOut float64) {
-	gJoint := trunk.Backward([]float64{dOut})
-	// The first netDim entries are input gradients (discarded); the rest
-	// flow into the preference sub-network.
-	pref.Backward(act.Backward(gJoint[netDim:]))
+// backwardBatch propagates [n x 1] output gradients through one
+// half-network evaluated by the most recent forwardBatch.
+func (m *Model) backwardBatch(pref *nn.MLP, act *nn.Tanh, trunk *nn.MLP, dOut []float64, n int) {
+	gJoint := trunk.BackwardBatch(dOut, n)
+	netDim := 3 * m.HistoryLen
+	jointDim := netDim + PrefFeatures
+	// The history entries of each row are input gradients (discarded); the
+	// preference-feature entries flow into the pref sub-network.
+	m.featGrad = nn.Grow(m.featGrad, n*PrefFeatures)
+	for r := 0; r < n; r++ {
+		copy(m.featGrad[r*PrefFeatures:(r+1)*PrefFeatures], gJoint[r*jointDim+netDim:(r+1)*jointDim])
+	}
+	pref.BackwardBatch(act.BackwardBatch(m.featGrad, n), n)
 }
 
 // PolicyForward implements rl.ActorCritic.
 func (m *Model) PolicyForward(obs []float64) (mean, std float64) {
-	net, w := m.split(obs)
-	mean = forward(m.actorPref, m.actorAct, m.actorTrunk, net, w)
+	m.split(obs) // length validation with the single-sample error message
+	mean = m.forwardBatch(m.actorPref, m.actorAct, m.actorTrunk, obs, 1)[0]
 	ls := math.Max(minLogStd, math.Min(maxLogStd, m.logStd.Value[0]))
 	return mean, math.Exp(ls)
 }
 
 // PolicyBackward implements rl.ActorCritic.
 func (m *Model) PolicyBackward(dMean, dLogStd float64) {
-	backward(m.actorPref, m.actorAct, m.actorTrunk, 3*m.HistoryLen, dMean)
+	m.d1[0] = dMean
+	m.backwardBatch(m.actorPref, m.actorAct, m.actorTrunk, m.d1[:], 1)
 	if ls := m.logStd.Value[0]; ls > minLogStd && ls < maxLogStd {
 		m.logStd.Grad[0] += dLogStd
 	}
@@ -125,13 +159,42 @@ func (m *Model) PolicyBackward(dMean, dLogStd float64) {
 
 // ValueForward implements rl.ActorCritic.
 func (m *Model) ValueForward(obs []float64) float64 {
-	net, w := m.split(obs)
-	return forward(m.criticPref, m.criticAct, m.criticTrunk, net, w)
+	m.split(obs)
+	return m.forwardBatch(m.criticPref, m.criticAct, m.criticTrunk, obs, 1)[0]
 }
 
 // ValueBackward implements rl.ActorCritic.
 func (m *Model) ValueBackward(dV float64) {
-	backward(m.criticPref, m.criticAct, m.criticTrunk, 3*m.HistoryLen, dV)
+	m.d1[0] = dV
+	m.backwardBatch(m.criticPref, m.criticAct, m.criticTrunk, m.d1[:], 1)
+}
+
+// PolicyForwardBatch implements rl.BatchActorCritic: one batched pass of
+// the actor half-network. The returned means alias trunk scratch.
+func (m *Model) PolicyForwardBatch(obs []float64, n int) ([]float64, float64) {
+	means := m.forwardBatch(m.actorPref, m.actorAct, m.actorTrunk, obs, n)
+	ls := math.Max(minLogStd, math.Min(maxLogStd, m.logStd.Value[0]))
+	return means, math.Exp(ls)
+}
+
+// PolicyBackwardBatch implements rl.BatchActorCritic.
+func (m *Model) PolicyBackwardBatch(dMean, dLogStd []float64) {
+	m.backwardBatch(m.actorPref, m.actorAct, m.actorTrunk, dMean, len(dMean))
+	if ls := m.logStd.Value[0]; ls > minLogStd && ls < maxLogStd {
+		for _, g := range dLogStd {
+			m.logStd.Grad[0] += g
+		}
+	}
+}
+
+// ValueForwardBatch implements rl.BatchActorCritic.
+func (m *Model) ValueForwardBatch(obs []float64, n int) []float64 {
+	return m.forwardBatch(m.criticPref, m.criticAct, m.criticTrunk, obs, n)
+}
+
+// ValueBackwardBatch implements rl.BatchActorCritic.
+func (m *Model) ValueBackwardBatch(dV []float64) {
+	m.backwardBatch(m.criticPref, m.criticAct, m.criticTrunk, dV, len(dV))
 }
 
 // ActorParams implements rl.ActorCritic.
@@ -176,10 +239,12 @@ func (m *Model) Restore(s nn.Snapshot) error { return s.Restore(m.AllParams()) }
 // ActFor returns the deterministic action for a network-history observation
 // under preference w.
 func (m *Model) ActFor(w objective.Weights, netObs []float64) float64 {
-	obs := make([]float64, 0, len(netObs)+WeightDim)
-	obs = append(obs, netObs...)
-	obs = append(obs, w.Thr, w.Lat, w.Loss)
-	mean, _ := m.PolicyForward(obs)
+	m.obsBuf = nn.Grow(m.obsBuf, len(netObs)+WeightDim)
+	copy(m.obsBuf, netObs)
+	m.obsBuf[len(netObs)] = w.Thr
+	m.obsBuf[len(netObs)+1] = w.Lat
+	m.obsBuf[len(netObs)+2] = w.Loss
+	mean, _ := m.PolicyForward(m.obsBuf)
 	return mean
 }
 

@@ -334,11 +334,17 @@ func (e *Env) Step() ([]float64, Metrics) {
 // center the at-equilibrium features on zero, which keeps the tanh trunk in
 // its responsive range.
 func (e *Env) Observation() []float64 {
-	obs := make([]float64, 0, 3*len(e.history))
+	return e.ObservationInto(make([]float64, 0, 3*len(e.history)))
+}
+
+// ObservationInto appends the flattened statistics history to dst and
+// returns the extended slice. Callers on the training hot path pass a
+// buffer with sufficient capacity to avoid per-step allocations.
+func (e *Env) ObservationInto(dst []float64) []float64 {
 	for _, s := range e.history {
-		obs = append(obs, s.SendRatio-1, s.LatencyRatio-1, s.LatencyGrad)
+		dst = append(dst, s.SendRatio-1, s.LatencyRatio-1, s.LatencyGrad)
 	}
-	return obs
+	return dst
 }
 
 // EstimatedCapacity returns the running capacity estimate (max observed

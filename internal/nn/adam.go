@@ -42,19 +42,22 @@ func NewAdam(params []*Param, lr float64) *Adam {
 // bad rollout cannot destroy the model.
 func (a *Adam) Step() {
 	a.t++
-	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
-	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	// Reciprocal bias corrections keep the hot loop at one division per
+	// element instead of three.
+	invBc1 := 1 / (1 - math.Pow(a.Beta1, float64(a.t)))
+	invBc2 := 1 / (1 - math.Pow(a.Beta2, float64(a.t)))
+	b1, b2 := a.Beta1, a.Beta2
+	c1, c2 := 1-a.Beta1, 1-a.Beta2
 	for i, p := range a.params {
 		m, v := a.m[i], a.v[i]
 		for j, g := range p.Grad {
 			if math.IsNaN(g) || math.IsInf(g, 0) {
 				continue
 			}
-			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
-			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
-			mHat := m[j] / bc1
-			vHat := v[j] / bc2
-			p.Value[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+			mj := b1*m[j] + c1*g
+			vj := b2*v[j] + c2*g*g
+			m[j], v[j] = mj, vj
+			p.Value[j] -= a.LR * (mj * invBc1) / (math.Sqrt(vj*invBc2) + a.Epsilon)
 		}
 	}
 }
@@ -68,10 +71,8 @@ func (a *Adam) Steps() int { return a.t }
 func (a *Adam) Reset() {
 	a.t = 0
 	for i := range a.m {
-		for j := range a.m[i] {
-			a.m[i][j] = 0
-			a.v[i][j] = 0
-		}
+		clear(a.m[i])
+		clear(a.v[i])
 	}
 }
 

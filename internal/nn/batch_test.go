@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBatch fills a deterministic [rows x dim] matrix.
+func randBatch(seed int64, rows, dim int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, rows*dim)
+	for i := range x {
+		x[i] = rng.Float64()*4 - 2
+	}
+	return x
+}
+
+// TestForwardBatchMatchesSingle: a batched forward over n rows must equal n
+// single-sample forwards within 1e-9 (they are in fact bitwise identical).
+func TestForwardBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := NewMLP(rng, 5, 8, 4, 2)
+	const n = 9
+	x := randBatch(22, n, 5)
+
+	got := append([]float64(nil), m.ForwardBatch(x, n)...)
+	for r := 0; r < n; r++ {
+		y := m.Forward(x[r*5 : (r+1)*5])
+		for o := range y {
+			if math.Abs(y[o]-got[r*2+o]) > 1e-9 {
+				t.Fatalf("row %d out %d: batched %v vs single %v", r, o, got[r*2+o], y[o])
+			}
+		}
+	}
+}
+
+// TestBackwardBatchMatchesSingle: one batched backward must accumulate the
+// same parameter gradients and return the same input gradients as looping
+// the single-sample path over the rows.
+func TestBackwardBatchMatchesSingle(t *testing.T) {
+	rngA := rand.New(rand.NewSource(31))
+	rngB := rand.New(rand.NewSource(31))
+	a := NewMLP(rngA, 6, 10, 3)
+	b := NewMLP(rngB, 6, 10, 3)
+
+	const n = 8
+	x := randBatch(32, n, 6)
+	g := randBatch(33, n, 3)
+
+	ZeroGrad(a.Params())
+	a.ForwardBatch(x, n)
+	gradIn := append([]float64(nil), a.BackwardBatch(g, n)...)
+
+	ZeroGrad(b.Params())
+	for r := 0; r < n; r++ {
+		b.Forward(x[r*6 : (r+1)*6])
+		gi := b.Backward(g[r*3 : (r+1)*3])
+		for i := range gi {
+			if math.Abs(gi[i]-gradIn[r*6+i]) > 1e-9 {
+				t.Fatalf("row %d input grad %d: batched %v vs single %v",
+					r, i, gradIn[r*6+i], gi[i])
+			}
+		}
+	}
+
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].Grad {
+			if d := math.Abs(pa[i].Grad[j] - pb[i].Grad[j]); d > 1e-9 {
+				t.Fatalf("param %s[%d]: batched grad %v vs accumulated single %v",
+					pa[i].Name, j, pa[i].Grad[j], pb[i].Grad[j])
+			}
+		}
+	}
+}
+
+// TestBatchGradientCheck validates the batched backward pass directly
+// against central finite differences on a summed loss over the batch.
+func TestBatchGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := NewMLP(rng, 3, 5, 2)
+	const n = 4
+	x := randBatch(42, n, 3)
+
+	loss := func() float64 {
+		y := m.ForwardBatch(x, n)
+		s := 0.0
+		for _, v := range y {
+			s += v
+		}
+		return s
+	}
+
+	ZeroGrad(m.Params())
+	y := m.ForwardBatch(x, n)
+	g := make([]float64, len(y))
+	for i := range g {
+		g[i] = 1
+	}
+	m.BackwardBatch(g, n)
+
+	const eps = 1e-6
+	for _, p := range m.Params() {
+		for j := range p.Value {
+			orig := p.Value[j]
+			p.Value[j] = orig + eps
+			up := loss()
+			p.Value[j] = orig - eps
+			down := loss()
+			p.Value[j] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-p.Grad[j]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("param %s[%d]: numeric %v vs analytic %v", p.Name, j, numeric, p.Grad[j])
+			}
+		}
+	}
+}
+
+// TestBatchForwardZeroAllocs pins the tentpole's steady-state guarantee:
+// after a warm-up call sizes the scratch arenas, batched forward and
+// forward+backward perform zero allocations.
+func TestBatchForwardZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m := NewMLP(rng, 40, 64, 32, 2)
+	const n = 64
+	x := randBatch(52, n, 40)
+	g := randBatch(53, n, 2)
+
+	m.ForwardBatch(x, n)
+	m.BackwardBatch(g, n)
+
+	if allocs := testing.AllocsPerRun(50, func() { m.ForwardBatch(x, n) }); allocs != 0 {
+		t.Errorf("ForwardBatch allocates %v times per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		m.ForwardBatch(x, n)
+		m.BackwardBatch(g, n)
+	}); allocs != 0 {
+		t.Errorf("ForwardBatch+BackwardBatch allocates %v times per op, want 0", allocs)
+	}
+	// The batch-of-1 wrappers share the same arenas.
+	if allocs := testing.AllocsPerRun(50, func() { m.Forward(x[:40]) }); allocs != 0 {
+		t.Errorf("single-sample Forward allocates %v times per op, want 0", allocs)
+	}
+}
+
+// TestBatchSizeChangeReusesArena exercises shrinking and regrowing batches
+// through the same network.
+func TestBatchSizeChangeReusesArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := NewMLP(rng, 4, 6, 2)
+	for _, n := range []int{8, 1, 5, 8, 3} {
+		x := randBatch(int64(70+n), n, 4)
+		y := m.ForwardBatch(x, n)
+		if len(y) != n*2 {
+			t.Fatalf("batch %d: output len %d, want %d", n, len(y), n*2)
+		}
+		g := make([]float64, n*2)
+		gi := m.BackwardBatch(g, n)
+		if len(gi) != n*4 {
+			t.Fatalf("batch %d: input grad len %d, want %d", n, len(gi), n*4)
+		}
+	}
+}
+
+// TestBackwardBatchMismatchPanics: backward with a different row count than
+// the cached forward must panic rather than corrupt gradients.
+func TestBackwardBatchMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	m := NewMLP(rng, 3, 2)
+	m.ForwardBatch(randBatch(82, 4, 3), 4)
+	assertPanics(t, func() { m.BackwardBatch(make([]float64, 2*2), 2) })
+}
+
+// TestGaussianVecHelpersMatchScalar ties the vectorized log-prob/grad
+// helpers to their scalar counterparts.
+func TestGaussianVecHelpersMatchScalar(t *testing.T) {
+	a := []float64{0.5, -1.2, 0, 2.4}
+	mean := []float64{0.1, -1, 0.3, 2.5}
+	const std = 0.7
+
+	lp := make([]float64, len(a))
+	GaussianLogProbVec(lp, a, mean, std)
+	dm := make([]float64, len(a))
+	ds := make([]float64, len(a))
+	GaussianLogProbGradVec(dm, ds, a, mean, std)
+
+	for k := range a {
+		if want := GaussianLogProb(a[k], mean[k], std); math.Abs(lp[k]-want) > 1e-12 {
+			t.Errorf("logprob[%d] = %v, want %v", k, lp[k], want)
+		}
+		wm, ws := GaussianLogProbGrad(a[k], mean[k], std)
+		if math.Abs(dm[k]-wm) > 1e-12 || math.Abs(ds[k]-ws) > 1e-12 {
+			t.Errorf("grad[%d] = (%v, %v), want (%v, %v)", k, dm[k], ds[k], wm, ws)
+		}
+	}
+}

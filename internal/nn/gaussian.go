@@ -45,6 +45,35 @@ func GaussianLogProbGrad(a, mean, std float64) (dMean, dLogStd float64) {
 	return dMean, dLogStd
 }
 
+// GaussianLogProbVec writes ln N(a[k]; mean[k], std) into dst for every
+// sample of a batch, sharing one std (the state-independent log-std head).
+// It is arithmetically identical to calling GaussianLogProb per sample.
+func GaussianLogProbVec(dst, a, mean []float64, std float64) {
+	if std <= 0 {
+		std = 1e-8
+	}
+	logStd := math.Log(std)
+	for k := range dst {
+		z := (a[k] - mean[k]) / std
+		dst[k] = -0.5*z*z - logStd - halfLog2Pi
+	}
+}
+
+// GaussianLogProbGradVec writes the per-sample partial derivatives of
+// ln N(a[k]; mean[k], std) with respect to the mean into dMean and with
+// respect to logStd into dLogStd, matching GaussianLogProbGrad sample by
+// sample.
+func GaussianLogProbGradVec(dMean, dLogStd, a, mean []float64, std float64) {
+	if std <= 0 {
+		std = 1e-8
+	}
+	for k := range dMean {
+		z := (a[k] - mean[k]) / std
+		dMean[k] = z / std
+		dLogStd[k] = z*z - 1
+	}
+}
+
 // Softmax returns the softmax distribution of logits, computed stably.
 func Softmax(logits []float64) []float64 {
 	if len(logits) == 0 {

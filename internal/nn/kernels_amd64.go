@@ -1,0 +1,23 @@
+//go:build amd64
+
+package nn
+
+// SSE2 microkernel declarations; implementations in kernels_amd64.s. SSE2
+// is part of the amd64 baseline, so no runtime feature detection is needed.
+
+//go:noescape
+func dotRowBatchAsm(w, x, y *float64, n, in, out, o int, bias float64)
+
+//go:noescape
+func axpy4Asm(dst, a0, a1, a2, a3 *float64, g0, g1, g2, g3 float64, m int)
+
+// dotRowBatch computes y[r*out+o] = bias + dot(w, x[r*in:(r+1)*in]) for
+// every batch row r.
+func dotRowBatch(w, x, y []float64, n, in, out, o int, bias float64) {
+	dotRowBatchAsm(&w[0], &x[0], &y[0], n, in, out, o, bias)
+}
+
+// axpy4 accumulates four scaled rows into dst in one pass.
+func axpy4(dst, a0, a1, a2, a3 []float64, g0, g1, g2, g3 float64) {
+	axpy4Asm(&dst[0], &a0[0], &a1[0], &a2[0], &a3[0], g0, g1, g2, g3, len(dst))
+}

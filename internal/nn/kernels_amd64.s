@@ -1,0 +1,217 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// SSE2 (amd64 baseline — no feature detection needed) microkernels for the
+// batched Linear layer. Two-wide packed doubles double multiply-accumulate
+// throughput over the scalar port-limited Go loops.
+
+// func dotRowBatchAsm(w, x, y *float64, n, in, out, o int, bias float64)
+//
+// For r in [0,n): y[r*out+o] = bias + sum_i w[i]*x[r*in+i].
+// Batch rows are processed four at a time with independent packed
+// accumulators; row and element tails fall back to scalar ops.
+TEXT ·dotRowBatchAsm(SB), NOSPLIT, $0-64
+	MOVQ  w+0(FP), DI
+	MOVQ  x+8(FP), SI
+	MOVQ  y+16(FP), DX
+	MOVQ  n+24(FP), R8
+	MOVQ  in+32(FP), R9
+	MOVQ  out+40(FP), R10
+	MOVQ  o+48(FP), R11
+	MOVSD bias+56(FP), X15
+
+	// DX = &y[o]
+	LEAQ (DX)(R11*8), DX
+	XORQ R12, R12            // r = 0
+
+blk4:
+	MOVQ R8, AX
+	SUBQ R12, AX
+	CMPQ AX, $4
+	JL   tailrows
+
+	// x row pointers for the 4-row block
+	MOVQ  R12, AX
+	IMULQ R9, AX
+	LEAQ  (SI)(AX*8), BX     // x0
+	LEAQ  (BX)(R9*8), CX     // x1
+	LEAQ  (CX)(R9*8), R13    // x2
+	LEAQ  (R13)(R9*8), R14   // x3
+
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+	XORQ  R15, R15           // i = 0
+
+ipair:
+	MOVQ R9, AX
+	SUBQ R15, AX
+	CMPQ AX, $2
+	JL   itail
+	MOVUPS (DI)(R15*8), X0   // w[i:i+2]
+	MOVUPS (BX)(R15*8), X1
+	MULPD  X0, X1
+	ADDPD  X1, X4
+	MOVUPS (CX)(R15*8), X2
+	MULPD  X0, X2
+	ADDPD  X2, X5
+	MOVUPS (R13)(R15*8), X3
+	MULPD  X0, X3
+	ADDPD  X3, X6
+	MOVUPS (R14)(R15*8), X1
+	MULPD  X0, X1
+	ADDPD  X1, X7
+	ADDQ   $2, R15
+	JMP    ipair
+
+itail:
+	CMPQ R15, R9
+	JGE  isum
+	MOVSD (DI)(R15*8), X0
+	MOVSD (BX)(R15*8), X1
+	MULSD X0, X1
+	ADDSD X1, X4
+	MOVSD (CX)(R15*8), X2
+	MULSD X0, X2
+	ADDSD X2, X5
+	MOVSD (R13)(R15*8), X3
+	MULSD X0, X3
+	ADDSD X3, X6
+	MOVSD (R14)(R15*8), X1
+	MULSD X0, X1
+	ADDSD X1, X7
+	INCQ  R15
+	JMP   itail
+
+isum:
+	// Horizontal sums: lane0 += lane1, then add the bias.
+	MOVAPS X4, X0
+	SHUFPD $1, X4, X0
+	ADDSD  X0, X4
+	ADDSD  X15, X4
+	MOVAPS X5, X1
+	SHUFPD $1, X5, X1
+	ADDSD  X1, X5
+	ADDSD  X15, X5
+	MOVAPS X6, X2
+	SHUFPD $1, X6, X2
+	ADDSD  X2, X6
+	ADDSD  X15, X6
+	MOVAPS X7, X3
+	SHUFPD $1, X7, X3
+	ADDSD  X3, X7
+	ADDSD  X15, X7
+
+	// Stores: y[(r+k)*out + o]
+	MOVQ  R12, AX
+	IMULQ R10, AX
+	LEAQ  (DX)(AX*8), R11
+	MOVSD X4, (R11)
+	LEAQ  (R11)(R10*8), R11
+	MOVSD X5, (R11)
+	LEAQ  (R11)(R10*8), R11
+	MOVSD X6, (R11)
+	LEAQ  (R11)(R10*8), R11
+	MOVSD X7, (R11)
+
+	ADDQ $4, R12
+	JMP  blk4
+
+tailrows:
+	CMPQ R12, R8
+	JGE  done
+	MOVQ  R12, AX
+	IMULQ R9, AX
+	LEAQ  (SI)(AX*8), BX
+	XORPS X4, X4
+	XORQ  R15, R15
+
+tri:
+	CMPQ R15, R9
+	JGE  trstore
+	MOVSD (DI)(R15*8), X0
+	MOVSD (BX)(R15*8), X1
+	MULSD X0, X1
+	ADDSD X1, X4
+	INCQ  R15
+	JMP   tri
+
+trstore:
+	ADDSD X15, X4
+	MOVQ  R12, AX
+	IMULQ R10, AX
+	MOVSD X4, (DX)(AX*8)
+	INCQ  R12
+	JMP   tailrows
+
+done:
+	RET
+
+// func axpy4Asm(dst, a0, a1, a2, a3 *float64, g0, g1, g2, g3 float64, m int)
+//
+// For i in [0,m): dst[i] += g0*a0[i] + g1*a1[i] + g2*a2[i] + g3*a3[i].
+TEXT ·axpy4Asm(SB), NOSPLIT, $0-80
+	MOVQ  dst+0(FP), DI
+	MOVQ  a0+8(FP), SI
+	MOVQ  a1+16(FP), BX
+	MOVQ  a2+24(FP), CX
+	MOVQ  a3+32(FP), R13
+	MOVSD g0+40(FP), X8
+	MOVSD g1+48(FP), X9
+	MOVSD g2+56(FP), X10
+	MOVSD g3+64(FP), X11
+	MOVQ  m+72(FP), R8
+
+	// Broadcast the four scalars to both lanes.
+	UNPCKLPD X8, X8
+	UNPCKLPD X9, X9
+	UNPCKLPD X10, X10
+	UNPCKLPD X11, X11
+	XORQ     R15, R15        // i = 0
+
+apair:
+	MOVQ R8, AX
+	SUBQ R15, AX
+	CMPQ AX, $2
+	JL   atail
+	MOVUPS (DI)(R15*8), X0
+	MOVUPS (SI)(R15*8), X1
+	MULPD  X8, X1
+	ADDPD  X1, X0
+	MOVUPS (BX)(R15*8), X2
+	MULPD  X9, X2
+	ADDPD  X2, X0
+	MOVUPS (CX)(R15*8), X3
+	MULPD  X10, X3
+	ADDPD  X3, X0
+	MOVUPS (R13)(R15*8), X4
+	MULPD  X11, X4
+	ADDPD  X4, X0
+	MOVUPS X0, (DI)(R15*8)
+	ADDQ   $2, R15
+	JMP    apair
+
+atail:
+	CMPQ R15, R8
+	JGE  adone
+	MOVSD (DI)(R15*8), X0
+	MOVSD (SI)(R15*8), X1
+	MULSD X8, X1
+	ADDSD X1, X0
+	MOVSD (BX)(R15*8), X2
+	MULSD X9, X2
+	ADDSD X2, X0
+	MOVSD (CX)(R15*8), X3
+	MULSD X10, X3
+	ADDSD X3, X0
+	MOVSD (R13)(R15*8), X4
+	MULSD X11, X4
+	ADDSD X4, X0
+	MOVSD X0, (DI)(R15*8)
+	INCQ  R15
+	JMP   atail
+
+adone:
+	RET

@@ -1,0 +1,44 @@
+//go:build !amd64
+
+package nn
+
+// Portable fallbacks for the SSE2 microkernels in kernels_amd64.s, blocked
+// the same way so batched throughput still beats the per-sample path.
+
+// dotRowBatch computes y[r*out+o] = bias + dot(w, x[r*in:(r+1)*in]) for
+// every batch row r, four rows per pass.
+func dotRowBatch(w, x, y []float64, n, in, out, o int, bias float64) {
+	r := 0
+	for ; r+3 < n; r += 4 {
+		x0 := x[(r+0)*in : (r+1)*in]
+		x1 := x[(r+1)*in : (r+2)*in]
+		x2 := x[(r+2)*in : (r+3)*in]
+		x3 := x[(r+3)*in : (r+4)*in]
+		s0, s1, s2, s3 := bias, bias, bias, bias
+		for i, wi := range w {
+			s0 += wi * x0[i]
+			s1 += wi * x1[i]
+			s2 += wi * x2[i]
+			s3 += wi * x3[i]
+		}
+		y[(r+0)*out+o] = s0
+		y[(r+1)*out+o] = s1
+		y[(r+2)*out+o] = s2
+		y[(r+3)*out+o] = s3
+	}
+	for ; r < n; r++ {
+		xr := x[r*in : (r+1)*in]
+		sum := bias
+		for i, wi := range w {
+			sum += wi * xr[i]
+		}
+		y[r*out+o] = sum
+	}
+}
+
+// axpy4 accumulates four scaled rows into dst in one pass.
+func axpy4(dst, a0, a1, a2, a3 []float64, g0, g1, g2, g3 float64) {
+	for i := range dst {
+		dst[i] += g0*a0[i] + g1*a1[i] + g2*a2[i] + g3*a3[i]
+	}
+}

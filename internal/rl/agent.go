@@ -17,6 +17,9 @@ type PlainAgent struct {
 	critic *nn.MLP
 	logStd *nn.Param
 	obsLen int
+
+	dMean1 [1]float64 // batch-of-1 gradient scratch
+	dV1    [1]float64
 }
 
 // logStd bounds keep the exploration noise in a sane range.
@@ -50,7 +53,8 @@ func (a *PlainAgent) PolicyForward(obs []float64) (mean, std float64) {
 
 // PolicyBackward implements ActorCritic.
 func (a *PlainAgent) PolicyBackward(dMean, dLogStd float64) {
-	a.actor.Backward([]float64{dMean})
+	a.dMean1[0] = dMean
+	a.actor.Backward(a.dMean1[:])
 	// No gradient through the clamp boundary.
 	if ls := a.logStd.Value[0]; ls > minLogStd && ls < maxLogStd {
 		a.logStd.Grad[0] += dLogStd
@@ -64,7 +68,37 @@ func (a *PlainAgent) ValueForward(obs []float64) float64 {
 
 // ValueBackward implements ActorCritic.
 func (a *PlainAgent) ValueBackward(dV float64) {
-	a.critic.Backward([]float64{dV})
+	a.dV1[0] = dV
+	a.critic.Backward(a.dV1[:])
+}
+
+// PolicyForwardBatch implements BatchActorCritic. The returned means alias
+// the actor's output scratch (the head is 1-wide, so [n x 1] rows are the
+// mean vector directly).
+func (a *PlainAgent) PolicyForwardBatch(obs []float64, n int) ([]float64, float64) {
+	means := a.actor.ForwardBatch(obs, n)
+	ls := math.Max(minLogStd, math.Min(maxLogStd, a.logStd.Value[0]))
+	return means, math.Exp(ls)
+}
+
+// PolicyBackwardBatch implements BatchActorCritic.
+func (a *PlainAgent) PolicyBackwardBatch(dMean, dLogStd []float64) {
+	a.actor.BackwardBatch(dMean, len(dMean))
+	if ls := a.logStd.Value[0]; ls > minLogStd && ls < maxLogStd {
+		for _, g := range dLogStd {
+			a.logStd.Grad[0] += g
+		}
+	}
+}
+
+// ValueForwardBatch implements BatchActorCritic.
+func (a *PlainAgent) ValueForwardBatch(obs []float64, n int) []float64 {
+	return a.critic.ForwardBatch(obs, n)
+}
+
+// ValueBackwardBatch implements BatchActorCritic.
+func (a *PlainAgent) ValueBackwardBatch(dV []float64) {
+	a.critic.BackwardBatch(dV, len(dV))
 }
 
 // ActorParams implements ActorCritic.

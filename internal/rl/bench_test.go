@@ -1,0 +1,48 @@
+package rl
+
+import (
+	"testing"
+)
+
+// benchRollout collects a fixed 512-step rollout once so PPO benchmarks
+// measure update cost only. ComputeReturns is idempotent, so the same
+// rollout can be re-updated every iteration.
+func benchRollout(agent ActorCritic) Rollout {
+	return Collect(agent, testFactory, wThr,
+		CollectConfig{Steps: 512, EpisodeLen: 64}, 42)
+}
+
+func BenchmarkPPOUpdate(b *testing.B) {
+	agent := NewPlainAgent(12, 1)
+	ppo := NewPPO(agent, DefaultPPOConfig())
+	ro := benchRollout(agent)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ppo.Update(ro)
+	}
+}
+
+// BenchmarkPPOUpdateSerial measures the per-sample fallback path (the
+// pre-batching implementation) for the speedup comparison recorded in
+// CHANGES.md.
+func BenchmarkPPOUpdateSerial(b *testing.B) {
+	agent := NewPlainAgent(12, 1)
+	ppo := NewPPO(serialOnly{agent}, DefaultPPOConfig())
+	ro := benchRollout(agent)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ppo.Update(ro)
+	}
+}
+
+func BenchmarkCollect(b *testing.B) {
+	agent := NewPlainAgent(12, 1)
+	cfg := CollectConfig{Steps: 256, EpisodeLen: 64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Collect(agent, testFactory, wThr, cfg, int64(i))
+	}
+}

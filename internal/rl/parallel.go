@@ -22,9 +22,11 @@ type CollectTask struct {
 
 // ParallelCollector gathers rollouts concurrently using per-worker replica
 // agents, the goroutine equivalent of the paper's Ray/RLlib parallel
-// environments (§5). Forward passes mutate layer caches, so workers never
-// share a model; instead the master's parameters are copied into each
-// replica before every collection round.
+// environments (§5). Forward passes mutate layer scratch arenas, so workers
+// never share a model; instead the master's parameters are copied into each
+// replica before every collection round. Each worker's Collect writes its
+// observations into a single per-rollout backing array, so a collection
+// round performs O(tasks) allocations rather than O(steps).
 type ParallelCollector struct {
 	replicas []ActorCritic
 }

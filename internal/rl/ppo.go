@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -62,7 +63,10 @@ type UpdateStats struct {
 }
 
 // PPO trains an ActorCritic with the clipped surrogate objective
-// (Equations 3-5).
+// (Equations 3-5). When the agent implements BatchActorCritic, each
+// minibatch runs as one batched forward/backward through the actor and
+// critic over reusable scratch buffers; otherwise a per-sample fallback
+// path (the original implementation) is used.
 type PPO struct {
 	Agent     ActorCritic
 	Cfg       PPOConfig
@@ -70,6 +74,20 @@ type PPO struct {
 	criticOpt *nn.Adam
 	rng       *rand.Rand
 	iter      int
+
+	// Minibatch scratch, grown on demand and reused across updates.
+	idx     []int
+	obsBuf  []float64 // [n x ObsSize] gathered observations
+	actBuf  []float64 // actions
+	oldLp   []float64 // behavior-policy log-probs
+	advBuf  []float64 // advantages
+	retBuf  []float64 // returns
+	lpBuf   []float64 // current-policy log-probs
+	gmBuf   []float64 // dlogpi/dmean
+	gsBuf   []float64 // dlogpi/dlogstd
+	dMean   []float64 // policy-mean loss gradients
+	dLogStd []float64 // log-std loss gradients
+	dV      []float64 // critic loss gradients
 }
 
 // NewPPO builds a trainer around the agent.
@@ -134,7 +152,10 @@ func (p *PPO) UpdateMulti(rollouts []Rollout) UpdateStats {
 	beta := p.Beta()
 	stats := UpdateStats{Beta: beta, MeanReward: rewardSum / float64(len(rollouts))}
 
-	idx := make([]int, len(all))
+	if cap(p.idx) < len(all) {
+		p.idx = make([]int, len(all))
+	}
+	idx := p.idx[:len(all)]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -143,6 +164,8 @@ func (p *PPO) UpdateMulti(rollouts []Rollout) UpdateStats {
 	if mb <= 0 || mb > len(all) {
 		mb = len(all)
 	}
+
+	batched, _ := p.Agent.(BatchActorCritic)
 
 	var lossCount, clipCount, sampleCount float64
 	for epoch := 0; epoch < max(p.Cfg.Epochs, 1); epoch++ {
@@ -153,57 +176,14 @@ func (p *PPO) UpdateMulti(rollouts []Rollout) UpdateStats {
 				end = len(idx)
 			}
 			batch := idx[start:end]
-			n := float64(len(batch))
 
 			nn.ZeroGrad(p.Agent.ActorParams())
 			nn.ZeroGrad(p.Agent.CriticParams())
 
-			for _, i := range batch {
-				tr := all[i]
-				mean, std := p.Agent.PolicyForward(tr.Obs)
-				logProb := nn.GaussianLogProb(tr.Action, mean, std)
-				ratio := math.Exp(logProb - tr.LogProb)
-				// Guard against numeric explosions on stale samples.
-				if ratio > 20 {
-					ratio = 20
-				}
-
-				adv := tr.Advantage
-				clipped := ratio < 1-p.Cfg.ClipEps || ratio > 1+p.Cfg.ClipEps
-				// Gradient of -min(r·A, clip(r)·A): zero when the
-				// clipped branch is active AND it is the smaller one.
-				useUnclipped := true
-				if clipped {
-					clipR := math.Max(1-p.Cfg.ClipEps, math.Min(1+p.Cfg.ClipEps, ratio))
-					if clipR*adv < ratio*adv {
-						useUnclipped = false
-					}
-					clipCount++
-				}
-				sampleCount++
-
-				dMean, dLogStd := 0.0, 0.0
-				if useUnclipped {
-					gm, gs := nn.GaussianLogProbGrad(tr.Action, mean, std)
-					// d(-r·A)/dθ = -A·r·dlogπ/dθ.
-					dMean = -adv * ratio * gm
-					dLogStd = -adv * ratio * gs
-				}
-				// Entropy bonus: H = c + logStd, so d(-βH)/dlogStd = -β.
-				dLogStd -= beta
-
-				p.Agent.PolicyBackward(dMean/n, dLogStd/n)
-
-				surr := math.Min(ratio*adv, math.Max(1-p.Cfg.ClipEps, math.Min(1+p.Cfg.ClipEps, ratio))*adv)
-				stats.PolicyLoss += -surr
-				stats.Entropy += nn.GaussianEntropy(std)
-
-				// Critic: 0.5·(V - R)².
-				v := p.Agent.ValueForward(tr.Obs)
-				dv := p.Cfg.ValueCoef * (v - tr.Return)
-				p.Agent.ValueBackward(dv / n)
-				stats.ValueLoss += 0.5 * (v - tr.Return) * (v - tr.Return)
-				lossCount++
+			if batched != nil {
+				p.minibatchBatched(batched, all, batch, beta, &stats, &lossCount, &clipCount, &sampleCount)
+			} else {
+				p.minibatchSerial(all, batch, beta, &stats, &lossCount, &clipCount, &sampleCount)
 			}
 
 			if p.Cfg.MaxGradNorm > 0 {
@@ -227,9 +207,128 @@ func (p *PPO) UpdateMulti(rollouts []Rollout) UpdateStats {
 	return stats
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// minibatchBatched accumulates gradients for one minibatch with a single
+// batched forward/backward through the actor and critic. It is
+// gradient-equivalent to minibatchSerial: samples are processed in the same
+// order, though the blocked kernels associate floating-point sums
+// differently, so gradients match the serial path to tight tolerance
+// (~1e-9, pinned by the batch equivalence tests) rather than bitwise.
+func (p *PPO) minibatchBatched(agent BatchActorCritic, all []Transition, batch []int, beta float64,
+	stats *UpdateStats, lossCount, clipCount, sampleCount *float64) {
+	n := len(batch)
+	fn := float64(n)
+	obsDim := p.Agent.ObsSize()
+
+	p.obsBuf = nn.Grow(p.obsBuf, n*obsDim)
+	p.actBuf = nn.Grow(p.actBuf, n)
+	p.oldLp = nn.Grow(p.oldLp, n)
+	p.advBuf = nn.Grow(p.advBuf, n)
+	p.retBuf = nn.Grow(p.retBuf, n)
+	p.lpBuf = nn.Grow(p.lpBuf, n)
+	p.gmBuf = nn.Grow(p.gmBuf, n)
+	p.gsBuf = nn.Grow(p.gsBuf, n)
+	p.dMean = nn.Grow(p.dMean, n)
+	p.dLogStd = nn.Grow(p.dLogStd, n)
+	p.dV = nn.Grow(p.dV, n)
+
+	for k, i := range batch {
+		tr := all[i]
+		if len(tr.Obs) != obsDim {
+			panic(fmt.Sprintf("rl: transition observation length %d, agent expects %d", len(tr.Obs), obsDim))
+		}
+		copy(p.obsBuf[k*obsDim:(k+1)*obsDim], tr.Obs)
+		p.actBuf[k] = tr.Action
+		p.oldLp[k] = tr.LogProb
+		p.advBuf[k] = tr.Advantage
+		p.retBuf[k] = tr.Return
 	}
-	return b
+
+	means, std := agent.PolicyForwardBatch(p.obsBuf, n)
+	nn.GaussianLogProbVec(p.lpBuf, p.actBuf, means, std)
+	nn.GaussianLogProbGradVec(p.gmBuf, p.gsBuf, p.actBuf, means, std)
+	entropy := nn.GaussianEntropy(std)
+
+	for k := 0; k < n; k++ {
+		dMean, dLogStd, surr := p.policySample(p.lpBuf[k], p.oldLp[k], p.advBuf[k],
+			p.gmBuf[k], p.gsBuf[k], beta, clipCount, sampleCount)
+		p.dMean[k] = dMean / fn
+		p.dLogStd[k] = dLogStd / fn
+		stats.PolicyLoss += -surr
+		stats.Entropy += entropy
+	}
+	agent.PolicyBackwardBatch(p.dMean, p.dLogStd)
+
+	// Critic: 0.5·(V - R)².
+	vs := agent.ValueForwardBatch(p.obsBuf, n)
+	for k := 0; k < n; k++ {
+		diff := vs[k] - p.retBuf[k]
+		p.dV[k] = p.Cfg.ValueCoef * diff / fn
+		stats.ValueLoss += 0.5 * diff * diff
+		*lossCount++
+	}
+	agent.ValueBackwardBatch(p.dV)
+}
+
+// minibatchSerial is the per-sample fallback for agents without batched
+// kernels; it shares the surrogate arithmetic with the batched path via
+// policySample.
+func (p *PPO) minibatchSerial(all []Transition, batch []int, beta float64,
+	stats *UpdateStats, lossCount, clipCount, sampleCount *float64) {
+	n := float64(len(batch))
+	for _, i := range batch {
+		tr := all[i]
+		mean, std := p.Agent.PolicyForward(tr.Obs)
+		logProb := nn.GaussianLogProb(tr.Action, mean, std)
+		gm, gs := nn.GaussianLogProbGrad(tr.Action, mean, std)
+		dMean, dLogStd, surr := p.policySample(logProb, tr.LogProb, tr.Advantage,
+			gm, gs, beta, clipCount, sampleCount)
+		p.Agent.PolicyBackward(dMean/n, dLogStd/n)
+		stats.PolicyLoss += -surr
+		stats.Entropy += nn.GaussianEntropy(std)
+
+		// Critic: 0.5·(V - R)².
+		v := p.Agent.ValueForward(tr.Obs)
+		dv := p.Cfg.ValueCoef * (v - tr.Return)
+		p.Agent.ValueBackward(dv / n)
+		stats.ValueLoss += 0.5 * (v - tr.Return) * (v - tr.Return)
+		*lossCount++
+	}
+}
+
+// policySample computes one sample's clipped-surrogate loss gradient
+// (Equations 3-5): the gradients of -min(r·A, clip(r)·A) - β·H with
+// respect to the policy mean and log-std, plus the surrogate value for the
+// loss statistics. It is the single source of the PPO arithmetic shared by
+// the batched and per-sample paths.
+func (p *PPO) policySample(logProb, oldLogProb, adv, gm, gs, beta float64,
+	clipCount, sampleCount *float64) (dMean, dLogStd, surr float64) {
+	ratio := math.Exp(logProb - oldLogProb)
+	// Guard against numeric explosions on stale samples.
+	if ratio > 20 {
+		ratio = 20
+	}
+
+	clipped := ratio < 1-p.Cfg.ClipEps || ratio > 1+p.Cfg.ClipEps
+	// Gradient of -min(r·A, clip(r)·A): zero when the clipped branch is
+	// active AND it is the smaller one.
+	useUnclipped := true
+	if clipped {
+		clipR := math.Max(1-p.Cfg.ClipEps, math.Min(1+p.Cfg.ClipEps, ratio))
+		if clipR*adv < ratio*adv {
+			useUnclipped = false
+		}
+		*clipCount++
+	}
+	*sampleCount++
+
+	if useUnclipped {
+		// d(-r·A)/dθ = -A·r·dlogπ/dθ.
+		dMean = -adv * ratio * gm
+		dLogStd = -adv * ratio * gs
+	}
+	// Entropy bonus: H = c + logStd, so d(-βH)/dlogStd = -β.
+	dLogStd -= beta
+
+	surr = math.Min(ratio*adv, math.Max(1-p.Cfg.ClipEps, math.Min(1+p.Cfg.ClipEps, ratio))*adv)
+	return dMean, dLogStd, surr
 }

@@ -6,6 +6,7 @@
 package rl
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -90,6 +91,31 @@ type ActorCritic interface {
 	ObsSize() int
 }
 
+// BatchActorCritic is an ActorCritic whose networks additionally evaluate
+// and backpropagate whole minibatches at once over row-major [n x ObsSize]
+// observation matrices. PPO uses it to replace its per-sample loop with one
+// batched forward/backward per minibatch; agents that do not implement it
+// fall back to the per-sample path.
+//
+// Returned slices alias agent-owned scratch and are valid until the next
+// batched call on the same half-network.
+type BatchActorCritic interface {
+	ActorCritic
+	// PolicyForwardBatch evaluates the Gaussian policy head for n
+	// observations, returning the per-sample action means and the shared
+	// (state-independent) standard deviation.
+	PolicyForwardBatch(obs []float64, n int) (means []float64, std float64)
+	// PolicyBackwardBatch backpropagates per-sample loss gradients with
+	// respect to the policy means and log-std through the networks
+	// evaluated by the most recent PolicyForwardBatch.
+	PolicyBackwardBatch(dMean, dLogStd []float64)
+	// ValueForwardBatch evaluates the critic for n observations.
+	ValueForwardBatch(obs []float64, n int) []float64
+	// ValueBackwardBatch backpropagates per-sample critic-output gradients
+	// from the most recent ValueForwardBatch.
+	ValueBackwardBatch(dV []float64)
+}
+
 // EnvFactory creates a fresh training environment for a given seed;
 // implementations typically sample Table 3 conditions from the seed.
 type EnvFactory func(seed int64) *gym.Env
@@ -111,14 +137,18 @@ type CollectConfig struct {
 	MaxAction float64
 }
 
-// buildObs assembles the model input from the environment observation and,
-// optionally, the preference weights.
-func buildObs(env *gym.Env, w objective.Weights, includeWeights bool) []float64 {
-	obs := env.Observation()
+// fillObs assembles the model input from the environment observation and,
+// optionally, the preference weights, writing into dst (which must have the
+// exact observation length) so per-step collection reuses buffers instead
+// of allocating.
+func fillObs(dst []float64, env *gym.Env, w objective.Weights, includeWeights bool) {
+	obs := env.ObservationInto(dst[:0])
 	if includeWeights {
 		obs = append(obs, w.Thr, w.Lat, w.Loss)
 	}
-	return obs
+	if len(obs) != len(dst) {
+		panic(fmt.Sprintf("rl: observation length %d, agent expects %d", len(obs), len(dst)))
+	}
 }
 
 // Collect runs the agent in environments from factory under objective w for
@@ -135,8 +165,15 @@ func Collect(agent ActorCritic, factory EnvFactory, w objective.Weights, cfg Col
 	epSteps := 0
 	var rewardSum float64
 
+	// One backing array holds every observation of the rollout; each
+	// transition's Obs is a slice into it, so collection performs a single
+	// allocation instead of one per step.
+	obsDim := agent.ObsSize()
+	backing := make([]float64, cfg.Steps*obsDim)
+
 	for len(ro.Trans) < cfg.Steps {
-		obs := buildObs(env, w, cfg.IncludeWeights)
+		obs := backing[len(ro.Trans)*obsDim : (len(ro.Trans)+1)*obsDim : (len(ro.Trans)+1)*obsDim]
+		fillObs(obs, env, w, cfg.IncludeWeights)
 		mean, std := agent.PolicyForward(obs)
 		var action float64
 		if cfg.Deterministic {
@@ -185,8 +222,9 @@ func Collect(agent ActorCritic, factory EnvFactory, w objective.Weights, cfg Col
 func EvaluatePolicy(agent ActorCritic, env *gym.Env, w objective.Weights, includeWeights bool, steps int) float64 {
 	env.Reset()
 	var sum float64
+	obs := make([]float64, agent.ObsSize())
 	for i := 0; i < steps; i++ {
-		obs := buildObs(env, w, includeWeights)
+		fillObs(obs, env, w, includeWeights)
 		mean, _ := agent.PolicyForward(obs)
 		a := math.Max(-2, math.Min(2, mean))
 		env.ApplyAction(a)
