@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench ci
+.PHONY: all build vet test bench bench-sim ci
 
 all: build vet test
 
@@ -16,5 +16,12 @@ test:
 # Micro-benchmarks for the NN/PPO hot path (run with -count for stability).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/nn ./internal/rl
+
+# Simulator benchmarks: netsim packet-train engine vs the per-packet
+# reference (pkts/s + allocs), and the pantheon scenario scheduler's
+# serial-vs-parallel sweep wall-clock.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'Engine' -benchmem ./internal/netsim
+	$(GO) test -run '^$$' -bench 'RunSweep' -benchmem ./internal/pantheon
 
 ci: all

@@ -88,6 +88,20 @@ func BenchmarkFig5Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFig5ThroughputSerial pins the sweep to one worker; compared with
+// BenchmarkFig5Throughput (whose zero Workers selects GOMAXPROCS) it
+// measures the scenario scheduler's wall-clock gain. Both produce
+// byte-identical tables.
+func BenchmarkFig5ThroughputSerial(b *testing.B) {
+	s := pantheon.NewSchemes(zoo(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pantheon.RunSweep(s, pantheon.SweepConfig{
+			Axis: pantheon.AxisBandwidth, Steps: 120, Seed: 1, Workers: 1,
+		})
+	}
+}
+
 func BenchmarkFig5Latency(b *testing.B) {
 	s := pantheon.NewSchemes(zoo(b))
 	b.ResetTimer()

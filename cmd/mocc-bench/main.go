@@ -30,9 +30,10 @@ func main() {
 	log.SetPrefix("mocc-bench: ")
 
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate (1a..19 or all)")
-		scale = flag.String("scale", "quick", "model training scale: quick | standard")
-		seed  = flag.Int64("seed", 1, "experiment seed")
+		fig     = flag.String("fig", "all", "figure to regenerate (1a..19 or all)")
+		scale   = flag.String("scale", "quick", "model training scale: quick | standard")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		workers = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
 	)
 	flag.Parse()
 
@@ -75,7 +76,7 @@ func main() {
 			for _, axis := range []pantheon.SweepAxis{
 				pantheon.AxisBandwidth, pantheon.AxisLatency, pantheon.AxisLoss, pantheon.AxisBuffer,
 			} {
-				res := pantheon.RunSweep(schemes, pantheon.SweepConfig{Axis: axis, Steps: 300, Seed: *seed})
+				res := pantheon.RunSweep(schemes, pantheon.SweepConfig{Axis: axis, Steps: 300, Seed: *seed, Workers: *workers})
 				util, lat := res.Tables()
 				mustWrite(util, out)
 				mustWrite(lat, out)
@@ -83,7 +84,7 @@ func main() {
 		},
 		"6": func() {
 			res := pantheon.RunFig6(schemes, pantheon.Fig6Config{
-				Objectives: 100, Conditions: 10, Steps: 200, Seed: *seed,
+				Objectives: 100, Conditions: 10, Steps: 200, Seed: *seed, Workers: *workers,
 			})
 			mustWrite(res.Table(), out)
 		},
@@ -124,22 +125,28 @@ func main() {
 		"12": func() {
 			cfg := pantheon.DefaultFairnessConfig()
 			cfg.Seed = *seed
+			cfg.Workers = *workers
 			mustWrite(pantheon.RunFig12(schemes, cfg).Table(), out)
 		},
 		"13": func() {
 			mustWrite(pantheon.RunFig13(schemes, pantheon.DefaultCompeteConfig()).Table(), out)
 		},
 		"14": func() {
-			mustWrite(pantheon.RunFig14(schemes, pantheon.DefaultCompeteConfig(),
+			cfg := pantheon.DefaultCompeteConfig()
+			cfg.Workers = *workers
+			mustWrite(pantheon.RunFig14(schemes, cfg,
 				[]float64{10, 30, 50, 70, 90}).Table(), out)
 		},
 		"15": func() {
-			mustWrite(pantheon.RunFig15(schemes, pantheon.DefaultCompeteConfig(),
+			cfg := pantheon.DefaultCompeteConfig()
+			cfg.Workers = *workers
+			mustWrite(pantheon.RunFig15(schemes, cfg,
 				[]float64{20, 40, 60, 80, 100, 120}).Table(), out)
 		},
 		"16": func() {
 			res := pantheon.RunFig16(pantheon.Fig16Config{
 				Omegas: []int{3, 6, 10}, EvalObjectives: 20, EvalSteps: 150, Seed: *seed,
+				Workers: *workers,
 			})
 			mustWrite(res.Table(), out)
 		},

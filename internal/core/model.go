@@ -258,10 +258,21 @@ func (m *Model) PolicyFor(w objective.Weights) cc.Policy {
 }
 
 // AlgorithmFor wraps the model as a named cc.Algorithm for preference w,
-// ready to drive any datapath or simulator.
+// ready to drive any datapath or simulator. The algorithm evaluates the
+// live model, so later online adaptation immediately benefits registered
+// applications; it shares the model's inference scratch and must therefore
+// stay on one goroutine.
 func (m *Model) AlgorithmFor(name string, w objective.Weights) cc.Algorithm {
 	if name == "" {
 		name = "mocc"
 	}
 	return cc.NewRLRate(name, m.PolicyFor(w), m.HistoryLen)
+}
+
+// FrozenAlgorithmFor is AlgorithmFor on a private deep copy of the current
+// parameters: the returned algorithm is unaffected by later training and
+// safe to drive from a concurrent evaluation worker, which is how the
+// pantheon scenario scheduler fans a trained model across parallel runs.
+func (m *Model) FrozenAlgorithmFor(name string, w objective.Weights) cc.Algorithm {
+	return m.Clone().AlgorithmFor(name, w)
 }

@@ -1,0 +1,172 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+
+	"mocc/internal/trace"
+)
+
+// Network is one simulation instance — the production packet-train engine.
+// Not safe for concurrent use.
+//
+// The event heap holds only control events (flow start/stop and
+// monitor-interval boundaries): a handful of entries regardless of traffic
+// volume. Packet-level work lives outside the heap in two cursors — each
+// active flow's next pacing instant, and the global FIFO ring of in-flight
+// deliveries — and the run loop drains whole packet trains from those
+// cursors between control points. Per steady-state packet that costs a scan
+// over the (few) active flows and the virtual-queue arithmetic: no heap
+// push/pop, no interface boxing, no allocation.
+//
+// The schedule it executes is the exact total order eventBefore defines
+// over the same events the per-packet ReferenceNetwork processes, so both
+// engines produce identical statistics (see the equivalence tests).
+type Network struct {
+	Link  LinkConfig
+	Flows []*Flow
+
+	events  eventQueue
+	now     float64
+	rng     *rand.Rand
+	lastDep float64 // bottleneck virtual-queue horizon
+	capac   trace.Sampler
+	inFly   deliveryRing
+}
+
+// NewNetwork creates a simulator for the given bottleneck. seed drives the
+// random-loss process.
+func NewNetwork(link LinkConfig, seed int64) *Network {
+	link = link.normalized()
+	return &Network{
+		Link:  link,
+		rng:   rand.New(rand.NewSource(seed)),
+		capac: trace.NewSampler(link.Capacity),
+	}
+}
+
+// AddFlow registers a flow; call before Run.
+func (n *Network) AddFlow(cfg FlowConfig) *Flow {
+	f := newFlow(n.Link, len(n.Flows), cfg)
+	n.Flows = append(n.Flows, f)
+	return f
+}
+
+// Now returns the current simulation time.
+func (n *Network) Now() float64 { return n.now }
+
+// QueueBacklog returns the bottleneck backlog in packets at time t.
+func (n *Network) QueueBacklog(t float64) float64 {
+	backlog := (n.lastDep - t) * n.capac.At(t)
+	if backlog < 0 {
+		return 0
+	}
+	return backlog
+}
+
+// Run executes the simulation until the given duration (seconds). It may be
+// called once per Network.
+func (n *Network) Run(duration float64) {
+	baseRTT := 2 * n.Link.OWD
+	for _, f := range n.Flows {
+		f.startRun(baseRTT, duration)
+		n.events.push(event{time: f.Cfg.Start, kind: evStart, flowID: int32(f.ID), flow: f})
+		if f.Cfg.Stop > f.Cfg.Start {
+			n.events.push(event{time: f.Cfg.Stop, kind: evStop, flowID: int32(f.ID), flow: f})
+		}
+	}
+
+	for {
+		// The next packet-level item: the global FIFO delivery head, or the
+		// earliest pending transmission across active flows (iterating in ID
+		// order with a strict comparison implements the flow-ID tiebreak).
+		var next event
+		havePkt := false
+		if n.inFly.len() > 0 {
+			d := n.inFly.front()
+			next = event{time: d.t, kind: evDeliver, flowID: int32(d.flow.ID)}
+			havePkt = true
+		}
+		var sender *Flow
+		sendAt := math.Inf(1)
+		for _, f := range n.Flows {
+			if f.active && f.nextSend < sendAt {
+				sendAt, sender = f.nextSend, f
+			}
+		}
+		if sender != nil {
+			se := event{time: sendAt, kind: evSend, flowID: int32(sender.ID)}
+			if !havePkt || eventBefore(se, next) {
+				next, havePkt = se, true
+			}
+		}
+
+		// Control events preempt the packet train when they sort earlier.
+		if n.events.len() > 0 && (!havePkt || eventBefore(n.events.peek(), next)) {
+			e := n.events.pop()
+			if e.time > duration {
+				n.now = duration
+				return
+			}
+			n.now = e.time
+			switch e.kind {
+			case evStart:
+				f := e.flow
+				f.active = true
+				f.miStart = n.now
+				f.nextSend = n.now
+				n.events.push(event{time: n.now + f.Cfg.MIms/1000, kind: evMI, flowID: e.flowID, flow: f})
+			case evStop:
+				e.flow.active = false
+				e.flow.stopped = true
+			case evMI:
+				f := e.flow
+				if f.closeMI(n.now, n.QueueBacklog(n.now), n.Link.OWD) {
+					n.events.push(event{time: n.now + f.Cfg.MIms/1000, kind: evMI, flowID: e.flowID, flow: f})
+				}
+			}
+			continue
+		}
+		if !havePkt {
+			break
+		}
+		if next.time > duration {
+			n.now = duration
+			return
+		}
+		n.now = next.time
+		if next.kind == evDeliver {
+			d := n.inFly.pop()
+			d.flow.deliver(n.now, d.sendTime, n.Link.OWD)
+		} else {
+			n.transmit(sender, n.now)
+		}
+	}
+	n.now = duration
+}
+
+// transmit pushes one packet of flow f into the bottleneck at time t and
+// advances the flow's pacing cursor — the per-packet hot path.
+func (n *Network) transmit(f *Flow, t float64) {
+	f.SentTotal++
+	f.miSent++
+
+	capRaw := n.capac.At(t)
+	capNow := math.Max(capRaw, 0.1)
+	backlog := (n.lastDep - t) * capRaw
+	if n.Link.LossRate > 0 && n.rng.Float64() < n.Link.LossRate {
+		// Random (non-congestive) loss.
+		f.LostTotal++
+		f.miLost++
+	} else if backlog >= float64(n.Link.QueuePkts) {
+		// Drop-tail: buffer full.
+		f.LostTotal++
+		f.miLost++
+	} else {
+		dep := math.Max(t, n.lastDep) + 1/capNow
+		n.lastDep = dep
+		n.inFly.push(delivery{t: dep + n.Link.OWD, sendTime: t, flow: f})
+	}
+
+	f.nextSend = t + 1/math.Max(f.rate, 0.1)
+}

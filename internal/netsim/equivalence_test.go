@@ -1,0 +1,288 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mocc/internal/cc"
+	"mocc/internal/trace"
+)
+
+// scenario describes one equivalence case run on both engines.
+type scenario struct {
+	name  string
+	link  LinkConfig
+	flows []FlowConfig
+	dur   float64
+	seed  int64
+}
+
+// equivalenceScenarios covers the batching hazards: multi-flow interleaving
+// through the shared virtual queue, staggered start/stop control points,
+// mid-train capacity steps, the random-loss RNG stream, packet-budget
+// completion racing pending transmissions, and reactive controllers whose
+// rate changes at every monitor interval.
+func equivalenceScenarios() []scenario {
+	mk := func(r float64) FlowConfig { return FlowConfig{Alg: &fixedRate{rate: r}} }
+	return []scenario{
+		{
+			name:  "single-flow-underload",
+			link:  LinkConfig{Capacity: trace.Constant(1000), OWD: 0.02, QueuePkts: 40},
+			flows: []FlowConfig{mk(500)},
+			dur:   10,
+			seed:  1,
+		},
+		{
+			name:  "two-flow-overload",
+			link:  LinkConfig{Capacity: trace.Constant(1000), OWD: 0.02, QueuePkts: 40},
+			flows: []FlowConfig{mk(900), mk(900)},
+			dur:   10,
+			seed:  2,
+		},
+		{
+			name: "three-flow-staggered-start-stop",
+			link: LinkConfig{Capacity: trace.Constant(2000), OWD: 0.015, QueuePkts: 80},
+			flows: []FlowConfig{
+				{Alg: &fixedRate{rate: 900}, Start: 0, Stop: 8},
+				{Alg: &fixedRate{rate: 1100}, Start: 2},
+				{Alg: &fixedRate{rate: 700}, Start: 4, Stop: 9},
+			},
+			dur:  12,
+			seed: 3,
+		},
+		{
+			name:  "step-trace-mid-train",
+			link:  LinkConfig{Capacity: trace.Step{Low: 500, High: 1500, Period: 0.9}, OWD: 0.01, QueuePkts: 60},
+			flows: []FlowConfig{mk(1200), mk(600)},
+			dur:   8,
+			seed:  4,
+		},
+		{
+			name:  "random-loss-stream",
+			link:  LinkConfig{Capacity: trace.Constant(1500), OWD: 0.02, QueuePkts: 50, LossRate: 0.03},
+			flows: []FlowConfig{mk(800), mk(800)},
+			dur:   10,
+			seed:  5,
+		},
+		{
+			name: "packet-budget-completion",
+			link: LinkConfig{Capacity: trace.Constant(1000), OWD: 0.02, QueuePkts: 40},
+			flows: []FlowConfig{
+				{Alg: &fixedRate{rate: 600}, PacketBudget: 1000},
+				{Alg: &fixedRate{rate: 600}, PacketBudget: 2500},
+			},
+			dur:  12,
+			seed: 6,
+		},
+		{
+			name: "reactive-controllers-with-loss",
+			link: LinkConfig{Capacity: trace.Constant(1200), OWD: 0.02, QueuePkts: 45, LossRate: 0.01},
+			flows: []FlowConfig{
+				{Alg: cc.NewCubic(), Seed: 11},
+				{Alg: cc.NewBBR(), Start: 1, Seed: 12},
+				{Alg: cc.NewVegas(), Start: 2, Stop: 18, Seed: 13},
+			},
+			dur:  25,
+			seed: 7,
+		},
+		{
+			name:  "random-walk-generic-trace",
+			link:  LinkConfig{Capacity: trace.NewRandomWalk(400, 1600, 0.5, 10, 9), OWD: 0.02, QueuePkts: 50},
+			flows: []FlowConfig{mk(900), {Alg: cc.NewCubic(), Seed: 14}},
+			dur:   10,
+			seed:  8,
+		},
+	}
+}
+
+// runBoth executes a scenario on the production and reference engines.
+func runBoth(sc scenario) (fast, ref []*Flow) {
+	n := NewNetwork(sc.link, sc.seed)
+	r := NewReferenceNetwork(sc.link, sc.seed)
+	for _, fc := range sc.flows {
+		n.AddFlow(fc)
+		r.AddFlow(fc)
+	}
+	n.Run(sc.dur)
+	r.Run(sc.dur)
+	return n.Flows, r.Flows
+}
+
+// TestEngineEquivalence is the exactness proof obligation of the
+// packet-train rewrite: on every scenario the batched engine must reproduce
+// the per-packet reference engine bit-for-bit — totals, completion state,
+// accumulated RTT, and the entire per-MI statistics series.
+func TestEngineEquivalence(t *testing.T) {
+	for _, sc := range equivalenceScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			fast, ref := runBoth(sc)
+			for i := range ref {
+				f, r := fast[i], ref[i]
+				if f.SentTotal != r.SentTotal || f.DeliveredTotal != r.DeliveredTotal || f.LostTotal != r.LostTotal {
+					t.Errorf("flow %d totals: fast sent/del/lost %d/%d/%d, ref %d/%d/%d",
+						i, f.SentTotal, f.DeliveredTotal, f.LostTotal,
+						r.SentTotal, r.DeliveredTotal, r.LostTotal)
+				}
+				if f.Completed != r.Completed || f.CompletionTime != r.CompletionTime {
+					t.Errorf("flow %d completion: fast %v@%v, ref %v@%v",
+						i, f.Completed, f.CompletionTime, r.Completed, r.CompletionTime)
+				}
+				if f.SumRTT != r.SumRTT {
+					t.Errorf("flow %d SumRTT: fast %v, ref %v", i, f.SumRTT, r.SumRTT)
+				}
+				if len(f.Stats) != len(r.Stats) {
+					t.Fatalf("flow %d: %d MIs fast vs %d ref", i, len(f.Stats), len(r.Stats))
+				}
+				for mi := range r.Stats {
+					if f.Stats[mi] != r.Stats[mi] {
+						t.Fatalf("flow %d MI %d differs:\nfast %+v\nref  %+v",
+							i, mi, f.Stats[mi], r.Stats[mi])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceDeliveryOrder checks that OnDeliver callbacks fire at
+// identical times in identical per-flow order on both engines.
+func TestEngineEquivalenceDeliveryOrder(t *testing.T) {
+	sc := equivalenceScenarios()[1] // two-flow overload
+	collect := func(mkNet func() interface {
+		AddFlow(FlowConfig) *Flow
+		Run(float64)
+	}) [][]float64 {
+		n := mkNet()
+		out := make([][]float64, len(sc.flows))
+		for i, fc := range sc.flows {
+			f := n.AddFlow(fc)
+			idx := i
+			f.OnDeliver = func(ts float64) { out[idx] = append(out[idx], ts) }
+		}
+		n.Run(sc.dur)
+		return out
+	}
+	fast := collect(func() interface {
+		AddFlow(FlowConfig) *Flow
+		Run(float64)
+	} {
+		return NewNetwork(sc.link, sc.seed)
+	})
+	ref := collect(func() interface {
+		AddFlow(FlowConfig) *Flow
+		Run(float64)
+	} {
+		return NewReferenceNetwork(sc.link, sc.seed)
+	})
+	for i := range ref {
+		if len(fast[i]) != len(ref[i]) {
+			t.Fatalf("flow %d: %d deliveries fast vs %d ref", i, len(fast[i]), len(ref[i]))
+		}
+		for j := range ref[i] {
+			if fast[i][j] != ref[i][j] {
+				t.Fatalf("flow %d delivery %d: fast t=%v, ref t=%v", i, j, fast[i][j], ref[i][j])
+			}
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocFree pins the per-packet allocation budget: a
+// ~180k-packet run may allocate only setup-scale memory (RNG, flow structs,
+// pre-sized stats, ring and heap growth) — about one allocation per ten
+// thousand packets, i.e. zero per packet.
+func TestEngineSteadyStateAllocFree(t *testing.T) {
+	allocs := testing.AllocsPerRun(3, func() {
+		n := NewNetwork(benchLink50(), 1)
+		n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 2500}})
+		n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 2500}})
+		n.Run(benchDuration)
+		if n.Flows[0].SentTotal < 40000 {
+			t.Fatalf("run too short: %d packets", n.Flows[0].SentTotal)
+		}
+	})
+	if allocs > 100 {
+		t.Errorf("steady-state run allocated %v times for ~180k packets, want setup-only (<= 100)", allocs)
+	}
+}
+
+// TestEventQueueOrdering drives the inline 4-ary heap with shuffled event
+// populations and checks it drains in eventBefore order.
+func TestEventQueueOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var q eventQueue
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			q.push(event{
+				time:   float64(rng.Intn(20)) / 4,
+				kind:   int32(rng.Intn(5)),
+				flowID: int32(rng.Intn(4)),
+			})
+		}
+		prev := q.pop()
+		for q.len() > 0 {
+			next := q.pop()
+			if eventBefore(next, prev) {
+				t.Fatalf("trial %d: heap emitted %+v after %+v", trial, next, prev)
+			}
+			prev = next
+		}
+	}
+}
+
+// TestDeliveryRingFIFO checks FIFO order and reuse across growth.
+func TestDeliveryRingFIFO(t *testing.T) {
+	var r deliveryRing
+	f := &Flow{}
+	next := 0.0
+	popped := 0.0
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 10000; step++ {
+		if r.len() == 0 || rng.Float64() < 0.6 {
+			r.push(delivery{t: next, flow: f})
+			next++
+		} else {
+			d := r.pop()
+			if d.t != popped {
+				t.Fatalf("step %d: popped t=%v, want %v", step, d.t, popped)
+			}
+			popped++
+		}
+	}
+	for r.len() > 0 {
+		if d := r.pop(); d.t != popped {
+			t.Fatalf("drain: popped t=%v, want %v", d.t, popped)
+		} else {
+			popped++
+		}
+	}
+	if popped != next {
+		t.Fatalf("popped %v of %v pushed", popped, next)
+	}
+}
+
+// TestReferenceEngineMatchesSeedBehaviour spot-checks the reference engine
+// against the seed's documented invariants so it remains a trustworthy
+// baseline (underload delivery counts and RTTs, conservation).
+func TestReferenceEngineMatchesSeedBehaviour(t *testing.T) {
+	n := NewReferenceNetwork(LinkConfig{Capacity: trace.Constant(1000), OWD: 0.02, QueuePkts: 40}, 1)
+	f := n.AddFlow(FlowConfig{Alg: &fixedRate{rate: 500}})
+	n.Run(10)
+	if f.LostTotal != 0 {
+		t.Errorf("losses on an underloaded link: %d", f.LostTotal)
+	}
+	if f.DeliveredTotal < 4800 || f.DeliveredTotal > 5100 {
+		t.Errorf("delivered %d, want ~5000", f.DeliveredTotal)
+	}
+	avgRTT := f.SumRTT / float64(f.DeliveredTotal)
+	if avgRTT < 0.040 || avgRTT > 0.045 {
+		t.Errorf("avg RTT %v, want ~0.041", avgRTT)
+	}
+	if f.SentTotal != f.DeliveredTotal+f.LostTotal+f.InFlight() {
+		t.Error("conservation violated")
+	}
+	if f.InFlight() < 0 || math.IsNaN(f.SumRTT) {
+		t.Error("implausible flow state")
+	}
+}

@@ -12,13 +12,21 @@
 // 1/capacity, and is dropped when the backlog (lastDeparture - t) * capacity
 // exceeds the buffer. This is exact for drop-tail FIFO queues and avoids
 // per-packet queue structures.
+//
+// Two engines share these types. Network is the production engine: a
+// packet-train loop that drains whole pacing bursts and the global FIFO
+// delivery stream between control points (flow start/stop and
+// monitor-interval boundaries, held in a small inline 4-ary heap), paying
+// zero heap operations and zero allocations per packet. ReferenceNetwork is
+// the retained seed engine — one boxed heap event per packet transmission
+// and delivery — kept as the ground truth the equivalence tests hold the
+// fast engine to. Both engines order simultaneous events identically (see
+// eventBefore) and produce identical statistics.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"mocc/internal/cc"
 	"mocc/internal/trace"
@@ -40,6 +48,17 @@ type LinkConfig struct {
 // BDP returns the bandwidth-delay product in packets at time 0.
 func (l LinkConfig) BDP() float64 {
 	return l.Capacity.At(0) * 2 * l.OWD
+}
+
+// normalized applies the shared config defaults and validation.
+func (l LinkConfig) normalized() LinkConfig {
+	if l.Capacity == nil {
+		panic("netsim: LinkConfig.Capacity is required")
+	}
+	if l.QueuePkts <= 0 {
+		l.QueuePkts = 1000
+	}
+	return l
 }
 
 // FlowConfig describes one flow.
@@ -98,10 +117,11 @@ type Flow struct {
 	// delivery time (used for inter-packet delay measurements, Figure 9).
 	OnDeliver func(t float64)
 
-	rate    float64
-	active  bool
-	stopped bool
-	minRTT  float64
+	rate     float64
+	active   bool
+	stopped  bool
+	minRTT   float64
+	nextSend float64 // production-engine pacing cursor
 
 	// per-MI accumulators
 	miSent, miDelivered, miLost int
@@ -109,210 +129,70 @@ type Flow struct {
 	miStart                     float64
 }
 
-// event kinds.
-const (
-	evSend = iota
-	evDeliver
-	evMI
-	evStart
-	evStop
-)
-
-// event is one scheduled simulator action.
-type event struct {
-	time float64
-	seq  int64 // tiebreaker for deterministic ordering
-	kind int
-	flow *Flow
-	// deliver payload
-	sendTime float64
-}
-
-// eventHeap orders events by (time, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() (event, bool) {
-	if len(h) == 0 {
-		return event{}, false
-	}
-	return h[0], true
-}
-
-// Network is one simulation instance. Not safe for concurrent use.
-type Network struct {
-	Link  LinkConfig
-	Flows []*Flow
-
-	events  eventHeap
-	seq     int64
-	now     float64
-	rng     *rand.Rand
-	lastDep float64 // bottleneck virtual-queue horizon
-}
-
-// NewNetwork creates a simulator for the given bottleneck. seed drives the
-// random-loss process.
-func NewNetwork(link LinkConfig, seed int64) *Network {
-	if link.Capacity == nil {
-		panic("netsim: LinkConfig.Capacity is required")
-	}
-	if link.QueuePkts <= 0 {
-		link.QueuePkts = 1000
-	}
-	return &Network{
-		Link: link,
-		rng:  rand.New(rand.NewSource(seed)),
-	}
-}
-
-// AddFlow registers a flow; call before Run.
-func (n *Network) AddFlow(cfg FlowConfig) *Flow {
+// newFlow applies the FlowConfig defaults shared by both engines.
+func newFlow(link LinkConfig, id int, cfg FlowConfig) *Flow {
 	if cfg.Alg == nil {
 		panic("netsim: FlowConfig.Alg is required")
 	}
 	if cfg.MIms <= 0 {
-		cfg.MIms = math.Max(10, 2*n.Link.OWD*1000)
+		cfg.MIms = math.Max(10, 2*link.OWD*1000)
 	}
 	if cfg.MaxRate <= 0 {
-		cfg.MaxRate = 4 * n.Link.Capacity.At(0)
+		cfg.MaxRate = 4 * link.Capacity.At(0)
 	}
 	label := cfg.Label
 	if label == "" {
 		label = cfg.Alg.Name()
 	}
-	f := &Flow{
-		ID:     len(n.Flows),
+	return &Flow{
+		ID:     id,
 		Label:  label,
 		Cfg:    cfg,
 		minRTT: math.Inf(1),
 	}
-	n.Flows = append(n.Flows, f)
-	return f
 }
 
-// schedule pushes an event.
-func (n *Network) schedule(t float64, kind int, f *Flow, sendTime float64) {
-	n.seq++
-	heap.Push(&n.events, event{time: t, seq: n.seq, kind: kind, flow: f, sendTime: sendTime})
+// startRun resets the flow's runtime state for a fresh Run and pre-sizes the
+// per-MI statistics for the run horizon so steady-state appends never grow
+// the backing array.
+func (f *Flow) startRun(baseRTT, duration float64) {
+	f.Cfg.Alg.Reset(f.Cfg.Seed)
+	f.rate = math.Min(f.Cfg.Alg.InitialRate(baseRTT), f.Cfg.MaxRate)
+	if mis := duration / (f.Cfg.MIms / 1000); mis > 0 && mis < 1<<20 {
+		f.Stats = make([]MIStat, 0, int(mis)+2)
+	}
 }
 
-// Now returns the current simulation time.
-func (n *Network) Now() float64 { return n.now }
-
-// QueueBacklog returns the bottleneck backlog in packets at time t.
-func (n *Network) QueueBacklog(t float64) float64 {
-	backlog := (n.lastDep - t) * n.Link.Capacity.At(t)
-	if backlog < 0 {
-		return 0
-	}
-	return backlog
-}
-
-// Run executes the simulation until the given duration (seconds). It may be
-// called once per Network.
-func (n *Network) Run(duration float64) {
-	baseRTT := 2 * n.Link.OWD
-	for _, f := range n.Flows {
-		f.Cfg.Alg.Reset(f.Cfg.Seed)
-		f.rate = math.Min(f.Cfg.Alg.InitialRate(baseRTT), f.Cfg.MaxRate)
-		n.schedule(f.Cfg.Start, evStart, f, 0)
-		if f.Cfg.Stop > f.Cfg.Start {
-			n.schedule(f.Cfg.Stop, evStop, f, 0)
-		}
-	}
-
-	for n.events.Len() > 0 {
-		e := heap.Pop(&n.events).(event)
-		if e.time > duration {
-			break
-		}
-		n.now = e.time
-		switch e.kind {
-		case evStart:
-			f := e.flow
-			f.active = true
-			f.miStart = n.now
-			n.schedule(n.now, evSend, f, 0)
-			n.schedule(n.now+f.Cfg.MIms/1000, evMI, f, 0)
-		case evStop:
-			e.flow.active = false
-			e.flow.stopped = true
-		case evSend:
-			n.handleSend(e.flow)
-		case evDeliver:
-			n.handleDeliver(e.flow, e.sendTime)
-		case evMI:
-			n.handleMI(e.flow)
-		}
-	}
-	n.now = duration
-}
-
-// handleSend transmits one packet into the bottleneck and schedules the
-// next transmission at the current pacing rate.
-func (n *Network) handleSend(f *Flow) {
-	if !f.active {
-		return
-	}
-	f.SentTotal++
-	f.miSent++
-
-	capNow := math.Max(n.Link.Capacity.At(n.now), 0.1)
-	if n.rng.Float64() < n.Link.LossRate {
-		// Random (non-congestive) loss.
-		f.LostTotal++
-		f.miLost++
-	} else if n.QueueBacklog(n.now) >= float64(n.Link.QueuePkts) {
-		// Drop-tail: buffer full.
-		f.LostTotal++
-		f.miLost++
-	} else {
-		dep := math.Max(n.now, n.lastDep) + 1/capNow
-		n.lastDep = dep
-		n.schedule(dep+n.Link.OWD, evDeliver, f, n.now)
-	}
-
-	next := n.now + 1/math.Max(f.rate, 0.1)
-	n.schedule(next, evSend, f, 0)
-}
-
-// handleDeliver records a packet arrival at the receiver.
-func (n *Network) handleDeliver(f *Flow, sendTime float64) {
+// deliver records one packet arrival at the receiver at time now.
+func (f *Flow) deliver(now, sendTime, owd float64) {
 	f.DeliveredTotal++
 	f.miDelivered++
-	rtt := (n.now - sendTime) + n.Link.OWD // forward path so far + return path
+	rtt := (now - sendTime) + owd // forward path so far + return path
 	f.miRTTSum += rtt
 	f.SumRTT += rtt
 	if rtt < f.minRTT {
 		f.minRTT = rtt
 	}
 	if f.OnDeliver != nil {
-		f.OnDeliver(n.now)
+		f.OnDeliver(now)
 	}
 	if f.Cfg.PacketBudget > 0 && f.DeliveredTotal >= f.Cfg.PacketBudget && !f.Completed {
 		f.Completed = true
-		f.CompletionTime = n.now
+		f.CompletionTime = now
 		f.active = false
 	}
 }
 
-// handleMI closes one monitor interval: records stats, consults the
-// algorithm for the next rate, and schedules the next MI.
-func (n *Network) handleMI(f *Flow) {
+// closeMI closes one monitor interval at time now: it records the interval's
+// stats (backlog is the bottleneck queue at now), consults the algorithm for
+// the next rate, and resets the accumulators. It returns false when the flow
+// no longer monitors (stopped, or completed its packet budget), in which
+// case the caller must not schedule another interval.
+func (f *Flow) closeMI(now, backlog, owd float64) bool {
 	if f.stopped || (f.Completed && !f.active) {
-		return
+		return false
 	}
-	d := n.now - f.miStart
+	d := now - f.miStart
 	if d <= 0 {
 		d = f.Cfg.MIms / 1000
 	}
@@ -325,7 +205,7 @@ func (n *Network) handleMI(f *Flow) {
 	} else if !math.IsInf(f.minRTT, 1) {
 		avgRTT = f.minRTT
 	} else {
-		avgRTT = 2 * n.Link.OWD
+		avgRTT = 2 * owd
 	}
 	lossRate := 0.0
 	if sent > 0 {
@@ -333,11 +213,11 @@ func (n *Network) handleMI(f *Flow) {
 	}
 	minRTT := f.minRTT
 	if math.IsInf(minRTT, 1) {
-		minRTT = 2 * n.Link.OWD
+		minRTT = 2 * owd
 	}
 
 	stat := MIStat{
-		Time:       n.now,
+		Time:       now,
 		SendRate:   f.rate,
 		Throughput: delivered / d,
 		AvgRTT:     avgRTT,
@@ -345,7 +225,7 @@ func (n *Network) handleMI(f *Flow) {
 		Sent:       sent,
 		Delivered:  delivered,
 		Lost:       lost,
-		Queue:      n.QueueBacklog(n.now),
+		Queue:      backlog,
 	}
 	f.Stats = append(f.Stats, stat)
 
@@ -370,8 +250,8 @@ func (n *Network) handleMI(f *Flow) {
 
 	f.miSent, f.miDelivered, f.miLost = 0, 0, 0
 	f.miRTTSum = 0
-	f.miStart = n.now
-	n.schedule(n.now+f.Cfg.MIms/1000, evMI, f, 0)
+	f.miStart = now
+	return true
 }
 
 // InFlight returns the packets still unaccounted for at the end of the run

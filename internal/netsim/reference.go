@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ReferenceNetwork is the retained seed engine: a classical discrete-event
+// simulator that schedules one heap event per packet transmission and one
+// per delivery. It is the ground truth for the production engine — the
+// equivalence tests run both on identical scenarios and require identical
+// totals and per-MI series — and the baseline the packet-train engine's
+// speedup is measured against. Keep its handlers in lockstep with
+// Network.transmit / Flow.deliver / Flow.closeMI.
+//
+// Not safe for concurrent use.
+type ReferenceNetwork struct {
+	Link  LinkConfig
+	Flows []*Flow
+
+	events  eventQueue
+	now     float64
+	rng     *rand.Rand
+	lastDep float64 // bottleneck virtual-queue horizon
+}
+
+// NewReferenceNetwork creates a per-packet reference simulator. seed drives
+// the random-loss process exactly as in NewNetwork.
+func NewReferenceNetwork(link LinkConfig, seed int64) *ReferenceNetwork {
+	return &ReferenceNetwork{
+		Link: link.normalized(),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddFlow registers a flow; call before Run.
+func (n *ReferenceNetwork) AddFlow(cfg FlowConfig) *Flow {
+	f := newFlow(n.Link, len(n.Flows), cfg)
+	n.Flows = append(n.Flows, f)
+	return f
+}
+
+// Now returns the current simulation time.
+func (n *ReferenceNetwork) Now() float64 { return n.now }
+
+// QueueBacklog returns the bottleneck backlog in packets at time t.
+func (n *ReferenceNetwork) QueueBacklog(t float64) float64 {
+	backlog := (n.lastDep - t) * n.Link.Capacity.At(t)
+	if backlog < 0 {
+		return 0
+	}
+	return backlog
+}
+
+// schedule pushes an event.
+func (n *ReferenceNetwork) schedule(t float64, kind int32, f *Flow, sendTime float64) {
+	n.events.push(event{time: t, kind: kind, flowID: int32(f.ID), flow: f, sendTime: sendTime})
+}
+
+// Run executes the simulation until the given duration (seconds). It may be
+// called once per ReferenceNetwork.
+func (n *ReferenceNetwork) Run(duration float64) {
+	baseRTT := 2 * n.Link.OWD
+	for _, f := range n.Flows {
+		f.startRun(baseRTT, duration)
+		n.schedule(f.Cfg.Start, evStart, f, 0)
+		if f.Cfg.Stop > f.Cfg.Start {
+			n.schedule(f.Cfg.Stop, evStop, f, 0)
+		}
+	}
+
+	for n.events.len() > 0 {
+		e := n.events.pop()
+		if e.time > duration {
+			break
+		}
+		n.now = e.time
+		switch e.kind {
+		case evStart:
+			f := e.flow
+			f.active = true
+			f.miStart = n.now
+			n.schedule(n.now, evSend, f, 0)
+			n.schedule(n.now+f.Cfg.MIms/1000, evMI, f, 0)
+		case evStop:
+			e.flow.active = false
+			e.flow.stopped = true
+		case evSend:
+			n.handleSend(e.flow)
+		case evDeliver:
+			e.flow.deliver(n.now, e.sendTime, n.Link.OWD)
+		case evMI:
+			f := e.flow
+			if f.closeMI(n.now, n.QueueBacklog(n.now), n.Link.OWD) {
+				n.schedule(n.now+f.Cfg.MIms/1000, evMI, f, 0)
+			}
+		}
+	}
+	n.now = duration
+}
+
+// handleSend transmits one packet into the bottleneck and schedules the
+// next transmission at the current pacing rate.
+func (n *ReferenceNetwork) handleSend(f *Flow) {
+	if !f.active {
+		return
+	}
+	f.SentTotal++
+	f.miSent++
+
+	capNow := math.Max(n.Link.Capacity.At(n.now), 0.1)
+	if n.Link.LossRate > 0 && n.rng.Float64() < n.Link.LossRate {
+		// Random (non-congestive) loss.
+		f.LostTotal++
+		f.miLost++
+	} else if n.QueueBacklog(n.now) >= float64(n.Link.QueuePkts) {
+		// Drop-tail: buffer full.
+		f.LostTotal++
+		f.miLost++
+	} else {
+		dep := math.Max(n.now, n.lastDep) + 1/capNow
+		n.lastDep = dep
+		n.schedule(dep+n.Link.OWD, evDeliver, f, n.now)
+	}
+
+	next := n.now + 1/math.Max(f.rate, 0.1)
+	n.schedule(next, evSend, f, 0)
+}

@@ -22,6 +22,10 @@ type FairnessConfig struct {
 	StaggerSec    float64
 	DurationSec   float64
 	Seed          int64
+	// Workers bounds the scenario scheduler's fan-out across schemes in
+	// RunFig12 (0 = GOMAXPROCS, 1 = serial); results are byte-identical at
+	// any worker count.
+	Workers int
 }
 
 // DefaultFairnessConfig returns the paper's setup.
@@ -110,19 +114,19 @@ type Fig12Result struct {
 }
 
 // RunFig12 computes Jain CDFs for every baseline plus three MOCC weight
-// variants.
+// variants. Independent networks fan out over the scenario scheduler
+// (cfg.Workers).
 func RunFig12(s *Schemes, cfg FairnessConfig) Fig12Result {
-	res := Fig12Result{Jain: map[string][]float64{}}
+	type entry struct {
+		name    string
+		factory cc.AlgorithmFactory
+	}
+	var entries []entry
 	for _, f := range s.Baselines() {
 		factory := f
-		name := factory().Name()
-		fr := RunFairness(factory, name, cfg)
-		res.Jain[name] = fr.JainPerSec
+		entries = append(entries, entry{factory().Name(), factory})
 	}
-	// Aurora.
-	fr := RunFairness(func() cc.Algorithm { return s.AuroraThroughputAlgorithm() }, "aurora", cfg)
-	res.Jain["aurora"] = fr.JainPerSec
-	// MOCC variants.
+	entries = append(entries, entry{"aurora", func() cc.Algorithm { return s.AuroraThroughputAlgorithm() }})
 	variants := []struct {
 		name string
 		w    objective.Weights
@@ -133,10 +137,26 @@ func RunFig12(s *Schemes, cfg FairnessConfig) Fig12Result {
 	}
 	for _, v := range variants {
 		vLocal := v
-		fr := RunFairness(func() cc.Algorithm {
+		entries = append(entries, entry{v.name, func() cc.Algorithm {
 			return s.MOCCAlgorithm(vLocal.name, vLocal.w)
-		}, v.name, cfg)
-		res.Jain[v.name] = fr.JainPerSec
+		}})
+	}
+
+	// Train every learned scheme serially first (zoo adaptation seeds
+	// depend on registration order), then fan the networks out.
+	s.zoo.AuroraThroughput()
+	for _, v := range variants {
+		s.zoo.MOCCAdapted(v.w, 0)
+	}
+	slots := make([][]float64, len(entries))
+	Runner{Workers: cfg.Workers}.Each(len(entries), func(i int) {
+		fr := RunFairness(entries[i].factory, entries[i].name, cfg)
+		slots[i] = fr.JainPerSec
+	})
+
+	res := Fig12Result{Jain: map[string][]float64{}}
+	for i, e := range entries {
+		res.Jain[e.name] = slots[i]
 	}
 	return res
 }

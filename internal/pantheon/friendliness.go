@@ -18,6 +18,10 @@ type CompeteConfig struct {
 	// MeasureFrom discards the ramp-up before computing the ratio.
 	MeasureFrom float64
 	Seed        int64
+	// Workers bounds the scenario scheduler's fan-out over the competition
+	// grids of RunFig14 and RunFig15 (0 = GOMAXPROCS, 1 = serial); results
+	// are byte-identical at any worker count.
+	Workers int
 }
 
 // DefaultCompeteConfig is the paper's friendliness setup: 20 Mbps, 20 ms,
@@ -145,17 +149,27 @@ func RunFig14(s *Schemes, cfg CompeteConfig, rtts []float64) Fig14Result {
 		rtts = []float64{10, 30, 50, 70, 90}
 	}
 	res := Fig14Result{RTTms: rtts, Ratios: make([][]float64, len(Fig14Weights))}
-	for wi, w := range Fig14Weights {
-		for _, rtt := range rtts {
-			c := cfg
-			c.RTTms = rtt
-			r := Compete(
-				s.MOCCAlgorithm(fmt.Sprintf("mocc-w%d", wi+1), w),
-				s.MOCCAlgorithm("mocc-balance", objective.BalancePref),
-				fmt.Sprintf("w%d", wi+1), "balance", c)
-			res.Ratios[wi] = append(res.Ratios[wi], r.Ratio)
-		}
+	// Specialize every weight variant serially first (the zoo's adaptation
+	// seeds depend on registration order), matching the serial harness's
+	// first-use order: w1, balance, w2, ...
+	s.zoo.MOCCAdapted(Fig14Weights[0], 0)
+	s.zoo.MOCCAdapted(objective.BalancePref, 0)
+	for _, w := range Fig14Weights[1:] {
+		s.zoo.MOCCAdapted(w, 0)
 	}
+	for wi := range res.Ratios {
+		res.Ratios[wi] = make([]float64, len(rtts))
+	}
+	Runner{Workers: cfg.Workers}.Each(len(Fig14Weights)*len(rtts), func(job int) {
+		wi, ri := job/len(rtts), job%len(rtts)
+		c := cfg
+		c.RTTms = rtts[ri]
+		r := Compete(
+			s.MOCCAlgorithm(fmt.Sprintf("mocc-w%d", wi+1), Fig14Weights[wi]),
+			s.MOCCAlgorithm("mocc-balance", objective.BalancePref),
+			fmt.Sprintf("w%d", wi+1), "balance", c)
+		res.Ratios[wi][ri] = r.Ratio
+	})
 	return res
 }
 
@@ -208,15 +222,23 @@ func RunFig15(s *Schemes, cfg CompeteConfig, rtts []float64) Fig15Result {
 		entries = append(entries, entry{name, func() cc.Algorithm { return factory() }})
 	}
 
+	// Train the learned schemes serially, then fan the competition grid
+	// out over the scenario scheduler.
+	s.zoo.MOCCAdapted(objective.ThroughputPref, 0)
+	s.zoo.MOCCAdapted(objective.BalancePref, 0)
+	s.zoo.MOCCAdapted(objective.LatencyPref, 0)
+	s.zoo.AuroraThroughput()
 	res := Fig15Result{RTTms: rtts, Ratios: map[string][]float64{}}
 	for _, e := range entries {
-		for _, rtt := range rtts {
-			c := cfg
-			c.RTTms = rtt
-			r := Compete(e.factory(), cc.NewCubic(), e.name, "cubic", c)
-			res.Ratios[e.name] = append(res.Ratios[e.name], r.Ratio)
-		}
+		res.Ratios[e.name] = make([]float64, len(rtts))
 	}
+	Runner{Workers: cfg.Workers}.Each(len(entries)*len(rtts), func(job int) {
+		ei, ri := job/len(rtts), job%len(rtts)
+		c := cfg
+		c.RTTms = rtts[ri]
+		r := Compete(entries[ei].factory(), cc.NewCubic(), entries[ei].name, "cubic", c)
+		res.Ratios[entries[ei].name][ri] = r.Ratio
+	})
 	return res
 }
 

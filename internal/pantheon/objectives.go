@@ -23,6 +23,10 @@ type Fig6Config struct {
 	// Steps is the evaluation length per scenario in monitor intervals.
 	Steps int
 	Seed  int64
+	// Workers bounds the scenario scheduler's fan-out over the
+	// objective x condition grid (0 = GOMAXPROCS, 1 = serial); results are
+	// byte-identical at any worker count.
+	Workers int
 }
 
 // Fig6Result maps each scheme to its reward samples over all scenarios; the
@@ -60,38 +64,68 @@ func RunFig6(s *Schemes, cfg Fig6Config) Fig6Result {
 		conds[i] = ranges.Sample(rng)
 	}
 
+	// Train every learned model serially before fanning out (lazy zoo
+	// training must happen in a deterministic order).
+	s.zoo.AuroraThroughput()
+	s.zoo.MOCC()
+	s.zoo.EnhancedAurora()
+
+	run := Runner{Workers: cfg.Workers}
+	baseFactories := s.Baselines()
+	baseNames := make([]string, len(baseFactories))
+	for i, f := range baseFactories {
+		baseNames[i] = f().Name()
+	}
+
+	// Phase 1: schemes whose behaviour is objective-independent run once
+	// per condition and are scored under every objective afterwards.
+	nCondSchemes := len(baseFactories) + 1 // + vanilla Aurora
+	condSums := make([][]RunSummary, len(conds))
+	for ci := range condSums {
+		condSums[ci] = make([]RunSummary, nCondSchemes)
+	}
+	run.Each(len(conds)*nCondSchemes, func(job int) {
+		ci, bi := job/nCondSchemes, job%nCondSchemes
+		seed := cfg.Seed + int64(ci)*101
+		if bi < len(baseFactories) {
+			condSums[ci][bi] = RunScheme(baseFactories[bi](), conds[ci], cfg.Steps, seed)
+		} else {
+			condSums[ci][bi] = RunScheme(s.AuroraThroughputAlgorithm(), conds[ci], cfg.Steps, seed)
+		}
+	})
+
+	// Phase 2: the objective-conditioned schemes cover the full
+	// objective x condition grid.
+	moccSums := make([]RunSummary, len(conds)*len(objs))
+	enhSums := make([]RunSummary, len(conds)*len(objs))
+	run.Each(len(conds)*len(objs), func(job int) {
+		ci, oi := job/len(objs), job%len(objs)
+		w := objs[oi]
+		seed := cfg.Seed + int64(ci)*101 + int64(oi)
+
+		// MOCC conditions on the objective using the offline model alone —
+		// §6.1 disables online adaptation for this figure.
+		moccSums[job] = RunScheme(s.MOCCOfflineAlgorithm("mocc", w), conds[ci], cfg.Steps, seed)
+
+		// Enhanced Aurora picks the nearest pre-trained model; the worker
+		// drives a private clone of it.
+		agent := s.zoo.NearestEnhanced(w).Clone()
+		enh := cc.NewRLRate("enhanced-aurora", cc.PolicyFunc(agent.Act), core.HistoryLen)
+		enhSums[job] = RunScheme(enh, conds[ci], cfg.Steps, seed)
+	})
+
 	res := Fig6Result{Rewards: map[string][]float64{}}
 	record := func(name string, r float64) {
 		res.Rewards[name] = append(res.Rewards[name], r)
 	}
-
-	for ci, cond := range conds {
-		seed := cfg.Seed + int64(ci)*101
-		// Baselines do not depend on the objective: run once per
-		// condition, then score under every objective.
-		baseSums := map[string]RunSummary{}
-		for _, f := range s.Baselines() {
-			alg := f()
-			baseSums[alg.Name()] = RunScheme(alg, cond, cfg.Steps, seed)
-		}
-		vanillaAurora := RunScheme(s.AuroraThroughputAlgorithm(), cond, cfg.Steps, seed)
-
+	for ci := range conds {
 		for oi, w := range objs {
-			for name, sum := range baseSums {
-				record(name, rewardOfRun(sum, w))
+			for bi, name := range baseNames {
+				record(name, rewardOfRun(condSums[ci][bi], w))
 			}
-			record("aurora", rewardOfRun(vanillaAurora, w))
-
-			// MOCC conditions on the objective using the offline model
-			// alone — §6.1 disables online adaptation for this figure.
-			moccSum := RunScheme(s.MOCCOfflineAlgorithm("mocc", w), cond, cfg.Steps, seed+int64(oi))
-			record("mocc", rewardOfRun(moccSum, w))
-
-			// Enhanced Aurora picks the nearest pre-trained model.
-			agent := s.zoo.NearestEnhanced(w)
-			enh := cc.NewRLRate("enhanced-aurora", cc.PolicyFunc(agent.Act), core.HistoryLen)
-			enhSum := RunScheme(enh, cond, cfg.Steps, seed+int64(oi))
-			record("enhanced-aurora", rewardOfRun(enhSum, w))
+			record("aurora", rewardOfRun(condSums[ci][nCondSchemes-1], w))
+			record("mocc", rewardOfRun(moccSums[ci*len(objs)+oi], w))
+			record("enhanced-aurora", rewardOfRun(enhSums[ci*len(objs)+oi], w))
 		}
 	}
 	return res
@@ -137,6 +171,9 @@ type Fig16Config struct {
 	EvalSteps      int
 	// TrainIterBudget is the shared two-phase schedule scale per ω.
 	Seed int64
+	// Workers bounds the scenario scheduler's fan-out over the evaluation
+	// passes (training stays serial); 0 = GOMAXPROCS, 1 = serial.
+	Workers int
 }
 
 // Fig16Result maps ω to reward samples and training iteration counts.
@@ -178,11 +215,14 @@ func RunFig16(cfg Fig16Config) Fig16Result {
 		}
 		res.TrainIters[omega] = tr.TotalIters()
 
-		for oi, w := range evalObjs {
+		// Evaluation passes are independent: fan them out, each worker
+		// driving a frozen copy of the trained model.
+		rewards := make([]float64, len(evalObjs))
+		Runner{Workers: cfg.Workers}.Each(len(evalObjs), func(oi int) {
 			env := gym.New(gym.FromCondition(evalCond, 1500, cfg.Seed+int64(oi)))
-			reward := evalModel(model, env, w, cfg.EvalSteps)
-			res.Rewards[omega] = append(res.Rewards[omega], reward)
-		}
+			rewards[oi] = evalModel(model.Clone(), env, evalObjs[oi], cfg.EvalSteps)
+		})
+		res.Rewards[omega] = rewards
 	}
 	return res
 }

@@ -1,0 +1,63 @@
+package pantheon
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner is the harness's scenario scheduler: it fans independent
+// simulation runs (sweep grid cells, fairness networks, pairwise
+// competitions, model evaluation passes) across a bounded worker pool.
+//
+// Determinism contract: tasks must derive everything from their index —
+// per-scenario seeds, pre-materialized (frozen) models, pre-sized result
+// slots — and must not share mutable state. Under that contract the
+// schedule order is unobservable, so serial and parallel execution produce
+// byte-identical tables; TestSweepParallelDeterminism holds the harness to
+// it.
+type Runner struct {
+	// Workers bounds the pool; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// workerCount resolves the configured worker count.
+func workerCount(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Each runs task(i) for every i in [0, n), using up to min(Workers, n)
+// goroutines, and returns when all tasks finished. With one worker it
+// degrades to a plain loop on the calling goroutine, preserving the serial
+// harness exactly.
+func (r Runner) Each(n int, task func(i int)) {
+	workers := workerCount(r.Workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,164 @@
+package pantheon
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunnerEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var hits [157]atomic.Int32
+		Runner{Workers: workers}.Each(len(hits), func(i int) {
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunnerEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	Runner{Workers: workers}.Each(64, func(int) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent tasks, want <= %d", p, workers)
+	}
+}
+
+func TestRunnerEachZeroTasks(t *testing.T) {
+	ran := false
+	Runner{Workers: 4}.Each(0, func(int) { ran = true })
+	if ran {
+		t.Error("task ran for n=0")
+	}
+}
+
+// sweepTables renders a sweep result to bytes for exact comparison.
+func sweepTables(t *testing.T, res SweepResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	util, lat := res.Tables()
+	if err := util.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := lat.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepParallelDeterminism is the scheduler's acceptance check: the
+// parallel sweep must render byte-identical tables to the serial harness.
+func TestSweepParallelDeterminism(t *testing.T) {
+	z := sharedZoo()
+	s := NewSchemes(z)
+	cfg := SweepConfig{Axis: AxisBandwidth, Steps: 40, Seed: 3}
+
+	cfg.Workers = 1
+	serial := sweepTables(t, RunSweep(s, cfg))
+	cfg.Workers = 4
+	parallel := sweepTables(t, RunSweep(s, cfg))
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("serial and 4-worker sweeps diverge:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestFig14ParallelDeterminism checks the competition grid under the
+// scheduler.
+func TestFig14ParallelDeterminism(t *testing.T) {
+	z := sharedZoo()
+	s := NewSchemes(z)
+	cfg := DefaultCompeteConfig()
+	cfg.DurationSec = 10
+	cfg.MeasureFrom = 4
+
+	cfg.Workers = 1
+	serial := RunFig14(s, cfg, []float64{20, 60})
+	cfg.Workers = 4
+	parallel := RunFig14(s, cfg, []float64{20, 60})
+	for wi := range serial.Ratios {
+		for ri := range serial.Ratios[wi] {
+			if serial.Ratios[wi][ri] != parallel.Ratios[wi][ri] {
+				t.Errorf("w%d rtt[%d]: serial %v, parallel %v",
+					wi+1, ri, serial.Ratios[wi][ri], parallel.Ratios[wi][ri])
+			}
+		}
+	}
+}
+
+// TestFig12ParallelDeterminism checks the fairness networks under the
+// scheduler.
+func TestFig12ParallelDeterminism(t *testing.T) {
+	z := sharedZoo()
+	s := NewSchemes(z)
+	cfg := DefaultFairnessConfig()
+	cfg.Flows = 2
+	cfg.StaggerSec = 5
+	cfg.DurationSec = 20
+
+	cfg.Workers = 1
+	serial := RunFig12(s, cfg)
+	cfg.Workers = 4
+	parallel := RunFig12(s, cfg)
+	if len(serial.Jain) != len(parallel.Jain) {
+		t.Fatalf("scheme count %d vs %d", len(serial.Jain), len(parallel.Jain))
+	}
+	for name, xs := range serial.Jain {
+		ys, ok := parallel.Jain[name]
+		if !ok || len(xs) != len(ys) {
+			t.Fatalf("%s: sample count mismatch", name)
+		}
+		for i := range xs {
+			if xs[i] != ys[i] {
+				t.Errorf("%s sample %d: serial %v, parallel %v", name, i, xs[i], ys[i])
+			}
+		}
+	}
+}
+
+// BenchmarkRunSweepSerial and BenchmarkRunSweepWorkers4 measure the
+// scheduler's wall-clock effect on one Figure 5 panel (run on a
+// multi-core machine to see the fan-out; both collapse to the serial path
+// when GOMAXPROCS=1).
+func BenchmarkRunSweepSerial(b *testing.B) {
+	s := NewSchemes(zooForBench(b))
+	cfg := SweepConfig{Axis: AxisBandwidth, Steps: 120, Seed: 1, Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunSweep(s, cfg)
+	}
+}
+
+func BenchmarkRunSweepWorkers4(b *testing.B) {
+	s := NewSchemes(zooForBench(b))
+	cfg := SweepConfig{Axis: AxisBandwidth, Steps: 120, Seed: 1, Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunSweep(s, cfg)
+	}
+}
+
+// zooForBench shares the test zoo and pre-trains every model RunSweep needs
+// outside the timed region.
+func zooForBench(b *testing.B) *Zoo {
+	b.Helper()
+	z := sharedZoo()
+	s := NewSchemes(z)
+	RunSweep(s, SweepConfig{Axis: AxisBandwidth, Steps: 1, Seed: 1, Workers: 1})
+	return z
+}

@@ -96,9 +96,10 @@ func RunFig19(cfg Fig19Config) (Fig19Result, error) {
 	res.TransferTime = time.Since(start)
 	res.TransferIters = tr.TotalIters()
 
-	// 3. Transfer + parallel rollout collection.
+	// 3. Transfer + parallel rollout collection. Worker count resolves
+	// like the scenario scheduler's: <= 0 selects GOMAXPROCS.
 	parCfg := base
-	parCfg.Workers = cfg.Workers
+	parCfg.Workers = workerCount(cfg.Workers)
 	start = time.Now()
 	model2 := core.NewModel(core.HistoryLen, cfg.Seed)
 	trainer2, err := core.NewOfflineTrainer(model2, parCfg)

@@ -71,6 +71,10 @@ type SweepConfig struct {
 	Seed int64
 	// Base overrides the default fixed condition when non-zero.
 	Base *trace.Condition
+	// Workers bounds the scenario scheduler's fan-out over the
+	// scheme x point grid (0 = GOMAXPROCS, 1 = serial). Results are
+	// byte-identical at any worker count.
+	Workers int
 }
 
 // SweepSeries is one scheme's line in a Figure 5 panel.
@@ -117,17 +121,33 @@ func RunSweep(s *Schemes, cfg SweepConfig) SweepResult {
 		entries = append(entries, entry{factory().Name(), func() cc.Algorithm { return factory() }})
 	}
 
-	res := SweepResult{Axis: cfg.Axis}
-	for _, e := range entries {
-		series := SweepSeries{Scheme: e.name, X: points}
-		for i, v := range points {
-			cond := conditionAt(base, cfg.Axis, v)
-			sum := RunScheme(e.factory(), cond, cfg.Steps, cfg.Seed+int64(i))
-			series.Util = append(series.Util, sum.Utilization)
-			series.LatR = append(series.LatR, sum.LatencyRatio)
+	// Train every learned model serially before fanning out: the zoo
+	// trains lazily and its adaptation seeds depend on registration order,
+	// so warming must follow the serial harness's first-use order.
+	s.zoo.MOCCAdapted(objective.ThroughputPref, 0)
+	s.zoo.MOCCAdapted(objective.LatencyPref, 0)
+	s.zoo.AuroraThroughput()
+	s.zoo.AuroraLatency()
+	s.zoo.OrcaPolicy()
+
+	res := SweepResult{Axis: cfg.Axis, Series: make([]SweepSeries, len(entries))}
+	for ei, e := range entries {
+		res.Series[ei] = SweepSeries{
+			Scheme: e.name,
+			X:      points,
+			Util:   make([]float64, len(points)),
+			LatR:   make([]float64, len(points)),
 		}
-		res.Series = append(res.Series, series)
 	}
+	// Every grid cell derives its condition, seed and result slot from its
+	// index alone, so the fan-out is order-independent.
+	Runner{Workers: cfg.Workers}.Each(len(entries)*len(points), func(job int) {
+		ei, i := job/len(points), job%len(points)
+		cond := conditionAt(base, cfg.Axis, points[i])
+		sum := RunScheme(entries[ei].factory(), cond, cfg.Steps, cfg.Seed+int64(i))
+		res.Series[ei].Util[i] = sum.Utilization
+		res.Series[ei].LatR[i] = sum.LatencyRatio
+	})
 	return res
 }
 

@@ -369,32 +369,34 @@ func (s *Schemes) Baselines() []cc.AlgorithmFactory {
 
 // MOCCAlgorithm returns a fresh MOCC algorithm bound to w, using the
 // deployment path: the offline model plus a short online specialization for
-// the registered objective (§4.3). Specialized models are cached in the zoo.
+// the registered objective (§4.3). Specialized models are cached in the
+// zoo; the returned algorithm runs on a frozen copy, so every call yields
+// an independent instance the scenario scheduler may drive concurrently.
 func (s *Schemes) MOCCAlgorithm(name string, w objective.Weights) cc.Algorithm {
-	return s.zoo.MOCCAdapted(w, 0).AlgorithmFor(name, w)
+	return s.zoo.MOCCAdapted(w, 0).FrozenAlgorithmFor(name, w)
 }
 
 // MOCCOfflineAlgorithm returns MOCC using only the offline pre-trained
 // model, no online adaptation — the configuration §6.1 evaluates in the
 // 100-objective experiment (Figure 6).
 func (s *Schemes) MOCCOfflineAlgorithm(name string, w objective.Weights) cc.Algorithm {
-	return s.zoo.MOCC().AlgorithmFor(name, w)
+	return s.zoo.MOCC().FrozenAlgorithmFor(name, w)
 }
 
 // AuroraThroughputAlgorithm returns Aurora trained for throughput.
 func (s *Schemes) AuroraThroughputAlgorithm() cc.Algorithm {
-	agent := s.zoo.AuroraThroughput()
+	agent := s.zoo.AuroraThroughput().Clone()
 	return cc.NewRLRate("aurora-throughput", cc.PolicyFunc(agent.Act), core.HistoryLen)
 }
 
 // AuroraLatencyAlgorithm returns Aurora trained for latency.
 func (s *Schemes) AuroraLatencyAlgorithm() cc.Algorithm {
-	agent := s.zoo.AuroraLatency()
+	agent := s.zoo.AuroraLatency().Clone()
 	return cc.NewRLRate("aurora-latency", cc.PolicyFunc(agent.Act), core.HistoryLen)
 }
 
 // OrcaAlgorithm returns the Orca two-level controller.
 func (s *Schemes) OrcaAlgorithm() cc.Algorithm {
-	agent := s.zoo.OrcaPolicy()
+	agent := s.zoo.OrcaPolicy().Clone()
 	return cc.NewOrca(cc.PolicyFunc(agent.Act), core.HistoryLen)
 }

@@ -125,3 +125,15 @@ func (a *PlainAgent) AllParams() []*nn.Param {
 func (a *PlainAgent) CopyFrom(src *PlainAgent) error {
 	return nn.CopyParams(a.AllParams(), src.AllParams())
 }
+
+// Clone returns an independent deep copy of the agent. Forward passes run in
+// per-network scratch arenas, so a shared agent must not be evaluated from
+// several goroutines; concurrent evaluation workers act on private clones
+// instead.
+func (a *PlainAgent) Clone() *PlainAgent {
+	c := NewPlainAgent(a.obsLen, 0)
+	if err := c.CopyFrom(a); err != nil {
+		panic("rl: clone of identical architecture failed: " + err.Error())
+	}
+	return c
+}

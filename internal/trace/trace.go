@@ -101,6 +101,54 @@ func (r *RandomWalk) At(t float64) float64 {
 	return r.levels[idx]
 }
 
+// Sampler is a devirtualized view of a Bandwidth schedule for per-packet
+// hot loops. The common concrete schedules (Constant, Step) are unpacked
+// into plain fields so sampling them is a branch and a few arithmetic ops
+// instead of an interface call; every other implementation falls back to the
+// Bandwidth interface. A Sampler returns bit-identical values to the
+// schedule it was built from.
+type Sampler struct {
+	kind     int8
+	constVal float64
+	step     Step
+	generic  Bandwidth
+}
+
+// Sampler kinds.
+const (
+	samplerGeneric int8 = iota
+	samplerConst
+	samplerStep
+)
+
+// NewSampler builds a Sampler for b. A nil schedule yields a zero-rate
+// sampler.
+func NewSampler(b Bandwidth) Sampler {
+	switch v := b.(type) {
+	case Constant:
+		return Sampler{kind: samplerConst, constVal: float64(v)}
+	case Step:
+		return Sampler{kind: samplerStep, step: v}
+	case nil:
+		return Sampler{kind: samplerConst, constVal: 0}
+	default:
+		return Sampler{kind: samplerGeneric, generic: b}
+	}
+}
+
+// At returns the capacity in packets/second at time t, exactly as the
+// underlying schedule's At would.
+func (s *Sampler) At(t float64) float64 {
+	switch s.kind {
+	case samplerConst:
+		return s.constVal
+	case samplerStep:
+		return s.step.At(t)
+	default:
+		return s.generic.At(t)
+	}
+}
+
 // MbpsToPktsPerSec converts megabits/second to packets/second assuming
 // pktBytes bytes per packet.
 func MbpsToPktsPerSec(mbps float64, pktBytes int) float64 {

@@ -34,6 +34,36 @@ func TestStep(t *testing.T) {
 	}
 }
 
+// TestSamplerMatchesBandwidth checks the devirtualized fast paths return
+// bit-identical values to the interface they specialize — the property the
+// netsim engine equivalence rests on.
+func TestSamplerMatchesBandwidth(t *testing.T) {
+	schedules := []Bandwidth{
+		Constant(417.5),
+		Step{Low: 500, High: 1500, Period: 0.9},
+		Step{Low: 3, High: 9}, // degenerate period
+		Sine{Mean: 1000, Amplitude: 400, Period: 7},
+		NewRandomWalk(200, 900, 0.5, 30, 4),
+	}
+	rng := rand.New(rand.NewSource(1))
+	for si, b := range schedules {
+		s := NewSampler(b)
+		for i := 0; i < 2000; i++ {
+			at := rng.Float64() * 40
+			if got, want := s.At(at), b.At(at); got != want {
+				t.Fatalf("schedule %d: Sampler.At(%v) = %v, Bandwidth.At = %v", si, at, got, want)
+			}
+		}
+	}
+}
+
+func TestSamplerNil(t *testing.T) {
+	s := NewSampler(nil)
+	if got := s.At(3); got != 0 {
+		t.Errorf("nil sampler At = %v, want 0", got)
+	}
+}
+
 func TestSine(t *testing.T) {
 	s := Sine{Mean: 25, Amplitude: 5, Period: 10}
 	if got := s.At(0); !close(got, 25) {
