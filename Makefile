@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench bench-sim ci
+.PHONY: all build vet test test-race bench bench-sim ci
 
 all: build vet test
 
@@ -12,6 +12,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race detector over the concurrency-bearing packages: the shard-parallel
+# public API (root + transport) and the parallel collectors/schedulers.
+test-race:
+	$(GO) test -race . ./transport ./internal/rl ./internal/pantheon
 
 # Micro-benchmarks for the NN/PPO hot path (run with -count for stability).
 bench:

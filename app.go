@@ -1,0 +1,197 @@
+package mocc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mocc/internal/cc"
+	"mocc/internal/core"
+	"mocc/internal/objective"
+)
+
+// App is a registered application's handle. Its hot path — Report — runs
+// entirely on per-handle state: the handle owns its controller, its
+// telemetry, and a private inference view of the shared model, so
+// applications on different goroutines never serialize against each other
+// (the only shared touch is the read side of the model's parameter lock,
+// contended only while OnlineAdapt runs).
+//
+// All methods are safe for concurrent use; calls on one handle serialize
+// against each other, calls on different handles run in parallel.
+type App struct {
+	lib *Library
+	id  AppID
+
+	// rateBits publishes the current pacing rate (float64 bits), so Rate
+	// is a lock-free read from any goroutine — pacing loops poll it
+	// without touching the controller mutex.
+	rateBits atomic.Uint64
+
+	mu      sync.Mutex // serializes Report/SetWeights/Stats on this handle
+	alg     *cc.RLRate
+	pol     *core.SharedPolicy
+	weights objective.Weights
+	closed  bool
+	tele    telemetry
+}
+
+// telemetry accumulates per-application counters (guarded by App.mu).
+type telemetry struct {
+	registered  time.Time
+	lastReport  time.Time
+	reports     int64
+	sent        float64
+	acked       float64
+	lost        float64
+	duration    time.Duration
+	rttWeighted float64 // Σ AvgRTT·Duration (seconds²), for the duration-weighted mean
+	rateTime    float64 // Σ rate·Duration (packets), for the mean decided rate
+	minRTT      time.Duration
+}
+
+// AppStats is a snapshot of an application's cumulative telemetry.
+type AppStats struct {
+	// Registered and LastReport timestamp the handle's lifecycle (from the
+	// library clock; see WithClock).
+	Registered time.Time
+	LastReport time.Time
+	// Reports counts accepted Report calls (= rate decisions made).
+	Reports int64
+	// PacketsSent / PacketsAcked / PacketsLost are cumulative counts.
+	PacketsSent  float64
+	PacketsAcked float64
+	PacketsLost  float64
+	// LossRate is cumulative PacketsLost / PacketsSent.
+	LossRate float64
+	// Throughput is the cumulative delivery rate (pkts/s) over all
+	// reported intervals.
+	Throughput float64
+	// AvgRTT is the duration-weighted mean of reported interval RTTs;
+	// MinRTT is the smallest MinRTT ever reported.
+	AvgRTT time.Duration
+	MinRTT time.Duration
+	// Duration is total reported interval time.
+	Duration time.Duration
+	// Rate is the current pacing rate (pkts/s); MeanRate is the
+	// duration-weighted mean of all decided rates.
+	Rate     float64
+	MeanRate float64
+}
+
+// ID returns the identifier that the §5 compatibility layer (Library.V1)
+// uses to address this application.
+func (a *App) ID() AppID { return a.id }
+
+// Weights returns the currently applied preference.
+func (a *App) Weights() Weights {
+	a.mu.Lock()
+	w := a.weights
+	a.mu.Unlock()
+	return Weights{w.Thr, w.Lat, w.Loss}
+}
+
+// publishRate stores the rate for lock-free readers.
+func (a *App) publishRate(rate float64) { a.rateBits.Store(math.Float64bits(rate)) }
+
+// Rate returns the current pacing rate in packets/second — §5's
+// GetSendingRate, as a lock-free read.
+func (a *App) Rate() float64 { return math.Float64frombits(a.rateBits.Load()) }
+
+// Report feeds one monitor interval of measurements and returns the pacing
+// rate (packets/second) for the next interval: §5's ReportStatus +
+// GetSendingRate round trip collapsed into the one call every datapath
+// actually makes. It validates the status (negative counts and
+// acked+lost > sent are rejected with a descriptive error) and updates the
+// handle's telemetry.
+func (a *App) Report(st Status) (float64, error) {
+	if err := st.validate(); err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return 0, fmt.Errorf("mocc: app %d is unregistered", a.id)
+	}
+	rate := a.alg.Update(st.report())
+	a.publishRate(rate)
+
+	t := &a.tele
+	t.reports++
+	t.sent += st.PacketsSent
+	t.acked += st.PacketsAcked
+	t.lost += st.PacketsLost
+	t.duration += st.Duration
+	d := st.Duration.Seconds()
+	t.rttWeighted += st.AvgRTT.Seconds() * d
+	t.rateTime += rate * d
+	if st.MinRTT > 0 && (t.minRTT == 0 || st.MinRTT < t.minRTT) {
+		t.minRTT = st.MinRTT
+	}
+	t.lastReport = a.lib.clock()
+	return rate, nil
+}
+
+// SetWeights retunes the application's preference live: the next Report
+// evaluates the model under the new weight vector while every other part of
+// the controller (rate, feature history, probe state) carries over, so a
+// running connection changes objective mid-stream without re-registration.
+// The replay pool's reference moves from the old preference to the new one.
+func (a *App) SetWeights(w Weights) error {
+	iw, err := w.internal()
+	if err != nil {
+		return fmt.Errorf("mocc: invalid weights: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return fmt.Errorf("mocc: app %d is unregistered", a.id)
+	}
+	old := a.weights
+	a.weights = iw
+	a.pol.SetWeights(iw)
+	// The pool transfer stays inside a.mu so concurrent SetWeights (or a
+	// racing Unregister) can't interleave their Register/Release pairs out
+	// of order and strand a refcount. Pool operations are short and take
+	// no lock that could reach back into a.mu.
+	if old != iw && a.lib.adapter != nil {
+		a.lib.adapter.Register(iw)
+		a.lib.adapter.Release(old)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the application's cumulative telemetry.
+func (a *App) Stats() AppStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.tele
+	s := AppStats{
+		Registered:   t.registered,
+		LastReport:   t.lastReport,
+		Reports:      t.reports,
+		PacketsSent:  t.sent,
+		PacketsAcked: t.acked,
+		PacketsLost:  t.lost,
+		MinRTT:       t.minRTT,
+		Duration:     t.duration,
+		Rate:         a.Rate(),
+	}
+	if t.sent > 0 {
+		s.LossRate = t.lost / t.sent
+	}
+	if d := t.duration.Seconds(); d > 0 {
+		s.Throughput = t.acked / d
+		s.AvgRTT = time.Duration(t.rttWeighted / d * float64(time.Second))
+		s.MeanRate = t.rateTime / d
+	}
+	return s
+}
+
+// Unregister removes the application from its library. Subsequent Report
+// and SetWeights calls fail; Rate keeps returning the last published value.
+// Unregistering the last application holding a preference drops it from the
+// online-adaptation replay pool.
+func (a *App) Unregister() error { return a.lib.unregister(a) }

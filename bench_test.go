@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"mocc"
 	"mocc/internal/apps"
 	"mocc/internal/cc"
 	"mocc/internal/core"
@@ -372,3 +374,81 @@ func BenchmarkTable3Simulator(b *testing.B) {
 
 // traceTrainingRanges avoids an extra import alias in the benchmark above.
 func traceTrainingRanges() trace.NetRanges { return trace.TrainingRanges() }
+
+// Contention-benchmark library: trained once, outside any timed region.
+var (
+	contOnce sync.Once
+	contLib  *mocc.Library
+	contErr  error
+)
+
+func contentionLibrary(b *testing.B) *mocc.Library {
+	b.Helper()
+	contOnce.Do(func() {
+		opts := mocc.QuickTraining()
+		opts.Omega = 3
+		opts.BootstrapIters = 4
+		opts.BootstrapCycles = 1
+		opts.TraverseCycles = 0
+		contLib, contErr = mocc.Train(opts)
+	})
+	if contErr != nil {
+		b.Fatalf("training library: %v", contErr)
+	}
+	return contLib
+}
+
+// BenchmarkLibraryContention measures the handle hot path under
+// shard-parallel load: G goroutines drive G independent apps, each
+// goroutine performing b.N Report calls on its own handle. Because every
+// handle owns its controller, telemetry, and inference scratch, the
+// per-report cost (the ns/report metric) stays roughly flat as G grows —
+// there is no global lock to serialize on (the only shared touch is the
+// uncontended read side of the model's parameter lock).
+func BenchmarkLibraryContention(b *testing.B) {
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("apps=%d", g), func(b *testing.B) {
+			lib := contentionLibrary(b)
+			apps := make([]*mocc.App, g)
+			for i := range apps {
+				app, err := lib.Register(mocc.BalancedPreference)
+				if err != nil {
+					b.Fatal(err)
+				}
+				apps[i] = app
+			}
+			defer func() {
+				for _, app := range apps {
+					_ = app.Unregister()
+				}
+			}()
+			st := mocc.Status{
+				Duration:     40 * time.Millisecond,
+				PacketsSent:  50,
+				PacketsAcked: 48,
+				PacketsLost:  2,
+				AvgRTT:       45 * time.Millisecond,
+				MinRTT:       40 * time.Millisecond,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for _, app := range apps {
+				wg.Add(1)
+				go func(app *mocc.App) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						if _, err := app.Report(st); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(app)
+			}
+			wg.Wait()
+			b.StopTimer()
+			// Total work is b.N reports per app across g goroutines.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(g), "ns/report")
+		})
+	}
+}

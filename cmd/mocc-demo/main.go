@@ -1,7 +1,12 @@
 // Command mocc-demo runs a live congestion-controlled transfer over a real
 // UDP loopback socket: it starts a receiver, paces packets under the chosen
-// controller, and prints the per-interval behaviour. This is the
-// user-space (UDT-style) deployment path of §5 exercised end to end.
+// controller, and prints the behaviour. This is the user-space (UDT-style)
+// deployment path of §5 exercised end to end.
+//
+// The mocc scheme goes through the public surface — a Library, a registered
+// *mocc.App handle, and the mocc/transport socket loop — exactly as an
+// embedding application would; classical schemes run on the internal
+// datapath harness.
 //
 // Usage:
 //
@@ -16,12 +21,11 @@ import (
 	"log"
 	"time"
 
+	"mocc"
 	"mocc/internal/cc"
-	"mocc/internal/core"
 	"mocc/internal/datapath"
-	"mocc/internal/nn"
 	"mocc/internal/objective"
-	"mocc/internal/pantheon"
+	"mocc/transport"
 )
 
 func main() {
@@ -38,22 +42,98 @@ func main() {
 	)
 	flag.Parse()
 
-	alg, err := buildAlgorithm(*scheme, *weights, *model, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	recv, err := datapath.StartReceiver("127.0.0.1:0", *drop, *seed)
+	recv, err := transport.Listen("127.0.0.1:0", transport.ReceiverConfig{DropProb: *drop, Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer recv.Close()
 	log.Printf("receiver on %s (drop=%.1f%%)", recv.Addr(), *drop*100)
 
+	if *scheme == "mocc" {
+		runMOCC(recv.Addr(), *weights, *model, *duration, *seed)
+		return
+	}
+	runClassical(recv.Addr(), *scheme, *duration)
+}
+
+// runMOCC hosts a registered application handle over the public transport
+// binding: Library → Register → transport.Send → App.Stats.
+func runMOCC(addr, weights, modelPath string, duration time.Duration, seed int64) {
+	w, err := objective.Parse(weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var model *mocc.Model
+	if modelPath != "" {
+		model, err = mocc.LoadModelFile(modelPath)
+	} else {
+		log.Print("no -model given; quick-training MOCC in process (seconds)...")
+		opts := mocc.QuickTraining()
+		opts.Seed = seed
+		model, err = mocc.TrainModel(opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Loopback RTTs are microseconds; seed the initial rate accordingly
+	// (the library default of 40ms suits WAN paths).
+	lib, err := mocc.New(model, mocc.WithInitialRTT(time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := lib.Register(mocc.Weights{Thr: w.Thr, Lat: w.Lat, Loss: w.Loss})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Unregister()
+
+	stats, err := transport.Send(addr, app, duration, transport.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheme      mocc%v (public handle API)\n", w)
+	fmt.Printf("duration    %s\n", stats.Duration.Round(time.Millisecond))
+	fmt.Printf("sent        %d packets\n", stats.Sent)
+	fmt.Printf("acked       %d packets\n", stats.Acked)
+	fmt.Printf("lost        %d packets (inferred)\n", stats.Lost)
+	fmt.Printf("avg RTT     %s\n", stats.AvgRTT.Round(time.Microsecond))
+	fmt.Printf("throughput  %.1f Mbps\n", stats.ThroughputMbps)
+
+	s := app.Stats()
+	fmt.Println("app telemetry (App.Stats):")
+	fmt.Printf("  intervals  %d\n", s.Reports)
+	fmt.Printf("  thr        %.0f pps\n", s.Throughput)
+	fmt.Printf("  loss       %.2f%%\n", s.LossRate*100)
+	fmt.Printf("  avg rtt    %s (min %s)\n", s.AvgRTT.Round(time.Microsecond), s.MinRTT.Round(time.Microsecond))
+	fmt.Printf("  rate       %.0f pps now, %.0f pps mean\n", s.Rate, s.MeanRate)
+}
+
+// runClassical drives a baseline controller over the internal datapath
+// harness (these schemes have no preference and no handle).
+func runClassical(addr, scheme string, duration time.Duration) {
+	var alg cc.Algorithm
+	switch scheme {
+	case "cubic":
+		alg = cc.NewCubic()
+	case "vegas":
+		alg = cc.NewVegas()
+	case "bbr":
+		alg = cc.NewBBR()
+	case "copa":
+		alg = cc.NewCopa()
+	case "pcc-allegro":
+		alg = cc.NewAllegro()
+	case "pcc-vivace":
+		alg = cc.NewVivace()
+	default:
+		log.Fatalf("unknown scheme %q", scheme)
+	}
+
 	stats, err := datapath.RunTransfer(datapath.TransferConfig{
-		Addr:     recv.Addr(),
+		Addr:     addr,
 		Alg:      alg,
-		Duration: *duration,
+		Duration: duration,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -77,46 +157,5 @@ func main() {
 			fmt.Printf("  MI %2d: rate %.0f pps, delivered %.0f pps, rtt %.2f ms, loss %.1f%%\n",
 				i, r.SendRate, r.Throughput, r.AvgRTT*1000, r.LossRate*100)
 		}
-	}
-}
-
-// buildAlgorithm resolves a scheme name into a controller, training or
-// loading MOCC as needed.
-func buildAlgorithm(scheme, weights, modelPath string, seed int64) (cc.Algorithm, error) {
-	switch scheme {
-	case "cubic":
-		return cc.NewCubic(), nil
-	case "vegas":
-		return cc.NewVegas(), nil
-	case "bbr":
-		return cc.NewBBR(), nil
-	case "copa":
-		return cc.NewCopa(), nil
-	case "pcc-allegro":
-		return cc.NewAllegro(), nil
-	case "pcc-vivace":
-		return cc.NewVivace(), nil
-	case "mocc":
-		w, err := objective.Parse(weights)
-		if err != nil {
-			return nil, err
-		}
-		model := core.NewModel(core.HistoryLen, seed)
-		if modelPath != "" {
-			snap, err := nn.LoadFile(modelPath)
-			if err != nil {
-				return nil, err
-			}
-			if err := model.Restore(snap); err != nil {
-				return nil, err
-			}
-		} else {
-			log.Print("no -model given; quick-training MOCC in process (seconds)...")
-			zoo := pantheon.NewZoo(pantheon.Quick, seed)
-			model = zoo.MOCC()
-		}
-		return model.AlgorithmFor(fmt.Sprintf("mocc%v", w), w), nil
-	default:
-		return nil, fmt.Errorf("unknown scheme %q", scheme)
 	}
 }

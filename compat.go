@@ -1,0 +1,59 @@
+package mocc
+
+import "fmt"
+
+// V1 is the paper's exact §5 three-call deployment surface —
+// Register(w) → AppID, ReportStatus(id, s_t), GetSendingRate(id) — kept as
+// a thin compatibility layer over the handle API: every call resolves the
+// AppID to its *App and delegates, so both surfaces drive the same
+// per-application controllers and produce identical rate sequences.
+//
+// New code should hold *App handles directly (one map lookup and one
+// RWMutex read-lock cheaper per call, and Report returns the rate without a
+// second call).
+type V1 struct {
+	lib *Library
+}
+
+// V1 returns the §5 compatibility view of the library.
+func (l *Library) V1() V1 { return V1{lib: l} }
+
+// Register announces a new application and its preference, returning the
+// AppID that scopes the other calls (§5's Register(w)).
+func (v V1) Register(w Weights) (AppID, error) {
+	app, err := v.lib.Register(w)
+	if err != nil {
+		return 0, err
+	}
+	return app.ID(), nil
+}
+
+// ReportStatus feeds the latest interval measurements for an application
+// (§5's ReportStatus(s_t)) and recomputes its sending rate.
+func (v V1) ReportStatus(id AppID, st Status) error {
+	app, ok := v.lib.App(id)
+	if !ok {
+		return fmt.Errorf("mocc: unknown app %d", id)
+	}
+	_, err := app.Report(st)
+	return err
+}
+
+// GetSendingRate returns the current pacing rate in packets/second for the
+// application (§5's GetSendingRate()).
+func (v V1) GetSendingRate(id AppID) (float64, error) {
+	app, ok := v.lib.App(id)
+	if !ok {
+		return 0, fmt.Errorf("mocc: unknown app %d", id)
+	}
+	return app.Rate(), nil
+}
+
+// Unregister removes an application.
+func (v V1) Unregister(id AppID) error {
+	app, ok := v.lib.App(id)
+	if !ok {
+		return fmt.Errorf("mocc: unknown app %d", id)
+	}
+	return app.Unregister()
+}

@@ -1,0 +1,117 @@
+package mocc_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mocc"
+)
+
+// ExampleLibrary_Register shows the handle-based deployment loop: one
+// trained model, one handle per application, one Report call per monitor
+// interval.
+func ExampleLibrary_Register() {
+	lib, err := mocc.Train(mocc.QuickTraining())
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := lib.Register(mocc.ThroughputPreference)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Unregister()
+
+	// Each monitor interval: tell MOCC what the network did, get the
+	// pacing rate for the next interval back.
+	rate, err := app.Report(mocc.Status{
+		Duration:     40 * time.Millisecond,
+		PacketsSent:  100,
+		PacketsAcked: 97,
+		PacketsLost:  3,
+		AvgRTT:       52 * time.Millisecond,
+		MinRTT:       40 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pace at %.0f packets/second\n", rate)
+}
+
+// ExampleApp_Report drives a few intervals and reads the handle's
+// cumulative telemetry.
+func ExampleApp_Report() {
+	lib, err := mocc.Train(mocc.QuickTraining())
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, _ := lib.Register(mocc.RTCPreference)
+	defer app.Unregister()
+
+	for i := 0; i < 25; i++ {
+		sent := app.Rate() * 0.04 // what the pacer did last interval
+		if _, err := app.Report(mocc.Status{
+			Duration:     40 * time.Millisecond,
+			PacketsSent:  sent,
+			PacketsAcked: sent,
+			AvgRTT:       44 * time.Millisecond,
+			MinRTT:       40 * time.Millisecond,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	s := app.Stats()
+	fmt.Printf("%d intervals, %.0f pkts delivered, loss %.1f%%\n",
+		s.Reports, s.PacketsAcked, s.LossRate*100)
+}
+
+// ExampleApp_SetWeights retunes a live application's preference — the call
+// ends, the same connection becomes a download — without re-registration:
+// rate, feature history and probe state all carry over, only the objective
+// changes.
+func ExampleApp_SetWeights() {
+	lib, err := mocc.Train(mocc.QuickTraining())
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, _ := lib.Register(mocc.RTCPreference) // starts as a call
+	defer app.Unregister()
+
+	// ... the call ends; the connection now moves bulk data.
+	if err := app.SetWeights(mocc.ThroughputPreference); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("now optimizing for %+v\n", app.Weights())
+}
+
+// ExampleLibrary_V1 is the paper's exact §5 three-call loop, served by the
+// compatibility layer over the handles.
+func ExampleLibrary_V1() {
+	lib, err := mocc.Train(mocc.QuickTraining())
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1 := lib.V1()
+	id, err := v1.Register(mocc.Weights{Thr: 0.8, Lat: 0.1, Loss: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer v1.Unregister(id)
+
+	st := mocc.Status{
+		Duration:     40 * time.Millisecond,
+		PacketsSent:  100,
+		PacketsAcked: 100,
+		AvgRTT:       41 * time.Millisecond,
+		MinRTT:       40 * time.Millisecond,
+	}
+	if err := v1.ReportStatus(id, st); err != nil {
+		log.Fatal(err)
+	}
+	rate, err := v1.GetSendingRate(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pace at %.0f packets/second\n", rate)
+}

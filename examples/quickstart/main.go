@@ -1,6 +1,8 @@
 // Quickstart: train a MOCC model, register two applications with opposite
-// preferences, and drive the §5 control loop (Register → ReportStatus →
-// GetSendingRate) against a little in-process link model.
+// preferences, and drive the handle-based control loop (Register → Report)
+// against a little in-process link model. Halfway through, the call app
+// retunes its preference live with SetWeights — no re-registration — and
+// the run ends with each handle's cumulative telemetry (App.Stats).
 //
 // The link model below stands in for *your* datapath: anything that can
 // count sent/acked/lost packets and measure RTTs per interval can host MOCC.
@@ -44,6 +46,12 @@ func (l *link) transfer(rate float64, d time.Duration) mocc.Status {
 	}
 	queueDelay := time.Duration((l.queuePkts + q1) / 2 / l.capacityPps * float64(time.Second))
 	l.queuePkts = q1
+	// A draining queue delivers packets sent in earlier intervals; fold
+	// that carryover into the sent count so acked+lost never exceeds sent
+	// within one report (the invariant App.Report validates).
+	if delivered+lost > sent {
+		sent = delivered + lost
+	}
 	return mocc.Status{
 		Duration:     d,
 		PacketsSent:  sent,
@@ -63,7 +71,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// One model, two applications, two different objectives.
+	// One model, two applications, two different objectives. Register
+	// returns a handle; its Report call is the whole §5 loop.
 	bulk, err := lib.Register(mocc.ThroughputPreference)
 	if err != nil {
 		log.Fatal(err)
@@ -74,31 +83,46 @@ func main() {
 	}
 
 	// Each app drives its own link (1000 pkts/s ≈ 12 Mbps at 1500 B).
-	links := map[mocc.AppID]*link{
+	links := map[*mocc.App]*link{
 		bulk: {capacityPps: 1000, maxQueue: 200, baseRTT: 40 * time.Millisecond},
 		call: {capacityPps: 1000, maxQueue: 200, baseRTT: 40 * time.Millisecond},
 	}
-	names := map[mocc.AppID]string{bulk: "bulk (thr-pref)", call: "call (rtc-pref)"}
+	names := map[*mocc.App]string{bulk: "bulk (thr-pref)", call: "call (rtc-pref)"}
 
 	const mi = 40 * time.Millisecond
 	fmt.Printf("%-18s %12s %12s %10s\n", "app", "rate (pps)", "thr (pps)", "rtt (ms)")
 	for step := 1; step <= 150; step++ {
-		for _, id := range []mocc.AppID{bulk, call} {
-			rate, err := lib.GetSendingRate(id)
-			if err != nil {
+		if step == 75 {
+			// The call ends and the same connection becomes a file sync:
+			// retune the live handle instead of re-registering.
+			if err := call.SetWeights(mocc.ThroughputPreference); err != nil {
 				log.Fatal(err)
 			}
-			st := links[id].transfer(rate, mi)
-			if err := lib.ReportStatus(id, st); err != nil {
+			names[call] = "call (retuned)"
+			fmt.Println("  -- call app retunes to the throughput preference (SetWeights) --")
+		}
+		for _, app := range []*mocc.App{bulk, call} {
+			st := links[app].transfer(app.Rate(), mi)
+			rate, err := app.Report(st)
+			if err != nil {
 				log.Fatal(err)
 			}
 			if step%30 == 0 {
 				fmt.Printf("%-18s %12.0f %12.0f %10.1f\n",
-					names[id], rate, st.PacketsAcked/mi.Seconds(),
+					names[app], rate, st.PacketsAcked/mi.Seconds(),
 					float64(st.AvgRTT.Microseconds())/1000)
 			}
 		}
 	}
+
+	fmt.Println("\nper-app telemetry (App.Stats):")
+	for _, app := range []*mocc.App{bulk, call} {
+		s := app.Stats()
+		fmt.Printf("  %-18s reports %3d  thr %6.0f pps  loss %4.1f%%  avg rtt %5.1f ms\n",
+			names[app], s.Reports, s.Throughput, s.LossRate*100,
+			float64(s.AvgRTT.Microseconds())/1000)
+	}
 	fmt.Println("\nsame model, two objectives: the throughput app pushes the")
-	fmt.Println("queue for bandwidth, the call app backs off to keep RTT low.")
+	fmt.Println("queue for bandwidth, the call app keeps RTT low until it")
+	fmt.Println("retunes — live — into a second bulk flow.")
 }

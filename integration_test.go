@@ -9,21 +9,16 @@ import (
 	"mocc"
 	"mocc/internal/cc"
 	"mocc/internal/core"
-	"mocc/internal/datapath"
 	"mocc/internal/netsim"
 	"mocc/internal/nn"
 	"mocc/internal/objective"
 	"mocc/internal/trace"
+	"mocc/transport"
 )
 
-// TestEndToEndTrainSaveLoadDeploy exercises the full product pipeline:
-// offline training via the public API, model persistence, reload, and
-// deployment of the loaded model as a flow in the packet-level simulator
-// alongside a TCP competitor.
-func TestEndToEndTrainSaveLoadDeploy(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training pipeline in -short mode")
-	}
+// quickLib trains a scaled-down library for integration tests.
+func quickLib(t *testing.T) *mocc.Library {
+	t.Helper()
 	opts := mocc.QuickTraining()
 	opts.Omega = 3
 	opts.BootstrapIters = 4
@@ -33,6 +28,18 @@ func TestEndToEndTrainSaveLoadDeploy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return lib
+}
+
+// TestEndToEndTrainSaveLoadDeploy exercises the full product pipeline:
+// offline training via the public API, model persistence, reload, and
+// deployment of the loaded model as a flow in the packet-level simulator
+// alongside a TCP competitor.
+func TestEndToEndTrainSaveLoadDeploy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training pipeline in -short mode")
+	}
+	lib := quickLib(t)
 	path := filepath.Join(t.TempDir(), "model.json")
 	if err := lib.SaveModel(path); err != nil {
 		t.Fatal(err)
@@ -75,27 +82,29 @@ func TestEndToEndTrainSaveLoadDeploy(t *testing.T) {
 	}
 }
 
-// TestEndToEndUDPDatapath runs a trained policy over the real UDP loopback
-// datapath — the user-space deployment of §5 outside any simulator.
+// TestEndToEndUDPDatapath hosts a registered application handle over the
+// public transport binding — the user-space deployment of §5 on a real
+// loopback socket, driven entirely through the v2 surface: Library →
+// Register → transport.Send → App.Stats.
 func TestEndToEndUDPDatapath(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training pipeline in -short mode")
 	}
-	model := core.NewModel(core.HistoryLen, 1) // untrained weights are fine:
-	// the datapath contract (reports in, rates out) is what is under test.
-	alg := model.AlgorithmFor("mocc-udp", objective.RTCPref)
+	lib := quickLib(t)
+	app, err := lib.Register(mocc.RTCPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Unregister()
 
-	recv, err := datapath.StartReceiver("127.0.0.1:0", 0, 1)
+	recv, err := transport.Listen("127.0.0.1:0", transport.ReceiverConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer recv.Close()
 
-	stats, err := datapath.RunTransfer(datapath.TransferConfig{
-		Addr:     recv.Addr(),
-		Alg:      alg,
-		Duration: 400 * time.Millisecond,
-		MI:       20 * time.Millisecond,
+	stats, err := transport.Send(recv.Addr(), app, 400*time.Millisecond, transport.Config{
+		MI: 20 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -103,10 +112,19 @@ func TestEndToEndUDPDatapath(t *testing.T) {
 	if stats.Sent == 0 || stats.Acked == 0 {
 		t.Fatalf("UDP transfer moved no data: %+v", stats)
 	}
-	for _, r := range stats.Reports {
-		if math.IsNaN(r.SendRate) || r.SendRate < 0 {
-			t.Fatalf("bad report rate %v", r.SendRate)
-		}
+	if recv.Received() == 0 {
+		t.Fatal("receiver accepted no packets")
+	}
+
+	s := app.Stats()
+	if s.Reports == 0 || int(s.Reports) != stats.Intervals {
+		t.Fatalf("telemetry out of sync: app reports %d, transport intervals %d", s.Reports, stats.Intervals)
+	}
+	if s.PacketsAcked == 0 {
+		t.Fatalf("app telemetry saw no deliveries: %+v", s)
+	}
+	if math.IsNaN(s.Rate) || s.Rate <= 0 {
+		t.Fatalf("bad final rate %v", s.Rate)
 	}
 }
 
@@ -134,9 +152,8 @@ func TestProfileToLibraryFlow(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: register: %v", name, err)
 		}
-		rate, err := lib.GetSendingRate(app)
-		if err != nil || rate <= 0 {
-			t.Fatalf("%s: rate %v, err %v", name, rate, err)
+		if rate := app.Rate(); rate <= 0 {
+			t.Fatalf("%s: rate %v", name, rate)
 		}
 	}
 }

@@ -83,11 +83,26 @@ func (t *FeatureTracker) Push(r Report) {
 // Observation returns the flattened feature window (same layout as
 // gym.Env.Observation: η triples, newest last, equilibrium-centered).
 func (t *FeatureTracker) Observation() []float64 {
-	obs := make([]float64, 0, 3*len(t.history))
-	for _, s := range t.history {
-		obs = append(obs, s.SendRatio-1, s.LatencyRatio-1, s.LatencyGrad)
+	return t.ObservationInto(nil)
+}
+
+// ObservationInto fills buf with the flattened feature window, growing it
+// only when its capacity is insufficient, and returns the (re)sized slice —
+// the allocation-free variant of Observation for per-interval hot paths.
+func (t *FeatureTracker) ObservationInto(buf []float64) []float64 {
+	need := 3 * len(t.history)
+	if cap(buf) < need {
+		buf = make([]float64, need)
 	}
-	return obs
+	buf = buf[:need]
+	i := 0
+	for _, s := range t.history {
+		buf[i] = s.SendRatio - 1
+		buf[i+1] = s.LatencyRatio - 1
+		buf[i+2] = s.LatencyGrad
+		i += 3
+	}
+	return buf
 }
 
 // RLRate runs a learned rate policy as a congestion-control Algorithm: each
@@ -107,8 +122,9 @@ type RLRate struct {
 	// MaxAction clamps the policy output (training uses the same bound).
 	MaxAction float64
 
-	maxThr float64 // best delivered rate observed (pkts/s)
-	lowMIs int     // consecutive intervals spent starved
+	maxThr float64   // best delivered rate observed (pkts/s)
+	lowMIs int       // consecutive intervals spent starved
+	obsBuf []float64 // reused observation assembly (per-interval hot path)
 }
 
 // probe-restart thresholds.
@@ -156,7 +172,8 @@ func (a *RLRate) Update(r Report) float64 {
 	if r.Throughput > a.maxThr {
 		a.maxThr = r.Throughput
 	}
-	act := stats.Clamp(a.policy.Act(a.tracker.Observation()), -a.MaxAction, a.MaxAction)
+	a.obsBuf = a.tracker.ObservationInto(a.obsBuf)
+	act := stats.Clamp(a.policy.Act(a.obsBuf), -a.MaxAction, a.MaxAction)
 	if act > 0 {
 		a.rate = clampRate(a.rate * (1 + gym.ActionScale*act))
 	} else if act < 0 {

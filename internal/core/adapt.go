@@ -92,9 +92,17 @@ func NewAdapter(model *Model, cfg AdaptConfig) (*Adapter, error) {
 	}, nil
 }
 
-// Register records an application requirement in the replay pool (the
-// paper's library Register(w) call feeds this).
+// Register records one reference to an application requirement in the
+// replay pool (the paper's library Register(w) call feeds this). Each
+// Register must eventually be balanced by a Release when the application
+// unregisters, or the requirement is rehearsed forever.
 func (a *Adapter) Register(w objective.Weights) { a.pool.Add(w) }
+
+// Release drops one reference to a requirement; releasing the last
+// reference removes it from the replay pool so adaptation stops spending
+// replay rollouts on preferences no live application holds. It reports
+// whether the entry was removed.
+func (a *Adapter) Release(w objective.Weights) bool { return a.pool.Release(w) }
 
 // Pool exposes the replay pool (read-mostly; used by tests and the public
 // library).

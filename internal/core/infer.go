@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"mocc/internal/nn"
+	"mocc/internal/objective"
+)
+
+// Inference is a goroutine-private deployment view of a Model: it shares
+// the model's parameters (taking the read side of the model's parameter
+// lock per evaluation) but owns every scratch buffer, so N applications on
+// N cores evaluate one model concurrently without contending on anything
+// except that uncontended read lock. Results are bit-identical to
+// Model.ActFor.
+//
+// An Inference is not itself safe for concurrent use — create one per
+// goroutine (they are a few KB each).
+type Inference struct {
+	model      *Model
+	actorPref  *nn.Evaluator
+	actorTrunk *nn.Evaluator
+	wBuf       [WeightDim]float64
+	joint      []float64 // [3η + PrefFeatures] trunk input assembly
+}
+
+// NewInference builds a private inference view of the actor half-network.
+func (m *Model) NewInference() *Inference {
+	return &Inference{
+		model:      m,
+		actorPref:  m.actorPref.NewEvaluator(),
+		actorTrunk: m.actorTrunk.NewEvaluator(),
+		joint:      make([]float64, 3*m.HistoryLen+PrefFeatures),
+	}
+}
+
+// ActFor returns the deterministic action for a network-history observation
+// under preference w, exactly like Model.ActFor but safe to call from many
+// goroutines at once (each on its own Inference).
+func (inf *Inference) ActFor(w objective.Weights, netObs []float64) float64 {
+	netDim := 3 * inf.model.HistoryLen
+	if len(netObs) != netDim {
+		panic(fmt.Sprintf("core: network observation length %d, want %d", len(netObs), netDim))
+	}
+	inf.wBuf[0], inf.wBuf[1], inf.wBuf[2] = w.Thr, w.Lat, w.Loss
+	copy(inf.joint[:netDim], netObs)
+
+	inf.model.RLockParams()
+	feat := inf.actorPref.Forward(inf.wBuf[:])
+	for i, v := range feat {
+		inf.joint[netDim+i] = nn.FastTanh(v)
+	}
+	out := inf.actorTrunk.Forward(inf.joint)[0]
+	inf.model.RUnlockParams()
+	return out
+}
+
+// SharedPolicy is a live-retunable cc.Policy over a shared model: Act
+// evaluates the current parameters through a private Inference, and
+// SetWeights swaps the preference vector between decisions without touching
+// any other controller state — the preference sub-network makes weight
+// changes free at inference time, so a running application retunes without
+// re-registration.
+//
+// A SharedPolicy is not itself safe for concurrent use (its host serializes
+// Act against SetWeights — the public library does this per application
+// handle), but any number of SharedPolicies evaluate one model in parallel.
+type SharedPolicy struct {
+	inf *Inference
+	w   objective.Weights
+}
+
+// SharedPolicyFor returns a retunable policy for preference w backed by a
+// private inference view.
+func (m *Model) SharedPolicyFor(w objective.Weights) *SharedPolicy {
+	return &SharedPolicy{inf: m.NewInference(), w: w}
+}
+
+// Act implements cc.Policy.
+func (p *SharedPolicy) Act(obs []float64) float64 { return p.inf.ActFor(p.w, obs) }
+
+// SetWeights swaps the preference used by subsequent Act calls.
+func (p *SharedPolicy) SetWeights(w objective.Weights) { p.w = w }
+
+// Weights returns the currently applied preference.
+func (p *SharedPolicy) Weights() objective.Weights { return p.w }

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mocc/internal/objective"
+	"mocc/internal/trace"
+)
+
+// TestInferenceMatchesActFor pins the read-shared inference path to the
+// model's own forward bit for bit across preferences and observations.
+func TestInferenceMatchesActFor(t *testing.T) {
+	m := NewModel(HistoryLen, 42)
+	inf := m.NewInference()
+	rng := rand.New(rand.NewSource(9))
+	obs := make([]float64, 3*m.HistoryLen)
+	prefs := []objective.Weights{
+		objective.ThroughputPref, objective.LatencyPref,
+		objective.RTCPref, objective.BalancePref,
+	}
+	for trial := 0; trial < 40; trial++ {
+		for i := range obs {
+			obs[i] = rng.NormFloat64()
+		}
+		w := prefs[trial%len(prefs)]
+		want := m.ActFor(w, obs)
+		if got := inf.ActFor(w, obs); got != want {
+			t.Fatalf("trial %d: Inference.ActFor = %v, Model.ActFor = %v", trial, got, want)
+		}
+	}
+}
+
+// TestInferenceConcurrent drives many inferences over one model in parallel
+// (meaningful under -race) while a writer holds LockParams for updates.
+func TestInferenceConcurrent(t *testing.T) {
+	m := NewModel(HistoryLen, 7)
+	obs := make([]float64, 3*m.HistoryLen)
+	for i := range obs {
+		obs[i] = 0.1 * float64(i%7)
+	}
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	// Writer: perturbs parameters under the write lock, as online
+	// adaptation does.
+	go func() {
+		defer close(writerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.LockParams()
+			for _, p := range m.ActorParams() {
+				for j := range p.Value {
+					p.Value[j] += 1e-9
+				}
+			}
+			m.UnlockParams()
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			inf := m.NewInference()
+			w := objective.UniformObjectives(8, int64(g+1))[g%8]
+			for i := 0; i < 300; i++ {
+				if v := inf.ActFor(w, obs); v != v { // NaN guard
+					t.Errorf("goroutine %d: NaN action", g)
+					return
+				}
+			}
+		}(g)
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
+}
+
+// TestSharedPolicySetWeights verifies live retuning changes the policy
+// output exactly as if the preference had been bound at construction.
+func TestSharedPolicySetWeights(t *testing.T) {
+	m := NewModel(HistoryLen, 3)
+	obs := make([]float64, 3*m.HistoryLen)
+	for i := range obs {
+		obs[i] = 0.05 * float64(i%5)
+	}
+	p := m.SharedPolicyFor(objective.ThroughputPref)
+	if got, want := p.Act(obs), m.ActFor(objective.ThroughputPref, obs); got != want {
+		t.Fatalf("initial Act = %v, want %v", got, want)
+	}
+	p.SetWeights(objective.LatencyPref)
+	if p.Weights() != objective.LatencyPref {
+		t.Fatalf("Weights() = %v after SetWeights", p.Weights())
+	}
+	if got, want := p.Act(obs), m.ActFor(objective.LatencyPref, obs); got != want {
+		t.Fatalf("retuned Act = %v, want %v", got, want)
+	}
+}
+
+// TestAdapterReleaseDropsPoolEntry covers the unregister path: the last
+// release of a preference removes it from the requirement-replay pool.
+func TestAdapterReleaseDropsPoolEntry(t *testing.T) {
+	m := NewModel(8, 1)
+	cfg := DefaultAdaptConfig()
+	cfg.Envs = TrainingEnvs(trace.TrainingRanges(), 8)
+	a, err := NewAdapter(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := objective.RTCPref
+	a.Register(w)
+	a.Register(w) // two apps share the preference
+	if a.Pool().Refs(w) != 2 {
+		t.Fatalf("Refs = %d, want 2", a.Pool().Refs(w))
+	}
+	if a.Release(w) {
+		t.Error("first unregister removed a still-referenced preference")
+	}
+	if a.Pool().Len() != 1 {
+		t.Fatalf("pool lost the entry while one app still holds it")
+	}
+	if !a.Release(w) {
+		t.Error("last unregister did not drop the preference")
+	}
+	if a.Pool().Len() != 0 {
+		t.Fatalf("pool retains unregistered preference: Len = %d", a.Pool().Len())
+	}
+}

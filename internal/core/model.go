@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"mocc/internal/cc"
 	"mocc/internal/gym"
@@ -65,7 +66,30 @@ type Model struct {
 	featGrad []float64 // [n x PrefFeatures] gradients into the pref net
 	obsBuf   []float64 // single-observation assembly for ActFor
 	d1       [1]float64
+
+	// paramMu arbitrates shared deployment against parameter writes:
+	// Inference (the read-shared entry point behind per-app handles) takes
+	// the read side per evaluation, and any training/adaptation that
+	// mutates parameters while inferences may be running must hold the
+	// write side (see LockParams). The model's own forward/backward paths
+	// do not touch it — single-goroutine training pays nothing.
+	paramMu sync.RWMutex
 }
+
+// LockParams acquires exclusive access to the parameter values, blocking
+// all Inference evaluations; pair with UnlockParams around any optimizer
+// step that runs while applications are live (online adaptation).
+func (m *Model) LockParams() { m.paramMu.Lock() }
+
+// UnlockParams releases LockParams.
+func (m *Model) UnlockParams() { m.paramMu.Unlock() }
+
+// RLockParams acquires shared read access to the parameter values; used by
+// Inference and by snapshotting while applications are live.
+func (m *Model) RLockParams() { m.paramMu.RLock() }
+
+// RUnlockParams releases RLockParams.
+func (m *Model) RUnlockParams() { m.paramMu.RUnlock() }
 
 // NewModel builds a model for η-step history observations.
 func NewModel(historyLen int, seed int64) *Model {

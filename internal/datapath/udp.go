@@ -1,7 +1,6 @@
 package datapath
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -208,10 +207,10 @@ func RunTransfer(cfg TransferConfig) (TransferStats, error) {
 				}
 				return
 			}
-			if n < headerBytes || buf[0] != magicByte || buf[1] != typeAck {
+			seq, _, ok := DecodeAck(buf[:n])
+			if !ok {
 				continue
 			}
-			seq := binary.BigEndian.Uint64(buf[2:10])
 			now := time.Now()
 			mu.Lock()
 			if sentAt, ok := outstanding[seq]; ok {
@@ -233,8 +232,6 @@ func RunTransfer(cfg TransferConfig) (TransferStats, error) {
 	cfg.Alg.Reset(1)
 	rate := math.Min(cfg.Alg.InitialRate(0.001), cfg.MaxRatePps)
 	pkt := make([]byte, cfg.PayloadBytes)
-	pkt[0] = magicByte
-	pkt[1] = typeData
 
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
@@ -250,8 +247,7 @@ func RunTransfer(cfg TransferConfig) (TransferStats, error) {
 			continue
 		}
 		seq++
-		binary.BigEndian.PutUint64(pkt[2:10], seq)
-		binary.BigEndian.PutUint64(pkt[10:18], uint64(time.Now().UnixNano()))
+		EncodeDataHeader(pkt, seq, time.Now().UnixNano())
 		if _, err := conn.Write(pkt); err == nil {
 			mu.Lock()
 			outstanding[seq] = time.Now()

@@ -1,0 +1,36 @@
+package datapath
+
+import "encoding/binary"
+
+// Exported wire-format surface. The public mocc/transport binding and the
+// internal UDP experiments speak the same 18-byte protocol, so a transport
+// sender interoperates with an internal Receiver and vice versa:
+//
+//	[0]     magic (0xAC)
+//	[1]     type: 0 = data, 1 = ack
+//	[2:10]  sequence number (big endian)
+//	[10:18] sender timestamp, unix nanos (echoed in acks)
+const (
+	// WireHeaderBytes is the fixed header length; data packets are padded
+	// to the payload size.
+	WireHeaderBytes = headerBytes
+)
+
+// EncodeDataHeader writes a data-packet header into pkt (len >=
+// WireHeaderBytes); the rest of pkt is payload padding.
+func EncodeDataHeader(pkt []byte, seq uint64, unixNanos int64) {
+	pkt[0] = magicByte
+	pkt[1] = typeData
+	binary.BigEndian.PutUint64(pkt[2:10], seq)
+	binary.BigEndian.PutUint64(pkt[10:18], uint64(unixNanos))
+}
+
+// DecodeAck parses a received datagram as an acknowledgement, returning the
+// acked sequence number and the echoed send timestamp. ok is false for
+// short, foreign, or non-ack datagrams.
+func DecodeAck(buf []byte) (seq uint64, unixNanos int64, ok bool) {
+	if len(buf) < headerBytes || buf[0] != magicByte || buf[1] != typeAck {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(buf[2:10]), int64(binary.BigEndian.Uint64(buf[10:18])), true
+}

@@ -1,0 +1,80 @@
+package nn
+
+import "fmt"
+
+// FastTanh exposes the table-driven tanh interpolant used by the Tanh layer
+// (max abs error ~2e-11 vs math.Tanh) so forward-only callers outside the
+// package evaluate activations bit-identically to the training path.
+func FastTanh(x float64) float64 { return fastTanh(x) }
+
+// Evaluator is a forward-only view of an MLP: it references the network's
+// parameters but owns every evaluation buffer, so any number of Evaluators
+// over the same MLP may run concurrently with each other. Parameter *writes*
+// (training, adaptation) still need external synchronization against all
+// Evaluators reading them.
+//
+// Evaluation is bit-identical to MLP.Forward: both paths run the same
+// dotRowBatch kernel per output unit and the same fastTanh activation.
+type Evaluator struct {
+	steps []evalStep
+	a, b  []float64 // ping-pong activation buffers
+}
+
+// evalStep is one layer of the evaluation pipeline: a Linear reference or,
+// when linear is nil, an element-wise tanh of the given width.
+type evalStep struct {
+	linear *Linear
+	size   int
+}
+
+// NewEvaluator builds a concurrent-safe forward view of the network. It
+// panics on layer types other than Linear and Tanh (the only layers NewMLP
+// produces).
+func (m *MLP) NewEvaluator() *Evaluator {
+	e := &Evaluator{}
+	maxDim := 1
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *Linear:
+			e.steps = append(e.steps, evalStep{linear: t})
+		case *Tanh:
+			e.steps = append(e.steps, evalStep{size: t.size})
+		default:
+			panic(fmt.Sprintf("nn: Evaluator cannot wrap layer type %T", l))
+		}
+		if l.OutSize() > maxDim {
+			maxDim = l.OutSize()
+		}
+	}
+	e.a = make([]float64, maxDim)
+	e.b = make([]float64, maxDim)
+	return e
+}
+
+// Forward evaluates one input vector. The returned slice aliases evaluator
+// scratch and is valid until the next Forward on the same Evaluator; the
+// input is never written.
+func (e *Evaluator) Forward(x []float64) []float64 {
+	cur := x
+	out, next := e.a, e.b
+	for _, s := range e.steps {
+		if l := s.linear; l != nil {
+			if len(cur) != l.In {
+				panic(fmt.Sprintf("nn: Evaluator input size %d, want %d", len(cur), l.In))
+			}
+			dst := out[:l.Out]
+			for o := 0; o < l.Out; o++ {
+				dotRowBatch(l.W.Value[o*l.In:(o+1)*l.In], cur, dst, 1, l.In, l.Out, o, l.B.Value[o])
+			}
+			cur = dst
+		} else {
+			dst := out[:s.size]
+			for i, v := range cur {
+				dst[i] = fastTanh(v)
+			}
+			cur = dst
+		}
+		out, next = next, out
+	}
+	return cur
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestEvaluatorMatchesForward pins the Evaluator to the training-path
+// forward bit for bit across many random inputs.
+func TestEvaluatorMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mlp := NewMLP(rng, 9, 16, 8, 1)
+	ev := mlp.NewEvaluator()
+	x := make([]float64, 9)
+	for trial := 0; trial < 50; trial++ {
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := mlp.Forward(x)[0]
+		got := ev.Forward(x)[0]
+		if got != want {
+			t.Fatalf("trial %d: evaluator %v, forward %v", trial, got, want)
+		}
+	}
+}
+
+// TestEvaluatorSharesParameters verifies the evaluator sees parameter
+// updates made after construction (it is a view, not a copy).
+func TestEvaluatorSharesParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mlp := NewMLP(rng, 4, 6, 1)
+	ev := mlp.NewEvaluator()
+	x := []float64{0.1, -0.2, 0.3, -0.4}
+	before := ev.Forward(x)[0]
+	for _, p := range mlp.Params() {
+		for i := range p.Value {
+			p.Value[i] += 0.05
+		}
+	}
+	after := ev.Forward(x)[0]
+	if before == after {
+		t.Fatal("evaluator did not observe parameter update")
+	}
+	if want := mlp.Forward(x)[0]; after != want {
+		t.Fatalf("post-update evaluator %v, forward %v", after, want)
+	}
+}
+
+// TestEvaluatorsConcurrent runs many evaluators over one frozen network from
+// parallel goroutines (meaningful under -race) and checks every result.
+func TestEvaluatorsConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mlp := NewMLP(rng, 6, 12, 1)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := mlp.Forward(x)[0]
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := mlp.NewEvaluator()
+			for i := 0; i < 200; i++ {
+				if got := ev.Forward(x)[0]; got != want {
+					t.Errorf("concurrent evaluator diverged: %v vs %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEvaluatorAllocFree pins the steady-state forward path to zero
+// allocations.
+func TestEvaluatorAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mlp := NewMLP(rng, 8, 16, 8, 1)
+	ev := mlp.NewEvaluator()
+	x := make([]float64, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		ev.Forward(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("Evaluator.Forward allocates %v per call", allocs)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Weights is an application requirement: the relative importance of
@@ -376,34 +377,81 @@ func UniformObjectives(n int, seed int64) []Weights {
 // Pool stores application requirements encountered online, supporting the
 // requirement-replay algorithm (§4.3): during online adaptation each update
 // also optimizes a previously seen objective drawn uniformly at random.
+//
+// Entries are reference-counted: registering the same requirement twice
+// needs two Releases before replay stops rehearsing it, so a preference
+// stays in the pool exactly as long as some registered application (or a
+// permanent adaptation entry) still uses it. All methods are safe for
+// concurrent use.
 type Pool struct {
+	mu    sync.Mutex
 	items []Weights
-	seen  map[Weights]bool
+	refs  map[Weights]int
 }
 
 // NewPool creates an empty requirement pool.
 func NewPool() *Pool {
-	return &Pool{seen: make(map[Weights]bool)}
+	return &Pool{refs: make(map[Weights]int)}
 }
 
-// Add records a requirement if not already present and reports whether it
-// was newly added.
+// Add records one reference to a requirement and reports whether it was
+// newly added (first reference).
 func (p *Pool) Add(w Weights) bool {
-	if p.seen[w] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.refs[w]++
+	if p.refs[w] > 1 {
 		return false
 	}
-	p.seen[w] = true
 	p.items = append(p.items, w)
 	return true
 }
 
-// Len returns the number of stored requirements.
-func (p *Pool) Len() int { return len(p.items) }
+// Release drops one reference to a requirement. When the last reference is
+// released the entry leaves the pool (and replay stops rehearsing it);
+// Release reports whether that happened. Releasing an absent requirement is
+// a no-op.
+func (p *Pool) Release(w Weights) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, ok := p.refs[w]
+	if !ok {
+		return false
+	}
+	if n > 1 {
+		p.refs[w] = n - 1
+		return false
+	}
+	delete(p.refs, w)
+	for i, item := range p.items {
+		if item == w {
+			p.items = append(p.items[:i], p.items[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Refs returns the current reference count for a requirement.
+func (p *Pool) Refs(w Weights) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.refs[w]
+}
+
+// Len returns the number of distinct stored requirements.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.items)
+}
 
 // Sample returns a uniformly random stored requirement, excluding (when
 // possible) the currently training one, so replay always reinforces an *old*
 // application as Equation 6 intends.
 func (p *Pool) Sample(rng *rand.Rand, exclude Weights) (Weights, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if len(p.items) == 0 {
 		return Weights{}, false
 	}
@@ -425,7 +473,9 @@ func (p *Pool) Sample(rng *rand.Rand, exclude Weights) (Weights, bool) {
 // All returns a sorted copy of the stored requirements (sorted by throughput
 // weight, then latency) for deterministic iteration.
 func (p *Pool) All() []Weights {
+	p.mu.Lock()
 	out := append([]Weights(nil), p.items...)
+	p.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Thr != out[j].Thr {
 			return out[i].Thr < out[j].Thr

@@ -394,3 +394,42 @@ func TestPoolAllSorted(t *testing.T) {
 		}
 	}
 }
+
+func TestPoolRefCounting(t *testing.T) {
+	p := NewPool()
+	w1 := Weights{0.8, 0.1, 0.1}
+	w2 := Weights{0.1, 0.8, 0.1}
+	p.Add(w1)
+	p.Add(w1) // second application with the same preference
+	p.Add(w2)
+	if p.Refs(w1) != 2 {
+		t.Fatalf("Refs(w1) = %d, want 2", p.Refs(w1))
+	}
+	if p.Release(w1) {
+		t.Error("first Release removed a double-referenced entry")
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len after partial release = %d, want 2", p.Len())
+	}
+	if !p.Release(w1) {
+		t.Error("last Release did not remove the entry")
+	}
+	if p.Len() != 1 || p.Refs(w1) != 0 {
+		t.Errorf("Len = %d, Refs(w1) = %d after full release", p.Len(), p.Refs(w1))
+	}
+	// Releasing an absent entry is a harmless no-op.
+	if p.Release(w1) {
+		t.Error("Release of absent entry reported removal")
+	}
+	// Removed entries never come back from Sample.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		if got, ok := p.Sample(rng, Weights{}); !ok || got != w2 {
+			t.Fatalf("Sample = %v, %v; want w2 only", got, ok)
+		}
+	}
+	// Re-adding after full release starts a fresh refcount.
+	if !p.Add(w1) {
+		t.Error("re-Add after full release not reported as new")
+	}
+}

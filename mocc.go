@@ -3,14 +3,26 @@
 // any number of applications, each registered with its own performance
 // preference over throughput, latency and loss.
 //
-// The deployment surface follows §5 of the paper exactly:
+// The API is built around per-application handles:
 //
-//	lib, _ := mocc.Train(mocc.QuickTraining())      // or LoadModel
+//	lib, _ := mocc.Train(mocc.QuickTraining())      // or mocc.New(model, opts...)
 //	app, _ := lib.Register(mocc.Weights{Thr: 0.8, Lat: 0.1, Loss: 0.1})
 //	for each monitor interval {
-//	    lib.ReportStatus(app, status)               // what the network did
-//	    rate, _ := lib.GetSendingRate(app)          // packets/second to pace at
+//	    rate, _ := app.Report(status)               // what the network did → pacing rate
 //	}
+//
+// App.Report is the hot path: it touches only per-application state (each
+// handle owns its controller, its telemetry, and a private inference view
+// of the shared model), so N applications on N cores never contend. On top
+// of the handles, App.SetWeights retunes a live application's preference
+// between intervals — the preference sub-network makes weight changes free
+// at inference time, no re-registration — and App.Stats reports cumulative
+// per-application telemetry. A real UDP socket loop for hosting an App end
+// to end lives in the mocc/transport package.
+//
+// The paper's exact §5 three-call surface (Register/ReportStatus/
+// GetSendingRate keyed by AppID) is kept as a thin compatibility layer over
+// the handles; see Library.V1.
 //
 // Unseen preferences work immediately (the preference sub-network
 // interpolates between trained landmarks); OnlineAdapt fine-tunes the model
@@ -21,6 +33,7 @@ package mocc
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -77,6 +90,36 @@ type Status struct {
 	MinRTT time.Duration
 }
 
+// validate rejects statuses no datapath can legitimately produce. Counters
+// are per-interval: acked+lost packets are attributed to the interval that
+// reports them, so a caller whose acks lag its sends must fold the
+// in-flight carryover into PacketsSent (the mocc/transport sender does).
+func (s Status) validate() error {
+	if !(s.Duration > 0) {
+		return fmt.Errorf("mocc: invalid Status: Duration %v must be positive", s.Duration)
+	}
+	for _, c := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"PacketsSent", s.PacketsSent},
+		{"PacketsAcked", s.PacketsAcked},
+		{"PacketsLost", s.PacketsLost},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) || c.v < 0 {
+			return fmt.Errorf("mocc: invalid Status: %s = %v (must be a finite non-negative count)", c.name, c.v)
+		}
+	}
+	if s.PacketsAcked+s.PacketsLost > s.PacketsSent {
+		return fmt.Errorf("mocc: inconsistent Status: PacketsAcked (%v) + PacketsLost (%v) exceed PacketsSent (%v)",
+			s.PacketsAcked, s.PacketsLost, s.PacketsSent)
+	}
+	if s.AvgRTT < 0 || s.MinRTT < 0 {
+		return fmt.Errorf("mocc: invalid Status: negative RTT (avg %v, min %v)", s.AvgRTT, s.MinRTT)
+	}
+	return nil
+}
+
 // report converts to the internal controller report.
 func (s Status) report() cc.Report {
 	d := s.Duration.Seconds()
@@ -98,24 +141,24 @@ func (s Status) report() cc.Report {
 	return r
 }
 
-// AppID identifies a registered application.
+// AppID identifies a registered application in the §5 compatibility layer
+// (see Library.V1); the handle API passes *App values instead.
 type AppID int
 
-// Library is a deployable MOCC instance: one model, many applications.
-// All methods are safe for concurrent use.
+// Library is a deployable MOCC instance: one model, many applications. All
+// methods are safe for concurrent use; the per-application hot path
+// (App.Report) runs on per-handle state and scales across cores.
 type Library struct {
-	mu      sync.Mutex
-	model   *core.Model
-	adapter *core.Adapter
-	apps    map[AppID]*appState
-	nextID  AppID
-}
+	model      *core.Model
+	adapter    *core.Adapter // nil when built with WithoutAdaptation
+	clock      func() time.Time
+	initialRTT time.Duration
 
-// appState is one registered application's controller.
-type appState struct {
-	weights objective.Weights
-	alg     cc.Algorithm
-	rate    float64
+	mu     sync.RWMutex // guards apps and nextID only — never held on the hot path
+	apps   map[AppID]*App
+	nextID AppID
+
+	adaptMu sync.Mutex // serializes OnlineAdapt runs against each other
 }
 
 // TrainingOptions configures offline training (§4.2).
@@ -171,15 +214,149 @@ func FullTraining() TrainingOptions {
 }
 
 // Train runs two-phase offline training on the Table 3 network distribution
-// and returns a ready-to-use library.
-func Train(opts TrainingOptions) (*Library, error) {
-	model := core.NewModel(core.HistoryLen, opts.Seed)
+// and returns a ready-to-use library; it is TrainModel followed by New.
+func Train(opts TrainingOptions, libOpts ...Option) (*Library, error) {
+	model, err := TrainModel(opts)
+	if err != nil {
+		return nil, err
+	}
+	return New(model, libOpts...)
+}
+
+// LoadModel builds a library from a model file produced by Model.Save,
+// Library.SaveModel or cmd/mocc-train; it is LoadModelFile followed by New.
+func LoadModel(path string, libOpts ...Option) (*Library, error) {
+	model, err := LoadModelFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(model, libOpts...)
+}
+
+// SaveModel writes the library's (possibly adapted) model to a JSON file.
+func (l *Library) SaveModel(path string) error {
+	l.model.RLockParams()
+	snap := l.model.Snapshot()
+	l.model.RUnlockParams()
+	return snap.SaveFile(path)
+}
+
+// Register announces a new application and its preference (§5's
+// Register(w)) and returns its handle. Unseen preferences are served
+// immediately by the multi-objective model; the handle's Report hot path
+// runs entirely on per-application state.
+func (l *Library) Register(w Weights) (*App, error) {
+	iw, err := w.internal()
+	if err != nil {
+		return nil, fmt.Errorf("mocc: invalid weights: %w", err)
+	}
+
+	l.mu.Lock()
+	id := l.nextID
+	l.nextID++
+	app := &App{
+		lib:     l,
+		id:      id,
+		pol:     l.model.SharedPolicyFor(iw),
+		weights: iw,
+	}
+	app.alg = cc.NewRLRate(fmt.Sprintf("mocc-app-%d", id), app.pol, l.model.HistoryLen)
+	app.alg.Reset(int64(id))
+	app.publishRate(app.alg.InitialRate(l.initialRTT.Seconds()))
+	app.tele.registered = l.clock()
+	// The pool reference is taken before the handle becomes reachable in
+	// the map, so any Unregister (which can only follow reachability) finds
+	// its reference already counted.
+	if l.adapter != nil {
+		l.adapter.Register(iw)
+	}
+	l.apps[id] = app
+	l.mu.Unlock()
+	return app, nil
+}
+
+// App returns the handle registered under id, if any. It is the bridge
+// between the §5 AppID surface and the handle API.
+func (l *Library) App(id AppID) (*App, bool) {
+	l.mu.RLock()
+	app, ok := l.apps[id]
+	l.mu.RUnlock()
+	return app, ok
+}
+
+// Apps returns the number of registered applications.
+func (l *Library) Apps() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.apps)
+}
+
+// unregister removes a handle: the map entry goes first (new calls can no
+// longer reach it), the handle is marked closed, and the preference's
+// replay-pool reference is released.
+func (l *Library) unregister(a *App) error {
+	l.mu.Lock()
+	if _, ok := l.apps[a.id]; !ok {
+		l.mu.Unlock()
+		return fmt.Errorf("mocc: app %d is not registered", a.id)
+	}
+	delete(l.apps, a.id)
+	l.mu.Unlock()
+
+	a.mu.Lock()
+	a.closed = true
+	// Release inside a.mu: an in-flight SetWeights has either finished its
+	// pool transfer (we release the new preference) or hasn't started (it
+	// will see closed) — never a half-moved refcount.
+	if l.adapter != nil {
+		l.adapter.Release(a.weights)
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// OnlineAdapt fine-tunes the model toward w for up to iters iterations
+// using transfer learning with requirement replay (§4.3): previously
+// registered applications are rehearsed so their policies are preserved.
+// It returns the per-iteration reward curve of the new objective.
+//
+// Each iteration holds the model's parameter write lock, so concurrent
+// App.Report calls stall for the duration of one iteration at a time (and
+// immediately see the adapted parameters afterwards — live applications
+// benefit without re-registration). The adapted objective is retained in
+// the replay pool permanently.
+func (l *Library) OnlineAdapt(w Weights, iters int) ([]float64, error) {
+	iw, err := w.internal()
+	if err != nil {
+		return nil, fmt.Errorf("mocc: invalid weights: %w", err)
+	}
+	if iters <= 0 {
+		return nil, errors.New("mocc: iters must be positive")
+	}
+	if l.adapter == nil {
+		return nil, errors.New("mocc: library was built without online adaptation (WithoutAdaptation)")
+	}
+	l.adaptMu.Lock()
+	defer l.adaptMu.Unlock()
+	curve := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		l.model.LockParams()
+		r := l.adapter.Step(iw)
+		l.model.UnlockParams()
+		curve = append(curve, r)
+	}
+	l.adapter.Register(iw)
+	return curve, nil
+}
+
+// trainConfig converts the public options into the internal schedule.
+func trainConfig(opts TrainingOptions) core.TrainConfig {
 	ppo := rl.DefaultPPOConfig()
 	ppo.EntropyInit = 0.03
 	ppo.EntropyFinal = 0.002
 	ppo.EntropyDecayIters = 60
 	ppo.Seed = opts.Seed
-	cfg := core.TrainConfig{
+	return core.TrainConfig{
 		Omega:           opts.Omega,
 		BootstrapIters:  opts.BootstrapIters,
 		BootstrapCycles: opts.BootstrapCycles,
@@ -193,139 +370,4 @@ func Train(opts TrainingOptions) (*Library, error) {
 		Envs:            core.TrainingEnvs(trace.TrainingRanges(), core.HistoryLen),
 		Progress:        opts.Progress,
 	}
-	trainer, err := core.NewOfflineTrainer(model, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("mocc: configuring trainer: %w", err)
-	}
-	if _, err := trainer.Run(); err != nil {
-		return nil, fmt.Errorf("mocc: offline training: %w", err)
-	}
-	return newLibrary(model)
-}
-
-// LoadModel builds a library from a model file produced by SaveModel or
-// cmd/mocc-train.
-func LoadModel(path string) (*Library, error) {
-	model := core.NewModel(core.HistoryLen, 0)
-	snap, err := loadSnapshot(path)
-	if err != nil {
-		return nil, err
-	}
-	if err := model.Restore(snap); err != nil {
-		return nil, fmt.Errorf("mocc: restoring model: %w", err)
-	}
-	return newLibrary(model)
-}
-
-// newLibrary wires a model into a library with online adaptation ready.
-func newLibrary(model *core.Model) (*Library, error) {
-	acfg := core.DefaultAdaptConfig()
-	acfg.Envs = core.TrainingEnvs(trace.TrainingRanges(), core.HistoryLen)
-	adapter, err := core.NewAdapter(model, acfg)
-	if err != nil {
-		return nil, fmt.Errorf("mocc: configuring adapter: %w", err)
-	}
-	return &Library{
-		model:   model,
-		adapter: adapter,
-		apps:    make(map[AppID]*appState),
-	}, nil
-}
-
-// SaveModel writes the trained model to a JSON file.
-func (l *Library) SaveModel(path string) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.model.Snapshot().SaveFile(path)
-}
-
-// Register announces a new application and its preference (§5's
-// Register(w)). The returned AppID scopes the other calls. Unseen
-// preferences are served immediately by the multi-objective model.
-func (l *Library) Register(w Weights) (AppID, error) {
-	iw, err := w.internal()
-	if err != nil {
-		return 0, fmt.Errorf("mocc: invalid weights: %w", err)
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	id := l.nextID
-	l.nextID++
-	alg := l.model.AlgorithmFor(fmt.Sprintf("mocc-app-%d", id), iw)
-	alg.Reset(int64(id))
-	l.apps[id] = &appState{
-		weights: iw,
-		alg:     alg,
-		rate:    alg.InitialRate(0.04),
-	}
-	l.adapter.Register(iw)
-	return id, nil
-}
-
-// Unregister removes an application.
-func (l *Library) Unregister(id AppID) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, ok := l.apps[id]; !ok {
-		return fmt.Errorf("mocc: unknown app %d", id)
-	}
-	delete(l.apps, id)
-	return nil
-}
-
-// ReportStatus feeds the latest interval measurements for an application
-// (§5's ReportStatus(s_t)) and recomputes its sending rate.
-func (l *Library) ReportStatus(id AppID, st Status) error {
-	if st.Duration <= 0 {
-		return errors.New("mocc: Status.Duration must be positive")
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	app, ok := l.apps[id]
-	if !ok {
-		return fmt.Errorf("mocc: unknown app %d", id)
-	}
-	app.rate = app.alg.Update(st.report())
-	return nil
-}
-
-// GetSendingRate returns the current pacing rate in packets/second for the
-// application (§5's GetSendingRate()).
-func (l *Library) GetSendingRate(id AppID) (float64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	app, ok := l.apps[id]
-	if !ok {
-		return 0, fmt.Errorf("mocc: unknown app %d", id)
-	}
-	return app.rate, nil
-}
-
-// Apps returns the number of registered applications.
-func (l *Library) Apps() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.apps)
-}
-
-// OnlineAdapt fine-tunes the model toward w for up to iters iterations
-// using transfer learning with requirement replay (§4.3): previously
-// registered applications are rehearsed so their policies are preserved.
-// It returns the per-iteration reward curve of the new objective.
-func (l *Library) OnlineAdapt(w Weights, iters int) ([]float64, error) {
-	iw, err := w.internal()
-	if err != nil {
-		return nil, fmt.Errorf("mocc: invalid weights: %w", err)
-	}
-	if iters <= 0 {
-		return nil, errors.New("mocc: iters must be positive")
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	curve := make([]float64, 0, iters)
-	for i := 0; i < iters; i++ {
-		curve = append(curve, l.adapter.Step(iw))
-	}
-	l.adapter.Register(iw)
-	return curve, nil
 }

@@ -1,0 +1,164 @@
+package mocc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mocc/internal/core"
+	"mocc/internal/trace"
+)
+
+// Model is a trained MOCC model decoupled from any Library: train or load
+// one once, then wire it into a deployable Library with New. One Model must
+// back at most one Library at a time.
+type Model struct {
+	m *core.Model
+}
+
+// TrainModel runs two-phase offline training (§4.2) on the Table 3 network
+// distribution and returns the trained model.
+func TrainModel(opts TrainingOptions) (*Model, error) {
+	model := core.NewModel(core.HistoryLen, opts.Seed)
+	trainer, err := core.NewOfflineTrainer(model, trainConfig(opts))
+	if err != nil {
+		return nil, fmt.Errorf("mocc: configuring trainer: %w", err)
+	}
+	if _, err := trainer.Run(); err != nil {
+		return nil, fmt.Errorf("mocc: offline training: %w", err)
+	}
+	return &Model{m: model}, nil
+}
+
+// LoadModelFile reads a model from a JSON file produced by Model.Save,
+// Library.SaveModel or cmd/mocc-train.
+func LoadModelFile(path string) (*Model, error) {
+	model := core.NewModel(core.HistoryLen, 0)
+	snap, err := loadSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Restore(snap); err != nil {
+		return nil, fmt.Errorf("mocc: restoring model: %w", err)
+	}
+	return &Model{m: model}, nil
+}
+
+// Save writes the model to a JSON file.
+func (m *Model) Save(path string) error {
+	m.m.RLockParams()
+	snap := m.m.Snapshot()
+	m.m.RUnlockParams()
+	return snap.SaveFile(path)
+}
+
+// AdaptationOptions tunes the online-adaptation engine behind
+// Library.OnlineAdapt (§4.3).
+type AdaptationOptions struct {
+	// RolloutSteps / EpisodeLen control per-iteration experience
+	// collection (defaults 512 / 128).
+	RolloutSteps int
+	EpisodeLen   int
+	// Replay enables requirement replay (Equation 6). Disabling it
+	// reproduces the catastrophic-forgetting ablation of Figure 7b.
+	Replay bool
+	// Seed drives environment and replay sampling.
+	Seed int64
+}
+
+// DefaultAdaptation returns the adaptation settings used when no
+// WithAdaptation option is given.
+func DefaultAdaptation() AdaptationOptions {
+	cfg := core.DefaultAdaptConfig()
+	return AdaptationOptions{
+		RolloutSteps: cfg.RolloutSteps,
+		EpisodeLen:   cfg.EpisodeLen,
+		Replay:       cfg.Replay,
+		Seed:         cfg.Seed,
+	}
+}
+
+// libConfig collects the functional options of New.
+type libConfig struct {
+	adaptation   AdaptationOptions
+	noAdaptation bool
+	clock        func() time.Time
+	initialRTT   time.Duration
+}
+
+// Option configures Library construction (see New).
+type Option func(*libConfig)
+
+// WithAdaptation overrides the online-adaptation engine settings.
+func WithAdaptation(opts AdaptationOptions) Option {
+	return func(c *libConfig) {
+		c.adaptation = opts
+		c.noAdaptation = false
+	}
+}
+
+// WithoutAdaptation builds a pure-inference library: no adaptation engine
+// is constructed, OnlineAdapt returns an error, and no replay pool is kept.
+func WithoutAdaptation() Option {
+	return func(c *libConfig) { c.noAdaptation = true }
+}
+
+// WithClock substitutes the time source used for telemetry timestamps
+// (AppStats.Registered / LastReport). Tests inject deterministic clocks.
+func WithClock(now func() time.Time) Option {
+	return func(c *libConfig) { c.clock = now }
+}
+
+// WithInitialRTT sets the base-RTT estimate that seeds each new
+// application's initial sending rate (default 40ms).
+func WithInitialRTT(rtt time.Duration) Option {
+	return func(c *libConfig) { c.initialRTT = rtt }
+}
+
+// New wires a trained model into a deployable Library:
+//
+//	lib, err := mocc.New(model, mocc.WithAdaptation(adapt), mocc.WithClock(clock))
+func New(model *Model, opts ...Option) (*Library, error) {
+	if model == nil || model.m == nil {
+		return nil, errors.New("mocc: nil model")
+	}
+	cfg := libConfig{
+		adaptation: DefaultAdaptation(),
+		clock:      time.Now,
+		initialRTT: 40 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.clock == nil {
+		return nil, errors.New("mocc: WithClock(nil)")
+	}
+	if cfg.initialRTT <= 0 {
+		return nil, fmt.Errorf("mocc: WithInitialRTT(%v): must be positive", cfg.initialRTT)
+	}
+
+	l := &Library{
+		model:      model.m,
+		clock:      cfg.clock,
+		initialRTT: cfg.initialRTT,
+		apps:       make(map[AppID]*App),
+	}
+	if !cfg.noAdaptation {
+		acfg := core.DefaultAdaptConfig()
+		if cfg.adaptation.RolloutSteps > 0 {
+			acfg.RolloutSteps = cfg.adaptation.RolloutSteps
+		}
+		if cfg.adaptation.EpisodeLen > 0 {
+			acfg.EpisodeLen = cfg.adaptation.EpisodeLen
+		}
+		acfg.Replay = cfg.adaptation.Replay
+		acfg.Seed = cfg.adaptation.Seed
+		acfg.Envs = core.TrainingEnvs(trace.TrainingRanges(), core.HistoryLen)
+		adapter, err := core.NewAdapter(model.m, acfg)
+		if err != nil {
+			return nil, fmt.Errorf("mocc: configuring adapter: %w", err)
+		}
+		l.adapter = adapter
+	}
+	return l, nil
+}

@@ -1,0 +1,95 @@
+package mocc
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAppsStress hammers the handle API from many goroutines at
+// once — Register / Report / Rate / SetWeights / Stats / Unregister — while
+// the §5 compat layer and an OnlineAdapt run race along. Run with -race
+// (make test-race / CI) to verify the shard-parallel hot path; without the
+// detector it still exercises every locking interaction.
+func TestConcurrentAppsStress(t *testing.T) {
+	lib := sharedLibrary(t)
+	prefs := []Weights{ThroughputPreference, LatencyPreference, RTCPreference, BalancedPreference}
+
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const churns = 4
+	const reportsPerChurn = 25
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for c := 0; c < churns; c++ {
+				app, err := lib.Register(prefs[(g+c)%len(prefs)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < reportsPerChurn; i++ {
+					rate, err := app.Report(steadyStatus(50, 48, 2, time.Duration(45+i)*time.Millisecond))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if rate <= 0 || math.IsNaN(rate) {
+						t.Errorf("goroutine %d: rate %v", g, rate)
+						return
+					}
+					if i%5 == 0 {
+						if err := app.SetWeights(prefs[(g+c+i)%len(prefs)]); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					_ = app.Rate()
+					_ = app.Stats()
+				}
+				if err := app.Unregister(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// One goroutine drives the compat layer concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v1 := lib.V1()
+		id, err := v1.Register(BalancedPreference)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer v1.Unregister(id)
+		for i := 0; i < churns*reportsPerChurn; i++ {
+			if err := v1.ReportStatus(id, steadyStatus(40, 40, 0, 50*time.Millisecond)); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := v1.GetSendingRate(id); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// And one adaptation iteration mutates the shared model mid-flight,
+	// exercising the parameter write lock against live inference.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := lib.OnlineAdapt(Weights{0.45, 0.35, 0.2}, 1); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	wg.Wait()
+}

@@ -1,0 +1,296 @@
+// Package transport is the public UDP datapath binding for MOCC: a real
+// socket loop that hosts a registered *mocc.App end to end. Listen starts
+// an acknowledging receiver; Send paces padded UDP data packets toward it
+// at the rate the application's handle decides, closing one monitor
+// interval at a time through App.Report — the §5 user-space (UDT-style)
+// deployment over real sockets.
+//
+// The wire protocol is the 18-byte header shared with the internal
+// datapath experiments (magic, type, sequence, send timestamp; acks echo
+// the header), so transport senders interoperate with internal receivers
+// and vice versa.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"mocc"
+	"mocc/internal/datapath"
+)
+
+// Receiver is a UDP sink that acknowledges every data packet, optionally
+// dropping a configured fraction to emulate loss on loopback links.
+type Receiver struct {
+	r *datapath.Receiver
+}
+
+// ReceiverConfig tunes Listen.
+type ReceiverConfig struct {
+	// DropProb drops this fraction of data packets before acking
+	// (emulated loss). Zero acks everything.
+	DropProb float64
+	// Seed drives the drop draw.
+	Seed int64
+}
+
+// Listen binds a UDP socket on addr ("127.0.0.1:0" picks a free port) and
+// serves acknowledgements until Close.
+func Listen(addr string, cfg ReceiverConfig) (*Receiver, error) {
+	r, err := datapath.StartReceiver(addr, cfg.DropProb, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{r: r}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (r *Receiver) Addr() string { return r.r.Addr() }
+
+// Received returns the count of accepted data packets.
+func (r *Receiver) Received() int { return r.r.Received() }
+
+// Close stops the receiver and releases the socket.
+func (r *Receiver) Close() error { return r.r.Close() }
+
+// Config tunes a Send loop.
+type Config struct {
+	// MI is the monitor-interval length (default 20ms).
+	MI time.Duration
+	// PayloadBytes sizes data packets (default 1200).
+	PayloadBytes int
+	// MaxRatePps caps pacing (default 20000 pkts/s; loopback is fast).
+	MaxRatePps float64
+	// LossTimeout declares unacked packets lost after this long
+	// (default 4x the observed min RTT, floor 20ms).
+	LossTimeout time.Duration
+}
+
+// Stats summarizes a finished transfer.
+type Stats struct {
+	// Sent / Acked / Lost count packets over the whole transfer.
+	Sent, Acked, Lost int
+	// AvgRTT is the mean RTT over every acked packet.
+	AvgRTT time.Duration
+	// ThroughputMbps is delivered payload bits over wall-clock time.
+	ThroughputMbps float64
+	// Duration is the wall-clock transfer time.
+	Duration time.Duration
+	// Intervals counts monitor intervals reported to the App.
+	Intervals int
+}
+
+// Send paces packets to addr under the control of app for the given
+// duration: each monitor interval it closes the books (acks collected,
+// timeouts declared lost), builds a mocc.Status, and lets app.Report decide
+// the next pacing rate. The App keeps accumulating telemetry across calls,
+// so app.Stats() after Send shows the transfer from the controller's side.
+func Send(addr string, app *mocc.App, duration time.Duration, cfg Config) (Stats, error) {
+	var stats Stats
+	if app == nil {
+		return stats, errors.New("transport: nil app")
+	}
+	if duration <= 0 {
+		return stats, errors.New("transport: duration must be positive")
+	}
+	if cfg.MI <= 0 {
+		cfg.MI = 20 * time.Millisecond
+	}
+	if cfg.PayloadBytes < datapath.WireHeaderBytes {
+		cfg.PayloadBytes = 1200
+	}
+	if cfg.MaxRatePps <= 0 {
+		cfg.MaxRatePps = 20000
+	}
+
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return stats, fmt.Errorf("transport: resolving %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return stats, fmt.Errorf("transport: dialing %q: %w", addr, err)
+	}
+	defer conn.Close()
+
+	var (
+		mu          sync.Mutex
+		outstanding = map[uint64]time.Time{}
+		miAcked     int
+		miRTTSum    time.Duration
+		totalAcked  int
+		rttSum      time.Duration
+		minRTT      time.Duration
+	)
+
+	// Ack collector.
+	stop := make(chan struct{})
+	var ackWG sync.WaitGroup
+	ackWG.Add(1)
+	go func() {
+		defer ackWG.Done()
+		buf := make([]byte, 2048)
+		for {
+			_ = conn.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
+			n, err := conn.Read(buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					select {
+					case <-stop:
+						return
+					default:
+						continue
+					}
+				}
+				return
+			}
+			seq, _, ok := datapath.DecodeAck(buf[:n])
+			if !ok {
+				continue
+			}
+			now := time.Now()
+			mu.Lock()
+			if sentAt, ok := outstanding[seq]; ok {
+				delete(outstanding, seq)
+				rtt := now.Sub(sentAt)
+				miAcked++
+				miRTTSum += rtt
+				totalAcked++
+				rttSum += rtt
+				if minRTT == 0 || rtt < minRTT {
+					minRTT = rtt
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+
+	// Pacing loop, driven by the handle's published rate.
+	rate := math.Min(app.Rate(), cfg.MaxRatePps)
+	if rate <= 0 {
+		close(stop)
+		ackWG.Wait()
+		return stats, fmt.Errorf("transport: app rate %v is not a usable pacing rate", rate)
+	}
+	pkt := make([]byte, cfg.PayloadBytes)
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	nextMI := start.Add(cfg.MI)
+	var seq uint64
+	miSent := 0
+	nextSend := start
+	var reportErr error
+
+	for time.Now().Before(deadline) {
+		now := time.Now()
+		if now.Before(nextSend) {
+			time.Sleep(nextSend.Sub(now))
+			continue
+		}
+		seq++
+		datapath.EncodeDataHeader(pkt, seq, time.Now().UnixNano())
+		if _, err := conn.Write(pkt); err == nil {
+			mu.Lock()
+			outstanding[seq] = time.Now()
+			mu.Unlock()
+			miSent++
+			stats.Sent++
+		}
+		nextSend = nextSend.Add(time.Duration(float64(time.Second) / rate))
+		if nextSend.Before(time.Now().Add(-50 * time.Millisecond)) {
+			nextSend = time.Now() // don't burst to catch up after stalls
+		}
+
+		if time.Now().After(nextMI) {
+			var next float64
+			next, reportErr = closeInterval(app, cfg, &mu, outstanding, &miSent, &miAcked, &miRTTSum, &minRTT, &stats)
+			if reportErr != nil {
+				break
+			}
+			rate = math.Min(next, cfg.MaxRatePps)
+			nextMI = nextMI.Add(cfg.MI)
+		}
+	}
+
+	close(stop)
+	ackWG.Wait()
+
+	stats.Duration = time.Since(start)
+	mu.Lock()
+	stats.Acked = totalAcked
+	if totalAcked > 0 {
+		stats.AvgRTT = rttSum / time.Duration(totalAcked)
+	}
+	mu.Unlock()
+	if secs := stats.Duration.Seconds(); secs > 0 {
+		stats.ThroughputMbps = float64(stats.Acked*cfg.PayloadBytes) * 8 / 1e6 / secs
+	}
+	return stats, reportErr
+}
+
+// closeInterval ends one monitor interval: it infers losses from the
+// timeout, builds the application-visible Status, and asks the handle for
+// the next rate.
+func closeInterval(app *mocc.App, cfg Config, mu *sync.Mutex, outstanding map[uint64]time.Time,
+	miSent, miAcked *int, miRTTSum *time.Duration, minRTTp *time.Duration, stats *Stats) (float64, error) {
+
+	mu.Lock()
+	minRTT := *minRTTp // written by the ack goroutine under mu
+	timeout := cfg.LossTimeout
+	if timeout <= 0 {
+		timeout = 4 * minRTT
+		if timeout < 20*time.Millisecond {
+			timeout = 20 * time.Millisecond
+		}
+	}
+	now := time.Now()
+	lost := 0
+	for seq, sentAt := range outstanding {
+		if now.Sub(sentAt) > timeout {
+			delete(outstanding, seq)
+			lost++
+		}
+	}
+	sent, acked := *miSent, *miAcked
+	rttSum := *miRTTSum
+	*miSent, *miAcked, *miRTTSum = 0, 0, 0
+	mu.Unlock()
+
+	stats.Lost += lost
+	stats.Intervals++
+
+	avgRTT := time.Duration(0)
+	if acked > 0 {
+		avgRTT = rttSum / time.Duration(acked)
+	} else if minRTT > 0 {
+		avgRTT = minRTT
+	} else {
+		avgRTT = time.Millisecond
+	}
+	miMinRTT := minRTT
+	if miMinRTT <= 0 {
+		miMinRTT = avgRTT
+	}
+
+	// Acks and timeouts settle after the interval that sent the packets,
+	// so fold the in-flight carryover into the sent count: the Status
+	// invariant acked+lost <= sent then holds per interval, and the
+	// controller features (send/delivery ratios) are unaffected.
+	effSent := sent
+	if acked+lost > effSent {
+		effSent = acked + lost
+	}
+	return app.Report(mocc.Status{
+		Duration:     cfg.MI,
+		PacketsSent:  float64(effSent),
+		PacketsAcked: float64(acked),
+		PacketsLost:  float64(lost),
+		AvgRTT:       avgRTT,
+		MinRTT:       miMinRTT,
+	})
+}

@@ -1,0 +1,76 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"mocc"
+	"mocc/transport"
+)
+
+func TestSendValidation(t *testing.T) {
+	if _, err := transport.Send("127.0.0.1:9", nil, time.Second, transport.Config{}); err == nil {
+		t.Error("nil app accepted")
+	}
+}
+
+// TestLoopbackTransfer hosts a registered handle over a real loopback
+// socket pair, with emulated loss, and checks both sides' accounting.
+func TestLoopbackTransfer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training pipeline in -short mode")
+	}
+	opts := mocc.QuickTraining()
+	opts.Omega = 3
+	opts.BootstrapIters = 2
+	opts.BootstrapCycles = 1
+	opts.TraverseCycles = 0
+	lib, err := mocc.Train(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := lib.Register(mocc.ThroughputPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Unregister()
+
+	recv, err := transport.Listen("127.0.0.1:0", transport.ReceiverConfig{DropProb: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	stats, err := transport.Send(recv.Addr(), app, 400*time.Millisecond, transport.Config{
+		MI:          20 * time.Millisecond,
+		LossTimeout: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sent == 0 {
+		t.Fatal("sender moved no packets")
+	}
+	if stats.Acked == 0 {
+		t.Fatalf("no acknowledgements came back: %+v", stats)
+	}
+	if stats.Acked > stats.Sent {
+		t.Errorf("acked %d > sent %d", stats.Acked, stats.Sent)
+	}
+	if recv.Received() == 0 {
+		t.Error("receiver accepted nothing")
+	}
+	if stats.Intervals == 0 {
+		t.Error("no monitor intervals closed")
+	}
+
+	// The handle saw every interval the transport closed, and its Status
+	// stream passed validation (Send fails otherwise).
+	s := app.Stats()
+	if int(s.Reports) != stats.Intervals {
+		t.Errorf("app reports %d != transport intervals %d", s.Reports, stats.Intervals)
+	}
+	if s.PacketsAcked == 0 || s.AvgRTT <= 0 {
+		t.Errorf("implausible telemetry: %+v", s)
+	}
+}
