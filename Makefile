@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-sim ci
+.PHONY: all build vet test test-race bench bench-sim bench-train bench-json ci
 
 all: build vet test
 
@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race detector over the concurrency-bearing packages: the shard-parallel
-# public API (root + transport) and the parallel collectors/schedulers.
+# public API (root + transport), the parallel collectors/schedulers, and the
+# data-parallel PPO update + pipelined trainer.
 test-race:
-	$(GO) test -race . ./transport ./internal/rl ./internal/pantheon
+	$(GO) test -race . ./transport ./internal/rl ./internal/core ./internal/pantheon
 
 # Micro-benchmarks for the NN/PPO hot path (run with -count for stability).
 bench:
@@ -28,5 +29,20 @@ bench:
 bench-sim:
 	$(GO) test -run '^$$' -bench 'Engine' -benchmem ./internal/netsim
 	$(GO) test -run '^$$' -bench 'RunSweep' -benchmem ./internal/pantheon
+
+# Training-loop benchmarks: serial vs data-parallel vs pipelined wall-clock
+# (core) and the PPO update engine at several worker counts (rl).
+bench-train:
+	$(GO) test -run '^$$' -bench 'PPOUpdate|OfflineTrain' -benchmem ./internal/rl ./internal/core
+
+# Perf trajectory snapshot: run the training/nn/netsim benchmarks and record
+# every metric (ns/op, allocs/op, steps/s, pkts/s, ...) in BENCH_train.json
+# so speedups and regressions are tracked in-repo PR over PR. The raw output
+# goes through a temp file (not a pipe) so a failing benchmark run aborts
+# before BENCH_train.json is overwritten with partial data.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/nn ./internal/rl ./internal/core ./internal/netsim > bench.out.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_train.json < bench.out.tmp
+	rm -f bench.out.tmp
 
 ci: all

@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document so the repo can track its performance trajectory in-version-control
+// (make bench-json writes BENCH_train.json). Every `<value> <unit>` metric
+// pair is captured generically, so custom b.ReportMetric units (steps/s,
+// iters/s, pkts/s) land next to ns/op and allocs/op without parser changes.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/... | benchjson -out BENCH_train.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in (from the `pkg:` line).
+	Package string `json:"package,omitempty"`
+	// Iterations is the b.N the reported averages were measured over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every reported metric (ns/op,
+	// B/op, allocs/op, and any custom units such as steps/s).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	// Context lines from the benchmark header (goos, goarch, cpu, ...).
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	report := Report{Context: map[string]string{}}
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			report.Context[key] = strings.TrimSpace(val)
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line, pkg); ok {
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   120   9371940 ns/op   27458 steps/s   769 allocs/op
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

@@ -6,6 +6,7 @@
 //
 //	mocc-train -scale quick -out model.json
 //	mocc-train -scale full -omega 36 -seed 7 -out mocc-full.json
+//	mocc-train -scale standard -workers 8 -pipeline -out model.json
 package main
 
 import (
@@ -23,11 +24,13 @@ func main() {
 	log.SetPrefix("mocc-train: ")
 
 	var (
-		scale = flag.String("scale", "quick", "training scale: quick | standard | full")
-		omega = flag.Int("omega", 0, "override landmark objective count (0 = scale default)")
-		seed  = flag.Int64("seed", 1, "training seed")
-		out   = flag.String("out", "mocc-model.json", "output model path")
-		quiet = flag.Bool("quiet", false, "suppress progress output")
+		scale    = flag.String("scale", "quick", "training scale: quick | standard | full")
+		omega    = flag.Int("omega", 0, "override landmark objective count (0 = scale default)")
+		seed     = flag.Int64("seed", 1, "training seed")
+		workers  = flag.Int("workers", 0, "parallel collection + PPO update workers (0 = scale default)")
+		pipeline = flag.Bool("pipeline", false, "overlap rollout collection with PPO updates")
+		out      = flag.String("out", "mocc-model.json", "output model path")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -51,19 +54,31 @@ func main() {
 	if *omega > 0 {
 		opts.Omega = *omega
 	}
+	if *workers > 0 {
+		opts.Workers = *workers
+	}
+	opts.Pipelined = *pipeline
 	opts.Seed = *seed
 	if !*quiet {
 		opts.Progress = func(line string) { log.Print(line) }
 	}
 
 	start := time.Now()
-	lib, err := mocc.Train(opts)
+	model, stats, err := mocc.TrainModelStats(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := lib.SaveModel(*out); err != nil {
+	trainTime := time.Since(start)
+	if err := model.Save(*out); err != nil {
 		log.Fatal(err)
 	}
+
+	secs := trainTime.Seconds()
 	fmt.Fprintf(os.Stdout, "trained omega=%d seed=%d in %s -> %s\n",
-		opts.Omega, opts.Seed, time.Since(start).Round(time.Millisecond), *out)
+		opts.Omega, opts.Seed, trainTime.Round(time.Millisecond), *out)
+	fmt.Fprintf(os.Stdout,
+		"throughput: %d iters, %d env steps in %s (%.1f iters/s, %.0f steps/s) workers=%d pipeline=%v\n",
+		stats.TotalIters(), stats.EnvSteps, trainTime.Round(time.Millisecond),
+		float64(stats.TotalIters())/secs, float64(stats.EnvSteps)/secs,
+		opts.Workers, opts.Pipelined)
 }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mocc/internal/rl"
+)
+
+// benchTrainConfig is a QuickTraining-shaped schedule shrunk to benchmark
+// scale: enough iterations that the pipeline fills and the update engine
+// reaches steady state, small enough to run under -benchtime defaults.
+func benchTrainConfig(workers int, pipelined bool) TrainConfig {
+	ppo := rl.DefaultPPOConfig()
+	ppo.EntropyInit = 0.03
+	ppo.EntropyFinal = 0.002
+	ppo.EntropyDecayIters = 20
+	return TrainConfig{
+		Omega:           3,
+		BootstrapIters:  2,
+		BootstrapCycles: 1,
+		TraverseIters:   1,
+		TraverseCycles:  1,
+		RolloutSteps:    256,
+		EpisodeLen:      64,
+		Workers:         workers,
+		Pipelined:       pipelined,
+		Seed:            1,
+		PPO:             ppo,
+		Envs:            batchTestFactory,
+	}
+}
+
+// BenchmarkOfflineTrain measures whole training-loop wall-clock (collection
+// + PPO update) across the parallelism matrix: serial baseline, W=4
+// data-parallel collection+update, and the same with the pipelined
+// collect/update overlap. The ≥2x target needs a ≥4-core machine; on a
+// 1-core container the variants must stay flat against serial. steps/s is
+// the environment-step throughput (the figure training sweeps are gated on).
+func BenchmarkOfflineTrain(b *testing.B) {
+	cases := []struct {
+		name      string
+		workers   int
+		pipelined bool
+	}{
+		{"serial", 1, false},
+		{"w4", 4, false},
+		{"w4-pipelined", 4, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				cfg := benchTrainConfig(c.workers, c.pipelined)
+				m := NewModel(4, 1)
+				tr, err := NewOfflineTrainer(m, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := tr.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.TotalIters()
+			}
+			steps := float64(iters) * float64(benchTrainConfig(1, false).RolloutSteps)
+			b.ReportMetric(steps*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+			b.ReportMetric(float64(iters)*float64(b.N)/b.Elapsed().Seconds(), "iters/s")
+		})
+	}
+}
+
+// BenchmarkModelPPOUpdateParallel measures one PPO update of the MOCC model
+// (preference sub-networks) at several worker counts over a fixed rollout,
+// isolating the data-parallel update engine from collection.
+func BenchmarkModelPPOUpdateParallel(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			cfg := rl.DefaultPPOConfig()
+			cfg.Workers = w
+			m := NewModel(4, 1)
+			ppo := rl.NewPPO(m, cfg)
+			ro := rl.Collect(m, batchTestFactory, batchW,
+				rl.CollectConfig{Steps: 512, EpisodeLen: 64, IncludeWeights: true}, 42)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ppo.Update(ro)
+			}
+		})
+	}
+}

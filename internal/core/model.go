@@ -18,6 +18,7 @@ import (
 	"mocc/internal/gym"
 	"mocc/internal/nn"
 	"mocc/internal/objective"
+	"mocc/internal/rl"
 )
 
 // Architecture constants from §5 and Figure 3.
@@ -251,6 +252,26 @@ func (m *Model) Clone() *Model {
 		panic("core: clone of identical architecture failed: " + err.Error())
 	}
 	return c
+}
+
+// TrainingReplica implements rl.ReplicaAgent: the replica shares this
+// model's parameter values (it always evaluates the master's current
+// weights, no copying) while owning private gradients and scratch arenas —
+// the preference sub-networks, trunks and logStd all alias the master's
+// value storage — so the data-parallel PPO update can run several replicas'
+// batched forward/backward concurrently and reduce their gradients into the
+// master.
+func (m *Model) TrainingReplica() rl.BatchActorCritic {
+	return &Model{
+		HistoryLen:  m.HistoryLen,
+		actorPref:   m.actorPref.Replica(),
+		actorAct:    nn.NewTanh(PrefFeatures),
+		actorTrunk:  m.actorTrunk.Replica(),
+		criticPref:  m.criticPref.Replica(),
+		criticAct:   nn.NewTanh(PrefFeatures),
+		criticTrunk: m.criticTrunk.Replica(),
+		logStd:      m.logStd.TrainingReplica(),
+	}
 }
 
 // Snapshot captures the model parameters for serialization.

@@ -29,12 +29,31 @@ type TrainConfig struct {
 	// iteration; EpisodeLen bounds each episode (and re-samples the link).
 	RolloutSteps int
 	EpisodeLen   int
-	// Workers > 1 enables goroutine-parallel rollout collection,
-	// splitting RolloutSteps evenly across workers.
+	// Workers > 1 enables goroutine-parallel rollout collection AND
+	// data-parallel PPO minibatch updates (unless PPO.Workers overrides the
+	// latter). Workers is an upper bound on collection fan-out, not a
+	// guarantee: a round never creates more tasks than full episodes fit in
+	// the budget (tasks = min(Workers, max(1, RolloutSteps/EpisodeLen))),
+	// so small rollouts run on fewer goroutines instead of churning idle
+	// ones, and the tasks split RolloutSteps exactly — total collected
+	// steps never exceed the budget regardless of worker count. Training is
+	// deterministic for a fixed seed and worker count.
 	Workers int
+	// Pipelined overlaps the collection of iteration k+1's rollouts with
+	// the PPO update of iteration k: the collector replicas are synced from
+	// the pre-update parameter snapshot (exactly how the paper's async
+	// Ray/RLlib workers run one model version behind the learner, §5) and
+	// the two rollout buffers alternate. Off (the default) keeps the
+	// strictly serial collect-then-update loop, byte-identical to the
+	// non-pipelined trainer. Pipelined training remains deterministic for a
+	// fixed seed and worker count but follows a different trajectory than
+	// the serial schedule (rollouts are one update stale).
+	Pipelined bool
 	// Seed drives all environment sampling and action noise.
 	Seed int64
-	// PPO carries the optimizer hyperparameters.
+	// PPO carries the optimizer hyperparameters. PPO.Workers = 0 inherits
+	// Workers for the data-parallel update engine; set PPO.Workers = 1 to
+	// pin the update serial while keeping parallel collection.
 	PPO rl.PPOConfig
 	// Envs generates training environments (defaults to Table 3 training
 	// ranges when nil — set explicitly in tests for speed).
@@ -73,6 +92,9 @@ type OfflineResult struct {
 	Order          []objective.Weights // fast-traversing visit order
 	BootstrapIters int
 	TraverseIters  int
+	// EnvSteps is the total number of environment transitions actually
+	// collected during the run, counted from the rollouts themselves.
+	EnvSteps int
 }
 
 // TotalIters returns the number of PPO iterations performed.
@@ -86,6 +108,8 @@ type OfflineTrainer struct {
 	ppo       *rl.PPO
 	collector *rl.ParallelCollector
 	seedCtr   int64
+	envSteps  int  // transitions collected across all iterations
+	noOverlap bool // tests: run the pipelined schedule without concurrency
 }
 
 // NewOfflineTrainer validates the configuration and prepares the trainer.
@@ -105,13 +129,19 @@ func NewOfflineTrainer(model *Model, cfg TrainConfig) (*OfflineTrainer, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
+	if cfg.PPO.Workers == 0 {
+		cfg.PPO.Workers = cfg.Workers
+	}
 	t := &OfflineTrainer{
 		Model:   model,
 		Cfg:     cfg,
 		ppo:     rl.NewPPO(model, cfg.PPO),
 		seedCtr: cfg.Seed,
 	}
-	if cfg.Workers > 1 {
+	// Pipelined training needs collector replicas even at one worker: the
+	// master is mid-update while the next rollouts are collected, so the
+	// collection must run on a parameter snapshot.
+	if cfg.Workers > 1 || cfg.Pipelined {
 		hl := model.HistoryLen
 		t.collector = rl.NewParallelCollector(cfg.Workers, func() rl.ActorCritic {
 			return NewModel(hl, 0)
@@ -139,6 +169,30 @@ func (t *OfflineTrainer) collectCfg(steps int) rl.CollectConfig {
 	}
 }
 
+// makeTasks plans one collection round for objective w, drawing one seed per
+// task: at most Workers tasks, never more than RolloutSteps/EpisodeLen so
+// every task collects at least one full episode, with RolloutSteps
+// distributed exactly (earlier tasks absorb the remainder).
+func (t *OfflineTrainer) makeTasks(w objective.Weights) []rl.CollectTask {
+	n := t.collector.Workers()
+	if chunks := t.Cfg.RolloutSteps / t.Cfg.EpisodeLen; chunks < n {
+		n = chunks
+		if n < 1 {
+			n = 1
+		}
+	}
+	per, rem := t.Cfg.RolloutSteps/n, t.Cfg.RolloutSteps%n
+	tasks := make([]rl.CollectTask, n)
+	for i := range tasks {
+		steps := per
+		if i < rem {
+			steps++
+		}
+		tasks[i] = rl.CollectTask{Weights: w, Seed: t.nextSeed(), Steps: steps}
+	}
+	return tasks
+}
+
 // Iterate runs a single PPO iteration on objective w and returns the
 // rollout's mean reward. With Workers > 1 the rollout is split across
 // parallel collectors and the losses averaged, which is gradient-equivalent
@@ -146,24 +200,24 @@ func (t *OfflineTrainer) collectCfg(steps int) rl.CollectConfig {
 func (t *OfflineTrainer) Iterate(w objective.Weights) (float64, error) {
 	if t.collector == nil {
 		ro := rl.Collect(t.Model, t.Cfg.Envs, w, t.collectCfg(t.Cfg.RolloutSteps), t.nextSeed())
+		t.envSteps += len(ro.Trans)
 		st := t.ppo.Update(ro)
 		return st.MeanReward, nil
 	}
-	n := t.collector.Workers()
-	per := t.Cfg.RolloutSteps / n
-	if per < t.Cfg.EpisodeLen {
-		per = t.Cfg.EpisodeLen
-	}
-	tasks := make([]rl.CollectTask, n)
-	for i := range tasks {
-		tasks[i] = rl.CollectTask{Weights: w, Seed: t.nextSeed()}
-	}
-	rollouts, err := t.collector.Collect(t.Model, t.Cfg.Envs, t.collectCfg(per), tasks)
+	rollouts, err := t.collector.Collect(t.Model, t.Cfg.Envs, t.collectCfg(0), t.makeTasks(w))
 	if err != nil {
 		return 0, err
 	}
+	t.countSteps(rollouts)
 	st := t.ppo.UpdateMulti(rollouts)
 	return st.MeanReward, nil
+}
+
+// countSteps accumulates the transitions actually collected.
+func (t *OfflineTrainer) countSteps(rollouts []rl.Rollout) {
+	for i := range rollouts {
+		t.envSteps += len(rollouts[i].Trans)
+	}
 }
 
 // progress emits a milestone line when configured.
@@ -173,9 +227,46 @@ func (t *OfflineTrainer) progress(format string, args ...any) {
 	}
 }
 
+// planStep is one PPO iteration of the two-phase schedule.
+type planStep struct {
+	w          objective.Weights
+	bootstrap  bool     // phase attribution for the OfflineResult counters
+	milestones []string // progress lines emitted after this iteration completes
+}
+
+// record appends the iteration's curve point and bumps the phase counter.
+func (t *OfflineTrainer) record(res *OfflineResult, s planStep, reward float64) {
+	if s.bootstrap {
+		res.BootstrapIters++
+	} else {
+		res.TraverseIters++
+	}
+	res.Curve = append(res.Curve, CurvePoint{
+		Iteration: len(res.Curve), Objective: s.w, Reward: reward,
+	})
+	for _, m := range s.milestones {
+		t.progress("%s", m)
+	}
+}
+
+// addMilestone attaches a cycle-completion line to the last step of plan, so
+// it is emitted once that iteration's update finishes. A cycle that
+// contributed no steps still reports: its line rides on the previous step,
+// or — when the plan is empty so far — is emitted immediately (no iterations
+// precede it, so ordering is preserved either way).
+func (t *OfflineTrainer) addMilestone(plan []planStep, msg string) {
+	if len(plan) == 0 {
+		t.progress("%s", msg)
+		return
+	}
+	last := &plan[len(plan)-1]
+	last.milestones = append(last.milestones, msg)
+}
+
 // Run executes the full two-phase schedule: bootstrapping over the three
 // pivot objectives, then fast traversing of the ω landmarks in the
-// Appendix B neighbourhood order.
+// Appendix B neighbourhood order. With Cfg.Pipelined the iterations of each
+// phase run through the overlapped collect/update loop.
 func (t *OfflineTrainer) Run() (*OfflineResult, error) {
 	step := objective.StepForOmega(t.Cfg.Omega)
 	landmarks := objective.Landmarks(step)
@@ -189,49 +280,115 @@ func (t *OfflineTrainer) Run() (*OfflineResult, error) {
 	for i, p := range order {
 		res.Order[i] = p.Weights()
 	}
+	startSteps := t.envSteps // delta-count so repeated Run calls stay correct
 
 	// Phase 1: bootstrapping — train the pivot objectives in alternation
 	// so the base model improves on all of them in balance.
 	t.progress("bootstrap: %d cycles x %d objectives x %d iters",
 		t.Cfg.BootstrapCycles, len(bootstraps), t.Cfg.BootstrapIters)
+	var boot []planStep
 	for cycle := 0; cycle < t.Cfg.BootstrapCycles; cycle++ {
 		for _, b := range bootstraps {
 			w := b.Weights()
 			for it := 0; it < t.Cfg.BootstrapIters; it++ {
-				reward, err := t.Iterate(w)
-				if err != nil {
-					return nil, err
-				}
-				res.BootstrapIters++
-				res.Curve = append(res.Curve, CurvePoint{
-					Iteration: len(res.Curve), Objective: w, Reward: reward,
-				})
+				boot = append(boot, planStep{w: w, bootstrap: true})
 			}
 		}
-		t.progress("bootstrap cycle %d/%d done", cycle+1, t.Cfg.BootstrapCycles)
+		t.addMilestone(boot, fmt.Sprintf("bootstrap cycle %d/%d done",
+			cycle+1, t.Cfg.BootstrapCycles))
+	}
+	if err := t.runPhase(boot, res); err != nil {
+		return nil, err
 	}
 
 	// Phase 2: fast traversing — visit every landmark a few iterations at
 	// a time, cycling until the configured passes complete.
 	t.progress("fast traverse: %d cycles x %d objectives x %d iters",
 		t.Cfg.TraverseCycles, len(order), t.Cfg.TraverseIters)
+	var trav []planStep
 	for cycle := 0; cycle < t.Cfg.TraverseCycles; cycle++ {
 		for _, p := range order {
 			w := p.Weights()
 			for it := 0; it < t.Cfg.TraverseIters; it++ {
-				reward, err := t.Iterate(w)
-				if err != nil {
-					return nil, err
-				}
-				res.TraverseIters++
-				res.Curve = append(res.Curve, CurvePoint{
-					Iteration: len(res.Curve), Objective: w, Reward: reward,
-				})
+				trav = append(trav, planStep{w: w})
 			}
 		}
-		t.progress("traverse cycle %d/%d done", cycle+1, t.Cfg.TraverseCycles)
+		t.addMilestone(trav, fmt.Sprintf("traverse cycle %d/%d done",
+			cycle+1, t.Cfg.TraverseCycles))
 	}
+	if err := t.runPhase(trav, res); err != nil {
+		return nil, err
+	}
+	res.EnvSteps = t.envSteps - startSteps
 	return res, nil
+}
+
+// runPhase executes one phase's iteration plan, serial or pipelined.
+func (t *OfflineTrainer) runPhase(plan []planStep, res *OfflineResult) error {
+	if len(plan) == 0 {
+		return nil
+	}
+	if t.Cfg.Pipelined && t.collector != nil {
+		return t.runPipelined(plan, res)
+	}
+	for _, s := range plan {
+		reward, err := t.Iterate(s.w)
+		if err != nil {
+			return err
+		}
+		t.record(res, s, reward)
+	}
+	return nil
+}
+
+// runPipelined executes the plan with collection of iteration k+1 overlapped
+// against the PPO update of iteration k. The collector replicas are synced
+// from the master BEFORE the update starts (the pre-update snapshot), so the
+// background collection never touches parameters the optimizer is mutating;
+// two rollout buffers alternate between "being consumed by the update" and
+// "being filled by the collectors". Seeds are drawn in iteration order, so
+// the run is deterministic for a fixed seed and worker count. With
+// t.noOverlap the identical schedule runs without the background goroutine —
+// the equivalence test pins that concurrency does not change results.
+func (t *OfflineTrainer) runPipelined(plan []planStep, res *OfflineResult) error {
+	if err := t.collector.Sync(t.Model); err != nil {
+		return err
+	}
+	cur := t.collector.CollectSynced(t.Cfg.Envs, t.collectCfg(0), t.makeTasks(plan[0].w))
+	t.countSteps(cur)
+
+	done := make(chan struct{})
+	for i, s := range plan {
+		var next []rl.Rollout
+		launched := false
+		if i+1 < len(plan) {
+			// Snapshot the pre-update parameters, then collect the next
+			// iteration's rollouts while this iteration's update runs.
+			if err := t.collector.Sync(t.Model); err != nil {
+				return err
+			}
+			tasks := t.makeTasks(plan[i+1].w)
+			if t.noOverlap {
+				next = t.collector.CollectSynced(t.Cfg.Envs, t.collectCfg(0), tasks)
+			} else {
+				launched = true
+				go func() {
+					next = t.collector.CollectSynced(t.Cfg.Envs, t.collectCfg(0), tasks)
+					done <- struct{}{}
+				}()
+			}
+		}
+		st := t.ppo.UpdateMulti(cur)
+		if launched {
+			<-done
+		}
+		if next != nil {
+			t.countSteps(next)
+		}
+		t.record(res, s, st.MeanReward)
+		cur = next
+	}
+	return nil
 }
 
 // TrainIndividually trains one fresh single-objective run per landmark

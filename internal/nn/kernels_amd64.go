@@ -11,6 +11,9 @@ func dotRowBatchAsm(w, x, y *float64, n, in, out, o int, bias float64)
 //go:noescape
 func axpy4Asm(dst, a0, a1, a2, a3 *float64, g0, g1, g2, g3 float64, m int)
 
+//go:noescape
+func addToAsm(dst, src *float64, n int)
+
 // dotRowBatch computes y[r*out+o] = bias + dot(w, x[r*in:(r+1)*in]) for
 // every batch row r.
 func dotRowBatch(w, x, y []float64, n, in, out, o int, bias float64) {
@@ -20,4 +23,17 @@ func dotRowBatch(w, x, y []float64, n, in, out, o int, bias float64) {
 // axpy4 accumulates four scaled rows into dst in one pass.
 func axpy4(dst, a0, a1, a2, a3 []float64, g0, g1, g2, g3 float64) {
 	axpy4Asm(&dst[0], &a0[0], &a1[0], &a2[0], &a3[0], g0, g1, g2, g3, len(dst))
+}
+
+// addTo accumulates src into dst element-wise (dst[i] += src[i]), the
+// gradient-reduction kernel of the data-parallel PPO update. The slices
+// must have equal length (the asm iterates len(dst) over both bases).
+func addTo(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("nn: addTo length mismatch")
+	}
+	if len(dst) == 0 {
+		return
+	}
+	addToAsm(&dst[0], &src[0], len(dst))
 }

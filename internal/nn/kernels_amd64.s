@@ -215,3 +215,61 @@ atail:
 
 adone:
 	RET
+
+// func addToAsm(dst, src *float64, n int)
+//
+// For i in [0,n): dst[i] += src[i]. Eight doubles per main-loop pass (four
+// independent packed add chains), then a packed pair and a scalar tail.
+TEXT ·addToAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), R8
+	XORQ R15, R15            // i = 0
+
+r8:
+	MOVQ R8, AX
+	SUBQ R15, AX
+	CMPQ AX, $8
+	JL   r2
+	MOVUPS (DI)(R15*8), X0
+	MOVUPS (SI)(R15*8), X4
+	ADDPD  X4, X0
+	MOVUPS X0, (DI)(R15*8)
+	MOVUPS 16(DI)(R15*8), X1
+	MOVUPS 16(SI)(R15*8), X5
+	ADDPD  X5, X1
+	MOVUPS X1, 16(DI)(R15*8)
+	MOVUPS 32(DI)(R15*8), X2
+	MOVUPS 32(SI)(R15*8), X6
+	ADDPD  X6, X2
+	MOVUPS X2, 32(DI)(R15*8)
+	MOVUPS 48(DI)(R15*8), X3
+	MOVUPS 48(SI)(R15*8), X7
+	ADDPD  X7, X3
+	MOVUPS X3, 48(DI)(R15*8)
+	ADDQ   $8, R15
+	JMP    r8
+
+r2:
+	MOVQ R8, AX
+	SUBQ R15, AX
+	CMPQ AX, $2
+	JL   r1
+	MOVUPS (DI)(R15*8), X0
+	MOVUPS (SI)(R15*8), X4
+	ADDPD  X4, X0
+	MOVUPS X0, (DI)(R15*8)
+	ADDQ   $2, R15
+	JMP    r2
+
+r1:
+	CMPQ R15, R8
+	JGE  rdone
+	MOVSD (DI)(R15*8), X0
+	MOVSD (SI)(R15*8), X4
+	ADDSD X4, X0
+	MOVSD X0, (DI)(R15*8)
+	INCQ  R15
+
+rdone:
+	RET

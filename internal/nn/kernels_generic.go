@@ -42,3 +42,15 @@ func axpy4(dst, a0, a1, a2, a3 []float64, g0, g1, g2, g3 float64) {
 		dst[i] += g0*a0[i] + g1*a1[i] + g2*a2[i] + g3*a3[i]
 	}
 }
+
+// addTo accumulates src into dst element-wise (dst[i] += src[i]), the
+// gradient-reduction kernel of the data-parallel PPO update. The slices
+// must have equal length, matching the amd64 kernel's contract.
+func addTo(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("nn: addTo length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAddToKernel checks the reduce kernel against a naive loop across every
+// tail-length class of the unrolled assembly.
+func TestAddToKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n <= 33; n++ {
+		dst := make([]float64, n)
+		src := make([]float64, n)
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			dst[i] = rng.NormFloat64()
+			src[i] = rng.NormFloat64()
+			want[i] = dst[i] + src[i]
+		}
+		addTo(dst, src)
+		for i := 0; i < n; i++ {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: addTo[%d] = %v, want %v", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAccumulateInto checks the parameter-level reduction and its shape
+// validation.
+func TestAccumulateInto(t *testing.T) {
+	mk := func(sizes ...int) []*Param {
+		ps := make([]*Param, len(sizes))
+		for i, n := range sizes {
+			ps[i] = newParam("p", n)
+		}
+		return ps
+	}
+	dst, src := mk(5, 3), mk(5, 3)
+	for i := range src {
+		for j := range src[i].Grad {
+			src[i].Grad[j] = float64(i*10 + j)
+			dst[i].Grad[j] = 1
+		}
+	}
+	if err := AccumulateInto(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		for j := range dst[i].Grad {
+			if want := 1 + float64(i*10+j); dst[i].Grad[j] != want {
+				t.Fatalf("dst[%d].Grad[%d] = %v, want %v", i, j, dst[i].Grad[j], want)
+			}
+		}
+	}
+	if err := AccumulateInto(mk(5), mk(5, 3)); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+	if err := AccumulateInto(mk(5, 4), mk(5, 3)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+// TestMLPReplica pins the replica contract: shared values (a master weight
+// write is visible through the replica), private gradients, and bit-identical
+// forward/backward against the master network.
+func TestMLPReplica(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	master := NewMLP(rng, 6, 16, 8, 1)
+	rep := master.Replica()
+
+	mp, rp := master.Params(), rep.Params()
+	if len(mp) != len(rp) {
+		t.Fatalf("param count %d vs %d", len(mp), len(rp))
+	}
+	for i := range mp {
+		if &mp[i].Value[0] != &rp[i].Value[0] {
+			t.Fatalf("param %d: replica does not share master values", i)
+		}
+		if &mp[i].Grad[0] == &rp[i].Grad[0] {
+			t.Fatalf("param %d: replica shares master gradients", i)
+		}
+	}
+
+	const n = 5
+	x := make([]float64, n*6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	gOut := make([]float64, n)
+	for i := range gOut {
+		gOut[i] = rng.NormFloat64()
+	}
+
+	ym := append([]float64(nil), master.ForwardBatch(x, n)...)
+	yr := append([]float64(nil), rep.ForwardBatch(x, n)...)
+	for i := range ym {
+		if ym[i] != yr[i] {
+			t.Fatalf("forward[%d]: master %v vs replica %v", i, ym[i], yr[i])
+		}
+	}
+
+	ZeroGrad(mp)
+	ZeroGrad(rp)
+	master.BackwardBatch(gOut, n)
+	rep.BackwardBatch(gOut, n)
+	for i := range mp {
+		for j := range mp[i].Grad {
+			if mp[i].Grad[j] != rp[i].Grad[j] {
+				t.Fatalf("grad %s[%d]: master %v vs replica %v",
+					mp[i].Name, j, mp[i].Grad[j], rp[i].Grad[j])
+			}
+		}
+	}
+
+	// A master parameter write must be visible through the replica.
+	mp[0].Value[0] += 0.5
+	out1 := append([]float64(nil), master.ForwardBatch(x, n)...)
+	out2 := rep.ForwardBatch(x, n)
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("after master write, forward[%d] diverges: %v vs %v", i, out1[i], out2[i])
+		}
+	}
+	if math.IsNaN(out1[0]) {
+		t.Fatal("non-finite forward output")
+	}
+}

@@ -137,3 +137,16 @@ func (a *PlainAgent) Clone() *PlainAgent {
 	}
 	return c
 }
+
+// TrainingReplica implements ReplicaAgent: the replica shares this agent's
+// parameter values (it always evaluates the master's current weights, no
+// copying) while owning private gradients and scratch, so the data-parallel
+// PPO update can run several replicas' forward/backward concurrently.
+func (a *PlainAgent) TrainingReplica() BatchActorCritic {
+	return &PlainAgent{
+		actor:  a.actor.Replica(),
+		critic: a.critic.Replica(),
+		logStd: a.logStd.TrainingReplica(),
+		obsLen: a.obsLen,
+	}
+}

@@ -2,6 +2,7 @@ package rl
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mocc/internal/nn"
 	"mocc/internal/objective"
@@ -18,15 +19,22 @@ type Paramed interface {
 type CollectTask struct {
 	Weights objective.Weights
 	Seed    int64
+	// Steps, when > 0, overrides CollectConfig.Steps for this task so a
+	// rollout budget can be distributed exactly across an uneven fan-out.
+	Steps int
 }
 
 // ParallelCollector gathers rollouts concurrently using per-worker replica
 // agents, the goroutine equivalent of the paper's Ray/RLlib parallel
 // environments (§5). Forward passes mutate layer scratch arenas, so workers
 // never share a model; instead the master's parameters are copied into each
-// replica before every collection round. Each worker's Collect writes its
-// observations into a single per-rollout backing array, so a collection
+// replica by Sync before a collection round. Each worker's Collect writes
+// its observations into a single per-rollout backing array, so a collection
 // round performs O(tasks) allocations rather than O(steps).
+//
+// Sync and CollectSynced are split so a pipelined trainer can snapshot the
+// master's parameters into the replicas, then run the collection round
+// concurrently with an optimizer update that mutates the master.
 type ParallelCollector struct {
 	replicas []ActorCritic
 }
@@ -47,11 +55,10 @@ func NewParallelCollector(workers int, factory func() ActorCritic) *ParallelColl
 // Workers returns the replica count.
 func (pc *ParallelCollector) Workers() int { return len(pc.replicas) }
 
-// Collect synchronizes every replica with master and then collects one
-// rollout per task, running up to Workers() tasks concurrently. Results are
-// returned in task order regardless of completion order, keeping training
-// deterministic for a fixed seed set.
-func (pc *ParallelCollector) Collect(master Paramed, envs EnvFactory, cfg CollectConfig, tasks []CollectTask) ([]Rollout, error) {
+// Sync copies the master's current parameters into every replica. After it
+// returns, collection rounds no longer read the master, so the caller may
+// mutate it (e.g. run a PPO update) concurrently with CollectSynced.
+func (pc *ParallelCollector) Sync(master Paramed) error {
 	masterParams := master.AllParams()
 	for _, rep := range pc.replicas {
 		repParamed, ok := rep.(Paramed)
@@ -59,25 +66,63 @@ func (pc *ParallelCollector) Collect(master Paramed, envs EnvFactory, cfg Collec
 			continue
 		}
 		if err := nn.CopyParams(repParamed.AllParams(), masterParams); err != nil {
-			return nil, err
+			return err
 		}
 	}
+	return nil
+}
 
+// CollectSynced collects one rollout per task using the replicas' current
+// (previously Synced) parameters. min(Workers, len(tasks)) goroutines pull
+// task indices from a shared counter, so a fan-out smaller than the worker
+// count runs on exactly that many goroutines instead of churning idle ones.
+// Results are slotted by task index and every replica carries identical
+// parameters, so the output is deterministic regardless of which replica
+// runs which task.
+func (pc *ParallelCollector) CollectSynced(envs EnvFactory, cfg CollectConfig, tasks []CollectTask) []Rollout {
 	out := make([]Rollout, len(tasks))
-	sem := make(chan int, len(pc.replicas))
-	for i := range pc.replicas {
-		sem <- i
+	runTask := func(rep ActorCritic, i int) {
+		c := cfg
+		if tasks[i].Steps > 0 {
+			c.Steps = tasks[i].Steps
+		}
+		out[i] = Collect(rep, envs, tasks[i].Weights, c, tasks[i].Seed)
 	}
+
+	workers := min(len(pc.replicas), len(tasks))
+	if workers <= 1 {
+		for i := range tasks {
+			runTask(pc.replicas[0], i)
+		}
+		return out
+	}
+
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for ti, task := range tasks {
-		wg.Add(1)
-		go func(ti int, task CollectTask) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(rep ActorCritic) {
 			defer wg.Done()
-			worker := <-sem
-			defer func() { sem <- worker }()
-			out[ti] = Collect(pc.replicas[worker], envs, task.Weights, cfg, task.Seed)
-		}(ti, task)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				runTask(rep, i)
+			}
+		}(pc.replicas[w])
 	}
 	wg.Wait()
-	return out, nil
+	return out
+}
+
+// Collect synchronizes every replica with master and then collects one
+// rollout per task; it is Sync followed by CollectSynced. Results are
+// returned in task order regardless of completion order, keeping training
+// deterministic for a fixed seed set.
+func (pc *ParallelCollector) Collect(master Paramed, envs EnvFactory, cfg CollectConfig, tasks []CollectTask) ([]Rollout, error) {
+	if err := pc.Sync(master); err != nil {
+		return nil, err
+	}
+	return pc.CollectSynced(envs, cfg, tasks), nil
 }

@@ -33,6 +33,17 @@ type PPOConfig struct {
 	MaxGradNorm float64
 	// Seed drives minibatch shuffling.
 	Seed int64
+	// Workers > 1 shards every minibatch's rows across that many goroutines,
+	// each running batched forward/backward on a value-sharing replica of
+	// the agent, with per-worker gradients reduced into the master in fixed
+	// worker order before the optimizer step. Requires the agent to
+	// implement ReplicaAgent (otherwise the update silently stays serial).
+	// 0 or 1 keeps the single-goroutine engine. Minibatch composition is
+	// independent of Workers, so a fixed seed and worker count give
+	// bit-deterministic training; different worker counts differ only in
+	// floating-point summation order (parallel shards associate gradient
+	// sums differently than one full-batch pass).
+	Workers int
 }
 
 // DefaultPPOConfig returns the paper's hyperparameters.
@@ -66,7 +77,9 @@ type UpdateStats struct {
 // (Equations 3-5). When the agent implements BatchActorCritic, each
 // minibatch runs as one batched forward/backward through the actor and
 // critic over reusable scratch buffers; otherwise a per-sample fallback
-// path (the original implementation) is used.
+// path (the original implementation) is used. With Cfg.Workers > 1 and a
+// ReplicaAgent, minibatches additionally shard across a data-parallel
+// worker pool (see update_parallel.go).
 type PPO struct {
 	Agent     ActorCritic
 	Cfg       PPOConfig
@@ -75,30 +88,31 @@ type PPO struct {
 	rng       *rand.Rand
 	iter      int
 
-	// Minibatch scratch, grown on demand and reused across updates.
-	idx     []int
-	obsBuf  []float64 // [n x ObsSize] gathered observations
-	actBuf  []float64 // actions
-	oldLp   []float64 // behavior-policy log-probs
-	advBuf  []float64 // advantages
-	retBuf  []float64 // returns
-	lpBuf   []float64 // current-policy log-probs
-	gmBuf   []float64 // dlogpi/dmean
-	gsBuf   []float64 // dlogpi/dlogstd
-	dMean   []float64 // policy-mean loss gradients
-	dLogStd []float64 // log-std loss gradients
-	dV      []float64 // critic loss gradients
+	// Cached parameter slices (ActorParams/CriticParams allocate).
+	actorPs  []*nn.Param
+	criticPs []*nn.Param
+
+	idx   []int        // minibatch shuffle scratch
+	trans []Transition // rollout gather scratch
+	eng   mbEngine     // serial batched minibatch engine (agent = Agent)
+	pool  *updatePool  // data-parallel engine, built lazily when Workers > 1
 }
 
 // NewPPO builds a trainer around the agent.
 func NewPPO(agent ActorCritic, cfg PPOConfig) *PPO {
-	return &PPO{
-		Agent:     agent,
-		Cfg:       cfg,
-		actorOpt:  nn.NewAdam(agent.ActorParams(), cfg.LR),
-		criticOpt: nn.NewAdam(agent.CriticParams(), cfg.LR),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	p := &PPO{
+		Agent:    agent,
+		Cfg:      cfg,
+		actorPs:  agent.ActorParams(),
+		criticPs: agent.CriticParams(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
+	p.actorOpt = nn.NewAdam(p.actorPs, cfg.LR)
+	p.criticOpt = nn.NewAdam(p.criticPs, cfg.LR)
+	if batched, ok := agent.(BatchActorCritic); ok {
+		p.eng.agent = batched
+	}
+	return p
 }
 
 // Iter returns the number of PPO updates applied.
@@ -139,13 +153,14 @@ func (p *PPO) Update(ro Rollout) UpdateStats {
 // Equation 6 when called with the new-objective and replayed-objective
 // rollouts.
 func (p *PPO) UpdateMulti(rollouts []Rollout) UpdateStats {
-	var all []Transition
+	all := p.trans[:0]
 	var rewardSum float64
-	for _, ro := range rollouts {
-		ro.ComputeReturns(p.Cfg.Gamma)
-		all = append(all, ro.Trans...)
-		rewardSum += ro.MeanReward
+	for i := range rollouts {
+		rollouts[i].ComputeReturns(p.Cfg.Gamma)
+		all = append(all, rollouts[i].Trans...)
+		rewardSum += rollouts[i].MeanReward
 	}
+	p.trans = all
 	if len(all) == 0 {
 		return UpdateStats{}
 	}
@@ -165,10 +180,16 @@ func (p *PPO) UpdateMulti(rollouts []Rollout) UpdateStats {
 		mb = len(all)
 	}
 
-	batched, _ := p.Agent.(BatchActorCritic)
+	pool := p.ensurePool()
+	if pool != nil {
+		pool.begin(all)
+		defer pool.end()
+	}
 
 	var lossCount, clipCount, sampleCount float64
 	for epoch := 0; epoch < max(p.Cfg.Epochs, 1); epoch++ {
+		// The shuffle consumes the rng identically for every worker count,
+		// so minibatch composition never depends on Workers.
 		p.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for start := 0; start < len(idx); start += mb {
 			end := start + mb
@@ -177,18 +198,24 @@ func (p *PPO) UpdateMulti(rollouts []Rollout) UpdateStats {
 			}
 			batch := idx[start:end]
 
-			nn.ZeroGrad(p.Agent.ActorParams())
-			nn.ZeroGrad(p.Agent.CriticParams())
+			nn.ZeroGrad(p.actorPs)
+			nn.ZeroGrad(p.criticPs)
 
-			if batched != nil {
-				p.minibatchBatched(batched, all, batch, beta, &stats, &lossCount, &clipCount, &sampleCount)
-			} else {
+			switch {
+			case pool != nil:
+				pool.runMinibatch(batch, beta)
+				pool.merge(&stats, &lossCount, &clipCount, &sampleCount)
+			case p.eng.agent != nil:
+				p.eng.reset()
+				p.eng.run(&p.Cfg, all, batch, float64(len(batch)), beta)
+				p.eng.merge(&stats, &lossCount, &clipCount, &sampleCount)
+			default:
 				p.minibatchSerial(all, batch, beta, &stats, &lossCount, &clipCount, &sampleCount)
 			}
 
 			if p.Cfg.MaxGradNorm > 0 {
-				nn.ClipGradNorm(p.Agent.ActorParams(), p.Cfg.MaxGradNorm)
-				nn.ClipGradNorm(p.Agent.CriticParams(), p.Cfg.MaxGradNorm)
+				nn.ClipGradNorm(p.actorPs, p.Cfg.MaxGradNorm)
+				nn.ClipGradNorm(p.criticPs, p.Cfg.MaxGradNorm)
 			}
 			p.actorOpt.Step()
 			p.criticOpt.Step()
@@ -207,66 +234,106 @@ func (p *PPO) UpdateMulti(rollouts []Rollout) UpdateStats {
 	return stats
 }
 
-// minibatchBatched accumulates gradients for one minibatch with a single
-// batched forward/backward through the actor and critic. It is
-// gradient-equivalent to minibatchSerial: samples are processed in the same
-// order, though the blocked kernels associate floating-point sums
-// differently, so gradients match the serial path to tight tolerance
-// (~1e-9, pinned by the batch equivalence tests) rather than bitwise.
-func (p *PPO) minibatchBatched(agent BatchActorCritic, all []Transition, batch []int, beta float64,
-	stats *UpdateStats, lossCount, clipCount, sampleCount *float64) {
-	n := len(batch)
-	fn := float64(n)
-	obsDim := p.Agent.ObsSize()
+// mbEngine accumulates the gradients of one minibatch shard with a single
+// batched forward/backward through the actor and critic, over its own
+// scratch buffers and partial-statistic accumulators — the unit of work of
+// both the serial batched path (one engine spanning the whole minibatch) and
+// the data-parallel path (one engine per worker, each over a row shard). It
+// is gradient-equivalent to minibatchSerial: samples are processed in the
+// same order, though the blocked kernels associate floating-point sums
+// differently, so gradients match the serial path to tight tolerance (~1e-9,
+// pinned by the batch equivalence tests) rather than bitwise.
+type mbEngine struct {
+	agent BatchActorCritic
 
-	p.obsBuf = nn.Grow(p.obsBuf, n*obsDim)
-	p.actBuf = nn.Grow(p.actBuf, n)
-	p.oldLp = nn.Grow(p.oldLp, n)
-	p.advBuf = nn.Grow(p.advBuf, n)
-	p.retBuf = nn.Grow(p.retBuf, n)
-	p.lpBuf = nn.Grow(p.lpBuf, n)
-	p.gmBuf = nn.Grow(p.gmBuf, n)
-	p.gsBuf = nn.Grow(p.gsBuf, n)
-	p.dMean = nn.Grow(p.dMean, n)
-	p.dLogStd = nn.Grow(p.dLogStd, n)
-	p.dV = nn.Grow(p.dV, n)
+	obsBuf  []float64 // [n x ObsSize] gathered observations
+	actBuf  []float64 // actions
+	oldLp   []float64 // behavior-policy log-probs
+	advBuf  []float64 // advantages
+	retBuf  []float64 // returns
+	lpBuf   []float64 // current-policy log-probs
+	gmBuf   []float64 // dlogpi/dmean
+	gsBuf   []float64 // dlogpi/dlogstd
+	dMean   []float64 // policy-mean loss gradients
+	dLogStd []float64 // log-std loss gradients
+	dV      []float64 // critic loss gradients
+
+	policyLoss, valueLoss, entropy    float64
+	lossCount, clipCount, sampleCount float64
+}
+
+// reset clears the partial statistics before a shard pass.
+func (e *mbEngine) reset() {
+	e.policyLoss, e.valueLoss, e.entropy = 0, 0, 0
+	e.lossCount, e.clipCount, e.sampleCount = 0, 0, 0
+}
+
+// merge folds the engine's partial statistics into the update accumulators.
+func (e *mbEngine) merge(stats *UpdateStats, lossCount, clipCount, sampleCount *float64) {
+	stats.PolicyLoss += e.policyLoss
+	stats.ValueLoss += e.valueLoss
+	stats.Entropy += e.entropy
+	*lossCount += e.lossCount
+	*clipCount += e.clipCount
+	*sampleCount += e.sampleCount
+}
+
+// run accumulates gradients for the batch rows into the engine agent's
+// parameters. fn is the FULL minibatch row count (not the shard size): loss
+// gradients divide by it so that summing shard gradients reproduces the
+// full-minibatch mean regardless of how rows are sharded.
+func (e *mbEngine) run(cfg *PPOConfig, all []Transition, batch []int, fn float64, beta float64) {
+	n := len(batch)
+	obsDim := e.agent.ObsSize()
+
+	e.obsBuf = nn.Grow(e.obsBuf, n*obsDim)
+	e.actBuf = nn.Grow(e.actBuf, n)
+	e.oldLp = nn.Grow(e.oldLp, n)
+	e.advBuf = nn.Grow(e.advBuf, n)
+	e.retBuf = nn.Grow(e.retBuf, n)
+	e.lpBuf = nn.Grow(e.lpBuf, n)
+	e.gmBuf = nn.Grow(e.gmBuf, n)
+	e.gsBuf = nn.Grow(e.gsBuf, n)
+	e.dMean = nn.Grow(e.dMean, n)
+	e.dLogStd = nn.Grow(e.dLogStd, n)
+	e.dV = nn.Grow(e.dV, n)
 
 	for k, i := range batch {
 		tr := all[i]
 		if len(tr.Obs) != obsDim {
 			panic(fmt.Sprintf("rl: transition observation length %d, agent expects %d", len(tr.Obs), obsDim))
 		}
-		copy(p.obsBuf[k*obsDim:(k+1)*obsDim], tr.Obs)
-		p.actBuf[k] = tr.Action
-		p.oldLp[k] = tr.LogProb
-		p.advBuf[k] = tr.Advantage
-		p.retBuf[k] = tr.Return
+		copy(e.obsBuf[k*obsDim:(k+1)*obsDim], tr.Obs)
+		e.actBuf[k] = tr.Action
+		e.oldLp[k] = tr.LogProb
+		e.advBuf[k] = tr.Advantage
+		e.retBuf[k] = tr.Return
 	}
 
-	means, std := agent.PolicyForwardBatch(p.obsBuf, n)
-	nn.GaussianLogProbVec(p.lpBuf, p.actBuf, means, std)
-	nn.GaussianLogProbGradVec(p.gmBuf, p.gsBuf, p.actBuf, means, std)
+	means, std := e.agent.PolicyForwardBatch(e.obsBuf, n)
+	nn.GaussianLogProbVec(e.lpBuf, e.actBuf, means, std)
+	nn.GaussianLogProbGradVec(e.gmBuf, e.gsBuf, e.actBuf, means, std)
 	entropy := nn.GaussianEntropy(std)
 
 	for k := 0; k < n; k++ {
-		dMean, dLogStd, surr := p.policySample(p.lpBuf[k], p.oldLp[k], p.advBuf[k],
-			p.gmBuf[k], p.gsBuf[k], beta, clipCount, sampleCount)
-		p.dMean[k] = dMean / fn
-		p.dLogStd[k] = dLogStd / fn
-		stats.PolicyLoss += -surr
-		stats.Entropy += entropy
+		dMean, dLogStd, surr := policySample(cfg, e.lpBuf[k], e.oldLp[k], e.advBuf[k],
+			e.gmBuf[k], e.gsBuf[k], beta, &e.clipCount, &e.sampleCount)
+		e.dMean[k] = dMean / fn
+		e.dLogStd[k] = dLogStd / fn
+		e.policyLoss += -surr
+		e.entropy += entropy
 	}
-	agent.PolicyBackwardBatch(p.dMean, p.dLogStd)
+	e.agent.PolicyBackwardBatch(e.dMean, e.dLogStd)
 
 	// Critic: 0.5·(V - R)².
-	vs := agent.ValueForwardBatch(p.obsBuf, n)
+	vs := e.agent.ValueForwardBatch(e.obsBuf, n)
 	for k := 0; k < n; k++ {
-		diff := vs[k] - p.retBuf[k]
-		p.dV[k] = p.Cfg.ValueCoef * diff / fn
-		stats.ValueLoss += 0.5 * diff * diff
-		*lossCount++
+		diff := vs[k] - e.retBuf[k]
+		e.dV[k] = cfg.ValueCoef * diff / fn
+		e.valueLoss += 0.5 * diff * diff
+		e.lossCount++
 	}
-	agent.ValueBackwardBatch(p.dV)
+	e.agent.ValueBackwardBatch(e.dV)
 }
 
 // minibatchSerial is the per-sample fallback for agents without batched
@@ -280,7 +347,7 @@ func (p *PPO) minibatchSerial(all []Transition, batch []int, beta float64,
 		mean, std := p.Agent.PolicyForward(tr.Obs)
 		logProb := nn.GaussianLogProb(tr.Action, mean, std)
 		gm, gs := nn.GaussianLogProbGrad(tr.Action, mean, std)
-		dMean, dLogStd, surr := p.policySample(logProb, tr.LogProb, tr.Advantage,
+		dMean, dLogStd, surr := policySample(&p.Cfg, logProb, tr.LogProb, tr.Advantage,
 			gm, gs, beta, clipCount, sampleCount)
 		p.Agent.PolicyBackward(dMean/n, dLogStd/n)
 		stats.PolicyLoss += -surr
@@ -299,8 +366,8 @@ func (p *PPO) minibatchSerial(all []Transition, batch []int, beta float64,
 // (Equations 3-5): the gradients of -min(r·A, clip(r)·A) - β·H with
 // respect to the policy mean and log-std, plus the surrogate value for the
 // loss statistics. It is the single source of the PPO arithmetic shared by
-// the batched and per-sample paths.
-func (p *PPO) policySample(logProb, oldLogProb, adv, gm, gs, beta float64,
+// the batched, data-parallel and per-sample paths.
+func policySample(cfg *PPOConfig, logProb, oldLogProb, adv, gm, gs, beta float64,
 	clipCount, sampleCount *float64) (dMean, dLogStd, surr float64) {
 	ratio := math.Exp(logProb - oldLogProb)
 	// Guard against numeric explosions on stale samples.
@@ -308,12 +375,12 @@ func (p *PPO) policySample(logProb, oldLogProb, adv, gm, gs, beta float64,
 		ratio = 20
 	}
 
-	clipped := ratio < 1-p.Cfg.ClipEps || ratio > 1+p.Cfg.ClipEps
+	clipped := ratio < 1-cfg.ClipEps || ratio > 1+cfg.ClipEps
 	// Gradient of -min(r·A, clip(r)·A): zero when the clipped branch is
 	// active AND it is the smaller one.
 	useUnclipped := true
 	if clipped {
-		clipR := math.Max(1-p.Cfg.ClipEps, math.Min(1+p.Cfg.ClipEps, ratio))
+		clipR := math.Max(1-cfg.ClipEps, math.Min(1+cfg.ClipEps, ratio))
 		if clipR*adv < ratio*adv {
 			useUnclipped = false
 		}
@@ -329,6 +396,6 @@ func (p *PPO) policySample(logProb, oldLogProb, adv, gm, gs, beta float64,
 	// Entropy bonus: H = c + logStd, so d(-βH)/dlogStd = -β.
 	dLogStd -= beta
 
-	surr = math.Min(ratio*adv, math.Max(1-p.Cfg.ClipEps, math.Min(1+p.Cfg.ClipEps, ratio))*adv)
+	surr = math.Min(ratio*adv, math.Max(1-cfg.ClipEps, math.Min(1+cfg.ClipEps, ratio))*adv)
 	return dMean, dLogStd, surr
 }

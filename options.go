@@ -16,18 +16,46 @@ type Model struct {
 	m *core.Model
 }
 
+// TrainStats summarizes what an offline training run actually executed, as
+// recorded by the trainer (not re-derived from the options).
+type TrainStats struct {
+	// BootstrapIters / TraverseIters are the PPO iterations performed in
+	// each of the two §4.2 phases.
+	BootstrapIters int
+	TraverseIters  int
+	// EnvSteps is the total number of environment transitions collected,
+	// counted from the rollouts themselves.
+	EnvSteps int
+}
+
+// TotalIters returns the number of PPO iterations performed.
+func (s TrainStats) TotalIters() int { return s.BootstrapIters + s.TraverseIters }
+
 // TrainModel runs two-phase offline training (§4.2) on the Table 3 network
 // distribution and returns the trained model.
 func TrainModel(opts TrainingOptions) (*Model, error) {
+	model, _, err := TrainModelStats(opts)
+	return model, err
+}
+
+// TrainModelStats is TrainModel returning, additionally, the executed
+// schedule summary (for throughput reporting, e.g. cmd/mocc-train).
+func TrainModelStats(opts TrainingOptions) (*Model, TrainStats, error) {
 	model := core.NewModel(core.HistoryLen, opts.Seed)
 	trainer, err := core.NewOfflineTrainer(model, trainConfig(opts))
 	if err != nil {
-		return nil, fmt.Errorf("mocc: configuring trainer: %w", err)
+		return nil, TrainStats{}, fmt.Errorf("mocc: configuring trainer: %w", err)
 	}
-	if _, err := trainer.Run(); err != nil {
-		return nil, fmt.Errorf("mocc: offline training: %w", err)
+	res, err := trainer.Run()
+	if err != nil {
+		return nil, TrainStats{}, fmt.Errorf("mocc: offline training: %w", err)
 	}
-	return &Model{m: model}, nil
+	stats := TrainStats{
+		BootstrapIters: res.BootstrapIters,
+		TraverseIters:  res.TraverseIters,
+		EnvSteps:       res.EnvSteps,
+	}
+	return &Model{m: model}, stats, nil
 }
 
 // LoadModelFile reads a model from a JSON file produced by Model.Save,
