@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-sim bench-train bench-json ci
+.PHONY: all build vet test test-race bench bench-sim bench-train bench-json fuzz-scen ci
 
 all: build vet test
 
@@ -44,5 +44,12 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/nn ./internal/rl ./internal/core ./internal/netsim > bench.out.tmp
 	$(GO) run ./cmd/benchjson -out BENCH_train.json < bench.out.tmp
 	rm -f bench.out.tmp
+
+# Differential fuzz smoke: 25 generator-seeded scenarios replayed through
+# both netsim engines (packet-train vs per-packet reference) must agree
+# bit-for-bit — the scenario generator as an engine-equivalence fuzzer.
+# Runs in a few seconds including the build.
+fuzz-scen:
+	$(GO) run ./cmd/mocc-scen fuzz -n 25 -seed 1
 
 ci: all

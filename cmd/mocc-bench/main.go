@@ -7,8 +7,12 @@
 //
 //	mocc-bench -fig 5 -scale quick
 //	mocc-bench -fig all -scale standard -seed 3
+//	mocc-bench -scenario examples/scenarios/trace-replay.json
 //
 // Figure ids: 1a 1b 1c 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 all
+//
+// With -scenario, perf runs target a declarative scenario spec file (see
+// the mocc/scenario package and `mocc-scen`) instead of a built-in grid.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"mocc/internal/apps"
 	"mocc/internal/cc"
@@ -23,6 +28,7 @@ import (
 	"mocc/internal/datapath"
 	"mocc/internal/objective"
 	"mocc/internal/pantheon"
+	"mocc/scenario"
 )
 
 func main() {
@@ -30,10 +36,12 @@ func main() {
 	log.SetPrefix("mocc-bench: ")
 
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate (1a..19 or all)")
-		scale   = flag.String("scale", "quick", "model training scale: quick | standard")
-		seed    = flag.Int64("seed", 1, "experiment seed")
-		workers = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
+		fig      = flag.String("fig", "all", "figure to regenerate (1a..19 or all)")
+		scale    = flag.String("scale", "quick", "model training scale: quick | standard")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		workers  = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
+		scenFile = flag.String("scenario", "", "run a scenario spec file instead of a built-in figure (learned schemes resolve through the zoo)")
+		engine   = flag.String("engine", "fast", "netsim engine for -scenario runs: fast | reference")
 	)
 	flag.Parse()
 
@@ -49,6 +57,25 @@ func main() {
 	zoo := pantheon.NewZoo(zscale, *seed)
 	schemes := pantheon.NewSchemes(zoo)
 	out := os.Stdout
+
+	if *scenFile != "" {
+		spec, err := scenario.Load(*scenFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := scenario.Run(spec, scenario.RunOptions{
+			CompileOptions: scenario.CompileOptions{
+				BaseDir:  filepath.Dir(*scenFile),
+				Resolver: schemes.ScenarioResolver(),
+			},
+			Engine: scenario.Engine(*engine),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mustWrite(pantheon.ScenarioResultTable(res), out)
+		return
+	}
 
 	runners := map[string]func(){
 		"1a": func() {

@@ -1,0 +1,65 @@
+// Scenario specs: load declarative scenario files — a hand-written capacity
+// schedule and a replayed Mahimahi trace — run them on the packet-level
+// simulator, and print per-flow App.Stats-style results. No Go code changes
+// are needed to describe a new network condition: edit the JSON (or
+// generate one with `mocc-scen describe -family cellular -seed 42`) and
+// re-run.
+//
+//	go run ./examples/scenarios            # runs the two bundled specs
+//	go run ./examples/scenarios my.json    # runs your own
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"mocc/scenario"
+)
+
+// defaultSpecs resolves the bundled spec files relative to this source
+// file, so `go run ./examples/scenarios` works from any directory.
+func defaultSpecs() []string {
+	dir := filepath.Join("examples", "scenarios") // fallback: repo root cwd
+	if _, file, _, ok := runtime.Caller(0); ok {
+		dir = filepath.Dir(file)
+	}
+	return []string{
+		filepath.Join(dir, "cellular.json"),
+		filepath.Join(dir, "trace-replay.json"),
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	specs := os.Args[1:]
+	if len(specs) == 0 {
+		specs = defaultSpecs()
+	}
+	for _, path := range specs {
+		spec, err := scenario.Load(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := scenario.Run(spec, scenario.RunOptions{
+			CompileOptions: scenario.CompileOptions{BaseDir: filepath.Dir(path)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %s ===\n%s\n", spec.Name, spec.Description)
+		for _, fr := range append(res.Flows, res.Cross...) {
+			status := ""
+			if fr.Completed {
+				status = fmt.Sprintf("  (finished at %.2fs)", fr.CompletionSec)
+			}
+			fmt.Printf("  %-14s %-11s %8.3f Mbps  rtt %6.1f ms  loss %5.2f%%  %d/%d delivered%s\n",
+				fr.Label, fr.Scheme, fr.ThroughputMbps, fr.AvgRTTms,
+				fr.LossRate*100, fr.Delivered, fr.Sent, status)
+		}
+		fmt.Println()
+	}
+}

@@ -134,6 +134,13 @@ type appLimited struct {
 	maxRate float64
 }
 
+// AppLimited caps any congestion controller at an application media rate
+// (pkts/s): the RTC workload shape. The scenario subsystem uses it to
+// compile "rtc"-app flows onto arbitrary schemes.
+func AppLimited(alg cc.Algorithm, maxRatePps float64) cc.Algorithm {
+	return &appLimited{Algorithm: alg, maxRate: maxRatePps}
+}
+
 func (a *appLimited) InitialRate(baseRTT float64) float64 {
 	return math.Min(a.Algorithm.InitialRate(baseRTT), a.maxRate)
 }
@@ -152,7 +159,7 @@ func RunRTC(alg cc.Algorithm, cfg RTCConfig) RTCResult {
 	}
 	n := netsim.NewNetwork(link, cfg.Seed)
 	rtc := n.AddFlow(netsim.FlowConfig{
-		Alg:   &appLimited{Algorithm: alg, maxRate: trace.MbpsToPktsPerSec(cfg.SourceMbps, 1500)},
+		Alg:   AppLimited(alg, trace.MbpsToPktsPerSec(cfg.SourceMbps, 1500)),
 		Label: "rtc",
 		Seed:  cfg.Seed,
 	})

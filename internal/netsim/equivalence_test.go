@@ -93,6 +93,21 @@ func equivalenceScenarios() []scenario {
 			dur:   10,
 			seed:  8,
 		},
+		{
+			// Piecewise-levels replay trace (the Mahimahi in-memory form)
+			// with wraparound mid-run: the fast engine samples it through
+			// the cached Sampler fast path, the reference through the
+			// interface — both must agree bit-for-bit.
+			name: "levels-replay-trace",
+			link: LinkConfig{
+				Capacity:  trace.MustLevels([]float64{0, 0.7, 1.5, 2.2, 3.0}, []float64{1200, 400, 1600, 250, 900}, 3.5),
+				OWD:       0.02,
+				QueuePkts: 55,
+			},
+			flows: []FlowConfig{mk(850), {Alg: cc.NewBBR(), Start: 1, Seed: 21}},
+			dur:   11,
+			seed:  9,
+		},
 	}
 }
 

@@ -1,0 +1,233 @@
+package pantheon
+
+import (
+	"fmt"
+
+	"mocc/internal/cc"
+	"mocc/internal/gym"
+	"mocc/internal/objective"
+	"mocc/internal/scenario"
+	"mocc/internal/trace"
+)
+
+// learnedSchemes maps scenario scheme names onto the model zoo.
+var learnedSchemes = map[string]bool{
+	"mocc":              true,
+	"mocc-throughput":   true,
+	"mocc-latency":      true,
+	"aurora-throughput": true,
+	"aurora-latency":    true,
+	"orca":              true,
+}
+
+// IsLearnedScheme reports whether a scenario flow scheme needs the model
+// zoo (so CLIs can defer zoo construction until a spec actually asks).
+func IsLearnedScheme(name string) bool { return learnedSchemes[name] }
+
+// ScenarioResolver adapts the model zoo to the scenario compiler: it
+// materializes learned schemes ("mocc" honours the flow's preference
+// weights, defaulting to the balanced objective) and falls through to the
+// scenario built-ins for everything else.
+func (s *Schemes) ScenarioResolver() scenario.SchemeResolver {
+	return func(f scenario.Flow) (cc.Algorithm, error) {
+		if f.Weights != nil && f.Scheme != "mocc" && learnedSchemes[f.Scheme] {
+			return nil, fmt.Errorf("pantheon: scheme %q carries its own canonical preference and ignores weights; use scheme \"mocc\" with weights instead", f.Scheme)
+		}
+		switch f.Scheme {
+		case "mocc":
+			w := objective.BalancePref
+			if f.Weights != nil {
+				w = objective.Weights{
+					Thr:  f.Weights.Throughput,
+					Lat:  f.Weights.Latency,
+					Loss: f.Weights.Loss,
+				}.Normalize()
+			}
+			return s.MOCCAlgorithm("mocc", w), nil
+		case "mocc-throughput":
+			return s.MOCCAlgorithm("mocc-throughput", objective.ThroughputPref), nil
+		case "mocc-latency":
+			return s.MOCCAlgorithm("mocc-latency", objective.LatencyPref), nil
+		case "aurora-throughput":
+			return s.AuroraThroughputAlgorithm(), nil
+		case "aurora-latency":
+			return s.AuroraLatencyAlgorithm(), nil
+		case "orca":
+			return s.OrcaAlgorithm(), nil
+		default:
+			return nil, nil // scenario built-ins
+		}
+	}
+}
+
+// ScenarioSuiteConfig parameterizes an open-ended generated-scenario
+// evaluation: the generator replaces the fixed Figure 5 grids.
+type ScenarioSuiteConfig struct {
+	// Families defaults to every generator family.
+	Families []scenario.Family
+	// PerFamily is the number of generated scenarios per family (default 3).
+	PerFamily int
+	// Steps is the number of monitor intervals per run (default 200).
+	Steps int
+	// Seed drives scenario generation and the runs.
+	Seed int64
+	// Workers bounds the scenario scheduler's fan-out (0 = GOMAXPROCS,
+	// 1 = serial). Results are byte-identical at any worker count.
+	Workers int
+}
+
+// ScenarioSuiteResult holds per-(family, scheme) means over the suite.
+type ScenarioSuiteResult struct {
+	Families  []scenario.Family
+	Schemes   []string
+	PerFamily int
+	// Util[f][s] and LatR[f][s] are means over the family's scenarios.
+	Util [][]float64
+	LatR [][]float64
+}
+
+// RunScenarioSuite evaluates MOCC (both canonical preferences) and every
+// baseline over PerFamily generated scenarios from each family, fanning
+// the (family x scenario x scheme) grid across the scenario scheduler.
+// Every cell derives its spec and seed from its index alone, so serial and
+// parallel execution produce identical tables.
+func RunScenarioSuite(s *Schemes, cfg ScenarioSuiteConfig) (ScenarioSuiteResult, error) {
+	fams := cfg.Families
+	if len(fams) == 0 {
+		fams = scenario.Families()
+	}
+	if cfg.PerFamily <= 0 {
+		cfg.PerFamily = 3
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 200
+	}
+
+	type entry struct {
+		name    string
+		factory func() cc.Algorithm
+	}
+	entries := []entry{
+		{"mocc-throughput", func() cc.Algorithm { return s.MOCCAlgorithm("mocc-throughput", objective.ThroughputPref) }},
+		{"mocc-latency", func() cc.Algorithm { return s.MOCCAlgorithm("mocc-latency", objective.LatencyPref) }},
+	}
+	for _, f := range s.Baselines() {
+		factory := f
+		entries = append(entries, entry{factory().Name(), func() cc.Algorithm { return factory() }})
+	}
+
+	// Generate the suite's gym configurations up front (cheap, and any
+	// generator error surfaces before the fan-out).
+	nScen := len(fams) * cfg.PerFamily
+	gymCfgs := make([]gym.Config, nScen)
+	for i := range gymCfgs {
+		fam := fams[i/cfg.PerFamily]
+		spec, err := scenario.Generate(fam, cfg.Seed+int64(i%cfg.PerFamily))
+		if err != nil {
+			return ScenarioSuiteResult{}, err
+		}
+		gymCfgs[i], err = spec.Gym(scenario.CompileOptions{})
+		if err != nil {
+			return ScenarioSuiteResult{}, fmt.Errorf("pantheon: scenario %q: %w", spec.Name, err)
+		}
+	}
+
+	// Train every learned model serially before fanning out (the zoo's
+	// adaptation seeds are registration-order dependent).
+	s.zoo.MOCCAdapted(objective.ThroughputPref, 0)
+	s.zoo.MOCCAdapted(objective.LatencyPref, 0)
+
+	res := ScenarioSuiteResult{
+		Families:  fams,
+		Schemes:   make([]string, len(entries)),
+		PerFamily: cfg.PerFamily,
+		Util:      make([][]float64, len(fams)),
+		LatR:      make([][]float64, len(fams)),
+	}
+	for ei, e := range entries {
+		res.Schemes[ei] = e.name
+	}
+	for fi := range fams {
+		res.Util[fi] = make([]float64, len(entries))
+		res.LatR[fi] = make([]float64, len(entries))
+	}
+
+	// One job per (scenario, scheme) cell; cell results land in
+	// index-derived slots and are reduced serially afterwards.
+	util := make([]float64, nScen*len(entries))
+	latR := make([]float64, nScen*len(entries))
+	Runner{Workers: cfg.Workers}.Each(nScen*len(entries), func(job int) {
+		si, ei := job/len(entries), job%len(entries)
+		env := gym.New(gymCfgs[si])
+		ms := cc.Drive(env, entries[ei].factory(), cfg.Steps, cfg.Seed+int64(si))
+		sum := Summarize(entries[ei].name, trace.Condition{}, ms)
+		util[job] = sum.Utilization
+		latR[job] = sum.LatencyRatio
+	})
+	for si := 0; si < nScen; si++ {
+		fi := si / cfg.PerFamily
+		for ei := range entries {
+			res.Util[fi][ei] += util[si*len(entries)+ei] / float64(cfg.PerFamily)
+			res.LatR[fi][ei] += latR[si*len(entries)+ei] / float64(cfg.PerFamily)
+		}
+	}
+	return res, nil
+}
+
+// Tables renders the suite as utilization and latency-ratio panels
+// (schemes x families), the generated-scenario counterpart of Figure 5.
+func (r ScenarioSuiteResult) Tables() (util, lat Table) {
+	header := []string{"scheme"}
+	for _, f := range r.Families {
+		header = append(header, string(f))
+	}
+	util = Table{Title: fmt.Sprintf("Generated-scenario suite link utilization (%d scenarios/family)", r.PerFamily), Header: header}
+	lat = Table{Title: fmt.Sprintf("Generated-scenario suite latency ratio (%d scenarios/family)", r.PerFamily), Header: header}
+	for ei, scheme := range r.Schemes {
+		uRow := []string{scheme}
+		lRow := []string{scheme}
+		for fi := range r.Families {
+			uRow = append(uRow, fmt.Sprintf("%.3f", r.Util[fi][ei]))
+			lRow = append(lRow, fmt.Sprintf("%.3f", r.LatR[fi][ei]))
+		}
+		util.Rows = append(util.Rows, uRow)
+		lat.Rows = append(lat.Rows, lRow)
+	}
+	return util, lat
+}
+
+// ScenarioResultTable renders a scenario.Run result as a text table shared
+// by the mocc-scen and mocc-bench CLIs.
+func ScenarioResultTable(res *scenario.Result) Table {
+	t := Table{
+		Title: fmt.Sprintf("scenario %s (%s engine, %gs)", res.Name, res.Engine, res.DurationSec),
+		Header: []string{"flow", "scheme", "sent", "delivered", "lost",
+			"thr Mbps", "avg RTT ms", "loss", "done"},
+	}
+	add := func(fr scenario.FlowResult) {
+		done := ""
+		if fr.Completed {
+			done = fmt.Sprintf("%.2fs", fr.CompletionSec)
+		}
+		t.Add(fr.Label, fr.Scheme,
+			fmt.Sprint(fr.Sent), fmt.Sprint(fr.Delivered), fmt.Sprint(fr.Lost),
+			fmt.Sprintf("%.3f", fr.ThroughputMbps),
+			fmt.Sprintf("%.1f", fr.AvgRTTms),
+			fmt.Sprintf("%.4f", fr.LossRate),
+			done)
+		if fr.ABR != nil {
+			t.Add("  └ video", "abr", "", "", "",
+				fmt.Sprintf("%.3f", fr.ABR.AvgBitrateMbps),
+				fmt.Sprintf("rebuf %.1fs", fr.ABR.RebufferSec),
+				fmt.Sprintf("lvl %.2f", fr.ABR.AvgLevel),
+				"")
+		}
+	}
+	for _, fr := range res.Flows {
+		add(fr)
+	}
+	for _, fr := range res.Cross {
+		add(fr)
+	}
+	return t
+}

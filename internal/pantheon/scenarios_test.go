@@ -1,0 +1,132 @@
+package pantheon
+
+import (
+	"bytes"
+	"testing"
+
+	"mocc/internal/cc"
+	"mocc/internal/gym"
+	"mocc/internal/scenario"
+	"mocc/internal/trace"
+)
+
+func suiteTables(t *testing.T, res ScenarioSuiteResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	util, lat := res.Tables()
+	if err := util.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := lat.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestScenarioSuiteParallelDeterminism holds the generated-scenario suite
+// to the scheduler's contract: serial and 4-worker runs render byte-
+// identical tables.
+func TestScenarioSuiteParallelDeterminism(t *testing.T) {
+	s := NewSchemes(sharedZoo())
+	cfg := ScenarioSuiteConfig{
+		Families:  []scenario.Family{scenario.Cellular, scenario.Satellite},
+		PerFamily: 2,
+		Steps:     40,
+		Seed:      5,
+	}
+	cfg.Workers = 1
+	serial, err := RunScenarioSuite(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parallel, err := RunScenarioSuite(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := suiteTables(t, serial), suiteTables(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Errorf("serial and 4-worker suites diverge:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	if len(serial.Schemes) < 3 {
+		t.Fatalf("suite evaluated %d schemes, want MOCC + baselines", len(serial.Schemes))
+	}
+	for fi := range serial.Families {
+		for ei := range serial.Schemes {
+			if u := serial.Util[fi][ei]; u <= 0 || u > 1.01 {
+				t.Errorf("util[%d][%d] = %g out of range", fi, ei, u)
+			}
+			if l := serial.LatR[fi][ei]; l < 1 {
+				t.Errorf("latR[%d][%d] = %g below 1", fi, ei, l)
+			}
+		}
+	}
+}
+
+// TestScenarioResolver materializes every learned scheme and falls through
+// for built-ins.
+func TestScenarioResolver(t *testing.T) {
+	s := NewSchemes(sharedZoo())
+	r := s.ScenarioResolver()
+	for _, scheme := range []string{"mocc", "mocc-throughput", "mocc-latency", "aurora-throughput", "aurora-latency", "orca"} {
+		if !IsLearnedScheme(scheme) {
+			t.Errorf("IsLearnedScheme(%q) = false", scheme)
+		}
+		alg, err := r(scenario.Flow{Scheme: scheme})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if alg == nil {
+			t.Fatalf("%s: resolver returned nil", scheme)
+		}
+	}
+	if alg, err := r(scenario.Flow{Scheme: "cubic"}); err != nil || alg != nil {
+		t.Errorf("built-in scheme did not fall through: alg=%v err=%v", alg, err)
+	}
+	if IsLearnedScheme("cubic") {
+		t.Error("IsLearnedScheme(cubic) = true")
+	}
+}
+
+// TestScenarioResolverWeights routes a flow's preference into the MOCC
+// adapter: opposite preferences must yield observably different runs.
+func TestScenarioResolverWeights(t *testing.T) {
+	s := NewSchemes(sharedZoo())
+	r := s.ScenarioResolver()
+	thr, err := r(scenario.Flow{Scheme: "mocc", Weights: &scenario.Weights{Throughput: 0.8, Latency: 0.1, Loss: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := r(scenario.Flow{Scheme: "mocc", Weights: &scenario.Weights{Throughput: 0.1, Latency: 0.8, Loss: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumThr := RunScheme(thr, defaultSweepBase(), 60, 9)
+	sumLat := RunScheme(lat, defaultSweepBase(), 60, 9)
+	if sumThr == sumLat {
+		t.Error("opposite preferences produced identical runs")
+	}
+}
+
+// TestScenarioSpecDrivesPantheonRun is the spec->gym->harness path outside
+// the suite wrapper: a generated spec lowers to a gym config, a baseline
+// drives it through the standard Drive/Summarize pipeline, and the summary
+// is sane.
+func TestScenarioSpecDrivesPantheonRun(t *testing.T) {
+	spec, err := scenario.Generate(scenario.Wifi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Gym(scenario.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := cc.Drive(gym.New(cfg), cc.NewCubic(), 80, 4)
+	sum := Summarize("cubic", trace.Condition{}, ms)
+	if sum.Utilization <= 0 || sum.Utilization > 1.01 {
+		t.Errorf("utilization = %g out of range", sum.Utilization)
+	}
+	if sum.LatencyRatio < 1 {
+		t.Errorf("latency ratio = %g below 1", sum.LatencyRatio)
+	}
+}

@@ -1,0 +1,406 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"mocc/internal/apps"
+	"mocc/internal/cc"
+	"mocc/internal/gym"
+	"mocc/internal/netsim"
+	"mocc/internal/trace"
+)
+
+// SchemeResolver maps a flow to a congestion controller. It is consulted
+// before the built-in schemes, so callers can wire learned models (the
+// pantheon zoo) or custom algorithms; returning (nil, nil) falls through to
+// the built-ins.
+type SchemeResolver func(f Flow) (cc.Algorithm, error)
+
+// CompileOptions parameterize spec compilation.
+type CompileOptions struct {
+	// BaseDir resolves relative Link.TraceFile paths (default: the
+	// process working directory; Load-based CLIs pass the spec's dir).
+	BaseDir string
+	// Resolver, when set, is tried first for every flow's scheme.
+	Resolver SchemeResolver
+	// PktBytes overrides the Mbps<->pkts/s packet size (default 1500).
+	PktBytes int
+}
+
+// Compiled is a spec lowered onto the packet-level simulator: the netsim
+// link plus one netsim flow per spec flow (in order) followed by one
+// fixed/on-off flow per cross-traffic entry.
+type Compiled struct {
+	Spec     *Spec
+	Link     netsim.LinkConfig
+	Flows    []netsim.FlowConfig // Spec.Flows first, then Spec.Cross
+	NumFlows int                 // prefix of Flows that are application flows
+	Duration float64
+	PktBytes int
+}
+
+// pktBytes resolves the effective packet size for a spec + options pair.
+func pktBytes(s *Spec, opt CompileOptions) int {
+	if opt.PktBytes > 0 {
+		return opt.PktBytes
+	}
+	if s.PktBytes > 0 {
+		return s.PktBytes
+	}
+	return DefaultPktBytes
+}
+
+// Bandwidth materializes the link's capacity schedule as a trace.Bandwidth
+// in pkts/s. Trace files resolve relative to baseDir.
+func (s *Spec) Bandwidth(baseDir string, pkt int) (trace.Bandwidth, error) {
+	l := s.Link
+	switch {
+	case l.CapacityMbps > 0:
+		return trace.Constant(trace.MbpsToPktsPerSec(l.CapacityMbps, pkt)), nil
+	case len(l.Schedule) > 0:
+		times := make([]float64, len(l.Schedule))
+		rates := make([]float64, len(l.Schedule))
+		for i, lv := range l.Schedule {
+			times[i] = lv.AtSec
+			rates[i] = trace.MbpsToPktsPerSec(lv.Mbps, pkt)
+		}
+		lv, err := trace.NewLevels(times, rates, l.ScheduleLoopSec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		return lv, nil
+	case l.TraceFile != "":
+		path := l.TraceFile
+		if !filepath.IsAbs(path) && baseDir != "" {
+			path = filepath.Join(baseDir, path)
+		}
+		lv, err := trace.LoadMahimahi(path, trace.MahimahiOptions{BinMs: l.TraceBinMs})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		// Mahimahi opportunities are MTU-sized; rescale when the spec's
+		// packet size differs so the byte rate is preserved.
+		if pkt != DefaultPktBytes {
+			times := make([]float64, lv.NumLevels())
+			rates := make([]float64, lv.NumLevels())
+			for i := range times {
+				t, r := lv.Level(i)
+				times[i] = t
+				rates[i] = r * float64(DefaultPktBytes) / float64(pkt)
+			}
+			lv, err = trace.NewLevels(times, rates, lv.Period())
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+			}
+		}
+		return lv, nil
+	}
+	return nil, fmt.Errorf("scenario %q: link has no capacity source", s.Name)
+}
+
+// flowSeed derives a deterministic per-flow seed when the flow doesn't pin
+// one. The constant is an arbitrary odd mixer so neighbouring flows get
+// well-separated streams.
+func flowSeed(specSeed int64, idx int, flowSeed int64) int64 {
+	if flowSeed != 0 {
+		return flowSeed
+	}
+	return specSeed + int64(idx+1)*1_000_003
+}
+
+// builtinAlgorithm constructs one of the package's scheme built-ins.
+func builtinAlgorithm(f Flow, pkt int) (cc.Algorithm, error) {
+	switch f.Scheme {
+	case "cubic":
+		return cc.NewCubic(), nil
+	case "vegas":
+		return cc.NewVegas(), nil
+	case "bbr":
+		return cc.NewBBR(), nil
+	case "copa":
+		return cc.NewCopa(), nil
+	case "pcc-allegro":
+		return cc.NewAllegro(), nil
+	case "pcc-vivace":
+		return cc.NewVivace(), nil
+	case "fixed":
+		return &fixedRate{rate: trace.MbpsToPktsPerSec(f.RateMbps, pkt)}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q (built-ins: cubic, vegas, bbr, copa, pcc-allegro, pcc-vivace, fixed; learned schemes need a resolver backed by the model zoo)", f.Scheme)
+	}
+}
+
+// algorithm resolves a flow's controller: resolver first, then built-ins,
+// then the app-limiting wrapper for rtc workloads.
+func (s *Spec) algorithm(f Flow, opt CompileOptions, pkt int) (cc.Algorithm, error) {
+	var alg cc.Algorithm
+	var err error
+	if opt.Resolver != nil {
+		alg, err = opt.Resolver(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if alg == nil {
+		alg, err = builtinAlgorithm(f, pkt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if f.App != nil && f.App.Kind == "rtc" {
+		alg = apps.AppLimited(alg, trace.MbpsToPktsPerSec(f.App.SourceMbps, pkt))
+	}
+	return alg, nil
+}
+
+// Compile lowers the spec onto netsim configurations. Each call constructs
+// fresh controller instances, so a spec can be compiled once per engine in
+// a differential run.
+func (s *Spec) Compile(opt CompileOptions) (*Compiled, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	pkt := pktBytes(s, opt)
+	bw, err := s.Bandwidth(opt.BaseDir, pkt)
+	if err != nil {
+		return nil, err
+	}
+	bw, err = netsimBandwidth(bw)
+	if err != nil {
+		return nil, err
+	}
+	// Cap flow rates against the schedule's PEAK, not its t=0 value:
+	// netsim's MaxRate default samples At(0), and a schedule or replayed
+	// trace that opens inside an outage would otherwise pin every flow's
+	// rate to zero for the whole run.
+	maxRate := 4 * peakCapacity(bw)
+	c := &Compiled{
+		Spec: s,
+		Link: netsim.LinkConfig{
+			Capacity:  bw,
+			OWD:       s.Link.RTTms / 2 / 1000,
+			QueuePkts: s.Link.QueuePkts,
+			LossRate:  s.Link.LossRate,
+		},
+		NumFlows: len(s.Flows),
+		Duration: s.DurationSec,
+		PktBytes: pkt,
+	}
+	for i, f := range s.Flows {
+		alg, err := s.algorithm(f, opt, pkt)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: flow %d: %w", s.Name, i, err)
+		}
+		label := f.Label
+		if label == "" {
+			label = fmt.Sprintf("%s-%d", f.Scheme, i)
+		}
+		cfg := netsim.FlowConfig{
+			Label:   label,
+			Alg:     alg,
+			Start:   f.StartSec,
+			Stop:    f.StopSec,
+			MIms:    f.MIms,
+			MaxRate: maxRate,
+			Seed:    flowSeed(s.Seed, i, f.Seed),
+		}
+		// A declared flow rate (fixed scheme) or rtc media rate must be
+		// honoured even above the link-derived cap: overload studies
+		// deliberately offer more than the link can carry.
+		if f.Scheme == "fixed" && f.RateMbps > 0 {
+			cfg.MaxRate = math.Max(cfg.MaxRate, 2*trace.MbpsToPktsPerSec(f.RateMbps, pkt))
+		}
+		if f.App != nil && f.App.Kind == "rtc" {
+			cfg.MaxRate = math.Max(cfg.MaxRate, 2*trace.MbpsToPktsPerSec(f.App.SourceMbps, pkt))
+		}
+		if f.App != nil && f.App.Kind == "bulk" {
+			cfg.PacketBudget = int(f.App.FileMBytes * 1e6 / float64(pkt))
+			if cfg.PacketBudget < 1 {
+				cfg.PacketBudget = 1
+			}
+		}
+		c.Flows = append(c.Flows, cfg)
+	}
+	for i, x := range s.Cross {
+		rate := trace.MbpsToPktsPerSec(x.RateMbps, pkt)
+		var alg cc.Algorithm
+		if x.OnOffSec > 0 {
+			alg = &onOffRate{rate: rate, halfPeriod: x.OnOffSec}
+		} else {
+			alg = &fixedRate{rate: rate}
+		}
+		c.Flows = append(c.Flows, netsim.FlowConfig{
+			Label:   fmt.Sprintf("cross-%d", i),
+			Alg:     alg,
+			Start:   x.StartSec,
+			Stop:    x.StopSec,
+			MaxRate: 2 * rate,
+			Seed:    flowSeed(s.Seed, len(s.Flows)+i, 0),
+		})
+	}
+	return c, nil
+}
+
+// Gym lowers the spec to the single-flow MI environment used for training
+// and the pantheon sweep harness: the link drives the primary (first) flow;
+// declared cross traffic — plus any additional fixed-rate flows — becomes
+// the environment's CrossTraffic schedule. Reactive secondary flows have no
+// gym equivalent and are ignored here (the netsim path models them fully).
+func (s *Spec) Gym(opt CompileOptions) (gym.Config, error) {
+	if err := s.Validate(); err != nil {
+		return gym.Config{}, err
+	}
+	pkt := pktBytes(s, opt)
+	bw, err := s.Bandwidth(opt.BaseDir, pkt)
+	if err != nil {
+		return gym.Config{}, err
+	}
+	primary := s.Flows[0]
+	cfg := gym.Config{
+		Bandwidth: bw,
+		LatencyMs: s.Link.RTTms / 2,
+		QueuePkts: s.Link.QueuePkts,
+		LossRate:  s.Link.LossRate,
+		MIms:      primary.MIms,
+		// Cap the rate against the schedule's PEAK (gym's own default
+		// samples At(0), which under-caps schedules that open inside an
+		// outage — the same hazard Compile guards on the netsim path).
+		MaxRate: 8 * peakCapacity(bw),
+		Seed:    flowSeed(s.Seed, 0, primary.Seed),
+	}
+	cross := crossSchedule{}
+	for _, x := range s.Cross {
+		cross.add(x, trace.MbpsToPktsPerSec(x.RateMbps, pkt))
+	}
+	for _, f := range s.Flows[1:] {
+		if f.Scheme == "fixed" {
+			cross.add(Cross{StartSec: f.StartSec, StopSec: f.StopSec}, trace.MbpsToPktsPerSec(f.RateMbps, pkt))
+		}
+	}
+	if len(cross.items) > 0 {
+		cfg.CrossTraffic = &cross
+	}
+	return cfg, nil
+}
+
+// peakCapacity returns the schedule's maximum rate in pkts/s (floored at
+// 1 so a degenerate all-zero source still yields a usable cap).
+func peakCapacity(bw trace.Bandwidth) float64 {
+	peak := bw.At(0)
+	if lv, ok := bw.(*trace.Levels); ok {
+		peak = lv.PeakRate()
+	}
+	if peak < 1 {
+		peak = 1
+	}
+	return peak
+}
+
+// outageFloorFrac is the residual service rate (as a fraction of the
+// schedule's peak) that zero-capacity segments are replayed at on the
+// packet-level simulator. netsim's O(1) virtual-queue bottleneck prices a
+// packet's service at admission time, so a true zero-rate segment would
+// accumulate unbounded service debt (one packet admitted during an outage
+// costs 1/rate seconds of link time) and black out the link far beyond the
+// outage itself. A small positive floor keeps outages deep fades instead.
+// The gym lowering keeps true zeros: its fluid model carries an explicit
+// queue and handles them exactly.
+const outageFloorFrac = 0.02
+
+// netsimBandwidth lowers a capacity schedule for the packet-level
+// simulator, applying the outage floor to piecewise schedules.
+func netsimBandwidth(bw trace.Bandwidth) (trace.Bandwidth, error) {
+	lv, ok := bw.(*trace.Levels)
+	if !ok {
+		return bw, nil
+	}
+	floor := outageFloorFrac * lv.PeakRate()
+	needed := false
+	for i := 0; i < lv.NumLevels(); i++ {
+		if _, r := lv.Level(i); r == 0 {
+			needed = true
+			break
+		}
+	}
+	if !needed {
+		return bw, nil
+	}
+	times := make([]float64, lv.NumLevels())
+	rates := make([]float64, lv.NumLevels())
+	for i := range times {
+		t, r := lv.Level(i)
+		times[i] = t
+		// Only true zeros are floored: a declared low-but-positive rate is
+		// the user's call and passes through untouched.
+		if r == 0 {
+			r = floor
+		}
+		rates[i] = r
+	}
+	return trace.NewLevels(times, rates, lv.Period())
+}
+
+// crossSchedule sums every cross-traffic entry's square wave into one
+// trace.Bandwidth for the gym's fluid model.
+type crossSchedule struct {
+	items []Cross
+	pps   []float64
+}
+
+func (c *crossSchedule) add(x Cross, pps float64) {
+	c.items = append(c.items, x)
+	c.pps = append(c.pps, pps)
+}
+
+// At implements trace.Bandwidth.
+func (c *crossSchedule) At(t float64) float64 {
+	var sum float64
+	for i, it := range c.items {
+		if t < it.StartSec || (it.StopSec > 0 && t >= it.StopSec) {
+			continue
+		}
+		if it.OnOffSec > 0 && int((t-it.StartSec)/it.OnOffSec)%2 == 1 {
+			continue // off half-period
+		}
+		sum += c.pps[i]
+	}
+	return sum
+}
+
+// fixedRate is a non-reactive constant-rate controller (cross traffic, and
+// the "fixed" scheme).
+type fixedRate struct {
+	rate float64
+}
+
+func (f *fixedRate) Name() string                { return "fixed" }
+func (f *fixedRate) Reset(int64)                 {}
+func (f *fixedRate) InitialRate(float64) float64 { return f.rate }
+func (f *fixedRate) Update(cc.Report) float64    { return f.rate }
+
+// onOffRate alternates between its rate and (effectively) silence every
+// halfPeriod seconds of monitor-interval time — a square-wave workload
+// generator for bursty cross traffic.
+type onOffRate struct {
+	rate       float64
+	halfPeriod float64
+	elapsed    float64
+}
+
+func (o *onOffRate) Name() string { return "on-off" }
+
+func (o *onOffRate) Reset(int64) { o.elapsed = 0 }
+
+func (o *onOffRate) InitialRate(float64) float64 { return o.rate }
+
+func (o *onOffRate) Update(r cc.Report) float64 {
+	o.elapsed += r.Duration
+	if int(o.elapsed/o.halfPeriod)%2 == 1 {
+		// 0.5 pkts/s is the quietest an MI-driven flow can get: netsim's
+		// Flow.closeMI clamps any requested rate <= 0 up to exactly this.
+		return 0.5
+	}
+	return o.rate
+}

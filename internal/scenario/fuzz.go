@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"fmt"
+
+	"mocc/internal/netsim"
+)
+
+// DiffEngines compiles the spec twice (fresh controller state per engine),
+// runs it through both the packet-train production engine and the
+// per-packet reference engine with the same seed, and compares every
+// observable bitwise: totals, completion, accumulated RTT and the full
+// per-flow monitor-interval series. It returns nil when the engines agree
+// exactly, and a descriptive error naming the first divergence otherwise.
+// The returned packet count (total sent across flows) sizes fuzz budgets.
+func DiffEngines(spec *Spec, opt CompileOptions) (packets int, err error) {
+	_, fast, err := execute(spec, opt, EngineFast)
+	if err != nil {
+		return 0, err
+	}
+	_, ref, err := execute(spec, opt, EngineReference)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range fast {
+		packets += f.SentTotal
+	}
+	if err := diffFlows(fast, ref); err != nil {
+		return packets, fmt.Errorf("scenario %q: engines diverge: %w", spec.Name, err)
+	}
+	return packets, nil
+}
+
+// diffFlows compares the two engines' flow results bitwise.
+func diffFlows(fast, ref []*netsim.Flow) error {
+	if len(fast) != len(ref) {
+		return fmt.Errorf("flow count %d vs %d", len(fast), len(ref))
+	}
+	for i := range fast {
+		a, b := fast[i], ref[i]
+		switch {
+		case a.SentTotal != b.SentTotal:
+			return fmt.Errorf("flow %d (%s): SentTotal fast=%d ref=%d", i, a.Label, a.SentTotal, b.SentTotal)
+		case a.DeliveredTotal != b.DeliveredTotal:
+			return fmt.Errorf("flow %d (%s): DeliveredTotal fast=%d ref=%d", i, a.Label, a.DeliveredTotal, b.DeliveredTotal)
+		case a.LostTotal != b.LostTotal:
+			return fmt.Errorf("flow %d (%s): LostTotal fast=%d ref=%d", i, a.Label, a.LostTotal, b.LostTotal)
+		case a.Completed != b.Completed:
+			return fmt.Errorf("flow %d (%s): Completed fast=%v ref=%v", i, a.Label, a.Completed, b.Completed)
+		case a.CompletionTime != b.CompletionTime:
+			return fmt.Errorf("flow %d (%s): CompletionTime fast=%v ref=%v", i, a.Label, a.CompletionTime, b.CompletionTime)
+		case a.SumRTT != b.SumRTT:
+			return fmt.Errorf("flow %d (%s): SumRTT fast=%v ref=%v", i, a.Label, a.SumRTT, b.SumRTT)
+		case len(a.Stats) != len(b.Stats):
+			return fmt.Errorf("flow %d (%s): MI count fast=%d ref=%d", i, a.Label, len(a.Stats), len(b.Stats))
+		}
+		for j := range a.Stats {
+			if a.Stats[j] != b.Stats[j] {
+				return fmt.Errorf("flow %d (%s): MI %d differs:\n  fast: %+v\n  ref:  %+v",
+					i, a.Label, j, a.Stats[j], b.Stats[j])
+			}
+		}
+	}
+	return nil
+}
+
+// FuzzConfig parameterizes a differential fuzz run.
+type FuzzConfig struct {
+	// N is the number of generated scenarios to diff.
+	N int
+	// Seed offsets the generator.
+	Seed int64
+	// Families restricts the rotation (default: all).
+	Families []Family
+	// Progress, when set, is invoked after each scenario.
+	Progress func(i int, spec *Spec, packets int)
+}
+
+// FuzzResult summarizes a clean fuzz run.
+type FuzzResult struct {
+	Scenarios int
+	Packets   int // total packets pushed through EACH engine
+}
+
+// Fuzz drives the seeded generator through DiffEngines N times — the
+// generator as an engine-equivalence fuzzer. It stops at the first
+// divergence, returning an error that names the scenario (family + seed),
+// so `mocc-scen fuzz` reproduces it with `describe`/`run`.
+func Fuzz(cfg FuzzConfig) (FuzzResult, error) {
+	if cfg.N <= 0 {
+		cfg.N = 25
+	}
+	gen := Generator{Families: cfg.Families, Seed: cfg.Seed}
+	var res FuzzResult
+	for i := 0; i < cfg.N; i++ {
+		spec, err := gen.Spec(i)
+		if err != nil {
+			return res, err
+		}
+		packets, err := DiffEngines(spec, CompileOptions{})
+		if err != nil {
+			return res, err
+		}
+		res.Scenarios++
+		res.Packets += packets
+		if cfg.Progress != nil {
+			cfg.Progress(i, spec, packets)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,334 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"mocc/internal/gym"
+	"mocc/internal/trace"
+)
+
+// Family names a generator scenario family.
+type Family string
+
+// Generator families, modelled on the link classes the paper's evaluation
+// (and the Pantheon/Mahimahi testbeds it leans on) exercises.
+const (
+	Cellular      Family = "cellular"          // fading random-walk capacity, moderate RTT
+	Wifi          Family = "wifi"              // bursty capacity alternation, short RTT
+	Satellite     Family = "satellite"         // long RTT, stable capacity, deep buffers
+	LossyWireless Family = "lossy-wireless"    // high random loss over a fading link
+	Incast        Family = "datacenter-incast" // many synchronized senders, shallow buffer, tiny RTT
+	FlashCrowd    Family = "flash-crowd"       // staggered flow arrivals, mixed schemes and transfers
+)
+
+// Families returns every generator family in canonical order.
+func Families() []Family {
+	return []Family{Cellular, Wifi, Satellite, LossyWireless, Incast, FlashCrowd}
+}
+
+// FamilyDescription is a one-line description for CLIs.
+func FamilyDescription(f Family) string {
+	switch f {
+	case Cellular:
+		return "fading cellular-like link: multiplicative random-walk capacity 0.5-6 Mbps, 40-120 ms RTT"
+	case Wifi:
+		return "bursty wifi-like link: capacity alternates 8-25 Mbps bursts with sub-3 Mbps lulls"
+	case Satellite:
+		return "geostationary-satellite-like link: 400-700 ms RTT, stable capacity, deep buffers"
+	case LossyWireless:
+		return "lossy wireless link: 1-8% random loss over a fading 1-10 Mbps capacity"
+	case Incast:
+		return "datacenter incast: 6-14 synchronized senders into a shallow buffer at sub-ms RTT"
+	case FlashCrowd:
+		return "flash crowd: staggered arrivals of mixed schemes and finite transfers on one bottleneck"
+	default:
+		return "unknown family"
+	}
+}
+
+// familySeed folds the family name into the scenario seed so two families
+// at the same seed draw independent streams, while staying a pure function
+// of (family, seed) — the generator's byte-determinism guarantee.
+func familySeed(f Family, seed int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(f))
+	return int64(h.Sum64() ^ uint64(seed))
+}
+
+// schemePool is the reactive built-in schemes generated scenarios draw
+// from; all are model-free, so generated specs compile without a resolver
+// (a requirement for the differential fuzz harness).
+var schemePool = []string{"cubic", "vegas", "bbr", "copa", "pcc-allegro", "pcc-vivace"}
+
+// uniform draws from [lo, hi) — a shorthand over trace.Range so the
+// sampling formula (and thus the byte-determinism guarantee) has a single
+// home.
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return trace.Range{Low: lo, High: hi}.Sample(rng)
+}
+
+// intBetween draws from [lo, hi] inclusive.
+func intBetween(rng *rand.Rand, lo, hi int) int {
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// round3 quantizes generated parameters so spec JSON stays compact and the
+// declarative form — not float dust — carries the scenario.
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}
+
+// walkSchedule builds a multiplicative random-walk capacity schedule with
+// wraparound, clamped to [loMbps, hiMbps].
+func walkSchedule(rng *rand.Rand, loMbps, hiMbps float64, levels int, segLo, segHi, vol float64) ([]Level, float64) {
+	out := make([]Level, levels)
+	rate := uniform(rng, loMbps, hiMbps)
+	t := 0.0
+	for i := 0; i < levels; i++ {
+		out[i] = Level{AtSec: round3(t), Mbps: round3(rate)}
+		t += uniform(rng, segLo, segHi)
+		rate *= math.Exp((rng.Float64() - 0.5) * 2 * vol)
+		rate = math.Min(math.Max(rate, loMbps), hiMbps)
+	}
+	return out, round3(t)
+}
+
+// burstSchedule alternates high-rate bursts with low-rate lulls.
+func burstSchedule(rng *rand.Rand, lullLo, lullHi, burstLo, burstHi float64, levels int, segLo, segHi float64) ([]Level, float64) {
+	out := make([]Level, levels)
+	t := 0.0
+	for i := 0; i < levels; i++ {
+		mbps := uniform(rng, lullLo, lullHi)
+		if i%2 == 0 {
+			mbps = uniform(rng, burstLo, burstHi)
+		}
+		out[i] = Level{AtSec: round3(t), Mbps: round3(mbps)}
+		t += uniform(rng, segLo, segHi)
+	}
+	return out, round3(t)
+}
+
+// Generate produces the deterministic scenario (family, seed) names: the
+// same pair yields byte-identical spec JSON on every run and platform.
+func Generate(f Family, seed int64) (*Spec, error) {
+	rng := rand.New(rand.NewSource(familySeed(f, seed)))
+	s := &Spec{
+		Version:     SpecVersion,
+		Name:        fmt.Sprintf("%s/%d", f, seed),
+		Description: FamilyDescription(f),
+		Family:      string(f),
+		Seed:        seed,
+	}
+	switch f {
+	case Cellular:
+		genCellular(rng, s)
+	case Wifi:
+		genWifi(rng, s)
+	case Satellite:
+		genSatellite(rng, s)
+	case LossyWireless:
+		genLossyWireless(rng, s)
+	case Incast:
+		genIncast(rng, s)
+	case FlashCrowd:
+		genFlashCrowd(rng, s)
+	default:
+		return nil, fmt.Errorf("scenario: unknown family %q (known: %v)", f, Families())
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: generator produced an invalid spec: %w", err)
+	}
+	return s, nil
+}
+
+func pickScheme(rng *rand.Rand) string {
+	return schemePool[rng.Intn(len(schemePool))]
+}
+
+func genCellular(rng *rand.Rand, s *Spec) {
+	s.Link.RTTms = round3(uniform(rng, 40, 120))
+	s.Link.QueuePkts = intBetween(rng, 50, 300)
+	if rng.Float64() < 0.5 {
+		s.Link.LossRate = round3(uniform(rng, 0, 0.01))
+	}
+	s.Link.Schedule, s.Link.ScheduleLoopSec = walkSchedule(rng, 0.5, 6, intBetween(rng, 8, 14), 0.4, 0.9, 0.45)
+	s.DurationSec = round3(uniform(rng, 6, 10))
+	nFlows := intBetween(rng, 1, 2)
+	for i := 0; i < nFlows; i++ {
+		fl := Flow{Scheme: pickScheme(rng)}
+		if i > 0 {
+			fl.StartSec = round3(uniform(rng, 0.5, 2.5))
+		}
+		s.Flows = append(s.Flows, fl)
+	}
+	if rng.Float64() < 0.3 {
+		s.Cross = append(s.Cross, Cross{RateMbps: round3(uniform(rng, 0.2, 1.2))})
+	}
+}
+
+func genWifi(rng *rand.Rand, s *Spec) {
+	s.Link.RTTms = round3(uniform(rng, 10, 40))
+	s.Link.QueuePkts = intBetween(rng, 100, 400)
+	if rng.Float64() < 0.5 {
+		s.Link.LossRate = round3(uniform(rng, 0, 0.02))
+	}
+	s.Link.Schedule, s.Link.ScheduleLoopSec = burstSchedule(rng, 0.5, 3, 8, 25, intBetween(rng, 8, 14), 0.2, 0.6)
+	s.DurationSec = round3(uniform(rng, 6, 10))
+	nFlows := intBetween(rng, 1, 3)
+	for i := 0; i < nFlows; i++ {
+		fl := Flow{Scheme: pickScheme(rng)}
+		if i > 0 {
+			fl.StartSec = round3(uniform(rng, 0.3, 2))
+		}
+		s.Flows = append(s.Flows, fl)
+	}
+	if rng.Float64() < 0.3 {
+		s.Cross = append(s.Cross, Cross{
+			RateMbps: round3(uniform(rng, 0.5, 3)),
+			OnOffSec: round3(uniform(rng, 0.5, 2)),
+		})
+	}
+}
+
+func genSatellite(rng *rand.Rand, s *Spec) {
+	s.Link.RTTms = round3(uniform(rng, 400, 700))
+	s.Link.QueuePkts = intBetween(rng, 300, 1000)
+	if rng.Float64() < 0.4 {
+		s.Link.LossRate = round3(uniform(rng, 0, 0.005))
+	}
+	if rng.Float64() < 0.5 {
+		s.Link.CapacityMbps = round3(uniform(rng, 2, 20))
+	} else {
+		// Slow capacity steps (weather / beam handover).
+		s.Link.Schedule, s.Link.ScheduleLoopSec = walkSchedule(rng, 2, 20, intBetween(rng, 2, 4), 4, 8, 0.3)
+	}
+	s.DurationSec = round3(uniform(rng, 14, 18))
+	nFlows := intBetween(rng, 1, 2)
+	for i := 0; i < nFlows; i++ {
+		fl := Flow{Scheme: pickScheme(rng)}
+		if i > 0 {
+			fl.StartSec = round3(uniform(rng, 1, 4))
+		}
+		s.Flows = append(s.Flows, fl)
+	}
+}
+
+func genLossyWireless(rng *rand.Rand, s *Spec) {
+	s.Link.RTTms = round3(uniform(rng, 20, 80))
+	s.Link.QueuePkts = intBetween(rng, 50, 200)
+	s.Link.LossRate = round3(uniform(rng, 0.01, 0.08))
+	s.Link.Schedule, s.Link.ScheduleLoopSec = walkSchedule(rng, 1, 10, intBetween(rng, 6, 10), 0.5, 1.2, 0.35)
+	s.DurationSec = round3(uniform(rng, 6, 10))
+	nFlows := intBetween(rng, 1, 2)
+	for i := 0; i < nFlows; i++ {
+		fl := Flow{Scheme: pickScheme(rng)}
+		if i > 0 {
+			fl.StartSec = round3(uniform(rng, 0.5, 2))
+		}
+		s.Flows = append(s.Flows, fl)
+	}
+}
+
+func genIncast(rng *rand.Rand, s *Spec) {
+	s.Link.RTTms = round3(uniform(rng, 0.2, 2))
+	s.Link.QueuePkts = intBetween(rng, 30, 150)
+	cap := round3(uniform(rng, 50, 200))
+	s.Link.CapacityMbps = cap
+	s.DurationSec = round3(uniform(rng, 3, 5))
+	n := intBetween(rng, 6, 14)
+	// Aggregate offered load 1.5-3x capacity, split evenly: the classic
+	// synchronized-sender overload, with fixed-rate senders so the packet
+	// count stays bounded for the fuzz harness.
+	agg := uniform(rng, 1.5, 3)
+	per := round3(cap * agg / float64(n))
+	for i := 0; i < n; i++ {
+		fl := Flow{
+			Scheme:   "fixed",
+			RateMbps: per,
+			StartSec: round3(uniform(rng, 0, 0.3)),
+		}
+		if rng.Float64() < 0.3 {
+			fl.StopSec = round3(uniform(rng, 0.6*s.DurationSec, s.DurationSec))
+		}
+		s.Flows = append(s.Flows, fl)
+	}
+}
+
+func genFlashCrowd(rng *rand.Rand, s *Spec) {
+	s.Link.RTTms = round3(uniform(rng, 20, 60))
+	s.Link.QueuePkts = intBetween(rng, 200, 800)
+	s.Link.CapacityMbps = round3(uniform(rng, 10, 40))
+	if rng.Float64() < 0.4 {
+		s.Link.LossRate = round3(uniform(rng, 0, 0.005))
+	}
+	s.DurationSec = round3(uniform(rng, 8, 12))
+	n := intBetween(rng, 4, 8)
+	for i := 0; i < n; i++ {
+		fl := Flow{Scheme: pickScheme(rng)}
+		if i > 0 {
+			// Arrivals pile up over the first half of the run.
+			fl.StartSec = round3(uniform(rng, 0, s.DurationSec/2))
+		}
+		if rng.Float64() < 0.4 {
+			fl.App = &App{Kind: "bulk", FileMBytes: round3(uniform(rng, 0.2, 1))}
+		}
+		s.Flows = append(s.Flows, fl)
+	}
+}
+
+// Generator enumerates deterministic scenarios over a set of families:
+// scenario i comes from family i mod len(Families) at seed Seed+i. Training
+// and evaluation consume it as an open-ended suite instead of a fixed grid.
+type Generator struct {
+	// Families defaults to Families().
+	Families []Family
+	// Seed offsets every scenario's seed.
+	Seed int64
+}
+
+// families resolves the configured family set.
+func (g Generator) families() []Family {
+	if len(g.Families) > 0 {
+		return g.Families
+	}
+	return Families()
+}
+
+// Spec returns the i-th scenario of the suite.
+func (g Generator) Spec(i int) (*Spec, error) {
+	if i < 0 {
+		return nil, fmt.Errorf("scenario: suite index %d must be >= 0", i)
+	}
+	fams := g.families()
+	return Generate(fams[i%len(fams)], g.Seed+int64(i))
+}
+
+// EnvFactory adapts the suite to the training stack: one generated
+// scenario per environment seed, lowered to the gym's single-flow view.
+// The returned function is rl.EnvFactory-compatible. Generated specs never
+// reference trace files, so no options are needed. Unknown family names
+// error here, at setup, rather than mid-training.
+func (g Generator) EnvFactory() (func(seed int64) *gym.Env, error) {
+	fams := g.families()
+	for _, f := range fams {
+		if _, err := Generate(f, 0); err != nil {
+			return nil, err
+		}
+	}
+	return func(seed int64) *gym.Env {
+		fam := fams[int(uint64(seed)%uint64(len(fams)))]
+		spec, err := Generate(fam, g.Seed^seed)
+		if err != nil {
+			panic(err) // unreachable: families pre-validated above
+		}
+		cfg, err := spec.Gym(CompileOptions{})
+		if err != nil {
+			panic(err) // unreachable: generated specs never use trace files
+		}
+		cfg.HistoryLen = gym.DefaultHistoryLen
+		return gym.New(cfg)
+	}, nil
+}

@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"mocc/internal/apps"
+	"mocc/internal/netsim"
+	"mocc/internal/trace"
+)
+
+// Engine selects which netsim engine executes a run.
+type Engine string
+
+// Engines.
+const (
+	EngineFast      Engine = "fast"      // packet-train production engine
+	EngineReference Engine = "reference" // per-packet seed engine (ground truth)
+)
+
+// RunOptions parameterize Run.
+type RunOptions struct {
+	CompileOptions
+	// Engine defaults to EngineFast.
+	Engine Engine
+}
+
+// FlowResult is one flow's outcome, App.Stats-style.
+type FlowResult struct {
+	Label  string `json:"label"`
+	Scheme string `json:"scheme"`
+
+	Sent      int `json:"sent"`
+	Delivered int `json:"delivered"`
+	Lost      int `json:"lost"`
+	MIs       int `json:"mis"` // monitor intervals completed
+
+	ThroughputMbps float64 `json:"throughput_mbps"`
+	AvgRTTms       float64 `json:"avg_rtt_ms"`
+	LossRate       float64 `json:"loss_rate"`
+
+	// Completed / CompletionSec report bulk-app (packet budget) termination.
+	Completed     bool    `json:"completed,omitempty"`
+	CompletionSec float64 `json:"completion_sec,omitempty"`
+
+	// ABR holds the video-app outcome when the flow carries a "video" app.
+	ABR *apps.ABRResult `json:"abr,omitempty"`
+}
+
+// Result reports one executed scenario.
+type Result struct {
+	Name        string       `json:"name"`
+	Engine      Engine       `json:"engine"`
+	DurationSec float64      `json:"duration_sec"`
+	Flows       []FlowResult `json:"flows"`
+	Cross       []FlowResult `json:"cross,omitempty"`
+}
+
+// network abstracts the two engines' identical driving surface.
+type network interface {
+	AddFlow(cfg netsim.FlowConfig) *netsim.Flow
+	Run(duration float64)
+}
+
+// execute compiles and runs a spec on the chosen engine, returning the raw
+// flows (spec flows first, then cross flows).
+func execute(spec *Spec, opt CompileOptions, engine Engine) (*Compiled, []*netsim.Flow, error) {
+	c, err := spec.Compile(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	var n network
+	switch engine {
+	case EngineReference:
+		n = netsim.NewReferenceNetwork(c.Link, spec.Seed)
+	case EngineFast, "":
+		n = netsim.NewNetwork(c.Link, spec.Seed)
+	default:
+		return nil, nil, fmt.Errorf("scenario: unknown engine %q (want %q or %q)", engine, EngineFast, EngineReference)
+	}
+	flows := make([]*netsim.Flow, len(c.Flows))
+	for i, cfg := range c.Flows {
+		flows[i] = n.AddFlow(cfg)
+	}
+	n.Run(c.Duration)
+	return c, flows, nil
+}
+
+// Run executes a spec end-to-end on the packet-level simulator and reduces
+// each flow to its summary (plus ABR post-processing for video-app flows).
+func Run(spec *Spec, opt RunOptions) (*Result, error) {
+	c, flows, err := execute(spec, opt.CompileOptions, opt.Engine)
+	if err != nil {
+		return nil, err
+	}
+	engine := opt.Engine
+	if engine == "" {
+		engine = EngineFast
+	}
+	res := &Result{Name: spec.Name, Engine: engine, DurationSec: c.Duration}
+	for i, f := range flows {
+		var sf *Flow
+		scheme := "cross"
+		if i < c.NumFlows {
+			sf = &spec.Flows[i]
+			scheme = sf.Scheme
+		}
+		fr, err := summarizeFlow(f, sf, scheme, c)
+		if err != nil {
+			return nil, err
+		}
+		if i < c.NumFlows {
+			res.Flows = append(res.Flows, fr)
+		} else {
+			res.Cross = append(res.Cross, fr)
+		}
+	}
+	return res, nil
+}
+
+// summarizeFlow reduces one netsim flow to a FlowResult over its active
+// window.
+func summarizeFlow(f *netsim.Flow, sf *Flow, scheme string, c *Compiled) (FlowResult, error) {
+	start := f.Cfg.Start
+	end := c.Duration
+	if f.Cfg.Stop > 0 && f.Cfg.Stop < end {
+		end = f.Cfg.Stop
+	}
+	if f.Completed && f.CompletionTime < end {
+		end = f.CompletionTime
+	}
+	elapsed := math.Max(end-start, 1e-9)
+
+	fr := FlowResult{
+		Label:          f.Label,
+		Scheme:         scheme,
+		Sent:           f.SentTotal,
+		Delivered:      f.DeliveredTotal,
+		Lost:           f.LostTotal,
+		MIs:            len(f.Stats),
+		ThroughputMbps: trace.PktsPerSecToMbps(float64(f.DeliveredTotal)/elapsed, c.PktBytes),
+		Completed:      f.Completed,
+	}
+	if f.Completed {
+		fr.CompletionSec = f.CompletionTime
+	}
+	if f.DeliveredTotal > 0 {
+		fr.AvgRTTms = f.SumRTT / float64(f.DeliveredTotal) * 1000
+	}
+	if f.SentTotal > 0 {
+		fr.LossRate = float64(f.LostTotal) / float64(f.SentTotal)
+	}
+	if sf != nil && sf.App != nil && sf.App.Kind == "video" {
+		series := f.ThroughputSeries(1, c.Duration)
+		mbps := make([]float64, len(series))
+		for i, p := range series {
+			mbps[i] = trace.PktsPerSecToMbps(p, c.PktBytes)
+		}
+		abr, err := apps.SimulateABR(mbps, apps.DefaultABRConfig())
+		if err != nil {
+			return FlowResult{}, fmt.Errorf("scenario: video app on flow %q: %w", f.Label, err)
+		}
+		fr.ABR = &abr
+	}
+	return fr, nil
+}

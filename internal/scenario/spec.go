@@ -1,0 +1,351 @@
+// Package scenario makes network scenarios first-class data instead of
+// code. A Spec is a versioned, declarative JSON description of one
+// experiment — the bottleneck link (constant capacity, a piecewise
+// schedule, or a replayed Mahimahi trace), the flows crossing it (scheme,
+// activity window, preference weights, application workload) and any
+// non-reactive cross traffic — that compiles into netsim and gym
+// configurations without recompiling Go. A seeded Generator produces
+// unlimited deterministic Specs from named families (cellular, wifi,
+// satellite, ...), and the differential fuzz harness replays every
+// generated Spec through both netsim engines and diffs the results
+// bitwise, turning the generator into an engine-equivalence fuzzer.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// SpecVersion is the schema version this package reads and writes.
+const SpecVersion = 1
+
+// DefaultPktBytes is the packet size used for Mbps<->pkts/s conversions
+// when a spec does not override it.
+const DefaultPktBytes = 1500
+
+// Weights is a declarative preference vector for learned schemes
+// (throughput, latency, loss importance; normalized at compile time).
+type Weights struct {
+	Throughput float64 `json:"throughput"`
+	Latency    float64 `json:"latency"`
+	Loss       float64 `json:"loss"`
+}
+
+// Level is one segment of a declarative capacity schedule.
+type Level struct {
+	AtSec float64 `json:"at_sec"` // segment start time
+	Mbps  float64 `json:"mbps"`   // capacity from AtSec on
+}
+
+// Link describes the shared bottleneck. Exactly one capacity source must
+// be set: CapacityMbps (constant), Schedule (piecewise levels), or
+// TraceFile (Mahimahi-format replay, resolved relative to the spec file).
+type Link struct {
+	RTTms     float64 `json:"rtt_ms"`
+	QueuePkts int     `json:"queue_pkts,omitempty"` // 0 selects the simulator default
+	LossRate  float64 `json:"loss_rate,omitempty"`  // random (non-congestive) loss in [0, 1)
+
+	CapacityMbps    float64 `json:"capacity_mbps,omitempty"`
+	Schedule        []Level `json:"schedule,omitempty"`
+	ScheduleLoopSec float64 `json:"schedule_loop_sec,omitempty"` // wraparound period; 0 holds the last level
+	TraceFile       string  `json:"trace_file,omitempty"`
+	TraceBinMs      float64 `json:"trace_bin_ms,omitempty"` // rate-estimation bin (default 100ms)
+}
+
+// App attaches an application workload from internal/apps to a flow.
+type App struct {
+	// Kind selects the workload: "bulk" (finite transfer, flow ends after
+	// FileMBytes), "rtc" (app-limited to SourceMbps) or "video" (ABR
+	// post-processing over the flow's per-second throughput series).
+	Kind       string  `json:"kind"`
+	FileMBytes float64 `json:"file_mbytes,omitempty"` // bulk
+	SourceMbps float64 `json:"source_mbps,omitempty"` // rtc
+}
+
+// Flow describes one sender-receiver pair.
+type Flow struct {
+	// Scheme names the congestion controller. Built-ins: cubic, vegas,
+	// bbr, copa, pcc-allegro, pcc-vivace, fixed (requires RateMbps).
+	// Learned schemes (mocc, mocc-throughput, mocc-latency,
+	// aurora-throughput, aurora-latency, orca) need a SchemeResolver —
+	// the CLIs wire one backed by the pantheon model zoo.
+	Scheme   string   `json:"scheme"`
+	Label    string   `json:"label,omitempty"`
+	StartSec float64  `json:"start_sec,omitempty"`
+	StopSec  float64  `json:"stop_sec,omitempty"` // 0 = run to the end
+	RateMbps float64  `json:"rate_mbps,omitempty"`
+	Weights  *Weights `json:"weights,omitempty"` // learned-scheme preference
+	App      *App     `json:"app,omitempty"`
+	MIms     float64  `json:"mi_ms,omitempty"` // monitor interval (0 = one base RTT)
+	Seed     int64    `json:"seed,omitempty"`  // 0 derives from the spec seed
+}
+
+// Cross is non-reactive background traffic sharing the bottleneck.
+type Cross struct {
+	RateMbps float64 `json:"rate_mbps"`
+	OnOffSec float64 `json:"on_off_sec,omitempty"` // square wave half-period; 0 = constant
+	StartSec float64 `json:"start_sec,omitempty"`
+	StopSec  float64 `json:"stop_sec,omitempty"`
+}
+
+// Spec is one complete declarative scenario.
+type Spec struct {
+	Version     int     `json:"version"`
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Family      string  `json:"family,omitempty"` // generator provenance
+	DurationSec float64 `json:"duration_sec"`
+	Seed        int64   `json:"seed,omitempty"`
+	PktBytes    int     `json:"pkt_bytes,omitempty"` // default 1500
+	Link        Link    `json:"link"`
+	Flows       []Flow  `json:"flows"`
+	Cross       []Cross `json:"cross,omitempty"`
+}
+
+// Parse decodes and validates a JSON spec. Unknown fields are rejected so
+// typos in hand-written specs fail loudly.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and validates a spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// JSON renders the spec as indented, newline-terminated JSON — the
+// canonical byte form the generator's determinism guarantee is stated over.
+func (s *Spec) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding spec: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// finitePos reports whether v is a finite number > 0.
+func finitePos(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// finiteNonNeg reports whether v is a finite number >= 0.
+func finiteNonNeg(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// Validate checks the structural constraints every consumer relies on.
+func (s *Spec) Validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("scenario: spec version %d is not supported (want %d)", s.Version, SpecVersion)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if !finitePos(s.DurationSec) {
+		return fmt.Errorf("scenario %q: duration_sec %g must be > 0", s.Name, s.DurationSec)
+	}
+	if s.PktBytes < 0 {
+		return fmt.Errorf("scenario %q: pkt_bytes %d must be >= 0", s.Name, s.PktBytes)
+	}
+	if err := s.Link.validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("scenario %q: at least one flow is required", s.Name)
+	}
+	for i, f := range s.Flows {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("scenario %q: flow %d: %w", s.Name, i, err)
+		}
+		if f.StartSec >= s.DurationSec {
+			return fmt.Errorf("scenario %q: flow %d: start_sec %g is at or past duration_sec %g (the flow would never run)",
+				s.Name, i, f.StartSec, s.DurationSec)
+		}
+	}
+	for i, c := range s.Cross {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("scenario %q: cross %d: %w", s.Name, i, err)
+		}
+		if c.StartSec >= s.DurationSec {
+			return fmt.Errorf("scenario %q: cross %d: start_sec %g is at or past duration_sec %g (the cross traffic would never run)",
+				s.Name, i, c.StartSec, s.DurationSec)
+		}
+	}
+	return nil
+}
+
+// builtinSchemes names the model-free controllers the compiler provides
+// itself; preference weights have no effect on them.
+var builtinSchemes = map[string]bool{
+	"cubic": true, "vegas": true, "bbr": true, "copa": true,
+	"pcc-allegro": true, "pcc-vivace": true, "fixed": true,
+}
+
+func (l Link) validate() error {
+	if !finitePos(l.RTTms) {
+		return fmt.Errorf("link: rtt_ms %g must be > 0", l.RTTms)
+	}
+	if l.QueuePkts < 0 {
+		return fmt.Errorf("link: queue_pkts %d must be >= 0", l.QueuePkts)
+	}
+	if !finiteNonNeg(l.LossRate) || l.LossRate >= 1 {
+		return fmt.Errorf("link: loss_rate %g must lie in [0, 1)", l.LossRate)
+	}
+	sources := 0
+	if l.CapacityMbps != 0 {
+		if !finitePos(l.CapacityMbps) {
+			return fmt.Errorf("link: capacity_mbps %g must be > 0", l.CapacityMbps)
+		}
+		sources++
+	}
+	if len(l.Schedule) > 0 {
+		sources++
+		if l.Schedule[0].AtSec != 0 {
+			return fmt.Errorf("link: schedule must start at at_sec 0, got %g", l.Schedule[0].AtSec)
+		}
+		anyCapacity := false
+		for i, lv := range l.Schedule {
+			if !finiteNonNeg(lv.AtSec) {
+				return fmt.Errorf("link: schedule[%d].at_sec %g must be finite and >= 0", i, lv.AtSec)
+			}
+			if !finiteNonNeg(lv.Mbps) {
+				return fmt.Errorf("link: schedule[%d].mbps %g must be >= 0", i, lv.Mbps)
+			}
+			if lv.Mbps > 0 {
+				anyCapacity = true
+			}
+			if i > 0 && !(lv.AtSec > l.Schedule[i-1].AtSec) {
+				return fmt.Errorf("link: schedule times must be strictly increasing: schedule[%d].at_sec %g <= %g",
+					i, lv.AtSec, l.Schedule[i-1].AtSec)
+			}
+		}
+		if !anyCapacity {
+			return fmt.Errorf("link: schedule never provides capacity (every level is 0 Mbps)")
+		}
+		if l.ScheduleLoopSec != 0 {
+			last := l.Schedule[len(l.Schedule)-1].AtSec
+			if !finitePos(l.ScheduleLoopSec) || l.ScheduleLoopSec <= last {
+				return fmt.Errorf("link: schedule_loop_sec %g must exceed the last segment start %g", l.ScheduleLoopSec, last)
+			}
+		}
+	} else if l.ScheduleLoopSec != 0 {
+		return fmt.Errorf("link: schedule_loop_sec is set without a schedule")
+	}
+	if l.TraceFile != "" {
+		sources++
+		if !finiteNonNeg(l.TraceBinMs) || (l.TraceBinMs != 0 && l.TraceBinMs < 1) {
+			return fmt.Errorf("link: trace_bin_ms %g must be 0 (default) or >= 1", l.TraceBinMs)
+		}
+	} else if l.TraceBinMs != 0 {
+		return fmt.Errorf("link: trace_bin_ms is set without a trace_file")
+	}
+	if sources != 1 {
+		return fmt.Errorf("link: exactly one of capacity_mbps, schedule or trace_file must be set (got %d)", sources)
+	}
+	return nil
+}
+
+func (f Flow) validate() error {
+	if f.Scheme == "" {
+		return fmt.Errorf("scheme is required")
+	}
+	if !finiteNonNeg(f.StartSec) {
+		return fmt.Errorf("start_sec %g must be >= 0", f.StartSec)
+	}
+	if f.StopSec != 0 && (!finitePos(f.StopSec) || f.StopSec <= f.StartSec) {
+		return fmt.Errorf("stop_sec %g must be 0 or > start_sec %g", f.StopSec, f.StartSec)
+	}
+	if f.RateMbps != 0 && !finitePos(f.RateMbps) {
+		return fmt.Errorf("rate_mbps %g must be > 0", f.RateMbps)
+	}
+	if f.Scheme == "fixed" && f.RateMbps == 0 {
+		return fmt.Errorf("scheme \"fixed\" requires rate_mbps")
+	}
+	if f.Scheme != "fixed" && f.RateMbps != 0 {
+		return fmt.Errorf("rate_mbps is only meaningful for the \"fixed\" scheme (got scheme %q); use app.source_mbps for app-limited flows", f.Scheme)
+	}
+	if !finiteNonNeg(f.MIms) {
+		return fmt.Errorf("mi_ms %g must be finite and >= 0", f.MIms)
+	}
+	if f.Weights != nil {
+		if builtinSchemes[f.Scheme] {
+			return fmt.Errorf("weights have no effect on built-in scheme %q; use a preference-driven scheme such as \"mocc\"", f.Scheme)
+		}
+		w := *f.Weights
+		if !finiteNonNeg(w.Throughput) || !finiteNonNeg(w.Latency) || !finiteNonNeg(w.Loss) {
+			return fmt.Errorf("weights must be finite and >= 0")
+		}
+		if w.Throughput+w.Latency+w.Loss <= 0 {
+			return fmt.Errorf("weights must not all be zero")
+		}
+	}
+	if f.App != nil {
+		switch f.App.Kind {
+		case "bulk":
+			if !finitePos(f.App.FileMBytes) {
+				return fmt.Errorf("bulk app requires file_mbytes > 0")
+			}
+			// 1 TB bound: keeps the packet budget far from int overflow
+			// and any plausible experiment.
+			if f.App.FileMBytes > 1e6 {
+				return fmt.Errorf("bulk app file_mbytes %g exceeds the 1e6 (1 TB) limit", f.App.FileMBytes)
+			}
+			if f.App.SourceMbps != 0 {
+				return fmt.Errorf("source_mbps has no effect on a bulk app (it belongs to kind \"rtc\")")
+			}
+		case "rtc":
+			if !finitePos(f.App.SourceMbps) {
+				return fmt.Errorf("rtc app requires source_mbps > 0")
+			}
+			if f.App.FileMBytes != 0 {
+				return fmt.Errorf("file_mbytes has no effect on an rtc app (it belongs to kind \"bulk\")")
+			}
+		case "video":
+			// No parameters: the default ABR player consumes the flow's
+			// throughput series.
+			if f.App.FileMBytes != 0 || f.App.SourceMbps != 0 {
+				return fmt.Errorf("video app takes no parameters (got file_mbytes %g, source_mbps %g)",
+					f.App.FileMBytes, f.App.SourceMbps)
+			}
+		default:
+			return fmt.Errorf("unknown app kind %q (want bulk, rtc or video)", f.App.Kind)
+		}
+	}
+	return nil
+}
+
+func (c Cross) validate() error {
+	if !finitePos(c.RateMbps) {
+		return fmt.Errorf("rate_mbps %g must be > 0", c.RateMbps)
+	}
+	if !finiteNonNeg(c.OnOffSec) {
+		return fmt.Errorf("on_off_sec %g must be >= 0", c.OnOffSec)
+	}
+	if !finiteNonNeg(c.StartSec) {
+		return fmt.Errorf("start_sec %g must be >= 0", c.StartSec)
+	}
+	if c.StopSec != 0 && (!finitePos(c.StopSec) || c.StopSec <= c.StartSec) {
+		return fmt.Errorf("stop_sec %g must be 0 or > start_sec %g", c.StopSec, c.StartSec)
+	}
+	return nil
+}

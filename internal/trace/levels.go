@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Levels is a piecewise-constant bandwidth schedule: the rate is rates[i]
+// for times[i] <= t < times[i+1]. It is the in-memory form of a replayed
+// link recording (see LoadMahimahi) and of the declarative capacity
+// schedules in scenario specs. With a positive period the schedule wraps
+// around — At(t) == At(t mod period) — which reproduces Mahimahi's
+// trace-replay semantics; with period zero the final level holds forever.
+//
+// Levels is immutable after construction and safe for concurrent reads.
+type Levels struct {
+	times  []float64 // segment start times (s); times[0] == 0, strictly increasing
+	rates  []float64 // pkts/s per segment
+	period float64   // wraparound period (s); 0 = hold last level
+}
+
+// NewLevels validates and builds a piecewise-constant schedule. times must
+// start at 0 and be strictly increasing, rates must be finite and
+// non-negative, and a non-zero period must exceed the last segment start
+// (otherwise trailing segments would be unreachable).
+func NewLevels(times, rates []float64, period float64) (*Levels, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("trace: levels schedule is empty")
+	}
+	if len(times) != len(rates) {
+		return nil, fmt.Errorf("trace: levels schedule has %d times but %d rates", len(times), len(rates))
+	}
+	if times[0] != 0 {
+		return nil, fmt.Errorf("trace: levels schedule must start at t=0, got %g", times[0])
+	}
+	for i := 1; i < len(times); i++ {
+		if math.IsNaN(times[i]) || math.IsInf(times[i], 0) {
+			return nil, fmt.Errorf("trace: levels schedule time[%d]=%g must be finite", i, times[i])
+		}
+		if !(times[i] > times[i-1]) {
+			return nil, fmt.Errorf("trace: levels schedule times must be strictly increasing: times[%d]=%g <= times[%d]=%g",
+				i, times[i], i-1, times[i-1])
+		}
+	}
+	for i, r := range rates {
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return nil, fmt.Errorf("trace: levels schedule rate[%d]=%g must be finite and non-negative", i, r)
+		}
+	}
+	if period < 0 || math.IsNaN(period) || math.IsInf(period, 0) {
+		return nil, fmt.Errorf("trace: levels period %g must be finite and non-negative", period)
+	}
+	if period > 0 && period <= times[len(times)-1] {
+		return nil, fmt.Errorf("trace: levels period %g must exceed the last segment start %g",
+			period, times[len(times)-1])
+	}
+	l := &Levels{
+		times:  append([]float64(nil), times...),
+		rates:  append([]float64(nil), rates...),
+		period: period,
+	}
+	return l, nil
+}
+
+// MustLevels is NewLevels that panics on error; for tests and literals.
+func MustLevels(times, rates []float64, period float64) *Levels {
+	l, err := NewLevels(times, rates, period)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// At implements Bandwidth.
+func (l *Levels) At(t float64) float64 {
+	return l.rates[l.index(l.wrap(t))]
+}
+
+// wrap maps t into the schedule's domain: negative times clamp to 0 and
+// times beyond a non-zero period fold back by the period.
+func (l *Levels) wrap(t float64) float64 {
+	if t < 0 || math.IsNaN(t) {
+		return 0
+	}
+	if l.period > 0 && t >= l.period {
+		t = math.Mod(t, l.period)
+	}
+	return t
+}
+
+// index returns the largest i with times[i] <= t; t must be in-domain
+// (wrap applied).
+func (l *Levels) index(t float64) int {
+	i := sort.SearchFloat64s(l.times, t)
+	if i < len(l.times) && l.times[i] == t {
+		return i
+	}
+	return i - 1
+}
+
+// atHint evaluates the schedule with a cached segment index: when the hint
+// still covers the (wrapped) query time — the overwhelmingly common case in
+// a simulator's monotone per-packet scan — the lookup is two comparisons;
+// advancing one segment is three; anything else falls back to the binary
+// search. The returned hint feeds the next call. Values are bit-identical
+// to At.
+func (l *Levels) atHint(t float64, hint int) (float64, int) {
+	t = l.wrap(t)
+	last := len(l.times) - 1
+	if hint >= 0 && hint <= last && l.times[hint] <= t && (hint == last || t < l.times[hint+1]) {
+		return l.rates[hint], hint
+	}
+	if n := hint + 1; n >= 0 && n <= last && l.times[n] <= t && (n == last || t < l.times[n+1]) {
+		return l.rates[n], n
+	}
+	i := l.index(t)
+	return l.rates[i], i
+}
+
+// Period returns the wraparound period in seconds (0 = no wraparound).
+func (l *Levels) Period() float64 { return l.period }
+
+// NumLevels returns the number of piecewise segments.
+func (l *Levels) NumLevels() int { return len(l.times) }
+
+// Level returns segment i's start time (s) and rate (pkts/s).
+func (l *Levels) Level(i int) (start, rate float64) { return l.times[i], l.rates[i] }
+
+// MeanRate returns the time-weighted mean rate over one period (or over the
+// defined schedule when there is no period), in pkts/s.
+func (l *Levels) MeanRate() float64 {
+	end := l.period
+	if end == 0 {
+		// Without a period the last level extends forever; report the mean
+		// over the defined breakpoints, weighting the last level by the mean
+		// segment width so it is not ignored.
+		if len(l.times) == 1 {
+			return l.rates[0]
+		}
+		end = l.times[len(l.times)-1] + l.times[len(l.times)-1]/float64(len(l.times)-1)
+	}
+	var sum float64
+	for i := range l.times {
+		hi := end
+		if i+1 < len(l.times) {
+			hi = l.times[i+1]
+		}
+		sum += l.rates[i] * (hi - l.times[i])
+	}
+	return sum / end
+}
+
+// PeakRate returns the maximum segment rate (pkts/s). Consumers sizing
+// rate caps against a replayed link must use this rather than At(0): a
+// trace may open inside an outage.
+func (l *Levels) PeakRate() float64 {
+	peak := l.rates[0]
+	for _, r := range l.rates[1:] {
+		if r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// String implements fmt.Stringer.
+func (l *Levels) String() string {
+	return fmt.Sprintf("trace.Levels{%d levels, period=%gs, mean=%.1fpps}",
+		len(l.times), l.period, l.MeanRate())
+}

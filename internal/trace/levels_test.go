@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLevelsValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		times  []float64
+		rates  []float64
+		period float64
+	}{
+		{"empty", nil, nil, 0},
+		{"length-mismatch", []float64{0, 1}, []float64{5}, 0},
+		{"nonzero-start", []float64{1, 2}, []float64{5, 6}, 0},
+		{"non-increasing", []float64{0, 2, 2}, []float64{1, 2, 3}, 0},
+		{"decreasing", []float64{0, 3, 1}, []float64{1, 2, 3}, 0},
+		{"inf-time", []float64{0, math.Inf(1)}, []float64{5, 6}, 0},
+		{"nan-time", []float64{0, math.NaN()}, []float64{5, 6}, 0},
+		{"negative-rate", []float64{0, 1}, []float64{5, -1}, 0},
+		{"nan-rate", []float64{0, 1}, []float64{5, math.NaN()}, 0},
+		{"inf-rate", []float64{0, 1}, []float64{5, math.Inf(1)}, 0},
+		{"negative-period", []float64{0, 1}, []float64{5, 6}, -2},
+		{"period-inside-schedule", []float64{0, 1, 2}, []float64{5, 6, 7}, 1.5},
+		{"period-at-last-start", []float64{0, 1, 2}, []float64{5, 6, 7}, 2},
+	}
+	for _, c := range cases {
+		if _, err := NewLevels(c.times, c.rates, c.period); err == nil {
+			t.Errorf("%s: NewLevels accepted invalid input", c.name)
+		}
+	}
+	if _, err := NewLevels([]float64{0}, []float64{42}, 0); err != nil {
+		t.Errorf("single-level schedule rejected: %v", err)
+	}
+}
+
+func TestLevelsAt(t *testing.T) {
+	l := MustLevels([]float64{0, 1, 2.5}, []float64{100, 200, 50}, 0)
+	cases := []struct{ t, want float64 }{
+		{-1, 100}, {0, 100}, {0.999, 100},
+		{1, 200}, {2.4999, 200},
+		{2.5, 50}, {10, 50}, {1e6, 50}, // no period: last level holds
+	}
+	for _, c := range cases {
+		if got := l.At(c.t); got != c.want {
+			t.Errorf("At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestLevelsWraparound(t *testing.T) {
+	l := MustLevels([]float64{0, 1, 2}, []float64{100, 200, 50}, 3)
+	for _, q := range []float64{0, 0.4, 1, 1.7, 2, 2.9} {
+		base := l.At(q)
+		for k := 1; k <= 3; k++ {
+			if got := l.At(q + float64(k)*3); got != base {
+				t.Errorf("At(%g) = %g, want wrapped value %g", q+float64(k)*3, got, base)
+			}
+		}
+	}
+	// The wrap must use the same fold for non-integer multiples too.
+	if got, want := l.At(3.5), l.At(0.5); got != want {
+		t.Errorf("At(3.5) = %g, want %g", got, want)
+	}
+}
+
+func TestLevelsPeakRate(t *testing.T) {
+	l := MustLevels([]float64{0, 1, 2}, []float64{0, 400, 50}, 0)
+	if got := l.PeakRate(); got != 400 {
+		t.Errorf("PeakRate = %g, want 400", got)
+	}
+	if got := MustLevels([]float64{0}, []float64{7}, 0).PeakRate(); got != 7 {
+		t.Errorf("single-level PeakRate = %g, want 7", got)
+	}
+}
+
+func TestLevelsMeanRate(t *testing.T) {
+	// 1s at 100 + 2s at 400 over a 3s period = 300 pkts/s mean.
+	l := MustLevels([]float64{0, 1}, []float64{100, 400}, 3)
+	if got := l.MeanRate(); math.Abs(got-300) > 1e-12 {
+		t.Errorf("MeanRate = %g, want 300", got)
+	}
+	if got := MustLevels([]float64{0}, []float64{75}, 0).MeanRate(); got != 75 {
+		t.Errorf("single-level MeanRate = %g, want 75", got)
+	}
+}
+
+// TestSamplerLevelsBitIdentical pins the Sampler fast path (with its
+// last-index cache) to the interface path: forward scans, random jumps and
+// wraparound queries must agree bit-for-bit.
+func TestSamplerLevelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	times := []float64{0}
+	for i := 0; i < 40; i++ {
+		times = append(times, times[len(times)-1]+0.05+rng.Float64())
+	}
+	rates := make([]float64, len(times))
+	for i := range rates {
+		rates[i] = 10 + 5000*rng.Float64()
+	}
+	for _, period := range []float64{0, times[len(times)-1] + 0.25} {
+		l := MustLevels(times, rates, period)
+		s := NewSampler(l)
+		// Monotone scan (the engine's access pattern).
+		for q := -0.5; q < 4*times[len(times)-1]; q += 0.01 {
+			if got, want := s.At(q), l.At(q); got != want {
+				t.Fatalf("period=%g: scan Sampler.At(%g) = %g, want %g", period, q, got, want)
+			}
+		}
+		// Random jumps must also hit the exact interface values.
+		for i := 0; i < 2000; i++ {
+			q := (rng.Float64() - 0.1) * 3 * times[len(times)-1]
+			if got, want := s.At(q), l.At(q); got != want {
+				t.Fatalf("period=%g: jump Sampler.At(%g) = %g, want %g", period, q, got, want)
+			}
+		}
+	}
+}
+
+// TestSamplerRandomWalkBitIdentical pins the new *RandomWalk fast path
+// (previously the generic interface fallback) to RandomWalk.At.
+func TestSamplerRandomWalkBitIdentical(t *testing.T) {
+	w := NewRandomWalk(100, 900, 0.5, 20, 11)
+	s := NewSampler(w)
+	rng := rand.New(rand.NewSource(3))
+	for q := -1.0; q < 30; q += 0.013 {
+		if got, want := s.At(q), w.At(q); got != want {
+			t.Fatalf("scan Sampler.At(%g) = %g, want %g", q, got, want)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		q := (rng.Float64() - 0.1) * 40
+		if got, want := s.At(q), w.At(q); got != want {
+			t.Fatalf("jump Sampler.At(%g) = %g, want %g", q, got, want)
+		}
+	}
+}
+
+// TestSamplerFastPathKinds verifies the concrete schedules devirtualize
+// instead of taking the generic interface fallback.
+func TestSamplerFastPathKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Bandwidth
+		kind int8
+	}{
+		{"constant", Constant(10), samplerConst},
+		{"step", Step{Low: 1, High: 2, Period: 1}, samplerStep},
+		{"random-walk", NewRandomWalk(1, 2, 1, 5, 1), samplerWalk},
+		{"levels", MustLevels([]float64{0}, []float64{5}, 0), samplerLevels},
+		{"generic", Sine{Mean: 5, Amplitude: 1, Period: 2}, samplerGeneric},
+	}
+	for _, c := range cases {
+		if s := NewSampler(c.b); s.kind != c.kind {
+			t.Errorf("%s: sampler kind = %d, want %d", c.name, s.kind, c.kind)
+		}
+	}
+}
+
+// TestSamplerAtAllocFree pins the per-packet lookup to zero allocations for
+// every fast path, including the Levels binary-search + cache path.
+func TestSamplerAtAllocFree(t *testing.T) {
+	schedules := []Bandwidth{
+		Constant(100),
+		Step{Low: 100, High: 200, Period: 0.5},
+		NewRandomWalk(100, 900, 0.5, 20, 5),
+		MustLevels([]float64{0, 1, 2, 3}, []float64{10, 20, 30, 40}, 5),
+	}
+	for _, b := range schedules {
+		s := NewSampler(b)
+		q := 0.0
+		allocs := testing.AllocsPerRun(1000, func() {
+			s.At(q)
+			q += 0.037
+		})
+		if allocs != 0 {
+			t.Errorf("%T: Sampler.At allocates %.1f/op, want 0", b, allocs)
+		}
+	}
+}
+
+func BenchmarkSamplerLevels(b *testing.B) {
+	times := make([]float64, 256)
+	rates := make([]float64, 256)
+	for i := range times {
+		times[i] = float64(i) * 0.1
+		rates[i] = float64(100 + i)
+	}
+	l := MustLevels(times, rates, 25.6+0.1)
+	s := NewSampler(l)
+	b.ReportAllocs()
+	q := 0.0
+	for i := 0; i < b.N; i++ {
+		s.At(q)
+		q += 0.001
+	}
+}

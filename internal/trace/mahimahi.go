@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Mahimahi trace format: one packet-delivery opportunity per line, given as
+// a non-negative integer millisecond timestamp, non-decreasing down the
+// file. Each opportunity carries one MTU-sized (1500-byte) packet — the
+// format Mahimahi's mm-link records for cellular and Wi-Fi links, which
+// both DeepCC and the original MOCC evaluation replay. Blank lines and
+// lines starting with '#' are ignored. On replay the trace wraps around at
+// its final timestamp, exactly like mm-link.
+//
+// ParseMahimahi converts the opportunity stream to a piecewise-constant
+// Levels schedule by counting opportunities per time bin, so the replayed
+// capacity is the trace's delivery rate at BinMs resolution.
+
+// MahimahiOptions tunes the trace-to-schedule conversion.
+type MahimahiOptions struct {
+	// BinMs is the rate-estimation bin width in milliseconds
+	// (default 100, minimum 1 — timestamps are integral milliseconds, so
+	// finer bins carry no information). Finer bins track fast fades more
+	// closely at the cost of more schedule segments.
+	BinMs float64
+}
+
+// DefaultMahimahiBinMs is the default rate-estimation bin width.
+const DefaultMahimahiBinMs = 100.0
+
+// MinMahimahiBinMs is the smallest accepted bin width.
+const MinMahimahiBinMs = 1.0
+
+// maxMahimahiBins bounds the schedule size so an absurd trace-duration /
+// bin-width combination returns an error instead of attempting a
+// multi-gigabyte allocation.
+const maxMahimahiBins = 10_000_000
+
+// LoadMahimahi reads a Mahimahi-format trace file and returns its
+// piecewise-constant capacity schedule (pkts/s of MTU-sized packets) with
+// wraparound replay at the trace's final timestamp.
+func LoadMahimahi(path string, opt MahimahiOptions) (*Levels, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	l, err := ParseMahimahi(f, opt)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// ParseMahimahi parses a Mahimahi-format opportunity stream. It rejects
+// empty traces, malformed lines, negative or decreasing timestamps, and
+// traces whose final timestamp is zero (which would give a zero-length
+// replay period) with descriptive errors.
+func ParseMahimahi(r io.Reader, opt MahimahiOptions) (*Levels, error) {
+	binMs := opt.BinMs
+	if binMs == 0 {
+		binMs = DefaultMahimahiBinMs
+	}
+	if math.IsNaN(binMs) || math.IsInf(binMs, 0) || binMs < MinMahimahiBinMs {
+		return nil, fmt.Errorf("mahimahi: bin width %g ms must be finite and >= %g ms", binMs, MinMahimahiBinMs)
+	}
+
+	sc := bufio.NewScanner(r)
+	var tsMs []float64
+	lineNo := 0
+	last := -1.0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseUint(line, 10, 63)
+		if err != nil {
+			return nil, fmt.Errorf("mahimahi: line %d: %q is not a non-negative integer millisecond timestamp", lineNo, line)
+		}
+		ms := float64(v)
+		if ms < last {
+			return nil, fmt.Errorf("mahimahi: line %d: timestamp %d ms precedes the previous timestamp %.0f ms (timestamps must be non-decreasing)", lineNo, v, last)
+		}
+		last = ms
+		tsMs = append(tsMs, ms)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mahimahi: %w", err)
+	}
+	if len(tsMs) == 0 {
+		return nil, fmt.Errorf("mahimahi: trace contains no delivery opportunities")
+	}
+	durMs := tsMs[len(tsMs)-1]
+	if durMs <= 0 {
+		return nil, fmt.Errorf("mahimahi: final timestamp is 0 ms; the replay period must be positive")
+	}
+
+	// Bin the opportunities. The final bin may be shorter than binMs; the
+	// rate uses its true width so the mean rate is exact. Opportunities at
+	// exactly the final timestamp fold into the last bin.
+	if durMs/binMs > maxMahimahiBins {
+		return nil, fmt.Errorf("mahimahi: %.0f ms trace at %g ms bins needs %.0f segments (max %d); raise the bin width",
+			durMs, binMs, math.Ceil(durMs/binMs), maxMahimahiBins)
+	}
+	nBins := int(math.Ceil(durMs / binMs))
+	// Ceil can round up past the true quotient (e.g. 21/1.4 evaluates to
+	// 15.000000000000002), which would start the final bin exactly at
+	// durMs and give it zero width; shrink until the last bin start lies
+	// strictly inside the trace.
+	for nBins > 1 && float64(nBins-1)*binMs >= durMs {
+		nBins--
+	}
+	if nBins < 1 {
+		nBins = 1
+	}
+	counts := make([]float64, nBins)
+	for _, ms := range tsMs {
+		i := int(ms / binMs)
+		if i >= nBins {
+			i = nBins - 1
+		}
+		counts[i]++
+	}
+	times := make([]float64, nBins)
+	rates := make([]float64, nBins)
+	for i := range counts {
+		startMs := float64(i) * binMs
+		endMs := math.Min(startMs+binMs, durMs)
+		times[i] = startMs / 1000
+		rates[i] = counts[i] / ((endMs - startMs) / 1000)
+	}
+	return NewLevels(times, rates, durMs/1000)
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parseMM(t *testing.T, text string, opt MahimahiOptions) *Levels {
+	t.Helper()
+	l, err := ParseMahimahi(strings.NewReader(text), opt)
+	if err != nil {
+		t.Fatalf("ParseMahimahi: %v", err)
+	}
+	return l
+}
+
+func TestParseMahimahiBasic(t *testing.T) {
+	// 4 opportunities in [0,100)ms, 1 in [100,200)ms: 40 pkts/s then
+	// 10 pkts/s, replay period 200ms.
+	l := parseMM(t, "0\n20\n40\n60\n100\n200\n", MahimahiOptions{BinMs: 100})
+	if got := l.Period(); got != 0.2 {
+		t.Fatalf("period = %g, want 0.2", got)
+	}
+	if got := l.At(0.05); got != 40 {
+		t.Errorf("At(0.05) = %g, want 40 (4 opportunities / 0.1s)", got)
+	}
+	// Bin [100,200): the 100ms opportunity plus the final one at 200ms
+	// (which folds into the last bin) = 2/0.1s.
+	if got := l.At(0.15); got != 20 {
+		t.Errorf("At(0.15) = %g, want 20", got)
+	}
+}
+
+func TestParseMahimahiCommentsAndBlanks(t *testing.T) {
+	text := "# recorded on a bus\n\n  \n0\n# mid-trace comment\n50\n\n100\n"
+	l := parseMM(t, text, MahimahiOptions{BinMs: 100})
+	if got := l.NumLevels(); got != 1 {
+		t.Fatalf("NumLevels = %d, want 1", got)
+	}
+	if got := l.At(0); got != 30 {
+		t.Errorf("At(0) = %g, want 30 (3 opportunities / 0.1s)", got)
+	}
+}
+
+func TestParseMahimahiErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantSub string
+	}{
+		{"empty", "", "no delivery opportunities"},
+		{"only-comments", "# nothing\n\n# here\n", "no delivery opportunities"},
+		{"non-monotonic", "0\n50\n30\n", "line 3"},
+		{"non-monotonic-msg", "10\n5\n", "non-decreasing"},
+		{"garbage", "0\nabc\n", "line 2"},
+		{"negative", "0\n-5\n", "line 2"},
+		{"float", "0\n1.5\n", "line 2"},
+		{"zero-duration", "0\n0\n0\n", "replay period"},
+	}
+	for _, c := range cases {
+		_, err := ParseMahimahi(strings.NewReader(c.text), MahimahiOptions{})
+		if err == nil {
+			t.Errorf("%s: ParseMahimahi accepted invalid trace", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseMahimahiBinWidthBounds(t *testing.T) {
+	// Sub-millisecond, tiny-positive and NaN bin widths must error (not
+	// panic or allocate unboundedly); 0 selects the default.
+	for _, bin := range []float64{1e-300, 1e-6, 0.5, math.NaN(), math.Inf(1), -5} {
+		if _, err := ParseMahimahi(strings.NewReader("0\n100\n"), MahimahiOptions{BinMs: bin}); err == nil {
+			t.Errorf("BinMs=%g accepted", bin)
+		}
+	}
+	if _, err := ParseMahimahi(strings.NewReader("0\n100\n"), MahimahiOptions{BinMs: 1}); err != nil {
+		t.Errorf("BinMs=1 rejected: %v", err)
+	}
+}
+
+func TestParseMahimahiFractionalBinRounding(t *testing.T) {
+	// durMs/binMs pairs where float ceil rounds up past the true quotient
+	// (21/1.4 -> 15.000000000000002): the final bin must keep positive
+	// width instead of producing an Inf/NaN rate.
+	cases := []struct{ durMs, binMs float64 }{
+		{21, 1.4}, {69, 2.3}, {42, 2.8}, {123, 4.1}, {153, 5.1}, {1525, 6.1},
+	}
+	for _, c := range cases {
+		text := fmt.Sprintf("0\n%d\n", int(c.durMs))
+		l, err := ParseMahimahi(strings.NewReader(text), MahimahiOptions{BinMs: c.binMs})
+		if err != nil {
+			t.Errorf("dur=%g bin=%g: %v", c.durMs, c.binMs, err)
+			continue
+		}
+		if got := l.Period(); got != c.durMs/1000 {
+			t.Errorf("dur=%g bin=%g: period %g", c.durMs, c.binMs, got)
+		}
+	}
+}
+
+func TestParseMahimahiSingleEntry(t *testing.T) {
+	// One opportunity at 250ms: one packet per 250ms replay cycle.
+	l := parseMM(t, "250\n", MahimahiOptions{BinMs: 100})
+	if got := l.Period(); got != 0.25 {
+		t.Fatalf("period = %g, want 0.25", got)
+	}
+	if got := l.MeanRate(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("MeanRate = %g, want 4 pkts/s (1 pkt / 0.25s)", got)
+	}
+}
+
+func TestParseMahimahiWraparoundReplay(t *testing.T) {
+	// 250ms trace; replay must repeat the schedule exactly. The period is
+	// exactly representable in binary so k*period wraps are bit-exact.
+	l := parseMM(t, "0\n10\n20\n150\n250\n", MahimahiOptions{BinMs: 100})
+	for _, q := range []float64{0, 0.05, 0.12, 0.21, 0.2499} {
+		want := l.At(q)
+		for k := 1; k <= 4; k++ {
+			at := q + float64(k)*0.25
+			if got := l.At(at); got != want {
+				t.Errorf("At(%g) = %g, want %g (wraparound replay)", at, got, want)
+			}
+		}
+	}
+}
+
+func TestParseMahimahiUnevenFinalBin(t *testing.T) {
+	// Duration 150ms with 100ms bins: final bin is 50ms wide and its rate
+	// must use the true width, keeping the overall mean exact.
+	l := parseMM(t, "0\n50\n120\n150\n", MahimahiOptions{BinMs: 100})
+	if got := l.NumLevels(); got != 2 {
+		t.Fatalf("NumLevels = %d, want 2", got)
+	}
+	if got := l.At(0.13); got != 40 {
+		t.Errorf("final-bin rate = %g, want 40 (2 opportunities / 0.05s)", got)
+	}
+	wantMean := 4 / 0.15 // 4 opportunities per 150ms period
+	if got := l.MeanRate(); math.Abs(got-wantMean) > 1e-9 {
+		t.Errorf("MeanRate = %g, want %g", got, wantMean)
+	}
+}
+
+// TestLoadMahimahiShippedTraces loads every trace shipped under
+// testdata/traces and sanity-checks the resulting schedules.
+func TestLoadMahimahiShippedTraces(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "traces")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".trace") {
+			continue
+		}
+		n++
+		l, err := LoadMahimahi(filepath.Join(dir, e.Name()), MahimahiOptions{})
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if l.Period() <= 0 {
+			t.Errorf("%s: period = %g, want > 0", e.Name(), l.Period())
+		}
+		if l.MeanRate() <= 0 {
+			t.Errorf("%s: mean rate = %g, want > 0", e.Name(), l.MeanRate())
+		}
+	}
+	if n < 2 {
+		t.Fatalf("found %d shipped traces in %s, want >= 2", n, dir)
+	}
+}
+
+func TestLoadMahimahiMissingFile(t *testing.T) {
+	if _, err := LoadMahimahi(filepath.Join(t.TempDir(), "nope.trace"), MahimahiOptions{}); err == nil {
+		t.Fatal("LoadMahimahi accepted a missing file")
+	}
+}

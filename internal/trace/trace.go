@@ -102,15 +102,20 @@ func (r *RandomWalk) At(t float64) float64 {
 }
 
 // Sampler is a devirtualized view of a Bandwidth schedule for per-packet
-// hot loops. The common concrete schedules (Constant, Step) are unpacked
-// into plain fields so sampling them is a branch and a few arithmetic ops
-// instead of an interface call; every other implementation falls back to the
-// Bandwidth interface. A Sampler returns bit-identical values to the
-// schedule it was built from.
+// hot loops. The common concrete schedules (Constant, Step, *RandomWalk,
+// *Levels) are unpacked into plain fields so sampling them is a branch and
+// a few arithmetic ops instead of an interface call — Levels additionally
+// keeps a last-segment-index cache so the monotone per-packet scan pays two
+// comparisons instead of a binary search; every other implementation falls
+// back to the Bandwidth interface. A Sampler returns bit-identical values
+// to the schedule it was built from and never allocates in At.
 type Sampler struct {
 	kind     int8
+	levelIdx int32 // cached Levels segment hint
 	constVal float64
 	step     Step
+	walk     *RandomWalk
+	levels   *Levels
 	generic  Bandwidth
 }
 
@@ -119,6 +124,8 @@ const (
 	samplerGeneric int8 = iota
 	samplerConst
 	samplerStep
+	samplerWalk
+	samplerLevels
 )
 
 // NewSampler builds a Sampler for b. A nil schedule yields a zero-rate
@@ -129,6 +136,10 @@ func NewSampler(b Bandwidth) Sampler {
 		return Sampler{kind: samplerConst, constVal: float64(v)}
 	case Step:
 		return Sampler{kind: samplerStep, step: v}
+	case *RandomWalk:
+		return Sampler{kind: samplerWalk, walk: v}
+	case *Levels:
+		return Sampler{kind: samplerLevels, levels: v}
 	case nil:
 		return Sampler{kind: samplerConst, constVal: 0}
 	default:
@@ -144,6 +155,21 @@ func (s *Sampler) At(t float64) float64 {
 		return s.constVal
 	case samplerStep:
 		return s.step.At(t)
+	case samplerWalk:
+		// Inlined RandomWalk.At: an index computation on the pre-generated
+		// level array, no interface call.
+		if t < 0 {
+			t = 0
+		}
+		idx := int(t / s.walk.interval)
+		if idx >= len(s.walk.levels) {
+			idx = len(s.walk.levels) - 1
+		}
+		return s.walk.levels[idx]
+	case samplerLevels:
+		v, idx := s.levels.atHint(t, int(s.levelIdx))
+		s.levelIdx = int32(idx)
+		return v
 	default:
 		return s.generic.At(t)
 	}

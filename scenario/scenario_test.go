@@ -1,0 +1,46 @@
+package scenario_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mocc/scenario"
+)
+
+// TestPublicSurface exercises the re-exported API end to end: load a
+// bundled spec, run it, generate and fuzz — the same calls external
+// consumers make.
+func TestPublicSurface(t *testing.T) {
+	dir := filepath.Join("..", "examples", "scenarios")
+	spec, err := scenario.Load(filepath.Join(dir, "trace-replay.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.Run(spec, scenario.RunOptions{
+		CompileOptions: scenario.CompileOptions{BaseDir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 2 || res.Flows[0].Delivered == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+
+	gen, err := scenario.Generate(scenario.Wifi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.DiffEngines(gen, scenario.CompileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(scenario.Families()); got < 6 {
+		t.Fatalf("Families() = %d entries, want >= 6", got)
+	}
+	fr, err := scenario.Fuzz(scenario.FuzzConfig{N: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Scenarios != 2 {
+		t.Fatalf("fuzzed %d scenarios, want 2", fr.Scenarios)
+	}
+}
