@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-sim bench-train bench-json fuzz-scen ci
+.PHONY: all build vet test test-race chaos bench bench-sim bench-train bench-json fuzz-scen ci
 
 all: build vet test
 
@@ -17,7 +17,18 @@ test:
 # public API (root + transport), the parallel collectors/schedulers, and the
 # data-parallel PPO update + pipelined trainer.
 test-race:
-	$(GO) test -race . ./transport ./internal/rl ./internal/core ./internal/pantheon
+	$(GO) test -race . ./transport ./internal/faults ./internal/rl ./internal/core ./internal/pantheon
+
+# Seeded chaos suite: the fault-injection package (bit-reproducible
+# same-seed plans, every wire/report/inference injector), safe-mode
+# trip/fallback/recovery on the handle hot path, and the hardened
+# transport's blackout + write-failure behaviour over real loopback
+# sockets (receiver killed mid-send, sequence-window blackouts, corrupted
+# acks, NaN-poisoned inference).
+chaos:
+	$(GO) test -short -count=1 ./internal/faults
+	$(GO) test -short -count=1 -run 'SafeMode|OnlineAdapt|LoadModelFile|SaveLoad' .
+	$(GO) test -short -count=1 -run 'Chaos|Blackout' ./transport
 
 # Micro-benchmarks for the NN/PPO hot path (run with -count for stability).
 bench:

@@ -36,6 +36,11 @@ type App struct {
 	weights objective.Weights
 	closed  bool
 	tele    telemetry
+
+	// Safe mode (nil when built with WithoutSafeMode): gp observes every
+	// learned decision, guard judges it and owns the fallback controller.
+	gp    *guardPolicy
+	guard *guard
 }
 
 // telemetry accumulates per-application counters (guarded by App.mu).
@@ -79,6 +84,19 @@ type AppStats struct {
 	// duration-weighted mean of all decided rates.
 	Rate     float64
 	MeanRate float64
+	// Safe-mode telemetry (all zero when built with WithoutSafeMode):
+	// FallbackIntervals counts monitor intervals served by the fallback
+	// controller, Fallbacks counts degradation episodes, and
+	// FallbackActive reports whether the app is currently degraded.
+	FallbackIntervals int64
+	Fallbacks         int64
+	FallbackActive    bool
+	// Faults counts pathological learned decisions the guard detected;
+	// LastFault describes the most recent one (empty when none) and
+	// LastFaultAt timestamps it (library clock).
+	Faults      int64
+	LastFault   string
+	LastFaultAt time.Time
 }
 
 // ID returns the identifier that the §5 compatibility layer (Library.V1)
@@ -106,6 +124,16 @@ func (a *App) Rate() float64 { return math.Float64frombits(a.rateBits.Load()) }
 // actually makes. It validates the status (negative counts and
 // acked+lost > sent are rejected with a descriptive error) and updates the
 // handle's telemetry.
+//
+// Under safe mode (the default) the learned decision is additionally
+// validated before it is published: non-finite policy actions, rates
+// outside the pacing envelope, stalled inference, and inference panics all
+// count as faults, and consecutive faults degrade the application to a
+// deterministic AIMD fallback controller until the learned path produces
+// clean shadow decisions again. The returned rate is then always finite
+// and inside the envelope, and no panic from the inference path escapes
+// this call. See SafeModeConfig and AppStats for the trip/recover rules
+// and the fault telemetry.
 func (a *App) Report(st Status) (float64, error) {
 	if err := st.validate(); err != nil {
 		return 0, err
@@ -115,7 +143,12 @@ func (a *App) Report(st Status) (float64, error) {
 	if a.closed {
 		return 0, fmt.Errorf("mocc: app %d is unregistered", a.id)
 	}
-	rate := a.alg.Update(st.report())
+	var rate float64
+	if a.guard != nil {
+		rate = a.guard.decide(a.alg, a.gp, st.report(), a.lib.clock())
+	} else {
+		rate = a.alg.Update(st.report())
+	}
 	a.publishRate(rate)
 
 	t := &a.tele
@@ -186,6 +219,14 @@ func (a *App) Stats() AppStats {
 		s.Throughput = t.acked / d
 		s.AvgRTT = time.Duration(t.rttWeighted / d * float64(time.Second))
 		s.MeanRate = t.rateTime / d
+	}
+	if g := a.guard; g != nil {
+		s.FallbackIntervals = g.fallbackIntervals
+		s.Fallbacks = g.fallbacks
+		s.FallbackActive = g.active
+		s.Faults = g.faults
+		s.LastFault = g.lastFault
+		s.LastFaultAt = g.lastFaultAt
 	}
 	return s
 }

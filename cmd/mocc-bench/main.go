@@ -8,11 +8,20 @@
 //	mocc-bench -fig 5 -scale quick
 //	mocc-bench -fig all -scale standard -seed 3
 //	mocc-bench -scenario examples/scenarios/trace-replay.json
+//	mocc-bench -faults 'blackout=100-300,corrupt=0.2:both,nan=5-10' -fault-seed 7
 //
 // Figure ids: 1a 1b 1c 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 all
 //
 // With -scenario, perf runs target a declarative scenario spec file (see
 // the mocc/scenario package and `mocc-scen`) instead of a built-in grid.
+//
+// With -faults, a seeded fault plan (mocc/internal/faults) is interposed on
+// a live loopback transfer hosting one app: wire injectors (ack loss
+// bursts, duplication, reordering, header corruption, blackout windows)
+// wrap the socket and inference injectors (NaN poisoning, stalls) wrap the
+// learned decision, then the hardened sender's stats and the app's
+// safe-mode telemetry are printed. Same seed + same plan = same injection
+// decisions.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mocc/internal/apps"
 	"mocc/internal/cc"
@@ -36,14 +46,24 @@ func main() {
 	log.SetPrefix("mocc-bench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate (1a..19 or all)")
-		scale    = flag.String("scale", "quick", "model training scale: quick | standard")
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		workers  = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
-		scenFile = flag.String("scenario", "", "run a scenario spec file instead of a built-in figure (learned schemes resolve through the zoo)")
-		engine   = flag.String("engine", "fast", "netsim engine for -scenario runs: fast | reference")
+		fig       = flag.String("fig", "all", "figure to regenerate (1a..19 or all)")
+		scale     = flag.String("scale", "quick", "model training scale: quick | standard")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		workers   = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
+		scenFile  = flag.String("scenario", "", "run a scenario spec file instead of a built-in figure (learned schemes resolve through the zoo)")
+		engine    = flag.String("engine", "fast", "netsim engine for -scenario runs: fast | reference")
+		faultSpec = flag.String("faults", "", "run a chaos transfer under this fault plan (e.g. 'blackout=100-300,ackloss=0.2x3,nan=5-10') instead of a figure")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the -faults plan (same seed = same injection decisions)")
+		faultDur  = flag.Duration("fault-dur", 2*time.Second, "duration of the -faults transfer")
 	)
 	flag.Parse()
+
+	if *faultSpec != "" {
+		if err := runFaults(*faultSpec, *faultSeed, *faultDur, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var zscale pantheon.Scale
 	switch *scale {

@@ -1,0 +1,74 @@
+package cc
+
+// AIMD is a deterministic rate-based additive-increase /
+// multiplicative-decrease controller: one packet per RTT of window growth
+// translated to rate terms, halved (by Beta) on any loss event. It carries
+// no randomness and no learned state, which makes it the known-safe
+// fallback the public library's safe mode degrades to when the learned
+// path misbehaves — the same wrap-learned-logic-around-a-classical-
+// controller layering DeepCC deploys.
+//
+// SetRate seeds the controller mid-connection so a fallback entered after
+// a fault continues from the last known-good rate instead of restarting
+// from the initial window.
+type AIMD struct {
+	// Increase is the additive window growth in packets per RTT
+	// (default 1, classic Reno-style AI).
+	Increase float64
+	// Beta is the multiplicative decrease factor applied on loss
+	// (default 0.7, matching CUBIC's gentler backoff).
+	Beta float64
+
+	rate float64
+	rtt  srtt
+}
+
+// NewAIMD returns an AIMD controller with default parameters.
+func NewAIMD() *AIMD {
+	a := &AIMD{Increase: 1, Beta: 0.7}
+	a.Reset(0)
+	return a
+}
+
+// Name implements Algorithm.
+func (a *AIMD) Name() string { return "aimd" }
+
+// Reset implements Algorithm.
+func (a *AIMD) Reset(int64) {
+	a.rate = 0
+	a.rtt = srtt{}
+}
+
+// InitialRate implements Algorithm.
+func (a *AIMD) InitialRate(baseRTT float64) float64 {
+	if baseRTT <= 0 {
+		baseRTT = defaultRTT
+	}
+	a.rate = clampRate(initialCwnd / baseRTT)
+	return a.rate
+}
+
+// SetRate forces the current pacing rate (clamped into the valid envelope),
+// seeding the controller from another controller's operating point.
+func (a *AIMD) SetRate(r float64) { a.rate = clampRate(r) }
+
+// Rate returns the current pacing rate.
+func (a *AIMD) Rate() float64 { return a.rate }
+
+// Update implements Algorithm: multiplicative decrease on loss, otherwise
+// additive increase of Increase packets per RTT (dRate/dt = Increase/RTT²).
+func (a *AIMD) Update(r Report) float64 {
+	rtt := a.rtt.update(r.AvgRTT)
+	if rtt <= 0 {
+		rtt = defaultRTT
+	}
+	if a.rate <= 0 {
+		a.rate = clampRate(initialCwnd / rtt)
+	}
+	if r.LossEvent() {
+		a.rate = clampRate(a.rate * a.Beta)
+	} else {
+		a.rate = clampRate(a.rate + a.Increase*r.Duration/(rtt*rtt))
+	}
+	return a.rate
+}

@@ -1,0 +1,104 @@
+package cc
+
+import (
+	"math"
+	"testing"
+)
+
+func aimdReport(lost float64) Report {
+	r := Report{
+		Duration:  0.02,
+		Sent:      100,
+		Delivered: 100 - lost,
+		Lost:      lost,
+		AvgRTT:    0.040,
+		MinRTT:    0.040,
+	}
+	r.SendRate = r.Sent / r.Duration
+	r.Throughput = r.Delivered / r.Duration
+	r.LossRate = lost / r.Sent
+	return r
+}
+
+func TestAIMDIncreaseAndDecrease(t *testing.T) {
+	a := NewAIMD()
+	a.Reset(0)
+	r0 := a.InitialRate(0.040)
+	if !ValidRate(r0) {
+		t.Fatalf("initial rate %v outside valid envelope", r0)
+	}
+	prev := r0
+	for i := 0; i < 10; i++ {
+		next := a.Update(aimdReport(0))
+		if next <= prev {
+			t.Fatalf("interval %d: clean interval did not increase rate (%v -> %v)", i, prev, next)
+		}
+		prev = next
+	}
+	dropped := a.Update(aimdReport(10))
+	if dropped >= prev {
+		t.Fatalf("loss did not decrease rate (%v -> %v)", prev, dropped)
+	}
+	if math.Abs(dropped-prev*a.Beta) > 1e-9 {
+		t.Errorf("decrease is %v, want beta-scaled %v", dropped, prev*a.Beta)
+	}
+}
+
+func TestAIMDSetRateSeedsOperatingPoint(t *testing.T) {
+	a := NewAIMD()
+	a.Reset(0)
+	a.SetRate(1234)
+	if a.Rate() != 1234 {
+		t.Fatalf("SetRate not applied: %v", a.Rate())
+	}
+	next := a.Update(aimdReport(0))
+	if next <= 1234 || next > 1234*1.5 {
+		t.Errorf("post-seed update moved to %v, want gentle additive growth from 1234", next)
+	}
+	// Degenerate seeds clamp into the valid envelope.
+	a.SetRate(math.NaN())
+	if !ValidRate(a.Rate()) {
+		t.Errorf("NaN seed left rate %v outside the envelope", a.Rate())
+	}
+	a.SetRate(1e12)
+	if a.Rate() != MaxPacingRate {
+		t.Errorf("huge seed not clamped: %v", a.Rate())
+	}
+}
+
+func TestAIMDDeterministic(t *testing.T) {
+	run := func() []float64 {
+		a := NewAIMD()
+		a.Reset(7)
+		a.InitialRate(0.040)
+		out := make([]float64, 0, 40)
+		for i := 0; i < 40; i++ {
+			lost := 0.0
+			if i%13 == 0 {
+				lost = 5
+			}
+			out = append(out, a.Update(aimdReport(lost)))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interval %d: %v != %v (AIMD must be bit-deterministic)", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRLRateSetRate(t *testing.T) {
+	a := NewRLRate("t", PolicyFunc(func([]float64) float64 { return 0 }), 4)
+	a.Reset(0)
+	a.InitialRate(0.040)
+	a.SetRate(5000)
+	if got := a.Update(aimdReport(0)); got != 5000 {
+		t.Errorf("zero-action update after SetRate(5000) = %v, want 5000", got)
+	}
+	a.SetRate(math.Inf(1))
+	if got := a.Update(aimdReport(0)); !ValidRate(got) {
+		t.Errorf("rate %v outside envelope after Inf SetRate", got)
+	}
+}

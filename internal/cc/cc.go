@@ -106,6 +106,20 @@ const (
 	defaultRTT  = 0.040 // fallback when no RTT estimate exists (s)
 )
 
+// MinPacingRate and MaxPacingRate are the clampRate bounds (pkts/s) that
+// every algorithm's published rate respects. The public library's safe-mode
+// guard and the chaos suite pin published rates to this envelope.
+const (
+	MinPacingRate = minRatePkts
+	MaxPacingRate = maxRatePkts
+)
+
+// ValidRate reports whether r is a finite pacing rate inside the clampRate
+// envelope — the invariant a healthy controller decision always satisfies.
+func ValidRate(r float64) bool {
+	return !math.IsNaN(r) && !math.IsInf(r, 0) && r >= MinPacingRate && r <= MaxPacingRate
+}
+
 // srtt smooths RTT samples (RFC 6298 style, alpha = 1/8).
 type srtt struct {
 	value float64

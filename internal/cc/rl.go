@@ -149,6 +149,13 @@ func NewRLRate(name string, policy Policy, historyLen int) *RLRate {
 // Name implements Algorithm.
 func (a *RLRate) Name() string { return a.name }
 
+// SetRate forces the controller's current rate (clamped into the valid
+// envelope). The safe-mode guard uses it to resync the learned path to the
+// fallback controller's operating point when recovering from a fault, so
+// the first post-recovery decision adjusts from where the connection
+// actually is rather than from a stale or degenerate rate.
+func (a *RLRate) SetRate(r float64) { a.rate = clampRate(r) }
+
 // Reset implements Algorithm.
 func (a *RLRate) Reset(int64) {
 	a.tracker.ResetHistory(len(a.tracker.history))

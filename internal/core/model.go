@@ -277,6 +277,13 @@ func (m *Model) TrainingReplica() rl.BatchActorCritic {
 // Snapshot captures the model parameters for serialization.
 func (m *Model) Snapshot() nn.Snapshot { return nn.TakeSnapshot(m.AllParams()) }
 
+// CheckFinite scans every trainable parameter for NaN/Inf, returning an
+// error naming the first offending tensor. Online adaptation runs it under
+// the parameter write lock before publishing an epoch, so a diverged update
+// can never poison live applications. The caller must hold at least the
+// read side of the parameter lock if writers may be active.
+func (m *Model) CheckFinite() error { return nn.CheckFinite(m.AllParams()) }
+
 // Restore loads parameters from a snapshot taken from an identical
 // architecture.
 func (m *Model) Restore(s nn.Snapshot) error { return s.Restore(m.AllParams()) }

@@ -133,6 +133,19 @@ type TransferConfig struct {
 	// LossTimeout declares unacked packets lost after this long
 	// (default 4x the observed min RTT, floor 20 ms).
 	LossTimeout time.Duration
+	// WrapConn, if set, interposes on the dialed socket before any
+	// traffic flows — the fault-injection seam shared with the public
+	// transport binding (mocc/internal/faults.Plan.WrapConn fits).
+	WrapConn func(PacketConn) PacketConn
+}
+
+// PacketConn is the socket surface RunTransfer drives — the subset of
+// *net.UDPConn it uses, and the seam WrapConn interposes on.
+type PacketConn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
 }
 
 // TransferStats summarizes a finished UDP transfer.
@@ -170,9 +183,13 @@ func RunTransfer(cfg TransferConfig) (TransferStats, error) {
 	if err != nil {
 		return stats, fmt.Errorf("datapath: resolving %q: %w", cfg.Addr, err)
 	}
-	conn, err := net.DialUDP("udp", nil, raddr)
+	udp, err := net.DialUDP("udp", nil, raddr)
 	if err != nil {
 		return stats, fmt.Errorf("datapath: dialing %q: %w", cfg.Addr, err)
+	}
+	var conn PacketConn = udp
+	if cfg.WrapConn != nil {
+		conn = cfg.WrapConn(conn)
 	}
 	defer conn.Close()
 

@@ -14,7 +14,31 @@ const (
 	// WireHeaderBytes is the fixed header length; data packets are padded
 	// to the payload size.
 	WireHeaderBytes = headerBytes
+	// WireMagic is the protocol magic byte at offset 0.
+	WireMagic = magicByte
+	// WireTypeData / WireTypeAck are the type-byte values at offset 1.
+	WireTypeData = typeData
+	WireTypeAck  = typeAck
 )
+
+// DecodeHeader parses any wire datagram header, returning its type byte and
+// sequence number. ok is false for short or foreign datagrams. The
+// fault-injection shim uses it to classify traffic in both directions.
+func DecodeHeader(buf []byte) (typ byte, seq uint64, ok bool) {
+	if len(buf) < headerBytes || buf[0] != magicByte {
+		return 0, 0, false
+	}
+	return buf[1], binary.BigEndian.Uint64(buf[2:10]), true
+}
+
+// EncodeAck writes an acknowledgement header into pkt (len >=
+// WireHeaderBytes) — what a receiver sends back for (seq, unixNanos).
+func EncodeAck(pkt []byte, seq uint64, unixNanos int64) {
+	pkt[0] = magicByte
+	pkt[1] = typeAck
+	binary.BigEndian.PutUint64(pkt[2:10], seq)
+	binary.BigEndian.PutUint64(pkt[10:18], uint64(unixNanos))
+}
 
 // EncodeDataHeader writes a data-packet header into pkt (len >=
 // WireHeaderBytes); the rest of pkt is payload padding.

@@ -1,0 +1,233 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"mocc/internal/datapath"
+)
+
+// Conn is the subset of *net.UDPConn the senders drive. The shim wraps any
+// implementation; mocc/transport.Send accepts one via Config.WrapConn and
+// internal/datapath.RunTransfer via TransferConfig.WrapConn (the interfaces
+// are structurally identical, so a FaultConn satisfies both).
+type Conn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+// ConnStats counts the faults a FaultConn actually injected.
+type ConnStats struct {
+	// DataSwallowed are data packets dropped by blackout windows.
+	DataSwallowed int
+	// DataCorrupted / DataDuplicated count tampered outgoing packets.
+	DataCorrupted  int
+	DataDuplicated int
+	// AcksDropped counts acks removed by loss bursts or blackout windows;
+	// AcksCorrupted and AcksReordered count tampered/stashed acks.
+	AcksDropped   int
+	AcksCorrupted int
+	AcksReordered int
+}
+
+// FaultConn applies a Plan's wire-layer injectors around an inner Conn:
+// Write tampers with outgoing data packets (blackout swallowing,
+// header corruption, duplication), Read tampers with incoming
+// acknowledgements (loss bursts, blackout, corruption, reordering).
+//
+// Like the *net.UDPConn it wraps, a FaultConn supports one goroutine
+// calling Write concurrently with one goroutine calling Read (the
+// sender/ack-collector split every sender in this repo uses); the two
+// directions keep disjoint injector state.
+type FaultConn struct {
+	inner Conn
+	plan  *Plan
+
+	// Write side (pacing goroutine).
+	wMu         sync.Mutex
+	dupRng      *rand.Rand
+	corrDataRng *rand.Rand
+	scratch     []byte
+
+	// Read side (ack-collector goroutine).
+	rMu        sync.Mutex
+	ackRng     *rand.Rand
+	reorderRng *rand.Rand
+	corrAckRng *rand.Rand
+	burstLeft  int
+	reads      int // successful delivered reads, drives reorder release
+	stash      []stashed
+
+	statsMu sync.Mutex
+	stats   ConnStats
+}
+
+// stashed is a held-back datagram pending reordering release.
+type stashed struct {
+	data    []byte
+	release int // deliver once reads >= release
+}
+
+// WrapConn interposes the plan's wire-layer faults around inner.
+func (p *Plan) WrapConn(inner Conn) *FaultConn {
+	return &FaultConn{
+		inner:       inner,
+		plan:        p,
+		dupRng:      p.rng(roleDuplicate),
+		corrDataRng: p.rng(roleCorruptData),
+		ackRng:      p.rng(roleAckLoss),
+		reorderRng:  p.rng(roleReorder),
+		corrAckRng:  p.rng(roleCorruptAck),
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (c *FaultConn) Stats() ConnStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+func (c *FaultConn) count(f func(*ConnStats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
+}
+
+// SetReadDeadline forwards to the inner conn.
+func (c *FaultConn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// Close forwards to the inner conn.
+func (c *FaultConn) Close() error { return c.inner.Close() }
+
+// corruptHeader XORs one RNG-chosen header byte with an RNG-chosen nonzero
+// mask, in place.
+func corruptHeader(rng *rand.Rand, pkt []byte) {
+	n := len(pkt)
+	if n > datapath.WireHeaderBytes {
+		n = datapath.WireHeaderBytes
+	}
+	if n == 0 {
+		return
+	}
+	idx := rng.Intn(n)
+	mask := byte(1 + rng.Intn(255))
+	pkt[idx] ^= mask
+}
+
+// Write implements Conn for outgoing data packets. The caller's buffer is
+// never mutated: corruption copies first (transport reuses one packet
+// buffer across sends).
+func (c *FaultConn) Write(b []byte) (int, error) {
+	typ, seq, ok := datapath.DecodeHeader(b)
+	if !ok || typ != datapath.WireTypeData {
+		return c.inner.Write(b)
+	}
+	c.wMu.Lock()
+	defer c.wMu.Unlock()
+
+	if c.plan.Blackout.covers(seq) {
+		// Swallowed after a successful send: the sender cannot tell the
+		// receiver has gone dark — exactly the blackout it must detect
+		// from the missing acks.
+		c.count(func(s *ConnStats) { s.DataSwallowed++ })
+		return len(b), nil
+	}
+
+	out := b
+	if cr := c.plan.Corrupt; cr != nil && cr.Data && c.corrDataRng.Float64() < cr.Prob {
+		if cap(c.scratch) < len(b) {
+			c.scratch = make([]byte, len(b))
+		}
+		c.scratch = c.scratch[:len(b)]
+		copy(c.scratch, b)
+		corruptHeader(c.corrDataRng, c.scratch)
+		out = c.scratch
+		c.count(func(s *ConnStats) { s.DataCorrupted++ })
+	}
+
+	n, err := c.inner.Write(out)
+	if err != nil {
+		return n, err
+	}
+	if d := c.plan.Duplicate; d != nil && c.dupRng.Float64() < d.Prob {
+		_, _ = c.inner.Write(out)
+		c.count(func(s *ConnStats) { s.DataDuplicated++ })
+	}
+	if n > len(b) {
+		n = len(b)
+	}
+	return n, nil
+}
+
+// Read implements Conn for incoming acknowledgements. Dropped datagrams
+// make Read try again, so a fully-blacked-out window surfaces to the
+// caller as the inner conn's read-deadline timeout — indistinguishable
+// from a dead receiver, as intended.
+func (c *FaultConn) Read(b []byte) (int, error) {
+	c.rMu.Lock()
+	defer c.rMu.Unlock()
+	for {
+		// Release any stashed (reordered) ack that has waited long enough.
+		for i, st := range c.stash {
+			if c.reads >= st.release {
+				n := copy(b, st.data)
+				c.stash = append(c.stash[:i], c.stash[i+1:]...)
+				c.reads++
+				return n, nil
+			}
+		}
+
+		n, err := c.inner.Read(b)
+		if err != nil {
+			return n, err
+		}
+		typ, seq, ok := datapath.DecodeHeader(b[:n])
+		if !ok || typ != datapath.WireTypeAck {
+			c.reads++
+			return n, nil
+		}
+
+		if c.plan.Blackout.covers(seq) {
+			c.count(func(s *ConnStats) { s.AcksDropped++ })
+			continue
+		}
+		if al := c.plan.AckLoss; al != nil {
+			if c.burstLeft > 0 {
+				c.burstLeft--
+				c.count(func(s *ConnStats) { s.AcksDropped++ })
+				continue
+			}
+			if c.ackRng.Float64() < al.Prob {
+				burst := al.Burst
+				if burst <= 0 {
+					burst = 1
+				}
+				c.burstLeft = burst - 1
+				c.count(func(s *ConnStats) { s.AcksDropped++ })
+				continue
+			}
+		}
+		if ro := c.plan.Reorder; ro != nil && c.reorderRng.Float64() < ro.Prob {
+			delay := ro.Delay
+			if delay <= 0 {
+				delay = 3
+			}
+			c.stash = append(c.stash, stashed{
+				data:    append([]byte(nil), b[:n]...),
+				release: c.reads + delay,
+			})
+			c.count(func(s *ConnStats) { s.AcksReordered++ })
+			continue
+		}
+		if cr := c.plan.Corrupt; cr != nil && cr.Acks && c.corrAckRng.Float64() < cr.Prob {
+			corruptHeader(c.corrAckRng, b[:n])
+			c.count(func(s *ConnStats) { s.AcksCorrupted++ })
+		}
+		c.reads++
+		return n, nil
+	}
+}

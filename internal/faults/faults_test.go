@@ -1,0 +1,307 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"mocc/internal/datapath"
+)
+
+// scriptConn is a deterministic in-memory Conn: Read pops scripted
+// datagrams until io.EOF, Write captures outgoing datagrams.
+type scriptConn struct {
+	in  [][]byte
+	pos int
+	out [][]byte
+}
+
+func (c *scriptConn) Read(b []byte) (int, error) {
+	if c.pos >= len(c.in) {
+		return 0, io.EOF
+	}
+	n := copy(b, c.in[c.pos])
+	c.pos++
+	return n, nil
+}
+
+func (c *scriptConn) Write(b []byte) (int, error) {
+	c.out = append(c.out, append([]byte(nil), b...))
+	return len(b), nil
+}
+
+func (c *scriptConn) SetReadDeadline(time.Time) error { return nil }
+func (c *scriptConn) Close() error                    { return nil }
+
+func dataPkt(seq uint64) []byte {
+	pkt := make([]byte, 64)
+	datapath.EncodeDataHeader(pkt, seq, int64(seq)*1000)
+	return pkt
+}
+
+func ackPkt(seq uint64) []byte {
+	pkt := make([]byte, datapath.WireHeaderBytes)
+	datapath.EncodeAck(pkt, seq, int64(seq)*1000)
+	return pkt
+}
+
+func ackSeqs(t *testing.T, n int) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	for i := 0; i < n; i++ {
+		seqs = append(seqs, uint64(i+1))
+	}
+	return seqs
+}
+
+// readAll drains a FaultConn's read side until the inner script is empty.
+func readAll(fc *FaultConn) [][]byte {
+	var got [][]byte
+	buf := make([]byte, 2048)
+	for {
+		n, err := fc.Read(buf)
+		if err != nil {
+			return got
+		}
+		got = append(got, append([]byte(nil), buf[:n]...))
+	}
+}
+
+func TestBlackoutSwallowsDataAndAcks(t *testing.T) {
+	plan := &Plan{Seed: 1, Blackout: &Blackout{Windows: []Window{{From: 3, To: 6}}}}
+	inner := &scriptConn{}
+	for _, s := range ackSeqs(t, 8) {
+		inner.in = append(inner.in, ackPkt(s))
+	}
+	fc := plan.WrapConn(inner)
+
+	for _, s := range ackSeqs(t, 8) {
+		if _, err := fc.Write(dataPkt(s)); err != nil {
+			t.Fatalf("Write(seq=%d): %v", s, err)
+		}
+	}
+	if got, want := len(inner.out), 5; got != want {
+		t.Fatalf("forwarded %d data packets, want %d (seqs 3,4,5 swallowed)", got, want)
+	}
+	for _, pkt := range inner.out {
+		_, seq, _ := datapath.DecodeHeader(pkt)
+		if seq >= 3 && seq < 6 {
+			t.Fatalf("blacked-out seq %d reached the wire", seq)
+		}
+	}
+
+	var delivered []uint64
+	for _, pkt := range readAll(fc) {
+		_, seq, _ := datapath.DecodeHeader(pkt)
+		delivered = append(delivered, seq)
+	}
+	if got, want := len(delivered), 5; got != want {
+		t.Fatalf("delivered %d acks, want %d", got, want)
+	}
+	for _, seq := range delivered {
+		if seq >= 3 && seq < 6 {
+			t.Fatalf("ack for blacked-out seq %d delivered", seq)
+		}
+	}
+
+	st := fc.Stats()
+	if st.DataSwallowed != 3 || st.AcksDropped != 3 {
+		t.Fatalf("stats = %+v, want 3 swallowed / 3 dropped", st)
+	}
+}
+
+func TestAckLossBurst(t *testing.T) {
+	// Prob 1 with Burst 4: every surviving ack would restart a burst, so
+	// everything drops; the interesting pin is the burst counter — use a
+	// probability low enough that gaps exist, and check drops arrive in
+	// runs of exactly Burst.
+	plan := &Plan{Seed: 7, AckLoss: &AckLoss{Prob: 0.2, Burst: 3}}
+	inner := &scriptConn{}
+	const total = 400
+	for i := 1; i <= total; i++ {
+		inner.in = append(inner.in, ackPkt(uint64(i)))
+	}
+	fc := plan.WrapConn(inner)
+
+	deliveredSet := map[uint64]bool{}
+	for _, pkt := range readAll(fc) {
+		_, seq, _ := datapath.DecodeHeader(pkt)
+		deliveredSet[seq] = true
+	}
+	st := fc.Stats()
+	if st.AcksDropped == 0 {
+		t.Fatal("no acks dropped at Prob 0.2 over 400 acks")
+	}
+	if st.AcksDropped+len(deliveredSet) != total {
+		t.Fatalf("dropped %d + delivered %d != %d", st.AcksDropped, len(deliveredSet), total)
+	}
+	// Every drop run has length >= Burst is too strong (a new burst can
+	// start inside another's tail); but with Burst 3 no isolated
+	// single-drop should exist unless it abuts the script end.
+	run := 0
+	for i := uint64(1); i <= total; i++ {
+		if !deliveredSet[i] {
+			run++
+			continue
+		}
+		if run > 0 && run < 3 && i > 3 {
+			t.Fatalf("drop run of length %d ending before seq %d; bursts are %d", run, i, 3)
+		}
+		run = 0
+	}
+}
+
+func TestDuplicateWritesTwice(t *testing.T) {
+	plan := &Plan{Seed: 3, Duplicate: &Duplicate{Prob: 1}}
+	inner := &scriptConn{}
+	fc := plan.WrapConn(inner)
+	for _, s := range ackSeqs(t, 5) {
+		if _, err := fc.Write(dataPkt(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := len(inner.out), 10; got != want {
+		t.Fatalf("forwarded %d datagrams, want %d (every packet duplicated)", got, want)
+	}
+	if fc.Stats().DataDuplicated != 5 {
+		t.Fatalf("DataDuplicated = %d, want 5", fc.Stats().DataDuplicated)
+	}
+}
+
+func TestCorruptDataFlipsHeaderByteWithoutMutatingCaller(t *testing.T) {
+	plan := &Plan{Seed: 11, Corrupt: &Corrupt{Prob: 1, Data: true}}
+	inner := &scriptConn{}
+	fc := plan.WrapConn(inner)
+
+	orig := dataPkt(42)
+	sent := append([]byte(nil), orig...)
+	if _, err := fc.Write(sent); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sent, orig) {
+		t.Fatal("Write mutated the caller's buffer")
+	}
+	got := inner.out[0]
+	diff := 0
+	for i := range orig {
+		if got[i] != orig[i] {
+			diff++
+			if i >= datapath.WireHeaderBytes {
+				t.Fatalf("corruption outside the header at byte %d", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+func TestCorruptAcks(t *testing.T) {
+	plan := &Plan{Seed: 13, Corrupt: &Corrupt{Prob: 1, Acks: true}}
+	inner := &scriptConn{in: [][]byte{ackPkt(7)}}
+	fc := plan.WrapConn(inner)
+	got := readAll(fc)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d datagrams, want 1", len(got))
+	}
+	if bytes.Equal(got[0], ackPkt(7)) {
+		t.Fatal("ack delivered uncorrupted at Prob 1")
+	}
+	if fc.Stats().AcksCorrupted != 1 {
+		t.Fatalf("AcksCorrupted = %d, want 1", fc.Stats().AcksCorrupted)
+	}
+}
+
+func TestReorderDelaysAcks(t *testing.T) {
+	plan := &Plan{Seed: 5, Reorder: &Reorder{Prob: 0.3, Delay: 2}}
+	inner := &scriptConn{}
+	const total = 50
+	for i := 1; i <= total; i++ {
+		inner.in = append(inner.in, ackPkt(uint64(i)))
+	}
+	fc := plan.WrapConn(inner)
+
+	var order []uint64
+	for _, pkt := range readAll(fc) {
+		_, seq, _ := datapath.DecodeHeader(pkt)
+		order = append(order, seq)
+	}
+	if fc.Stats().AcksReordered == 0 {
+		t.Fatal("nothing reordered at Prob 0.3 over 50 acks")
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatalf("delivery order still sorted despite %d stashed acks: %v",
+			fc.Stats().AcksReordered, order)
+	}
+}
+
+// TestSameSeedSamePlanIsBitReproducible pins the core chaos-suite
+// guarantee: two identically-seeded plans driven with identical traffic
+// make byte-identical injection decisions in both directions.
+func TestSameSeedSamePlanIsBitReproducible(t *testing.T) {
+	run := func() ([][]byte, [][]byte, ConnStats) {
+		plan := &Plan{
+			Seed:      99,
+			AckLoss:   &AckLoss{Prob: 0.1, Burst: 2},
+			Duplicate: &Duplicate{Prob: 0.1},
+			Reorder:   &Reorder{Prob: 0.1, Delay: 3},
+			Corrupt:   &Corrupt{Prob: 0.1, Data: true, Acks: true},
+			Blackout:  &Blackout{Windows: []Window{{From: 40, To: 60}}},
+		}
+		inner := &scriptConn{}
+		for i := 1; i <= 200; i++ {
+			inner.in = append(inner.in, ackPkt(uint64(i)))
+		}
+		fc := plan.WrapConn(inner)
+		for i := 1; i <= 200; i++ {
+			if _, err := fc.Write(dataPkt(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return inner.out, readAll(fc), fc.Stats()
+	}
+
+	out1, in1, st1 := run()
+	out2, in2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats diverged between identical runs: %+v vs %+v", st1, st2)
+	}
+	if len(out1) != len(out2) || len(in1) != len(in2) {
+		t.Fatalf("datagram counts diverged: out %d/%d, in %d/%d",
+			len(out1), len(out2), len(in1), len(in2))
+	}
+	for i := range out1 {
+		if !bytes.Equal(out1[i], out2[i]) {
+			t.Fatalf("outgoing datagram %d differs between identical runs", i)
+		}
+	}
+	for i := range in1 {
+		if !bytes.Equal(in1[i], in2[i]) {
+			t.Fatalf("delivered datagram %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestNonWireDatagramsPassThrough(t *testing.T) {
+	plan := &Plan{Seed: 1, Corrupt: &Corrupt{Prob: 1, Data: true, Acks: true}}
+	inner := &scriptConn{in: [][]byte{[]byte("not a mocc datagram")}}
+	fc := plan.WrapConn(inner)
+	if _, err := fc.Write([]byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inner.out[0], []byte("short")) {
+		t.Fatal("foreign outgoing datagram tampered with")
+	}
+	got := readAll(fc)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("not a mocc datagram")) {
+		t.Fatal("foreign incoming datagram tampered with")
+	}
+}

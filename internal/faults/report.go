@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"mocc"
+)
+
+// Reporter is the Report signature of a *mocc.App handle.
+type Reporter interface {
+	Report(mocc.Status) (float64, error)
+}
+
+// FaultReporter applies a plan's ReportFaults to the Status stream before it
+// reaches the wrapped Reporter: staleness (deliver the Status from
+// DelayIntervals ago) and RTT clock skew. Methods are not safe for
+// concurrent use — like an App handle's Report itself, one measurement loop
+// drives it.
+type FaultReporter struct {
+	inner Reporter
+	cfg   ReportFaults
+	ring  []mocc.Status
+	count int
+}
+
+// WrapReporter interposes the plan's report-path faults around inner. A nil
+// or zero Report config passes statuses through unchanged.
+func (p *Plan) WrapReporter(inner Reporter) *FaultReporter {
+	var cfg ReportFaults
+	if p.Report != nil {
+		cfg = *p.Report
+	}
+	fr := &FaultReporter{inner: inner, cfg: cfg}
+	if cfg.DelayIntervals > 0 {
+		fr.ring = make([]mocc.Status, cfg.DelayIntervals+1)
+	}
+	return fr
+}
+
+// skewRTT applies the configured clock skew to one RTT field.
+func (f *FaultReporter) skewRTT(d time.Duration) time.Duration {
+	factor := f.cfg.SkewFactor
+	if factor == 0 {
+		factor = 1
+	}
+	out := time.Duration(float64(d)*factor) + f.cfg.SkewOffset
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// Report delivers a tampered Status to the wrapped reporter. During the
+// warm-up of a delay ring (fewer than DelayIntervals statuses seen) the
+// oldest available Status is delivered, so the controller acts on the same
+// stale measurement repeatedly — the startup shape of a lagging telemetry
+// pipeline.
+func (f *FaultReporter) Report(st mocc.Status) (float64, error) {
+	if f.ring != nil {
+		size := len(f.ring)
+		f.ring[f.count%size] = st
+		j := 0
+		if f.count >= size-1 {
+			j = f.count - (size - 1)
+		}
+		st = f.ring[j%size]
+		f.count++
+	}
+	st.AvgRTT = f.skewRTT(st.AvgRTT)
+	st.MinRTT = f.skewRTT(st.MinRTT)
+	return f.inner.Report(st)
+}
+
+// InferenceHook builds the mocc.WithInferenceFault hook for the plan's
+// InferenceFaults: it counts decisions (atomically, across all apps sharing
+// the library) and poisons or stalls those whose index falls in the
+// configured windows. A nil Inference config yields a nil hook.
+func (p *Plan) InferenceHook() func(float64) float64 {
+	inf := p.Inference
+	if inf == nil {
+		return nil
+	}
+	var calls atomic.Int64
+	return func(act float64) float64 {
+		i := int(calls.Add(1)) - 1
+		if i >= inf.StallFrom && i < inf.StallTo && inf.StallFor > 0 {
+			time.Sleep(inf.StallFor)
+		}
+		if i >= inf.NaNFrom && i < inf.NaNTo {
+			return math.NaN()
+		}
+		return act
+	}
+}
+
+// NaNBetween is a standalone inference hook poisoning decisions with index
+// in [from, to) with NaN — the diverged-model fault, without a full Plan.
+func NaNBetween(from, to int) func(float64) float64 {
+	var calls atomic.Int64
+	return func(act float64) float64 {
+		i := int(calls.Add(1)) - 1
+		if i >= from && i < to {
+			return math.NaN()
+		}
+		return act
+	}
+}
+
+// StallBetween is a standalone inference hook delaying decisions with index
+// in [from, to) by d — the stalled-inference fault, without a full Plan.
+func StallBetween(from, to int, d time.Duration) func(float64) float64 {
+	var calls atomic.Int64
+	return func(act float64) float64 {
+		i := int(calls.Add(1)) - 1
+		if i >= from && i < to {
+			time.Sleep(d)
+		}
+		return act
+	}
+}

@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mocc"
+)
+
+// recordReporter captures the Status stream a FaultReporter delivers.
+type recordReporter struct {
+	got []mocc.Status
+}
+
+func (r *recordReporter) Report(st mocc.Status) (float64, error) {
+	r.got = append(r.got, st)
+	return 100, nil
+}
+
+// status returns a Status whose PacketsSent encodes its position, so
+// staleness is observable.
+func status(i int) mocc.Status {
+	return mocc.Status{
+		Duration:     20 * time.Millisecond,
+		PacketsSent:  float64(i),
+		PacketsAcked: float64(i),
+		AvgRTT:       10 * time.Millisecond,
+		MinRTT:       5 * time.Millisecond,
+	}
+}
+
+func TestWrapReporterDelaysStatuses(t *testing.T) {
+	plan := &Plan{Report: &ReportFaults{DelayIntervals: 2}}
+	rec := &recordReporter{}
+	fr := plan.WrapReporter(rec)
+	for i := 1; i <= 6; i++ {
+		if _, err := fr.Report(status(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm-up repeats the oldest Status; steady state lags by exactly 2.
+	want := []float64{1, 1, 1, 2, 3, 4}
+	for i, st := range rec.got {
+		if st.PacketsSent != want[i] {
+			t.Fatalf("delivery %d carried status %v, want %v", i, st.PacketsSent, want[i])
+		}
+	}
+}
+
+func TestWrapReporterSkewsRTT(t *testing.T) {
+	plan := &Plan{Report: &ReportFaults{SkewFactor: 2, SkewOffset: 3 * time.Millisecond}}
+	rec := &recordReporter{}
+	fr := plan.WrapReporter(rec)
+	if _, err := fr.Report(status(1)); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.got[0]
+	if got.AvgRTT != 23*time.Millisecond || got.MinRTT != 13*time.Millisecond {
+		t.Fatalf("skewed RTTs = %v/%v, want 23ms/13ms", got.AvgRTT, got.MinRTT)
+	}
+}
+
+func TestWrapReporterSkewFloorsAtZero(t *testing.T) {
+	plan := &Plan{Report: &ReportFaults{SkewOffset: -time.Hour}}
+	rec := &recordReporter{}
+	fr := plan.WrapReporter(rec)
+	if _, err := fr.Report(status(1)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.got[0].AvgRTT != 0 || rec.got[0].MinRTT != 0 {
+		t.Fatalf("negative skew not floored: %+v", rec.got[0])
+	}
+}
+
+func TestWrapReporterZeroPlanPassesThrough(t *testing.T) {
+	plan := &Plan{}
+	rec := &recordReporter{}
+	fr := plan.WrapReporter(rec)
+	if _, err := fr.Report(status(7)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.got[0] != status(7) {
+		t.Fatalf("zero plan tampered with the status: %+v", rec.got[0])
+	}
+}
+
+func TestInferenceHookPoisonsWindow(t *testing.T) {
+	plan := &Plan{Inference: &InferenceFaults{NaNFrom: 2, NaNTo: 4}}
+	hook := plan.InferenceHook()
+	for i := 0; i < 6; i++ {
+		out := hook(1.5)
+		inWindow := i >= 2 && i < 4
+		if inWindow != math.IsNaN(out) {
+			t.Fatalf("decision %d: got %v, poison window is [2,4)", i, out)
+		}
+	}
+}
+
+func TestInferenceHookNilWithoutConfig(t *testing.T) {
+	if (&Plan{}).InferenceHook() != nil {
+		t.Fatal("plan without Inference config built a hook")
+	}
+}
+
+func TestNaNBetween(t *testing.T) {
+	hook := NaNBetween(1, 3)
+	want := []bool{false, true, true, false}
+	for i, w := range want {
+		if got := math.IsNaN(hook(2)); got != w {
+			t.Fatalf("decision %d: NaN=%v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestStallBetween(t *testing.T) {
+	hook := StallBetween(1, 2, 30*time.Millisecond)
+	start := time.Now()
+	if hook(1) != 1 {
+		t.Fatal("stall hook altered the action")
+	}
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("decision 0 stalled; window is [1,2)")
+	}
+	start = time.Now()
+	hook(1)
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("decision 1 did not stall")
+	}
+}

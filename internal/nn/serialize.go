@@ -1,10 +1,13 @@
 package nn
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strconv"
 )
 
 // Snapshot is a JSON-serializable dump of a parameter set, keyed by
@@ -17,8 +20,76 @@ type Snapshot struct {
 
 // ParamDump is one parameter tensor within a Snapshot.
 type ParamDump struct {
-	Name   string    `json:"name"`
-	Values []float64 `json:"values"`
+	Name   string   `json:"name"`
+	Values FloatVec `json:"values"`
+}
+
+// FloatVec is a []float64 whose JSON form tolerates non-finite values:
+// NaN/±Inf are encoded as the strings "NaN", "+Inf", "-Inf" (plain JSON has
+// no tokens for them — encoding/json refuses to marshal NaN and errors on
+// out-of-range literals like 1e999). This keeps a diverged or corrupted
+// model snapshottable for post-mortem while load-time validation
+// (Snapshot.Validate, Snapshot.Restore) refuses to deploy it.
+type FloatVec []float64
+
+// MarshalJSON implements json.Marshaler: finite values serialize exactly as
+// encoding/json would, non-finite values as quoted tokens.
+func (v FloatVec) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch {
+		case math.IsNaN(x):
+			b.WriteString(`"NaN"`)
+		case math.IsInf(x, 1):
+			b.WriteString(`"+Inf"`)
+		case math.IsInf(x, -1):
+			b.WriteString(`"-Inf"`)
+		default:
+			b.Write(strconv.AppendFloat(nil, x, 'g', -1, 64))
+		}
+	}
+	b.WriteByte(']')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting numbers and the
+// quoted non-finite tokens written by MarshalJSON.
+func (v *FloatVec) UnmarshalJSON(data []byte) error {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make([]float64, len(raw))
+	for i, r := range raw {
+		if len(r) > 0 && r[0] == '"' {
+			var s string
+			if err := json.Unmarshal(r, &s); err != nil {
+				return err
+			}
+			switch s {
+			case "NaN":
+				out[i] = math.NaN()
+			case "+Inf", "Inf":
+				out[i] = math.Inf(1)
+			case "-Inf":
+				out[i] = math.Inf(-1)
+			default:
+				return fmt.Errorf("nn: value %d is %q, want a number or NaN/+Inf/-Inf", i, s)
+			}
+			continue
+		}
+		f, err := strconv.ParseFloat(string(r), 64)
+		if err != nil {
+			return fmt.Errorf("nn: value %d: %v", i, err)
+		}
+		out[i] = f
+	}
+	*v = out
+	return nil
 }
 
 // snapshotFormat identifies the serialization schema version.
@@ -30,15 +101,30 @@ func TakeSnapshot(ps []*Param) Snapshot {
 	for i, p := range ps {
 		s.Params[i] = ParamDump{
 			Name:   p.Name,
-			Values: append([]float64(nil), p.Value...),
+			Values: append(FloatVec(nil), p.Value...),
 		}
 	}
 	return s
 }
 
+// Validate rejects snapshots that would poison a live model: every value of
+// every tensor must be finite. The error names the offending tensor and
+// element so a corrupted checkpoint is diagnosable from the message alone.
+func (s Snapshot) Validate() error {
+	for _, d := range s.Params {
+		for i, x := range d.Values {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("nn: snapshot param %q has non-finite value %v at element %d", d.Name, x, i)
+			}
+		}
+	}
+	return nil
+}
+
 // Restore loads snapshot values into ps. Parameters are matched positionally
 // and validated by name and size, so a snapshot can only be restored into a
-// network of the identical architecture.
+// network of the identical architecture; non-finite values are rejected
+// (see Validate) so a corrupted checkpoint can never reach deployment.
 func (s Snapshot) Restore(ps []*Param) error {
 	if s.Format != snapshotFormat {
 		return fmt.Errorf("nn: unknown snapshot format %q", s.Format)
@@ -55,8 +141,26 @@ func (s Snapshot) Restore(ps []*Param) error {
 				d.Name, len(d.Values), len(ps[i].Value))
 		}
 	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
 	for i, d := range s.Params {
 		copy(ps[i].Value, d.Values)
+	}
+	return nil
+}
+
+// CheckFinite scans live parameters for non-finite values, returning an
+// error naming the first offending tensor and element. Online adaptation
+// runs it before publishing an epoch so a diverged update never reaches
+// live applications.
+func CheckFinite(ps []*Param) error {
+	for _, p := range ps {
+		for i, x := range p.Value {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("nn: param %q has non-finite value %v at element %d", p.Name, x, i)
+			}
+		}
 	}
 	return nil
 }

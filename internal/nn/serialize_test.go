@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFloatVecRoundTripFinite(t *testing.T) {
+	in := FloatVec{0, 1.5, -2.25e-8, 1e300, math.SmallestNonzeroFloat64}
+	data, err := in.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out FloatVec
+	if err := out.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("element %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestFloatVecRoundTripNonFinite(t *testing.T) {
+	in := FloatVec{math.NaN(), math.Inf(1), math.Inf(-1), 3}
+	data, err := in.MarshalJSON()
+	if err != nil {
+		t.Fatalf("non-finite values must marshal for post-mortem snapshots: %v", err)
+	}
+	for _, tok := range []string{`"NaN"`, `"+Inf"`, `"-Inf"`} {
+		if !bytes.Contains(data, []byte(tok)) {
+			t.Errorf("marshaled form %s missing token %s", data, tok)
+		}
+	}
+	var out FloatVec
+	if err := out.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(out[0]) || !math.IsInf(out[1], 1) || !math.IsInf(out[2], -1) || out[3] != 3 {
+		t.Errorf("round trip = %v", out)
+	}
+}
+
+func TestFloatVecRejectsUnknownToken(t *testing.T) {
+	var v FloatVec
+	if err := v.UnmarshalJSON([]byte(`["bogus"]`)); err == nil {
+		t.Error("unknown string token accepted")
+	}
+}
+
+func TestSnapshotValidateNamesTensor(t *testing.T) {
+	s := Snapshot{Format: snapshotFormat, Params: []ParamDump{
+		{Name: "layer0.w", Values: FloatVec{1, 2}},
+		{Name: "layer1.b", Values: FloatVec{0, math.NaN(), 0}},
+	}}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("NaN snapshot validated")
+	}
+	if !strings.Contains(err.Error(), "layer1.b") || !strings.Contains(err.Error(), "element 1") {
+		t.Errorf("error %q does not name the offending tensor and element", err)
+	}
+}
+
+func TestRestoreRejectsNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mlp := NewMLP(rng, 3, 4, 1)
+	snap := TakeSnapshot(mlp.Params())
+	snap.Params[0].Values[1] = math.Inf(1)
+	if err := snap.Restore(mlp.Params()); err == nil {
+		t.Fatal("Restore accepted a +Inf parameter")
+	} else if !strings.Contains(err.Error(), snap.Params[0].Name) {
+		t.Errorf("error %q does not name the tensor", err)
+	}
+	// The target network must be untouched by the failed restore.
+	if err := CheckFinite(mlp.Params()); err != nil {
+		t.Errorf("failed restore mutated the network: %v", err)
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mlp := NewMLP(rng, 3, 4, 1)
+	if err := CheckFinite(mlp.Params()); err != nil {
+		t.Fatalf("fresh network reported non-finite: %v", err)
+	}
+	ps := mlp.Params()
+	ps[len(ps)-1].Value[0] = math.NaN()
+	err := CheckFinite(ps)
+	if err == nil {
+		t.Fatal("NaN parameter not detected")
+	}
+	if !strings.Contains(err.Error(), ps[len(ps)-1].Name) {
+		t.Errorf("error %q does not name the tensor", err)
+	}
+}
+
+func TestSnapshotFileRoundTripWithNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mlp := NewMLP(rng, 2, 3, 1)
+	mlp.Params()[0].Value[0] = math.NaN()
+	snap := TakeSnapshot(mlp.Params())
+
+	path := t.TempDir() + "/poisoned.json"
+	if err := snap.SaveFile(path); err != nil {
+		t.Fatalf("diverged model must stay snapshottable: %v", err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err == nil {
+		t.Error("reloaded poisoned snapshot validated")
+	}
+	fresh := NewMLP(rand.New(rand.NewSource(4)), 2, 3, 1)
+	if err := loaded.Restore(fresh.Params()); err == nil {
+		t.Error("poisoned snapshot restored into a live network")
+	}
+}

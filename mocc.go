@@ -154,11 +154,18 @@ type Library struct {
 	clock      func() time.Time
 	initialRTT time.Duration
 
+	// safeMode enables the guarded-inference layer on every registered
+	// handle (nil when built with WithoutSafeMode); inferenceFault is the
+	// chaos-injection seam of WithInferenceFault.
+	safeMode       *SafeModeConfig
+	inferenceFault func(act float64) float64
+
 	mu     sync.RWMutex // guards apps and nextID only — never held on the hot path
 	apps   map[AppID]*App
 	nextID AppID
 
-	adaptMu sync.Mutex // serializes OnlineAdapt runs against each other
+	adaptMu   sync.Mutex     // serializes OnlineAdapt runs against each other
+	adaptHook func(iter int) // test seam: runs after each Step under the write lock
 }
 
 // TrainingOptions configures offline training (§4.2).
@@ -240,6 +247,14 @@ func LoadModel(path string, libOpts ...Option) (*Library, error) {
 	return New(model, libOpts...)
 }
 
+// Model returns the library's live model handle. The returned *Model
+// shares parameter storage with the library (OnlineAdapt mutations are
+// visible through it), so it can seed another Library — e.g. one built
+// with different options over the same trained weights.
+func (l *Library) Model() *Model {
+	return &Model{m: l.model}
+}
+
 // SaveModel writes the library's (possibly adapted) model to a JSON file.
 func (l *Library) SaveModel(path string) error {
 	l.model.RLockParams()
@@ -267,7 +282,17 @@ func (l *Library) Register(w Weights) (*App, error) {
 		pol:     l.model.SharedPolicyFor(iw),
 		weights: iw,
 	}
-	app.alg = cc.NewRLRate(fmt.Sprintf("mocc-app-%d", id), app.pol, l.model.HistoryLen)
+	// Safe mode interposes a decision observer between the shared model and
+	// the controller; App.SetWeights keeps retuning through app.pol.
+	var pol cc.Policy = app.pol
+	if l.safeMode != nil || l.inferenceFault != nil {
+		app.gp = &guardPolicy{inner: app.pol, fault: l.inferenceFault}
+		pol = app.gp
+	}
+	if l.safeMode != nil {
+		app.guard = newGuard(*l.safeMode)
+	}
+	app.alg = cc.NewRLRate(fmt.Sprintf("mocc-app-%d", id), pol, l.model.HistoryLen)
 	app.alg.Reset(int64(id))
 	app.publishRate(app.alg.InitialRate(l.initialRTT.Seconds()))
 	app.tele.registered = l.clock()
@@ -332,6 +357,12 @@ func (l *Library) unregister(a *App) error {
 // immediately see the adapted parameters afterwards — live applications
 // benefit without re-registration). The adapted objective is retained in
 // the replay pool permanently.
+//
+// Every epoch is validated before it is published: if an iteration leaves
+// any parameter non-finite, the model is restored to the last finite epoch
+// (still under the write lock, so live applications never observe the
+// poisoned parameters) and adaptation aborts with a descriptive error plus
+// the reward curve of the iterations that did publish.
 func (l *Library) OnlineAdapt(w Weights, iters int) ([]float64, error) {
 	iw, err := w.internal()
 	if err != nil {
@@ -345,10 +376,33 @@ func (l *Library) OnlineAdapt(w Weights, iters int) ([]float64, error) {
 	}
 	l.adaptMu.Lock()
 	defer l.adaptMu.Unlock()
+
+	l.model.RLockParams()
+	ferr := l.model.CheckFinite()
+	lastGood := l.model.Snapshot()
+	l.model.RUnlockParams()
+	if ferr != nil {
+		return nil, fmt.Errorf("mocc: refusing to adapt a corrupted model: %w", ferr)
+	}
+
 	curve := make([]float64, 0, iters)
 	for i := 0; i < iters; i++ {
 		l.model.LockParams()
 		r := l.adapter.Step(iw)
+		if l.adaptHook != nil {
+			l.adaptHook(i)
+		}
+		if ferr := l.model.CheckFinite(); ferr != nil {
+			restoreErr := l.model.Restore(lastGood)
+			l.model.UnlockParams()
+			if restoreErr != nil {
+				return curve, fmt.Errorf("mocc: online adaptation diverged at iteration %d (%v) and rollback failed: %w",
+					i, ferr, restoreErr)
+			}
+			return curve, fmt.Errorf("mocc: online adaptation diverged at iteration %d, model restored to the last finite epoch: %w",
+				i, ferr)
+		}
+		lastGood = l.model.Snapshot()
 		l.model.UnlockParams()
 		curve = append(curve, r)
 	}

@@ -108,10 +108,13 @@ func DefaultAdaptation() AdaptationOptions {
 
 // libConfig collects the functional options of New.
 type libConfig struct {
-	adaptation   AdaptationOptions
-	noAdaptation bool
-	clock        func() time.Time
-	initialRTT   time.Duration
+	adaptation     AdaptationOptions
+	noAdaptation   bool
+	clock          func() time.Time
+	initialRTT     time.Duration
+	safeMode       SafeModeConfig
+	noSafeMode     bool
+	inferenceFault func(act float64) float64
 }
 
 // Option configures Library construction (see New).
@@ -143,6 +146,35 @@ func WithInitialRTT(rtt time.Duration) Option {
 	return func(c *libConfig) { c.initialRTT = rtt }
 }
 
+// WithSafeMode overrides the guarded-inference settings (safe mode is on by
+// default with DefaultSafeMode; zero fields keep their defaults).
+func WithSafeMode(cfg SafeModeConfig) Option {
+	return func(c *libConfig) {
+		c.safeMode = cfg
+		c.noSafeMode = false
+	}
+}
+
+// WithoutSafeMode disables the guarded-inference layer: App.Report
+// publishes the learned decision unvalidated, with no fallback controller
+// and no fault telemetry. Intended for controlled experiments that must
+// observe the raw learned behaviour; production deployments should keep
+// safe mode on.
+func WithoutSafeMode() Option {
+	return func(c *libConfig) { c.noSafeMode = true }
+}
+
+// WithInferenceFault installs a hook that transforms every learned policy
+// decision before safe-mode validation — the seam the chaos suite and
+// `mocc-bench -faults` use to emulate a corrupted or stalled model without
+// touching model internals (return NaN, sleep past the stall threshold,
+// scale the action, ...). The hook runs inside the guard's timed window on
+// every registered application's Report path. Production deployments leave
+// it unset.
+func WithInferenceFault(f func(act float64) float64) Option {
+	return func(c *libConfig) { c.inferenceFault = f }
+}
+
 // New wires a trained model into a deployable Library:
 //
 //	lib, err := mocc.New(model, mocc.WithAdaptation(adapt), mocc.WithClock(clock))
@@ -166,10 +198,15 @@ func New(model *Model, opts ...Option) (*Library, error) {
 	}
 
 	l := &Library{
-		model:      model.m,
-		clock:      cfg.clock,
-		initialRTT: cfg.initialRTT,
-		apps:       make(map[AppID]*App),
+		model:          model.m,
+		clock:          cfg.clock,
+		initialRTT:     cfg.initialRTT,
+		apps:           make(map[AppID]*App),
+		inferenceFault: cfg.inferenceFault,
+	}
+	if !cfg.noSafeMode {
+		sm := cfg.safeMode.normalized()
+		l.safeMode = &sm
 	}
 	if !cfg.noAdaptation {
 		acfg := core.DefaultAdaptConfig()

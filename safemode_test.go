@@ -1,0 +1,262 @@
+package mocc
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mocc/internal/cc"
+	"mocc/internal/core"
+)
+
+// guardedLibrary builds a Library over the shared trained weights (deep
+// copy, so OnlineAdapt tests cannot poison the shared model) with the
+// given options.
+func guardedLibrary(t *testing.T, opts ...Option) *Library {
+	t.Helper()
+	src := sharedLibrary(t)
+	src.model.RLockParams()
+	snap := src.model.Snapshot()
+	src.model.RUnlockParams()
+	m := core.NewModel(core.HistoryLen, 0)
+	if err := m.Restore(snap); err != nil {
+		t.Fatalf("copying model: %v", err)
+	}
+	lib, err := New(&Model{m: m}, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return lib
+}
+
+// nanWindow poisons policy decisions with index in [from, to) with NaN.
+func nanWindow(from, to int) func(float64) float64 {
+	var calls atomic.Int64
+	return func(act float64) float64 {
+		if i := int(calls.Add(1)) - 1; i >= from && i < to {
+			return math.NaN()
+		}
+		return act
+	}
+}
+
+// drive runs n Report intervals, asserting every returned rate is inside
+// the pacing envelope, and returns the rate trace.
+func drive(t *testing.T, app *App, n int) []float64 {
+	t.Helper()
+	rates := make([]float64, 0, n)
+	rate := app.Rate()
+	for i := 0; i < n; i++ {
+		sent := rate * 0.04
+		var err error
+		rate, err = app.Report(steadyStatus(sent, sent, 0, 40*time.Millisecond))
+		if err != nil {
+			t.Fatalf("Report %d: %v", i, err)
+		}
+		if !cc.ValidRate(rate) {
+			t.Fatalf("Report %d published rate %v outside [%v, %v]",
+				i, rate, float64(cc.MinPacingRate), float64(cc.MaxPacingRate))
+		}
+		rates = append(rates, rate)
+	}
+	return rates
+}
+
+func TestSafeModeTripsOnNaNWindowAndRecovers(t *testing.T) {
+	lib := guardedLibrary(t,
+		WithoutAdaptation(),
+		WithInferenceFault(nanWindow(5, 9)),
+		WithSafeMode(SafeModeConfig{TripAfter: 2, RecoverAfter: 3}),
+	)
+	app, err := lib.Register(BalancedPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Unregister()
+
+	drive(t, app, 30)
+	st := app.Stats()
+	if st.Fallbacks < 1 {
+		t.Fatalf("Fallbacks = %d, want >= 1 after the NaN window", st.Fallbacks)
+	}
+	if st.FallbackIntervals == 0 {
+		t.Fatal("FallbackIntervals = 0, want fallback-served intervals recorded")
+	}
+	if st.Faults == 0 || !strings.Contains(st.LastFault, "non-finite") {
+		t.Fatalf("Faults=%d LastFault=%q, want non-finite action faults", st.Faults, st.LastFault)
+	}
+	if st.LastFaultAt.IsZero() {
+		t.Fatal("LastFaultAt not stamped")
+	}
+	// The window ended long ago; RecoverAfter clean shadows must have
+	// returned control to the learned path.
+	if st.FallbackActive {
+		t.Fatal("still degraded 20+ clean intervals after the fault cleared")
+	}
+}
+
+func TestSafeModeStallDetection(t *testing.T) {
+	var calls atomic.Int64
+	stall := func(act float64) float64 {
+		if i := int(calls.Add(1)) - 1; i >= 2 && i < 4 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		return act
+	}
+	lib := guardedLibrary(t,
+		WithoutAdaptation(),
+		WithInferenceFault(stall),
+		WithSafeMode(SafeModeConfig{TripAfter: 1, RecoverAfter: 2, StallThreshold: 5 * time.Millisecond}),
+	)
+	app, err := lib.Register(LatencyPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Unregister()
+
+	drive(t, app, 10)
+	st := app.Stats()
+	if st.Fallbacks < 1 || !strings.Contains(st.LastFault, "stalled") {
+		t.Fatalf("Fallbacks=%d LastFault=%q, want a stalled-inference trip", st.Fallbacks, st.LastFault)
+	}
+	if st.FallbackActive {
+		t.Fatal("still degraded after the stall window cleared")
+	}
+}
+
+func TestSafeModeRecoversFromInferencePanic(t *testing.T) {
+	var calls atomic.Int64
+	boom := func(act float64) float64 {
+		if i := int(calls.Add(1)) - 1; i >= 1 && i < 4 {
+			panic("model exploded")
+		}
+		return act
+	}
+	lib := guardedLibrary(t,
+		WithoutAdaptation(),
+		WithInferenceFault(boom),
+		WithSafeMode(SafeModeConfig{TripAfter: 1, RecoverAfter: 2}),
+	)
+	app, err := lib.Register(ThroughputPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Unregister()
+
+	// drive fails the test if any Report panics or publishes an invalid
+	// rate; the panics must be absorbed as pathological decisions.
+	drive(t, app, 12)
+	st := app.Stats()
+	if st.Fallbacks < 1 || !strings.Contains(st.LastFault, "panic") {
+		t.Fatalf("Fallbacks=%d LastFault=%q, want an inference-panic trip", st.Fallbacks, st.LastFault)
+	}
+}
+
+func TestWithoutSafeModeDisablesGuard(t *testing.T) {
+	lib := guardedLibrary(t,
+		WithoutAdaptation(),
+		WithoutSafeMode(),
+		WithInferenceFault(nanWindow(0, 1<<30)),
+	)
+	app, err := lib.Register(BalancedPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Unregister()
+
+	// Without the guard the NaN actions reach the raw controller (whose
+	// clamped rate stays finite); no fallback telemetry must appear.
+	rate := app.Rate()
+	for i := 0; i < 5; i++ {
+		sent := rate * 0.04
+		var err error
+		rate, err = app.Report(steadyStatus(sent, sent, 0, 40*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := app.Stats()
+	if st.Fallbacks != 0 || st.FallbackIntervals != 0 || st.Faults != 0 || st.LastFault != "" {
+		t.Fatalf("guard telemetry populated with safe mode off: %+v", st)
+	}
+}
+
+func TestSafeModeDefaultsOn(t *testing.T) {
+	lib := guardedLibrary(t, WithoutAdaptation(), WithInferenceFault(nanWindow(0, 4)))
+	app, err := lib.Register(BalancedPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Unregister()
+	drive(t, app, 10)
+	if st := app.Stats(); st.Fallbacks < 1 {
+		t.Fatalf("default-configured library did not trip on a NaN burst: %+v", st)
+	}
+}
+
+func TestOnlineAdaptRestoresFiniteModelOnDivergence(t *testing.T) {
+	lib := guardedLibrary(t)
+	lib.adaptHook = func(iter int) {
+		if iter == 1 {
+			lib.model.AllParams()[0].Value[0] = math.NaN()
+		}
+	}
+	_, err := lib.OnlineAdapt(BalancedPreference, 3)
+	if err == nil {
+		t.Fatal("OnlineAdapt succeeded despite a poisoned parameter")
+	}
+	if !strings.Contains(err.Error(), "diverged at iteration") {
+		t.Fatalf("error %q does not describe the divergence", err)
+	}
+	lib.model.RLockParams()
+	ferr := lib.model.CheckFinite()
+	lib.model.RUnlockParams()
+	if ferr != nil {
+		t.Fatalf("model left non-finite after rollback: %v", ferr)
+	}
+	// The restored model must still serve.
+	app, err := lib.Register(BalancedPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Unregister()
+	drive(t, app, 3)
+}
+
+func TestOnlineAdaptRefusesCorruptedModel(t *testing.T) {
+	lib := guardedLibrary(t)
+	lib.model.LockParams()
+	lib.model.AllParams()[0].Value[0] = math.Inf(1)
+	lib.model.UnlockParams()
+	if _, err := lib.OnlineAdapt(BalancedPreference, 1); err == nil {
+		t.Fatal("OnlineAdapt accepted a model that is already non-finite")
+	}
+}
+
+func TestLoadModelFileRejectsCorruptedSnapshot(t *testing.T) {
+	_, err := LoadModelFile(filepath.Join("testdata", "corrupt-model.json"))
+	if err == nil {
+		t.Fatal("LoadModelFile accepted a snapshot containing NaN")
+	}
+	if !strings.Contains(err.Error(), "corrupted") || !strings.Contains(err.Error(), "linear_32x16_w") {
+		t.Fatalf("error %q should flag corruption and name the offending tensor", err)
+	}
+}
+
+func TestSaveLoadRejectsPoisonedLibraryModel(t *testing.T) {
+	lib := guardedLibrary(t, WithoutAdaptation())
+	lib.model.LockParams()
+	lib.model.AllParams()[2].Value[1] = math.NaN()
+	lib.model.UnlockParams()
+
+	path := filepath.Join(t.TempDir(), "poisoned.json")
+	if err := lib.SaveModel(path); err != nil {
+		t.Fatalf("SaveModel must still snapshot a diverged model for post-mortem: %v", err)
+	}
+	if _, err := LoadModelFile(path); err == nil {
+		t.Fatal("LoadModelFile deployed a poisoned snapshot")
+	}
+}

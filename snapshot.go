@@ -6,11 +6,18 @@ import (
 	"mocc/internal/nn"
 )
 
-// loadSnapshot reads a model snapshot from disk.
+// loadSnapshot reads a model snapshot from disk and validates it before it
+// can reach a live model: a checkpoint containing NaN/Inf parameters (a
+// diverged training run, a truncated or bit-flipped file) is rejected with
+// an error naming the offending tensor rather than silently poisoning every
+// application the model would serve.
 func loadSnapshot(path string) (nn.Snapshot, error) {
 	snap, err := nn.LoadFile(path)
 	if err != nil {
 		return nn.Snapshot{}, fmt.Errorf("mocc: loading model %q: %w", path, err)
+	}
+	if err := snap.Validate(); err != nil {
+		return nn.Snapshot{}, fmt.Errorf("mocc: model %q is corrupted: %w", path, err)
 	}
 	return snap, nil
 }

@@ -9,6 +9,16 @@
 // datapath experiments (magic, type, sequence, send timestamp; acks echo
 // the header), so transport senders interoperate with internal receivers
 // and vice versa.
+//
+// The sender is hardened against a misbehaving path: it detects ack
+// blackouts (no acknowledgements for BlackoutAfter consecutive monitor
+// intervals, or a fatal socket read error) and drops to a conservative
+// probing rate with exponential backoff until acks return, counts socket
+// write errors and aborts with a descriptive error once they become
+// persistent, and bounds the in-flight bookkeeping so a receiver that
+// never acks cannot grow sender memory without limit. Config.WrapConn
+// lets a fault-injection shim (mocc/internal/faults) interpose on the
+// socket for chaos testing.
 package transport
 
 import (
@@ -17,6 +27,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mocc"
@@ -57,6 +68,15 @@ func (r *Receiver) Received() int { return r.r.Received() }
 // Close stops the receiver and releases the socket.
 func (r *Receiver) Close() error { return r.r.Close() }
 
+// PacketConn is the socket surface Send drives — the subset of
+// *net.UDPConn it uses. Config.WrapConn can interpose on it.
+type PacketConn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
 // Config tunes a Send loop.
 type Config struct {
 	// MI is the monitor-interval length (default 20ms).
@@ -68,9 +88,51 @@ type Config struct {
 	// LossTimeout declares unacked packets lost after this long
 	// (default 4x the observed min RTT, floor 20ms).
 	LossTimeout time.Duration
+
+	// WrapConn, if set, interposes on the dialed socket before any
+	// traffic flows — the hook the fault-injection shim
+	// (mocc/internal/faults.Plan.WrapConn) plugs into.
+	WrapConn func(PacketConn) PacketConn
+	// BlackoutAfter is how many consecutive ackless monitor intervals
+	// (with traffic in flight) trigger blackout probing (default 3).
+	BlackoutAfter int
+	// BlackoutFloorPps is the minimum probing rate during a blackout
+	// (default one packet per MI).
+	BlackoutFloorPps float64
+	// MaxConsecWriteErrs aborts the transfer after this many consecutive
+	// socket write failures (default 64).
+	MaxConsecWriteErrs int
+	// MaxOutstanding bounds the in-flight bookkeeping map; beyond it the
+	// oldest entries are evicted and counted lost (default 65536).
+	MaxOutstanding int
 }
 
-// Stats summarizes a finished transfer.
+func (cfg *Config) applyDefaults() {
+	if cfg.MI <= 0 {
+		cfg.MI = 20 * time.Millisecond
+	}
+	if cfg.PayloadBytes < datapath.WireHeaderBytes {
+		cfg.PayloadBytes = 1200
+	}
+	if cfg.MaxRatePps <= 0 {
+		cfg.MaxRatePps = 20000
+	}
+	if cfg.BlackoutAfter <= 0 {
+		cfg.BlackoutAfter = 3
+	}
+	if cfg.BlackoutFloorPps <= 0 {
+		cfg.BlackoutFloorPps = float64(time.Second) / float64(cfg.MI)
+	}
+	if cfg.MaxConsecWriteErrs <= 0 {
+		cfg.MaxConsecWriteErrs = 64
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 1 << 16
+	}
+}
+
+// Stats summarizes a finished transfer. It is populated even when Send
+// returns an error, so an aborted transfer still reports what happened.
 type Stats struct {
 	// Sent / Acked / Lost count packets over the whole transfer.
 	Sent, Acked, Lost int
@@ -82,6 +144,54 @@ type Stats struct {
 	Duration time.Duration
 	// Intervals counts monitor intervals reported to the App.
 	Intervals int
+
+	// WriteErrors counts failed socket writes over the transfer.
+	WriteErrors int
+	// Blackouts counts detected ack-blackout spans; BlackoutTime is their
+	// total duration; BlackoutIntervals counts monitor intervals spent in
+	// blackout probing.
+	Blackouts         int
+	BlackoutTime      time.Duration
+	BlackoutIntervals int
+	// Evicted counts in-flight entries dropped (and counted lost) because
+	// the outstanding map hit MaxOutstanding.
+	Evicted int
+}
+
+// sender is the per-transfer state behind Send: one pacing goroutine
+// drives step/closeInterval while one ack-collector goroutine drives
+// collectAcks; they share the mu-guarded interval counters.
+type sender struct {
+	app  *mocc.App
+	cfg  Config
+	conn PacketConn
+
+	stats Stats
+
+	mu          sync.Mutex
+	outstanding map[uint64]time.Time
+	evictCursor uint64 // lowest sequence possibly still outstanding
+	miAcked     int
+	miRTTSum    time.Duration
+	totalAcked  int
+	rttSum      time.Duration
+	minRTT      time.Duration
+
+	// readDead is set by the ack collector on a fatal (non-timeout) read
+	// error: the ack path is gone, so the pacing loop must treat the path
+	// as blacked out rather than wait for acks that cannot arrive.
+	readDead atomic.Bool
+	readErr  error // written once before readDead is set
+
+	// Pacing-loop-only blackout state.
+	appRate    float64 // last rate the handle decided
+	rate       float64 // effective pacing rate
+	acklessMIs int
+	inBlackout bool
+	blackoutAt time.Time
+
+	consecWriteErrs int
+	lastWriteErr    error
 }
 
 // Send paces packets to addr under the control of app for the given
@@ -89,102 +199,69 @@ type Stats struct {
 // timeouts declared lost), builds a mocc.Status, and lets app.Report decide
 // the next pacing rate. The App keeps accumulating telemetry across calls,
 // so app.Stats() after Send shows the transfer from the controller's side.
+//
+// Send returns (with Stats populated) rather than hanging when the path
+// dies mid-transfer: an ack blackout switches pacing to conservative
+// probing until acks return or the duration ends, and persistent socket
+// write failures abort with a descriptive error.
 func Send(addr string, app *mocc.App, duration time.Duration, cfg Config) (Stats, error) {
-	var stats Stats
 	if app == nil {
-		return stats, errors.New("transport: nil app")
+		return Stats{}, errors.New("transport: nil app")
 	}
 	if duration <= 0 {
-		return stats, errors.New("transport: duration must be positive")
+		return Stats{}, errors.New("transport: duration must be positive")
 	}
-	if cfg.MI <= 0 {
-		cfg.MI = 20 * time.Millisecond
-	}
-	if cfg.PayloadBytes < datapath.WireHeaderBytes {
-		cfg.PayloadBytes = 1200
-	}
-	if cfg.MaxRatePps <= 0 {
-		cfg.MaxRatePps = 20000
-	}
+	cfg.applyDefaults()
 
 	raddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
-		return stats, fmt.Errorf("transport: resolving %q: %w", addr, err)
+		return Stats{}, fmt.Errorf("transport: resolving %q: %w", addr, err)
 	}
-	conn, err := net.DialUDP("udp", nil, raddr)
+	udp, err := net.DialUDP("udp", nil, raddr)
 	if err != nil {
-		return stats, fmt.Errorf("transport: dialing %q: %w", addr, err)
+		return Stats{}, fmt.Errorf("transport: dialing %q: %w", addr, err)
+	}
+	var conn PacketConn = udp
+	if cfg.WrapConn != nil {
+		conn = cfg.WrapConn(conn)
 	}
 	defer conn.Close()
 
-	var (
-		mu          sync.Mutex
-		outstanding = map[uint64]time.Time{}
-		miAcked     int
-		miRTTSum    time.Duration
-		totalAcked  int
-		rttSum      time.Duration
-		minRTT      time.Duration
-	)
+	s := &sender{
+		app:         app,
+		cfg:         cfg,
+		conn:        conn,
+		outstanding: make(map[uint64]time.Time),
+		evictCursor: 1,
+	}
+	return s.run(duration)
+}
 
-	// Ack collector.
+func (s *sender) run(duration time.Duration) (Stats, error) {
 	stop := make(chan struct{})
 	var ackWG sync.WaitGroup
 	ackWG.Add(1)
 	go func() {
 		defer ackWG.Done()
-		buf := make([]byte, 2048)
-		for {
-			_ = conn.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
-			n, err := conn.Read(buf)
-			if err != nil {
-				if ne, ok := err.(net.Error); ok && ne.Timeout() {
-					select {
-					case <-stop:
-						return
-					default:
-						continue
-					}
-				}
-				return
-			}
-			seq, _, ok := datapath.DecodeAck(buf[:n])
-			if !ok {
-				continue
-			}
-			now := time.Now()
-			mu.Lock()
-			if sentAt, ok := outstanding[seq]; ok {
-				delete(outstanding, seq)
-				rtt := now.Sub(sentAt)
-				miAcked++
-				miRTTSum += rtt
-				totalAcked++
-				rttSum += rtt
-				if minRTT == 0 || rtt < minRTT {
-					minRTT = rtt
-				}
-			}
-			mu.Unlock()
-		}
+		s.collectAcks(stop)
 	}()
 
-	// Pacing loop, driven by the handle's published rate.
-	rate := math.Min(app.Rate(), cfg.MaxRatePps)
-	if rate <= 0 {
+	s.appRate = math.Min(s.app.Rate(), s.cfg.MaxRatePps)
+	s.rate = s.appRate
+	if s.rate <= 0 {
 		close(stop)
 		ackWG.Wait()
-		return stats, fmt.Errorf("transport: app rate %v is not a usable pacing rate", rate)
+		return s.stats, fmt.Errorf("transport: app rate %v is not a usable pacing rate", s.rate)
 	}
-	pkt := make([]byte, cfg.PayloadBytes)
 
+	pkt := make([]byte, s.cfg.PayloadBytes)
 	start := time.Now()
 	deadline := start.Add(duration)
-	nextMI := start.Add(cfg.MI)
+	nextMI := start.Add(s.cfg.MI)
+	nextSend := start
 	var seq uint64
 	miSent := 0
-	nextSend := start
-	var reportErr error
+	var loopErr error
 
 	for time.Now().Before(deadline) {
 		now := time.Now()
@@ -194,54 +271,125 @@ func Send(addr string, app *mocc.App, duration time.Duration, cfg Config) (Stats
 		}
 		seq++
 		datapath.EncodeDataHeader(pkt, seq, time.Now().UnixNano())
-		if _, err := conn.Write(pkt); err == nil {
-			mu.Lock()
-			outstanding[seq] = time.Now()
-			mu.Unlock()
+		if _, err := s.conn.Write(pkt); err != nil {
+			s.stats.WriteErrors++
+			s.consecWriteErrs++
+			s.lastWriteErr = err
+			if s.consecWriteErrs >= s.cfg.MaxConsecWriteErrs {
+				loopErr = fmt.Errorf("transport: aborting after %d consecutive socket write failures (%d total): %w",
+					s.consecWriteErrs, s.stats.WriteErrors, s.lastWriteErr)
+				break
+			}
+		} else {
+			s.consecWriteErrs = 0
+			s.track(seq)
 			miSent++
-			stats.Sent++
+			s.stats.Sent++
 		}
-		nextSend = nextSend.Add(time.Duration(float64(time.Second) / rate))
+		nextSend = nextSend.Add(time.Duration(float64(time.Second) / s.rate))
 		if nextSend.Before(time.Now().Add(-50 * time.Millisecond)) {
 			nextSend = time.Now() // don't burst to catch up after stalls
 		}
 
 		if time.Now().After(nextMI) {
-			var next float64
-			next, reportErr = closeInterval(app, cfg, &mu, outstanding, &miSent, &miAcked, &miRTTSum, &minRTT, &stats)
-			if reportErr != nil {
+			loopErr = s.closeInterval(&miSent)
+			if loopErr != nil {
 				break
 			}
-			rate = math.Min(next, cfg.MaxRatePps)
-			nextMI = nextMI.Add(cfg.MI)
+			nextMI = nextMI.Add(s.cfg.MI)
 		}
 	}
 
 	close(stop)
 	ackWG.Wait()
 
-	stats.Duration = time.Since(start)
-	mu.Lock()
-	stats.Acked = totalAcked
-	if totalAcked > 0 {
-		stats.AvgRTT = rttSum / time.Duration(totalAcked)
+	if s.inBlackout {
+		s.stats.BlackoutTime += time.Since(s.blackoutAt)
 	}
-	mu.Unlock()
-	if secs := stats.Duration.Seconds(); secs > 0 {
-		stats.ThroughputMbps = float64(stats.Acked*cfg.PayloadBytes) * 8 / 1e6 / secs
+	s.stats.Duration = time.Since(start)
+	s.mu.Lock()
+	s.stats.Acked = s.totalAcked
+	if s.totalAcked > 0 {
+		s.stats.AvgRTT = s.rttSum / time.Duration(s.totalAcked)
 	}
-	return stats, reportErr
+	s.mu.Unlock()
+	if secs := s.stats.Duration.Seconds(); secs > 0 {
+		s.stats.ThroughputMbps = float64(s.stats.Acked*s.cfg.PayloadBytes) * 8 / 1e6 / secs
+	}
+	return s.stats, loopErr
+}
+
+// track records an in-flight packet, evicting the oldest entries (counted
+// lost) when the bookkeeping map would exceed MaxOutstanding — a receiver
+// that never acks cannot grow sender memory without bound.
+func (s *sender) track(seq uint64) {
+	s.mu.Lock()
+	for len(s.outstanding) >= s.cfg.MaxOutstanding {
+		for s.evictCursor < seq {
+			if _, ok := s.outstanding[s.evictCursor]; ok {
+				delete(s.outstanding, s.evictCursor)
+				s.stats.Lost++
+				s.stats.Evicted++
+				break
+			}
+			s.evictCursor++
+		}
+	}
+	s.outstanding[seq] = time.Now()
+	s.mu.Unlock()
+}
+
+// collectAcks drains acknowledgements until stop closes. A fatal
+// (non-timeout) read error does not end the transfer silently: it records
+// the error and flags readDead so the pacing loop enters blackout
+// handling instead of waiting for acks that can no longer arrive.
+func (s *sender) collectAcks(stop <-chan struct{}) {
+	buf := make([]byte, 2048)
+	for {
+		_ = s.conn.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
+		n, err := s.conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				select {
+				case <-stop:
+					return
+				default:
+					continue
+				}
+			}
+			s.readErr = err
+			s.readDead.Store(true)
+			return
+		}
+		seq, _, ok := datapath.DecodeAck(buf[:n])
+		if !ok {
+			continue
+		}
+		now := time.Now()
+		s.mu.Lock()
+		if sentAt, ok := s.outstanding[seq]; ok {
+			delete(s.outstanding, seq)
+			rtt := now.Sub(sentAt)
+			s.miAcked++
+			s.miRTTSum += rtt
+			s.totalAcked++
+			s.rttSum += rtt
+			if s.minRTT == 0 || rtt < s.minRTT {
+				s.minRTT = rtt
+			}
+		}
+		s.mu.Unlock()
+	}
 }
 
 // closeInterval ends one monitor interval: it infers losses from the
-// timeout, builds the application-visible Status, and asks the handle for
-// the next rate.
-func closeInterval(app *mocc.App, cfg Config, mu *sync.Mutex, outstanding map[uint64]time.Time,
-	miSent, miAcked *int, miRTTSum *time.Duration, minRTTp *time.Duration, stats *Stats) (float64, error) {
-
-	mu.Lock()
-	minRTT := *minRTTp // written by the ack goroutine under mu
-	timeout := cfg.LossTimeout
+// timeout, builds the application-visible Status, asks the handle for the
+// next rate, and runs the blackout detector that decides whether the
+// handle's rate or a conservative probing rate paces the next interval.
+func (s *sender) closeInterval(miSent *int) error {
+	s.mu.Lock()
+	minRTT := s.minRTT // written by the ack goroutine under mu
+	timeout := s.cfg.LossTimeout
 	if timeout <= 0 {
 		timeout = 4 * minRTT
 		if timeout < 20*time.Millisecond {
@@ -250,19 +398,20 @@ func closeInterval(app *mocc.App, cfg Config, mu *sync.Mutex, outstanding map[ui
 	}
 	now := time.Now()
 	lost := 0
-	for seq, sentAt := range outstanding {
+	for seq, sentAt := range s.outstanding {
 		if now.Sub(sentAt) > timeout {
-			delete(outstanding, seq)
+			delete(s.outstanding, seq)
 			lost++
 		}
 	}
-	sent, acked := *miSent, *miAcked
-	rttSum := *miRTTSum
-	*miSent, *miAcked, *miRTTSum = 0, 0, 0
-	mu.Unlock()
+	inFlight := len(s.outstanding)
+	sent, acked := *miSent, s.miAcked
+	rttSum := s.miRTTSum
+	*miSent, s.miAcked, s.miRTTSum = 0, 0, 0
+	s.mu.Unlock()
 
-	stats.Lost += lost
-	stats.Intervals++
+	s.stats.Lost += lost
+	s.stats.Intervals++
 
 	avgRTT := time.Duration(0)
 	if acked > 0 {
@@ -285,12 +434,52 @@ func closeInterval(app *mocc.App, cfg Config, mu *sync.Mutex, outstanding map[ui
 	if acked+lost > effSent {
 		effSent = acked + lost
 	}
-	return app.Report(mocc.Status{
-		Duration:     cfg.MI,
+	next, err := s.app.Report(mocc.Status{
+		Duration:     s.cfg.MI,
 		PacketsSent:  float64(effSent),
 		PacketsAcked: float64(acked),
 		PacketsLost:  float64(lost),
 		AvgRTT:       avgRTT,
 		MinRTT:       miMinRTT,
 	})
+	if err != nil {
+		return err
+	}
+	s.appRate = math.Min(next, s.cfg.MaxRatePps)
+	s.blackoutStep(acked, sent, inFlight)
+	return nil
+}
+
+// blackoutStep updates the ack-blackout detector after one monitor
+// interval and picks the effective pacing rate: the handle's rate
+// normally, or a conservative probe (quarter of the last good rate,
+// halving each blacked-out interval down to BlackoutFloorPps) while the
+// path is dark. The first ack ends the blackout and control returns to
+// the handle immediately.
+func (s *sender) blackoutStep(acked, sent, inFlight int) {
+	if acked > 0 {
+		s.acklessMIs = 0
+		if s.inBlackout {
+			s.inBlackout = false
+			s.stats.BlackoutTime += time.Since(s.blackoutAt)
+		}
+		s.rate = s.appRate
+		return
+	}
+	if sent > 0 || inFlight > 0 || s.readDead.Load() {
+		s.acklessMIs++
+	}
+	if !s.inBlackout && (s.acklessMIs >= s.cfg.BlackoutAfter || s.readDead.Load()) {
+		s.inBlackout = true
+		s.blackoutAt = time.Now()
+		s.stats.Blackouts++
+		s.rate = math.Max(s.appRate/4, s.cfg.BlackoutFloorPps)
+	} else if s.inBlackout {
+		s.rate = math.Max(s.rate/2, s.cfg.BlackoutFloorPps)
+	} else {
+		s.rate = s.appRate
+	}
+	if s.inBlackout {
+		s.stats.BlackoutIntervals++
+	}
 }
