@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race chaos bench bench-sim bench-train bench-json fuzz-scen ci
+.PHONY: all build vet test test-race chaos bench bench-sim bench-train bench-json bench-serve fuzz-scen ci
 
 all: build vet test
 
@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race detector over the concurrency-bearing packages: the shard-parallel
-# public API (root + transport), the parallel collectors/schedulers, and the
-# data-parallel PPO update + pipelined trainer.
+# public API (root + transport), the serving engine's coalescing shards,
+# the parallel collectors/schedulers, and the data-parallel PPO update +
+# pipelined trainer.
 test-race:
-	$(GO) test -race . ./transport ./internal/faults ./internal/rl ./internal/core ./internal/pantheon
+	$(GO) test -race . ./transport ./internal/faults ./internal/rl ./internal/core ./internal/pantheon ./internal/serve
 
 # Seeded chaos suite: the fault-injection package (bit-reproducible
 # same-seed plans, every wire/report/inference injector), safe-mode
@@ -55,6 +56,18 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/nn ./internal/rl ./internal/core ./internal/netsim > bench.out.tmp
 	$(GO) run ./cmd/benchjson -out BENCH_train.json < bench.out.tmp
 	rm -f bench.out.tmp
+
+# Serving-engine snapshot: the coalesced batched-inference path vs the
+# per-call single-sample baseline, at 64 and 10000 concurrent apps, recorded
+# to BENCH_serve.json (ns/report + reports/s in the same snapshot). Fixed
+# iteration count for run-to-run comparability; five repeats folded to
+# per-metric medians so one hypervisor steal spike cannot skew a committed
+# number; same temp-file guard as bench-json so a failing run never
+# truncates the committed snapshot.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'ServeReport' -benchmem -benchtime 150x -count 5 . > bench-serve.out.tmp
+	$(GO) run ./cmd/benchjson -agg median -out BENCH_serve.json < bench-serve.out.tmp
+	rm -f bench-serve.out.tmp
 
 # Differential fuzz smoke: 25 generator-seeded scenarios replayed through
 # both netsim engines (packet-train vs per-packet reference) must agree

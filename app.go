@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"mocc/internal/cc"
-	"mocc/internal/core"
 	"mocc/internal/objective"
 )
 
@@ -32,7 +31,7 @@ type App struct {
 
 	mu      sync.Mutex // serializes Report/SetWeights/Stats on this handle
 	alg     *cc.RLRate
-	pol     *core.SharedPolicy
+	pol     appPolicy
 	weights objective.Weights
 	closed  bool
 	tele    telemetry
@@ -41,6 +40,17 @@ type App struct {
 	// learned decision, guard judges it and owns the fallback controller.
 	gp    *guardPolicy
 	guard *guard
+}
+
+// appPolicy is what a handle needs from its decision backend: a cc.Policy
+// that can retune its preference between decisions. Both backends satisfy
+// it — core.SharedPolicy (private single-sample inference view) and
+// serve.Client (sharded batching engine) — and per-decision results are
+// bit-identical between them. The handle serializes Act against SetWeights
+// under App.mu, which is exactly the concurrency contract both require.
+type appPolicy interface {
+	cc.Policy
+	SetWeights(w objective.Weights)
 }
 
 // telemetry accumulates per-application counters (guarded by App.mu).
@@ -229,6 +239,18 @@ func (a *App) Stats() AppStats {
 		s.LastFaultAt = g.lastFaultAt
 	}
 	return s
+}
+
+// lastActivity returns when the handle last did something worth keeping it
+// alive for: its last accepted Report, or its registration time when it has
+// never reported. The serving janitor compares this against the idle TTL.
+func (a *App) lastActivity() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.tele.lastReport.IsZero() {
+		return a.tele.registered
+	}
+	return a.tele.lastReport
 }
 
 // Unregister removes the application from its library. Subsequent Report

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,6 +30,9 @@ type Benchmark struct {
 	Package string `json:"package,omitempty"`
 	// Iterations is the b.N the reported averages were measured over.
 	Iterations int64 `json:"iterations"`
+	// Runs is how many result lines were aggregated into this entry
+	// (>1 only under -agg median with -count repeats).
+	Runs int `json:"runs,omitempty"`
 	// Metrics maps unit -> value for every reported metric (ns/op,
 	// B/op, allocs/op, and any custom units such as steps/s).
 	Metrics map[string]float64 `json:"metrics"`
@@ -45,9 +50,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "", "output path (default stdout)")
+	agg := flag.String("agg", "", "aggregate repeated benchmark names: 'median' folds -count repeats into one per-metric median entry (robust to scheduling-noise spikes on shared hosts)")
 	flag.Parse()
+	if *agg != "" && *agg != "median" {
+		log.Fatalf("unknown -agg mode %q (want 'median')", *agg)
+	}
 
-	report := Report{Context: map[string]string{}}
+	// The parallelism of the recording machine frames every throughput
+	// number in the snapshot, so pin it in the context even though the
+	// bench header doesn't print it.
+	report := Report{Context: map[string]string{
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"cpus":       strconv.Itoa(runtime.NumCPU()),
+	}}
 	var pkg string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -71,6 +86,9 @@ func main() {
 	if len(report.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines found on stdin")
 	}
+	if *agg == "median" {
+		report.Benchmarks = aggregateMedian(report.Benchmarks)
+	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -85,6 +103,53 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// aggregateMedian folds repeated benchmark names (from -count runs) into
+// one entry each, keeping first-seen order: every metric becomes the median
+// of the values reported across that name's runs, and Runs records how many
+// were folded. Medians rather than means because the failure mode being
+// defended against — a hypervisor steal spike inflating one run — is an
+// outlier, not a shift.
+func aggregateMedian(in []Benchmark) []Benchmark {
+	groups := map[string][]Benchmark{}
+	var order []string
+	for _, b := range in {
+		if _, seen := groups[b.Name]; !seen {
+			order = append(order, b.Name)
+		}
+		groups[b.Name] = append(groups[b.Name], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		agg := Benchmark{Name: name, Package: g[0].Package, Runs: len(g), Metrics: map[string]float64{}}
+		var iters []float64
+		units := map[string][]float64{}
+		for _, b := range g {
+			iters = append(iters, float64(b.Iterations))
+			for u, v := range b.Metrics {
+				units[u] = append(units[u], v)
+			}
+		}
+		agg.Iterations = int64(median(iters))
+		for u, vs := range units {
+			agg.Metrics[u] = median(vs)
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// median returns the middle value of vs (mean of the middle two for even
+// counts). vs is sorted in place.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 // parseBenchLine parses one result line:

@@ -9,6 +9,7 @@
 //	mocc-bench -fig all -scale standard -seed 3
 //	mocc-bench -scenario examples/scenarios/trace-replay.json
 //	mocc-bench -faults 'blackout=100-300,corrupt=0.2:both,nan=5-10' -fault-seed 7
+//	mocc-bench -serve-addr 127.0.0.1:9053 -apps 10000 -duration 30s
 //
 // Figure ids: 1a 1b 1c 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 all
 //
@@ -22,6 +23,11 @@
 // learned decision, then the hardened sender's stats and the app's
 // safe-mode telemetry are printed. Same seed + same plan = same injection
 // decisions.
+//
+// With -serve-addr, mocc-bench becomes a load generator for a running
+// mocc-serve daemon: -apps concurrent flows share one UDP socket, each
+// sending report datagrams as fast as the daemon replies, and the run
+// prints sustained reports/sec plus p50/p90/p99/max decision latency.
 package main
 
 import (
@@ -55,8 +61,20 @@ func main() {
 		faultSpec = flag.String("faults", "", "run a chaos transfer under this fault plan (e.g. 'blackout=100-300,ackloss=0.2x3,nan=5-10') instead of a figure")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the -faults plan (same seed = same injection decisions)")
 		faultDur  = flag.Duration("fault-dur", 2*time.Second, "duration of the -faults transfer")
+		serveAddr = flag.String("serve-addr", "", "load-generate against a mocc-serve daemon at this address instead of running a figure")
+		serveApps = flag.Int("apps", 100, "concurrent apps for -serve-addr load generation")
+		serveDur  = flag.Duration("duration", 10*time.Second, "length of the -serve-addr load generation")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" {
+		if err := runServeGen(serveGenConfig{
+			Addr: *serveAddr, Apps: *serveApps, Duration: *serveDur, Seed: *seed,
+		}, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *faultSpec != "" {
 		if err := runFaults(*faultSpec, *faultSeed, *faultDur, os.Stdout); err != nil {

@@ -1,0 +1,237 @@
+package main
+
+// Load-generator mode against a mocc-serve daemon (-serve-addr): drive N
+// simulated apps over one shared UDP socket, each sending report datagrams
+// as fast as the daemon answers, and print the sustained reports/sec plus
+// per-report decision-latency percentiles. One socket carries all flows
+// (10k apps would exhaust file descriptors otherwise); a central reader
+// demuxes rate replies to the per-app goroutines by flow id.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mocc/internal/datapath"
+)
+
+// serveGenConfig parameterises one load-generation run.
+type serveGenConfig struct {
+	Addr     string
+	Apps     int
+	Duration time.Duration
+	Seed     int64
+}
+
+// runServeGen executes the load generation and prints the summary table.
+func runServeGen(cfg serveGenConfig, out io.Writer) error {
+	if cfg.Apps <= 0 {
+		return fmt.Errorf("serve-gen: need -apps >= 1, got %d", cfg.Apps)
+	}
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve-gen: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return fmt.Errorf("serve-gen: %w", err)
+	}
+	defer conn.Close()
+
+	// Per-flow reply channels, indexed by flow id. Buffered so a late or
+	// duplicated reply never blocks the reader.
+	replies := make([]chan rateReply, cfg.Apps)
+	for i := range replies {
+		replies[i] = make(chan rateReply, 4)
+	}
+
+	stop := make(chan struct{})
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() {
+		defer readerDone.Done()
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				select {
+				case <-stop:
+					return // socket closed at shutdown
+				default:
+				}
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				continue // transient (e.g. ICMP refused while the daemon restarts)
+			}
+			seq, nanos, flow, rate, epoch, ok := datapath.DecodeRate(buf[:n])
+			if !ok || flow >= uint64(cfg.Apps) {
+				continue
+			}
+			select {
+			case replies[flow] <- rateReply{seq: seq, nanos: nanos, rate: rate, epoch: epoch}:
+			case <-stop:
+				return
+			default: // flow already gave up on this seq
+			}
+		}
+	}()
+
+	var (
+		total    atomic.Int64 // completed report->rate round trips
+		timeouts atomic.Int64
+		writeMu  sync.Mutex // serialize writes on the shared socket
+	)
+	results := make([][]time.Duration, cfg.Apps)
+	epochs := make([]uint64, cfg.Apps)
+
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for a := 0; a < cfg.Apps; a++ {
+		wg.Add(1)
+		go func(flow int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(flow)))
+			w := randomPref(rng)
+			pkt := make([]byte, datapath.WireReportBytes)
+			var seq uint64
+			lat := make([]time.Duration, 0, 256)
+			for time.Now().Before(deadline) {
+				seq++
+				rep := syntheticReport(uint64(flow), w, rng)
+				start := time.Now()
+				datapath.EncodeReport(pkt, seq, start.UnixNano(), rep)
+				writeMu.Lock()
+				_, werr := conn.Write(pkt)
+				writeMu.Unlock()
+				if werr != nil {
+					if errors.Is(werr, net.ErrClosed) {
+						return
+					}
+					// Transient (e.g. ICMP refused while the daemon
+					// restarts): back off briefly and try the next report.
+					timeouts.Add(1)
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				if r, ok := awaitReply(replies[flow], seq, stop); ok {
+					if !math.IsNaN(r.rate) {
+						lat = append(lat, time.Since(start))
+						total.Add(1)
+						epochs[flow] = r.epoch
+					}
+				} else {
+					timeouts.Add(1)
+				}
+			}
+			results[flow] = lat
+		}(a)
+	}
+	wg.Wait()
+	close(stop)
+	conn.Close()
+	readerDone.Wait()
+
+	return writeServeGenTable(out, cfg, results, epochs, total.Load(), timeouts.Load())
+}
+
+type rateReply struct {
+	seq   uint64
+	nanos int64
+	rate  float64
+	epoch uint64
+}
+
+// awaitReply waits for the rate decision answering seq, discarding stale
+// replies from earlier timed-out reports. The timeout is short so one lost
+// datagram costs the flow half a second, not the rest of the run.
+func awaitReply(ch chan rateReply, seq uint64, stop chan struct{}) (rateReply, bool) {
+	timer := time.NewTimer(500 * time.Millisecond)
+	defer timer.Stop()
+	for {
+		select {
+		case r := <-ch:
+			if r.seq == seq {
+				return r, true
+			}
+		case <-timer.C:
+			return rateReply{}, false
+		case <-stop:
+			return rateReply{}, false
+		}
+	}
+}
+
+// pref is a flow's objective preference vector.
+type pref struct{ Thr, Lat, Loss float64 }
+
+// randomPref draws a normalized preference vector.
+func randomPref(rng *rand.Rand) pref {
+	a, b, c := rng.Float64()+0.05, rng.Float64()+0.05, rng.Float64()+0.05
+	s := a + b + c
+	return pref{Thr: a / s, Lat: b / s, Loss: c / s}
+}
+
+// syntheticReport fabricates one plausible monitor interval: a 40ms window
+// with mild jitter in delivery and loss, enough to exercise the history and
+// keep decisions flowing.
+func syntheticReport(flow uint64, w pref, rng *rand.Rand) datapath.WireReport {
+	sent := 40 + rng.Float64()*20
+	lost := sent * 0.01 * rng.Float64()
+	return datapath.WireReport{
+		Flow: flow,
+		Thr:  w.Thr, Lat: w.Lat, Loss: w.Loss,
+		DurationNs: (40 * time.Millisecond).Nanoseconds(),
+		Sent:       sent,
+		Acked:      sent - lost,
+		Lost:       lost,
+		AvgRTTNs:   (time.Duration(40+rng.Float64()*15) * time.Millisecond).Nanoseconds(),
+		MinRTTNs:   (40 * time.Millisecond).Nanoseconds(),
+	}
+}
+
+// writeServeGenTable merges per-app latencies and prints the run summary.
+func writeServeGenTable(out io.Writer, cfg serveGenConfig, results [][]time.Duration, epochs []uint64, total, timeouts int64) error {
+	var all []time.Duration
+	for _, lat := range results {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	maxEpoch := uint64(0)
+	for _, e := range epochs {
+		if e > maxEpoch {
+			maxEpoch = e
+		}
+	}
+	rps := float64(total) / cfg.Duration.Seconds()
+	_, err := fmt.Fprintf(out,
+		"== mocc-serve load generation ==\n"+
+			"target        %s\n"+
+			"apps          %d\n"+
+			"duration      %s\n"+
+			"reports ok    %d\n"+
+			"timeouts      %d\n"+
+			"reports/sec   %.0f\n"+
+			"latency p50   %s\n"+
+			"latency p90   %s\n"+
+			"latency p99   %s\n"+
+			"latency max   %s\n"+
+			"model epoch   %d\n",
+		cfg.Addr, cfg.Apps, cfg.Duration, total, timeouts, rps,
+		pct(0.50), pct(0.90), pct(0.99), pct(1.0), maxEpoch)
+	return err
+}

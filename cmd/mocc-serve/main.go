@@ -1,0 +1,321 @@
+// Command mocc-serve hosts a MOCC library as a shared rate-decision daemon:
+// one trained model, one UDP socket, any number of flows. Each flow sends
+// report datagrams (its preference plus one monitor interval of
+// measurements, see mocc/internal/datapath WireReport) and gets a rate
+// datagram back; concurrent flows' decisions are coalesced into batched
+// forward passes by the serving engine (mocc.WithServing).
+//
+// Usage:
+//
+//	mocc-serve -addr :9053 -model mocc-model.json
+//	mocc-serve -addr :9053 -model mocc-model.json -watch 5s -idle-ttl 1m
+//	mocc-serve -addr :9053 -scale quick            # train in process
+//
+// Flows are registered lazily on their first report, keyed by (source
+// address, flow id); an idle flow is evicted after -idle-ttl and simply
+// re-registers on its next report. With -watch, the model file is polled
+// and every change is hot-swapped into the live shards (Library.Publish):
+// flows keep reporting through the swap and never observe a torn model.
+// Drive it with `mocc-bench -serve-addr` for load generation.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mocc"
+	"mocc/internal/datapath"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mocc-serve: ")
+
+	var (
+		addr      = flag.String("addr", ":9053", "UDP listen address")
+		modelPath = flag.String("model", "", "model file (mocc-train output); empty trains in process")
+		scale     = flag.String("scale", "quick", "in-process training scale when -model is empty: quick | standard")
+		seed      = flag.Int64("seed", 1, "in-process training seed")
+		shards    = flag.Int("shards", 0, "serving shards (0 = GOMAXPROCS)")
+		maxBatch  = flag.Int("max-batch", 0, "max coalesced decisions per forward pass (0 = default 64)")
+		flush     = flag.Duration("flush", 0, "micro-batch flush deadline (0 = default 200µs)")
+		idleTTL   = flag.Duration("idle-ttl", time.Minute, "evict flows idle this long (0 disables)")
+		watch     = flag.Duration("watch", 0, "poll -model for changes and hot-swap (0 disables)")
+		statsEach = flag.Duration("stats", 10*time.Second, "print serving/fleet stats this often (0 disables)")
+	)
+	flag.Parse()
+
+	model, err := loadOrTrain(*modelPath, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := mocc.New(model, mocc.WithServing(mocc.ServingOptions{
+		Shards:        *shards,
+		MaxBatch:      *maxBatch,
+		FlushInterval: *flush,
+		IdleTTL:       *idleTTL,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lib.Close()
+
+	udpAddr, err := net.ResolveUDPAddr("udp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s (%d shards)", conn.LocalAddr(), lib.ServingStats().Shards)
+
+	d := &daemon{lib: lib, conn: conn, sessions: make(map[sessionKey]*session)}
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+
+	if *watch > 0 && *modelPath != "" {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			d.watchModel(*modelPath, *watch, stop)
+		}()
+	}
+	if *statsEach > 0 {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			tick := time.NewTicker(*statsEach)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					d.logStats()
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("shutting down")
+		close(stop)
+		conn.Close() // unblocks the read loop
+	}()
+
+	d.readLoop(stop)
+	bg.Wait()
+	d.closeSessions()
+	d.logStats()
+}
+
+// loadOrTrain resolves the serving model.
+func loadOrTrain(path, scale string, seed int64) (*mocc.Model, error) {
+	if path != "" {
+		log.Printf("loading model %s", path)
+		return mocc.LoadModelFile(path)
+	}
+	opts := mocc.QuickTraining()
+	if scale == "standard" {
+		opts = mocc.FullTraining()
+	}
+	opts.Seed = seed
+	log.Printf("training %s model in process (seed %d)", scale, seed)
+	return mocc.TrainModel(opts)
+}
+
+// sessionKey identifies a flow: the datagram's source address plus its
+// self-assigned flow id (many flows may share one socket).
+type sessionKey struct {
+	addr string
+	flow uint64
+}
+
+// session is one registered flow: its library handle and the channel its
+// worker goroutine consumes, so a slow Report (one batch flush) never
+// blocks the socket read loop.
+type session struct {
+	app  *mocc.App
+	addr *net.UDPAddr
+	ch   chan reportMsg
+	w    mocc.Weights
+}
+
+type reportMsg struct {
+	seq   uint64
+	nanos int64
+	rep   datapath.WireReport
+}
+
+type daemon struct {
+	lib  *mocc.Library
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	sessions map[sessionKey]*session
+
+	rejected atomic.Int64 // registrations refused (invalid weights)
+	dropped  atomic.Int64 // reports dropped on a full session queue
+	replies  atomic.Int64 // rate datagrams sent
+}
+
+// readLoop is the socket hot path: decode, demux to the session worker,
+// never block.
+func (d *daemon) readLoop(stop chan struct{}) {
+	buf := make([]byte, 64*1024)
+	for {
+		n, raddr, err := d.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			log.Printf("read: %v", err)
+			return
+		}
+		seq, nanos, rep, ok := datapath.DecodeReport(buf[:n])
+		if !ok {
+			continue
+		}
+		s := d.lookup(sessionKey{raddr.String(), rep.Flow}, raddr, rep)
+		if s == nil {
+			continue
+		}
+		select {
+		case s.ch <- reportMsg{seq: seq, nanos: nanos, rep: rep}:
+		default:
+			d.dropped.Add(1) // backpressure: drop rather than stall the socket
+		}
+	}
+}
+
+// lookup returns the flow's session, registering it on first contact.
+func (d *daemon) lookup(key sessionKey, raddr *net.UDPAddr, rep datapath.WireReport) *session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.sessions[key]; ok {
+		return s
+	}
+	w := mocc.Weights{Thr: rep.Thr, Lat: rep.Lat, Loss: rep.Loss}
+	app, err := d.lib.Register(w)
+	if err != nil {
+		d.rejected.Add(1)
+		return nil
+	}
+	laddr := *raddr
+	s := &session{app: app, addr: &laddr, ch: make(chan reportMsg, 16), w: w}
+	d.sessions[key] = s
+	go d.runSession(key, s)
+	return s
+}
+
+// drop removes a torn-down session so a later report re-registers.
+func (d *daemon) drop(key sessionKey, s *session) {
+	d.mu.Lock()
+	if d.sessions[key] == s {
+		delete(d.sessions, key)
+	}
+	d.mu.Unlock()
+}
+
+// runSession serializes one flow's Reports and writes the rate replies.
+func (d *daemon) runSession(key sessionKey, s *session) {
+	out := make([]byte, datapath.WireRateBytes)
+	for m := range s.ch {
+		if w := (mocc.Weights{Thr: m.rep.Thr, Lat: m.rep.Lat, Loss: m.rep.Loss}); w != s.w {
+			if err := s.app.SetWeights(w); err == nil {
+				s.w = w
+			}
+		}
+		rate, err := s.app.Report(mocc.Status{
+			Duration:     time.Duration(m.rep.DurationNs),
+			PacketsSent:  m.rep.Sent,
+			PacketsAcked: m.rep.Acked,
+			PacketsLost:  m.rep.Lost,
+			AvgRTT:       time.Duration(m.rep.AvgRTTNs),
+			MinRTT:       time.Duration(m.rep.MinRTTNs),
+		})
+		if err != nil {
+			// Evicted by the idle janitor (or unregistered): tear the
+			// session down; the flow's next report re-registers. Other
+			// errors are malformed statuses — ignore the report.
+			if _, alive := d.lib.App(s.app.ID()); !alive {
+				d.drop(key, s)
+				return
+			}
+			continue
+		}
+		datapath.EncodeRate(out, m.seq, m.nanos, m.rep.Flow, rate, d.lib.Epoch())
+		if _, err := d.conn.WriteToUDP(out, s.addr); err == nil {
+			d.replies.Add(1)
+		}
+	}
+}
+
+// watchModel polls the model file and hot-swaps every change into the live
+// shards.
+func (d *daemon) watchModel(path string, every time.Duration, stop chan struct{}) {
+	var lastMod time.Time
+	if fi, err := os.Stat(path); err == nil {
+		lastMod = fi.ModTime()
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		fi, err := os.Stat(path)
+		if err != nil || !fi.ModTime().After(lastMod) {
+			continue
+		}
+		lastMod = fi.ModTime()
+		m, err := mocc.LoadModelFile(path)
+		if err != nil {
+			log.Printf("watch: reload %s: %v", path, err)
+			continue
+		}
+		epoch, err := d.lib.Publish(m)
+		if err != nil {
+			log.Printf("watch: publish: %v", err)
+			continue
+		}
+		log.Printf("hot-swapped %s as epoch %d", path, epoch)
+	}
+}
+
+// closeSessions stops every session worker after the read loop has exited.
+func (d *daemon) closeSessions() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for key, s := range d.sessions {
+		close(s.ch)
+		delete(d.sessions, key)
+	}
+}
+
+func (d *daemon) logStats() {
+	st := d.lib.ServingStats()
+	fl := d.lib.FleetStats()
+	avg := 0.0
+	if st.Batches > 0 {
+		avg = float64(st.Reports) / float64(st.Batches)
+	}
+	log.Printf("epoch %d | flows %d | reports %d (batches %d, avg %.1f, max %d) | replies %d dropped %d rejected %d | evicted %d | fleet thr %.0f pkts/s loss %.3f",
+		st.Epoch, fl.Apps, st.Reports, st.Batches, avg, st.MaxBatch,
+		d.replies.Load(), d.dropped.Load(), d.rejected.Load(), st.Evicted, fl.Throughput, fl.LossRate)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"mocc/internal/objective"
 	"mocc/internal/rl"
 )
 
@@ -69,6 +70,53 @@ func BenchmarkOfflineTrain(b *testing.B) {
 			b.ReportMetric(float64(iters)*float64(b.N)/b.Elapsed().Seconds(), "iters/s")
 		})
 	}
+}
+
+// BenchmarkInferenceActFor measures one single-sample actor decision
+// (preference head + trunk under one read-lock round trip) — the per-call
+// cost the serving engine's coalescing replaces.
+func BenchmarkInferenceActFor(b *testing.B) {
+	m := NewModel(HistoryLen, 1)
+	inf := m.NewInference()
+	obs := make([]float64, 3*HistoryLen)
+	for i := range obs {
+		obs[i] = float64(i%7) * 0.1
+	}
+	w := batchW
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inf.ActFor(w, obs)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/sample")
+}
+
+// BenchmarkBatchInferenceActBatch measures the same decision through the
+// batched path at serving batch size: one lock round trip and one
+// weight-row traversal per 8 rows instead of per decision. The gap to
+// BenchmarkInferenceActFor is the per-report headroom the serving engine
+// has to pay its coalescing overhead out of.
+func BenchmarkBatchInferenceActBatch(b *testing.B) {
+	const batch = 64
+	m := NewModel(HistoryLen, 1)
+	bi := m.NewBatchInference()
+	ws := make([]objective.Weights, batch)
+	obs := make([][]float64, batch)
+	out := make([]float64, batch)
+	for r := range obs {
+		ws[r] = batchW
+		row := make([]float64, 3*HistoryLen)
+		for i := range row {
+			row[i] = float64((i+r)%7) * 0.1
+		}
+		obs[r] = row
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bi.ActBatch(ws, obs, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
 }
 
 // BenchmarkModelPPOUpdateParallel measures one PPO update of the MOCC model

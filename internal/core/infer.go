@@ -55,6 +55,72 @@ func (inf *Inference) ActFor(w objective.Weights, netObs []float64) float64 {
 	return out
 }
 
+// BatchInference is a goroutine-private batched deployment view of a Model:
+// one call evaluates many (preference, observation) pairs through the
+// batched kernels, taking the read side of the parameter lock once per
+// batch instead of once per decision. Every output is bit-identical to
+// Inference.ActFor on the same pair — batching amortizes weight-row
+// traversal across rows without changing any row's accumulation order —
+// so a serving engine may coalesce concurrent requests freely.
+//
+// A BatchInference is not safe for concurrent use — create one per shard.
+type BatchInference struct {
+	model      *Model
+	actorPref  *nn.Evaluator
+	actorTrunk *nn.Evaluator
+	wBuf       []float64 // [n x WeightDim] preference rows
+	joint      []float64 // [n x (3η + PrefFeatures)] trunk input assembly
+}
+
+// NewBatchInference builds a private batched inference view of the actor
+// half-network. Scratch grows to the largest batch evaluated and is reused,
+// so steady-state batches allocate nothing.
+func (m *Model) NewBatchInference() *BatchInference {
+	return &BatchInference{
+		model:      m,
+		actorPref:  m.actorPref.NewEvaluator(),
+		actorTrunk: m.actorTrunk.NewEvaluator(),
+	}
+}
+
+// ActBatch evaluates len(ws) (preference, observation) pairs and writes the
+// deterministic action for row r into out[r]. obs rows must each be one
+// 3η network-history observation; ws, obs, and out must have equal length.
+func (bi *BatchInference) ActBatch(ws []objective.Weights, obs [][]float64, out []float64) {
+	n := len(ws)
+	if len(obs) != n || len(out) != n {
+		panic(fmt.Sprintf("core: ActBatch rows ws=%d obs=%d out=%d", n, len(obs), len(out)))
+	}
+	if n == 0 {
+		return
+	}
+	netDim := 3 * bi.model.HistoryLen
+	jointDim := netDim + PrefFeatures
+	bi.wBuf = nn.Grow(bi.wBuf, n*WeightDim)
+	bi.joint = nn.Grow(bi.joint, n*jointDim)
+	for r, w := range ws {
+		if len(obs[r]) != netDim {
+			panic(fmt.Sprintf("core: network observation length %d, want %d", len(obs[r]), netDim))
+		}
+		bi.wBuf[r*WeightDim+0] = w.Thr
+		bi.wBuf[r*WeightDim+1] = w.Lat
+		bi.wBuf[r*WeightDim+2] = w.Loss
+		copy(bi.joint[r*jointDim:r*jointDim+netDim], obs[r])
+	}
+
+	bi.model.RLockParams()
+	feat := bi.actorPref.ForwardBatch(bi.wBuf[:n*WeightDim], n)
+	for r := 0; r < n; r++ {
+		row := bi.joint[r*jointDim : (r+1)*jointDim]
+		for i, v := range feat[r*PrefFeatures : (r+1)*PrefFeatures] {
+			row[netDim+i] = nn.FastTanh(v)
+		}
+	}
+	acts := bi.actorTrunk.ForwardBatch(bi.joint[:n*jointDim], n)
+	bi.model.RUnlockParams()
+	copy(out, acts[:n])
+}
+
 // SharedPolicy is a live-retunable cc.Policy over a shared model: Act
 // evaluates the current parameters through a private Inference, and
 // SetWeights swaps the preference vector between decisions without touching

@@ -32,6 +32,60 @@ func TestInferenceMatchesActFor(t *testing.T) {
 	}
 }
 
+// TestBatchInferenceBitIdentical pins every BatchInference.ActBatch row to
+// the single-sample Inference.ActFor result bit for bit, across batch sizes
+// covering the blocked and tail kernel paths. This is the determinism pin
+// behind request coalescing: a decision must not depend on how many other
+// apps happened to land in the same micro-batch.
+func TestBatchInferenceBitIdentical(t *testing.T) {
+	m := NewModel(HistoryLen, 42)
+	inf := m.NewInference()
+	bi := m.NewBatchInference()
+	rng := rand.New(rand.NewSource(17))
+	prefs := objective.UniformObjectives(16, 5)
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 31, 64, 65} {
+		ws := make([]objective.Weights, n)
+		obs := make([][]float64, n)
+		for r := 0; r < n; r++ {
+			ws[r] = prefs[r%len(prefs)]
+			row := make([]float64, 3*m.HistoryLen)
+			for i := range row {
+				row[i] = rng.NormFloat64()
+			}
+			obs[r] = row
+		}
+		out := make([]float64, n)
+		bi.ActBatch(ws, obs, out)
+		for r := 0; r < n; r++ {
+			if want := inf.ActFor(ws[r], obs[r]); out[r] != want {
+				t.Fatalf("batch %d row %d: batched %v, single %v", n, r, out[r], want)
+			}
+		}
+	}
+}
+
+// TestBatchInferenceAllocFree pins the steady-state batched decision path
+// to zero allocations once scratch has grown to the working batch size.
+func TestBatchInferenceAllocFree(t *testing.T) {
+	m := NewModel(HistoryLen, 8)
+	bi := m.NewBatchInference()
+	const n = 64
+	ws := make([]objective.Weights, n)
+	obs := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		ws[r] = objective.BalancePref
+		obs[r] = make([]float64, 3*m.HistoryLen)
+	}
+	out := make([]float64, n)
+	bi.ActBatch(ws, obs, out) // grow scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		bi.ActBatch(ws, obs, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("ActBatch allocates %v per call", allocs)
+	}
+}
+
 // TestInferenceConcurrent drives many inferences over one model in parallel
 // (meaningful under -race) while a writer holds LockParams for updates.
 func TestInferenceConcurrent(t *testing.T) {

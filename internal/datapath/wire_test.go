@@ -1,0 +1,76 @@
+package datapath
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReportRoundTrip pins the report datagram encoding: every field
+// survives bit-exactly, the length matches the declared constant, and the
+// generic header decoder classifies it.
+func TestReportRoundTrip(t *testing.T) {
+	r := WireReport{
+		Flow: 0xDEADBEEF12345678,
+		Thr:  0.8, Lat: 0.1, Loss: 0.1,
+		DurationNs: (40 * time.Millisecond).Nanoseconds(),
+		Sent:       51.5, Acked: 50, Lost: 1.5,
+		AvgRTTNs: (45 * time.Millisecond).Nanoseconds(),
+		MinRTTNs: (40 * time.Millisecond).Nanoseconds(),
+	}
+	pkt := make([]byte, WireReportBytes)
+	if n := EncodeReport(pkt, 7, 123456789, r); n != WireReportBytes {
+		t.Fatalf("EncodeReport length %d, want %d", n, WireReportBytes)
+	}
+	if typ, seq, ok := DecodeHeader(pkt); !ok || typ != WireTypeReport || seq != 7 {
+		t.Fatalf("DecodeHeader = (%d, %d, %v)", typ, seq, ok)
+	}
+	seq, nanos, got, ok := DecodeReport(pkt)
+	if !ok || seq != 7 || nanos != 123456789 {
+		t.Fatalf("DecodeReport header = (%d, %d, %v)", seq, nanos, ok)
+	}
+	if got != r {
+		t.Fatalf("DecodeReport payload = %+v, want %+v", got, r)
+	}
+}
+
+// TestRateRoundTrip pins the rate-decision datagram encoding.
+func TestRateRoundTrip(t *testing.T) {
+	pkt := make([]byte, WireRateBytes)
+	if n := EncodeRate(pkt, 9, 42, 31337, 812.25, 3); n != WireRateBytes {
+		t.Fatalf("EncodeRate length %d, want %d", n, WireRateBytes)
+	}
+	seq, nanos, flow, rate, epoch, ok := DecodeRate(pkt)
+	if !ok || seq != 9 || nanos != 42 || flow != 31337 || rate != 812.25 || epoch != 3 {
+		t.Fatalf("DecodeRate = (%d, %d, %d, %v, %d, %v)", seq, nanos, flow, rate, epoch, ok)
+	}
+}
+
+// TestControlPlaneDecodeRejects covers cross-type and malformed datagrams:
+// each decoder must refuse the other's packets, short reads, and foreign
+// magic.
+func TestControlPlaneDecodeRejects(t *testing.T) {
+	report := make([]byte, WireReportBytes)
+	EncodeReport(report, 1, 2, WireReport{Flow: 3})
+	rate := make([]byte, WireRateBytes)
+	EncodeRate(rate, 1, 2, 3, 4, 5)
+
+	if _, _, _, _, _, ok := DecodeRate(report); ok {
+		t.Fatal("DecodeRate accepted a report datagram")
+	}
+	if _, _, _, ok := DecodeReport(rate); ok {
+		t.Fatal("DecodeReport accepted a rate datagram")
+	}
+	if _, _, _, ok := DecodeReport(report[:WireReportBytes-1]); ok {
+		t.Fatal("DecodeReport accepted a truncated datagram")
+	}
+	bad := append([]byte(nil), report...)
+	bad[0] = 0x00
+	if _, _, _, ok := DecodeReport(bad); ok {
+		t.Fatal("DecodeReport accepted foreign magic")
+	}
+	ack := make([]byte, WireHeaderBytes)
+	EncodeAck(ack, 1, 2)
+	if _, _, _, ok := DecodeReport(ack); ok {
+		t.Fatal("DecodeReport accepted an ack")
+	}
+}

@@ -72,3 +72,31 @@ func BenchmarkMLPForwardBackwardBatch(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
 }
+
+// BenchmarkEvaluatorForwardBatch measures the serving-side batched
+// inference path: Evaluator.ForwardBatch through the order-preserving
+// linearBatchSame kernel (bit-identical to per-sample Forward), against
+// which BenchmarkEvaluatorForward is the per-sample baseline the serving
+// engine replaces.
+func BenchmarkEvaluatorForwardBatch(b *testing.B) {
+	const batch = 64
+	e := benchNet().NewEvaluator()
+	x := benchInput(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ForwardBatch(x, batch)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
+}
+
+func BenchmarkEvaluatorForward(b *testing.B) {
+	e := benchNet().NewEvaluator()
+	x := benchInput(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Forward(x)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/sample")
+}

@@ -16,8 +16,9 @@ func FastTanh(x float64) float64 { return fastTanh(x) }
 // Evaluation is bit-identical to MLP.Forward: both paths run the same
 // dotRowBatch kernel per output unit and the same fastTanh activation.
 type Evaluator struct {
-	steps []evalStep
-	a, b  []float64 // ping-pong activation buffers
+	steps  []evalStep
+	maxDim int       // widest layer, per batch row
+	a, b   []float64 // ping-pong activation buffers
 }
 
 // evalStep is one layer of the evaluation pipeline: a Linear reference or,
@@ -46,6 +47,7 @@ func (m *MLP) NewEvaluator() *Evaluator {
 			maxDim = l.OutSize()
 		}
 	}
+	e.maxDim = maxDim
 	e.a = make([]float64, maxDim)
 	e.b = make([]float64, maxDim)
 	return e
@@ -69,6 +71,44 @@ func (e *Evaluator) Forward(x []float64) []float64 {
 			cur = dst
 		} else {
 			dst := out[:s.size]
+			for i, v := range cur {
+				dst[i] = fastTanh(v)
+			}
+			cur = dst
+		}
+		out, next = next, out
+	}
+	return cur
+}
+
+// ForwardBatch evaluates n input vectors packed row-major in x
+// (len(x) must be n times the network's input width) and returns the
+// n outputs row-major. The returned slice aliases evaluator scratch and is
+// valid until the next Forward/ForwardBatch on the same Evaluator; the
+// input is never written. Scratch grows to the largest batch seen and is
+// reused, so steady-state calls allocate nothing.
+//
+// Every output row is bit-identical to Forward on the same input row:
+// batching changes how many rows share a pass over each weight row, never
+// the per-row accumulation order (linearBatchSame).
+func (e *Evaluator) ForwardBatch(x []float64, n int) []float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("nn: Evaluator batch size %d", n))
+	}
+	e.a = Grow(e.a, n*e.maxDim)
+	e.b = Grow(e.b, n*e.maxDim)
+	cur := x
+	out, next := e.a, e.b
+	for _, s := range e.steps {
+		if l := s.linear; l != nil {
+			if len(cur) != n*l.In {
+				panic(fmt.Sprintf("nn: Evaluator batch input size %d, want %d", len(cur), n*l.In))
+			}
+			dst := out[:n*l.Out]
+			linearBatchSame(l.W.Value, l.B.Value, cur, dst, n, l.In, l.Out)
+			cur = dst
+		} else {
+			dst := out[:n*s.size]
 			for i, v := range cur {
 				dst[i] = fastTanh(v)
 			}

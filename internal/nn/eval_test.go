@@ -75,6 +75,56 @@ func TestEvaluatorsConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestEvaluatorForwardBatchBitIdentical pins every ForwardBatch output row
+// to the single-sample Forward result bit for bit, across batch sizes that
+// exercise the 4-row blocks, the scalar tail, and both at once. This is the
+// serving engine's core determinism guarantee: coalescing requests into one
+// batch must not change any app's decision.
+func TestEvaluatorForwardBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	mlp := NewMLP(rng, 9, 16, 8, 1)
+	ev := mlp.NewEvaluator()
+	ref := mlp.NewEvaluator()
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 17, 64, 65} {
+		x := make([]float64, n*9)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		for r := 0; r < n; r++ {
+			want[r] = ref.Forward(x[r*9 : (r+1)*9])[0]
+		}
+		got := ev.ForwardBatch(x, n)
+		if len(got) != n {
+			t.Fatalf("batch %d: got %d outputs", n, len(got))
+		}
+		for r := 0; r < n; r++ {
+			if got[r] != want[r] {
+				t.Fatalf("batch %d row %d: batched %v, single %v", n, r, got[r], want[r])
+			}
+		}
+	}
+}
+
+// TestEvaluatorForwardBatchAllocFree pins the steady-state batched forward
+// path to zero allocations once scratch has grown to the working batch size.
+func TestEvaluatorForwardBatchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	mlp := NewMLP(rng, 8, 16, 8, 1)
+	ev := mlp.NewEvaluator()
+	x := make([]float64, 64*8)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ev.ForwardBatch(x, 64) // grow scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		ev.ForwardBatch(x, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("Evaluator.ForwardBatch allocates %v per call", allocs)
+	}
+}
+
 // TestEvaluatorAllocFree pins the steady-state forward path to zero
 // allocations.
 func TestEvaluatorAllocFree(t *testing.T) {

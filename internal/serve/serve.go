@@ -1,0 +1,404 @@
+// Package serve implements a sharded micro-batching inference engine over a
+// core.Model: concurrent per-app rate requests are coalesced into one
+// batched forward pass per shard, so a fleet of applications pays the
+// batched kernels' ns/sample instead of one full single-sample forward per
+// Report. The engine also provides epoch-based model hot-swap — a retrained
+// model is published by one atomic pointer store and picked up by every
+// shard between batches — generalizing the model's paramMu arbitration so
+// the request path never blocks on a swap.
+//
+// Determinism: every decision is bit-identical to the single-sample
+// inference path (core.Inference.ActFor) regardless of which other requests
+// happened to share its micro-batch, because the batched kernels preserve
+// each row's floating-point accumulation order. Batching changes latency
+// and throughput, never a decision.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mocc/internal/core"
+	"mocc/internal/objective"
+)
+
+// Config sizes the engine. The zero value picks sensible defaults.
+type Config struct {
+	// Shards is the number of independent batching queues (and consumer
+	// goroutines). Clients are assigned to shards by ID hash. Defaults to
+	// GOMAXPROCS.
+	Shards int
+	// MaxBatch caps how many requests one forward pass serves. A full
+	// batch flushes immediately. Defaults to 64, where the batched
+	// kernels' per-sample advantage has saturated.
+	MaxBatch int
+	// FlushInterval bounds how long a shard waits for more requests
+	// before serving a partial batch. Defaults to 200µs. Zero keeps the
+	// default; negative disables the coalescing wait entirely (every
+	// wake flushes whatever is queued — useful in tests).
+	FlushInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 200 * time.Microsecond
+	}
+	return c
+}
+
+// epochState is one published model generation. Instances are immutable
+// once stored in Engine.epoch; a swap is a single pointer store, so readers
+// always observe a complete (seq, model) pair — never a torn mix.
+type epochState struct {
+	seq   uint64
+	model *core.Model
+}
+
+// request is one in-flight decision. Each Client owns exactly one, reused
+// across calls: the submit path allocates nothing.
+type request struct {
+	next *request // intrusive Treiber-stack link, owned by the shard after push
+	w    objective.Weights
+	obs  []float64
+	out  float64
+	done chan struct{}
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	Shards   int    // configured shard count
+	Epoch    uint64 // current model generation (0 = the model passed to New)
+	Reports  uint64 // decisions served
+	Batches  uint64 // forward passes run
+	MaxBatch int    // largest coalesced batch observed
+	Swaps    uint64 // epoch applications summed over shards
+}
+
+// Engine is the sharded batching inference engine. All methods are safe for
+// concurrent use.
+type Engine struct {
+	cfg    Config
+	epoch  atomic.Pointer[epochState]
+	shards []*shard
+
+	closed    atomic.Bool
+	inflight  atomic.Int64
+	closeOnce sync.Once
+	closedCh  chan struct{} // closed once every shard has exited
+
+	reports  atomic.Uint64
+	batches  atomic.Uint64
+	swaps    atomic.Uint64
+	maxBatch atomic.Int64
+}
+
+// New starts an engine serving decisions from m, which becomes epoch 0.
+// Epoch 0 is special: it may be the library's live, online-adapting model —
+// every batch still takes the read side of its parameter lock, so
+// concurrent OnlineAdapt iterations are arbitrated exactly as on the
+// single-sample path. Models published later must be frozen (see Publish).
+func New(m *core.Model, cfg Config) *Engine {
+	e := &Engine{cfg: cfg.withDefaults(), closedCh: make(chan struct{})}
+	e.epoch.Store(&epochState{seq: 0, model: m})
+	e.shards = make([]*shard, e.cfg.Shards)
+	for i := range e.shards {
+		s := &shard{
+			eng:  e,
+			wake: make(chan struct{}, 1),
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		e.shards[i] = s
+		go s.run()
+	}
+	return e
+}
+
+// Publish atomically installs m as the new model generation and returns its
+// epoch sequence number. Shards pick the new model up between batches; no
+// request ever blocks on the swap, and no request ever observes a torn
+// parameter set (each batch runs entirely on whichever generation its shard
+// held when the batch started). m must not be mutated after Publish —
+// callers hand over a frozen clone. Models failing the finite check are
+// rejected, mirroring OnlineAdapt's rollback guard.
+func (e *Engine) Publish(m *core.Model) (uint64, error) {
+	if m == nil {
+		return 0, errors.New("serve: Publish of nil model")
+	}
+	if err := m.CheckFinite(); err != nil {
+		return 0, fmt.Errorf("serve: refusing to publish: %w", err)
+	}
+	for {
+		old := e.epoch.Load()
+		next := &epochState{seq: old.seq + 1, model: m}
+		if e.epoch.CompareAndSwap(old, next) {
+			return next.seq, nil
+		}
+	}
+}
+
+// Epoch returns the sequence number of the currently published generation.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load().seq }
+
+// Stats returns a point-in-time snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Shards:   e.cfg.Shards,
+		Epoch:    e.Epoch(),
+		Reports:  e.reports.Load(),
+		Batches:  e.batches.Load(),
+		MaxBatch: int(e.maxBatch.Load()),
+		Swaps:    e.swaps.Load(),
+	}
+}
+
+// Close drains every queued request, stops the shard goroutines, and
+// returns once they have exited. Act calls racing Close either complete
+// normally or return NaN without enqueueing. Close is idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		// Every Act that made it past the closed check holds an inflight
+		// ref until its result is delivered; the shards are still running,
+		// so this drains rather than deadlocks.
+		for e.inflight.Load() != 0 {
+			time.Sleep(10 * time.Microsecond)
+		}
+		for _, s := range e.shards {
+			close(s.stop)
+		}
+		for _, s := range e.shards {
+			<-s.done
+		}
+		close(e.closedCh)
+	})
+	<-e.closedCh
+}
+
+// shardFor maps a client key to a shard by splitmix64 hash, so shard load
+// stays balanced whether handle IDs are sequential or sparse.
+func (e *Engine) shardFor(key uint64) *shard {
+	h := key
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// Client is one application's handle onto the engine. It satisfies the same
+// contract as core.SharedPolicy: Act and SetWeights must be serialized by
+// the caller (the public library does this per application handle), but any
+// number of Clients submit concurrently.
+type Client struct {
+	eng *Engine
+	sh  *shard
+	w   objective.Weights
+	req request
+}
+
+// NewClient returns a client bound to the shard selected by key's hash,
+// initially acting under preference w.
+func (e *Engine) NewClient(key uint64, w objective.Weights) *Client {
+	c := &Client{eng: e, sh: e.shardFor(key), w: w}
+	c.req.done = make(chan struct{}, 1)
+	return c
+}
+
+// SetWeights swaps the preference used by subsequent Act calls.
+func (c *Client) SetWeights(w objective.Weights) { c.w = w }
+
+// Weights returns the currently applied preference.
+func (c *Client) Weights() objective.Weights { return c.w }
+
+// Act submits one observation and blocks until its micro-batch is served,
+// returning the deterministic action — bit-identical to what
+// core.Inference.ActFor would produce on the current epoch's model. The
+// submit path is lock-free: one CAS push onto the shard's intrusive stack
+// plus at most one non-blocking channel wake. obs must stay valid and
+// unmodified until Act returns (it is read, never written, and no reference
+// is retained afterwards). After Close, Act returns NaN — the controller
+// layer treats a NaN action as "leave the rate unchanged".
+func (c *Client) Act(obs []float64) float64 {
+	e := c.eng
+	if e.closed.Load() {
+		return math.NaN()
+	}
+	e.inflight.Add(1)
+	if e.closed.Load() {
+		// Raced with Close: it may already have observed inflight==0, so
+		// the shards may be gone. Back out without enqueueing.
+		e.inflight.Add(-1)
+		return math.NaN()
+	}
+	r := &c.req
+	r.w = c.w
+	r.obs = obs
+	s := c.sh
+	for {
+		old := s.head.Load()
+		r.next = old
+		if s.head.CompareAndSwap(old, r) {
+			if old == nil {
+				// Empty -> non-empty transition: wake the consumer. The
+				// buffer holds one token, so a pending wake makes this a
+				// no-op and the consumer still drains everything.
+				select {
+				case s.wake <- struct{}{}:
+				default:
+				}
+			}
+			break
+		}
+	}
+	<-r.done
+	r.obs = nil
+	e.inflight.Add(-1)
+	return r.out
+}
+
+// shard is one batching queue plus its consumer goroutine.
+type shard struct {
+	eng  *Engine
+	head atomic.Pointer[request] // MPSC Treiber stack of pending requests
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	// Consumer-private state below: only the run goroutine touches it.
+	epochSeq uint64
+	bi       *core.BatchInference
+	ws       []objective.Weights
+	obs      [][]float64
+	out      []float64
+}
+
+// takeAll detaches the whole pending stack and appends it to into in one
+// walk (LIFO arrival order). Order does not affect results — rows are
+// independent and bit-identical either way — and it cannot starve anyone:
+// every request detached here is served before the consumer sleeps again,
+// so per-request latency is bounded by one drain cycle regardless of
+// position. Skipping the FIFO reversal halves the dependent pointer-chase
+// passes over the node list, which at fleet scale (10k queued requests,
+// cold cache lines) is a measurable share of per-report cost.
+func (s *shard) takeAll(into []*request) []*request {
+	for r := s.head.Swap(nil); r != nil; r = r.next {
+		into = append(into, r)
+	}
+	return into
+}
+
+// run is the shard consumer loop: sleep until woken, coalesce requests up
+// to MaxBatch or FlushInterval, serve, repeat.
+func (s *shard) run() {
+	defer close(s.done)
+	cfg := s.eng.cfg
+	deadline := time.NewTimer(time.Hour)
+	if !deadline.Stop() {
+		<-deadline.C
+	}
+	var batch []*request
+	for {
+		select {
+		case <-s.wake:
+		case <-s.stop:
+			batch = s.takeAll(batch[:0])
+			s.serve(batch)
+			return
+		}
+		// Yield once before committing to a batch so every submitter that
+		// is already runnable gets to enqueue. Without this, on a
+		// single-core host the waker and this consumer ping-pong through
+		// the scheduler's runnext slot: batches stay at size one and the
+		// other clients on the shard starve until preemption.
+		runtime.Gosched()
+		batch = s.takeAll(batch[:0])
+		if cfg.FlushInterval > 0 && len(batch) > 0 && len(batch) < cfg.MaxBatch {
+			deadline.Reset(cfg.FlushInterval)
+		coalesce:
+			for len(batch) < cfg.MaxBatch {
+				select {
+				case <-s.wake:
+					batch = s.takeAll(batch)
+				case <-deadline.C:
+					break coalesce
+				case <-s.stop:
+					batch = s.takeAll(batch)
+					s.serve(batch)
+					return
+				}
+			}
+			if !deadline.Stop() {
+				select {
+				case <-deadline.C:
+				default:
+				}
+			}
+		}
+		s.serve(batch)
+	}
+}
+
+// serve runs the coalesced requests through the current epoch's model in
+// MaxBatch-sized forward passes and delivers each result.
+func (s *shard) serve(reqs []*request) {
+	if len(reqs) == 0 {
+		return
+	}
+	// Epoch check between batches: a published swap is one atomic pointer
+	// load away, and rebuilding the inference view costs a few KB of
+	// evaluator scratch only when the generation actually changed.
+	ep := s.eng.epoch.Load()
+	if s.bi == nil || ep.seq != s.epochSeq {
+		s.bi = ep.model.NewBatchInference()
+		s.epochSeq = ep.seq
+		if ep.seq != 0 {
+			s.eng.swaps.Add(1)
+		}
+	}
+	for off := 0; off < len(reqs); off += s.eng.cfg.MaxBatch {
+		end := min(off+s.eng.cfg.MaxBatch, len(reqs))
+		chunk := reqs[off:end]
+		n := len(chunk)
+		s.ws = s.ws[:0]
+		s.obs = s.obs[:0]
+		for _, r := range chunk {
+			s.ws = append(s.ws, r.w)
+			s.obs = append(s.obs, r.obs)
+		}
+		if cap(s.out) < n {
+			s.out = make([]float64, n)
+		}
+		s.bi.ActBatch(s.ws, s.obs, s.out[:n])
+		// Counters are maintained here, one RMW per chunk, rather than one
+		// per request on the submit path.
+		s.eng.reports.Add(uint64(n))
+		s.eng.batches.Add(1)
+		for cur := s.eng.maxBatch.Load(); int64(n) > cur; cur = s.eng.maxBatch.Load() {
+			if s.eng.maxBatch.CompareAndSwap(cur, int64(n)) {
+				break
+			}
+		}
+		for i, r := range chunk {
+			r.out = s.out[i]
+			r.done <- struct{}{}
+		}
+	}
+	// Drop observation references so client buffers are not pinned
+	// between batches.
+	for i := range s.obs {
+		s.obs[i] = nil
+	}
+}

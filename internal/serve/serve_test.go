@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mocc/internal/core"
+	"mocc/internal/objective"
+)
+
+// testObs returns a deterministic observation for (seed, round).
+func testObs(m *core.Model, seed, round int) []float64 {
+	rng := rand.New(rand.NewSource(int64(seed)*1000003 + int64(round)))
+	obs := make([]float64, 3*m.HistoryLen)
+	for i := range obs {
+		obs[i] = rng.NormFloat64()
+	}
+	return obs
+}
+
+// TestEngineBitIdentical submits from many concurrent clients and pins
+// every decision to the single-sample inference path bit for bit: the
+// engine's coalescing must never change a result, only amortize its cost.
+func TestEngineBitIdentical(t *testing.T) {
+	m := core.NewModel(core.HistoryLen, 42)
+	e := New(m, Config{Shards: 4, MaxBatch: 16})
+	defer e.Close()
+
+	const clients, rounds = 32, 25
+	prefs := objective.UniformObjectives(clients, 7)
+	got := make([][]float64, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := e.NewClient(uint64(c), prefs[c])
+			res := make([]float64, rounds)
+			for r := 0; r < rounds; r++ {
+				res[r] = cl.Act(testObs(m, c, r))
+			}
+			got[c] = res
+		}(c)
+	}
+	wg.Wait()
+
+	inf := m.NewInference()
+	for c := 0; c < clients; c++ {
+		for r := 0; r < rounds; r++ {
+			if want := inf.ActFor(prefs[c], testObs(m, c, r)); got[c][r] != want {
+				t.Fatalf("client %d round %d: engine %v, single-sample %v", c, r, got[c][r], want)
+			}
+		}
+	}
+
+	st := e.Stats()
+	if st.Reports != clients*rounds {
+		t.Fatalf("Stats.Reports = %d, want %d", st.Reports, clients*rounds)
+	}
+	if st.Batches == 0 || st.MaxBatch < 1 || st.MaxBatch > 16 {
+		t.Fatalf("implausible batch stats: %+v", st)
+	}
+}
+
+// TestEngineCoalesces proves concurrent submissions actually share forward
+// passes: a barrier-released burst against one shard with a generous flush
+// window must produce a multi-request batch.
+func TestEngineCoalesces(t *testing.T) {
+	m := core.NewModel(core.HistoryLen, 3)
+	e := New(m, Config{Shards: 1, MaxBatch: 64, FlushInterval: 5 * time.Millisecond})
+	defer e.Close()
+
+	const burst = 16
+	obs := testObs(m, 1, 1)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < burst; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := e.NewClient(uint64(c), objective.BalancePref)
+			<-start
+			cl.Act(obs)
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+
+	if st := e.Stats(); st.MaxBatch < 2 {
+		t.Fatalf("no coalescing observed: %+v", st)
+	}
+}
+
+// TestEngineHotSwap publishes a storm of frozen model generations while
+// clients keep submitting, and proves (a) no client ever observes a torn
+// parameter set — every decision bit-matches the single-sample result of
+// one complete published generation — and (b) the request path keeps making
+// progress throughout the storm, i.e. Report never blocks on a swap beyond
+// its own batch flush (Publish itself is one atomic pointer store).
+func TestEngineHotSwap(t *testing.T) {
+	base := core.NewModel(core.HistoryLen, 11)
+	const generations = 8
+	models := make([]*core.Model, generations)
+	models[0] = base
+	for g := 1; g < generations; g++ {
+		c := models[g-1].Clone()
+		for _, p := range c.ActorParams() {
+			for i := range p.Value {
+				p.Value[i] += 1e-3 * float64(g)
+			}
+		}
+		models[g] = c
+	}
+
+	// Per-client reference set: the decision each complete generation
+	// would make for that client's fixed (preference, observation).
+	const clients = 8
+	prefs := objective.UniformObjectives(clients, 13)
+	obs := make([][]float64, clients)
+	refs := make([][]float64, clients)
+	for c := 0; c < clients; c++ {
+		obs[c] = testObs(base, c, 0)
+		refs[c] = make([]float64, generations)
+		for g, mg := range models {
+			refs[c][g] = mg.NewInference().ActFor(prefs[c], obs[c])
+		}
+		for g := 1; g < generations; g++ {
+			if refs[c][g] == refs[c][g-1] {
+				t.Fatalf("client %d: generations %d and %d decide identically; perturbation too small to detect tearing", c, g-1, g)
+			}
+		}
+	}
+
+	e := New(base, Config{Shards: 2, MaxBatch: 8, FlushInterval: -1})
+	defer e.Close()
+
+	stop := make(chan struct{})
+	acted := make([]int, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := e.NewClient(uint64(c), prefs[c])
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := cl.Act(obs[c])
+				ok := false
+				for _, ref := range refs[c] {
+					if v == ref {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("client %d: decision %v matches no published generation — torn parameter set", c, v)
+					return
+				}
+				acted[c]++
+			}
+		}(c)
+	}
+
+	// Publish storm: every generation in order, spaced to interleave with
+	// live batches.
+	for g := 1; g < generations; g++ {
+		seq, err := e.Publish(models[g])
+		if err != nil {
+			t.Fatalf("Publish generation %d: %v", g, err)
+		}
+		if seq != uint64(g) {
+			t.Fatalf("Publish generation %d: epoch %d", g, seq)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	for c := 0; c < clients; c++ {
+		if acted[c] < 10 {
+			t.Errorf("client %d made only %d decisions during the swap storm — request path stalled", c, acted[c])
+		}
+	}
+	if st := e.Stats(); st.Epoch != generations-1 || st.Swaps == 0 {
+		t.Fatalf("swap stats not recorded: %+v", st)
+	}
+}
+
+// TestEnginePublishRejectsNonFinite mirrors OnlineAdapt's rollback guard:
+// a poisoned model must never become a live generation.
+func TestEnginePublishRejectsNonFinite(t *testing.T) {
+	m := core.NewModel(core.HistoryLen, 5)
+	e := New(m, Config{Shards: 1})
+	defer e.Close()
+
+	bad := m.Clone()
+	bad.ActorParams()[0].Value[0] = math.NaN()
+	if _, err := e.Publish(bad); err == nil {
+		t.Fatal("Publish accepted a NaN-poisoned model")
+	}
+	if e.Epoch() != 0 {
+		t.Fatalf("rejected publish advanced the epoch to %d", e.Epoch())
+	}
+}
+
+// TestEngineClose covers the shutdown handshake: racing Acts either get a
+// real decision or NaN, Close drains and returns, and post-Close Acts are
+// NaN without enqueueing.
+func TestEngineClose(t *testing.T) {
+	m := core.NewModel(core.HistoryLen, 9)
+	e := New(m, Config{Shards: 2, MaxBatch: 8})
+
+	obs := testObs(m, 2, 2)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := e.NewClient(uint64(c), objective.RTCPref)
+			for {
+				v := cl.Act(obs)
+				if math.IsNaN(v) {
+					return // engine closed under us
+				}
+			}
+		}(c)
+	}
+	time.Sleep(5 * time.Millisecond)
+	e.Close()
+	e.Close() // idempotent
+	wg.Wait()
+
+	cl := e.NewClient(99, objective.LatencyPref)
+	if v := cl.Act(obs); !math.IsNaN(v) {
+		t.Fatalf("Act after Close = %v, want NaN", v)
+	}
+}
+
+// TestEngineStress churns many clients against few shards while publishes
+// land concurrently — the package's -race workout.
+func TestEngineStress(t *testing.T) {
+	m := core.NewModel(core.HistoryLen, 21)
+	e := New(m, Config{Shards: 2, MaxBatch: 8, FlushInterval: 50 * time.Microsecond})
+	defer e.Close()
+
+	clients := 64
+	rounds := 30
+	if testing.Short() {
+		clients, rounds = 16, 10
+	}
+	prefs := objective.UniformObjectives(clients, 3)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := e.NewClient(uint64(c), prefs[c])
+			obs := testObs(m, c, 0)
+			for r := 0; r < rounds; r++ {
+				if v := cl.Act(obs); math.IsNaN(v) {
+					t.Errorf("client %d: NaN decision while engine open", c)
+					return
+				}
+				if r%10 == 9 {
+					cl.SetWeights(prefs[(c+r)%clients])
+				}
+			}
+		}(c)
+	}
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for g := 0; g < 5; g++ {
+			if _, err := e.Publish(m.Clone()); err != nil {
+				t.Errorf("Publish: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-pubDone
+}

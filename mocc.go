@@ -35,12 +35,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mocc/internal/cc"
 	"mocc/internal/core"
 	"mocc/internal/objective"
 	"mocc/internal/rl"
+	"mocc/internal/serve"
 	"mocc/internal/trace"
 )
 
@@ -159,6 +161,15 @@ type Library struct {
 	// chaos-injection seam of WithInferenceFault.
 	safeMode       *SafeModeConfig
 	inferenceFault func(act float64) float64
+
+	// engine is the sharded batching inference engine (nil unless built
+	// with WithServing); idleTTL/janitorStop/evicted drive its idle-handle
+	// janitor and closeOnce makes Library.Close idempotent.
+	engine      *serve.Engine
+	idleTTL     time.Duration
+	janitorStop chan struct{}
+	evicted     atomic.Int64
+	closeOnce   sync.Once
 
 	mu     sync.RWMutex // guards apps and nextID only — never held on the hot path
 	apps   map[AppID]*App
@@ -279,8 +290,16 @@ func (l *Library) Register(w Weights) (*App, error) {
 	app := &App{
 		lib:     l,
 		id:      id,
-		pol:     l.model.SharedPolicyFor(iw),
 		weights: iw,
+	}
+	// With serving enabled the handle's decisions go through the sharded
+	// batching engine (one enqueue + one wake per Report, coalesced into a
+	// batched forward); otherwise it owns a private single-sample inference
+	// view. Both are bit-identical per decision.
+	if l.engine != nil {
+		app.pol = l.engine.NewClient(uint64(id), iw)
+	} else {
+		app.pol = l.model.SharedPolicyFor(iw)
 	}
 	// Safe mode interposes a decision observer between the shared model and
 	// the controller; App.SetWeights keeps retuning through app.pol.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mocc/internal/core"
+	"mocc/internal/serve"
 	"mocc/internal/trace"
 )
 
@@ -115,6 +116,7 @@ type libConfig struct {
 	safeMode       SafeModeConfig
 	noSafeMode     bool
 	inferenceFault func(act float64) float64
+	serving        *ServingOptions
 }
 
 // Option configures Library construction (see New).
@@ -224,6 +226,20 @@ func New(model *Model, opts ...Option) (*Library, error) {
 			return nil, fmt.Errorf("mocc: configuring adapter: %w", err)
 		}
 		l.adapter = adapter
+	}
+	if cfg.serving != nil {
+		if cfg.serving.IdleTTL < 0 {
+			return nil, fmt.Errorf("mocc: WithServing IdleTTL %v: must be non-negative", cfg.serving.IdleTTL)
+		}
+		l.engine = serve.New(model.m, serve.Config{
+			Shards:        cfg.serving.Shards,
+			MaxBatch:      cfg.serving.MaxBatch,
+			FlushInterval: cfg.serving.FlushInterval,
+		})
+		if l.idleTTL = cfg.serving.IdleTTL; l.idleTTL > 0 {
+			l.janitorStop = make(chan struct{})
+			go l.janitor()
+		}
 	}
 	return l, nil
 }

@@ -69,13 +69,11 @@ func (r *Receiver) Received() int { return r.r.Received() }
 func (r *Receiver) Close() error { return r.r.Close() }
 
 // PacketConn is the socket surface Send drives — the subset of
-// *net.UDPConn it uses. Config.WrapConn can interpose on it.
-type PacketConn interface {
-	Read(b []byte) (int, error)
-	Write(b []byte) (int, error)
-	SetReadDeadline(t time.Time) error
-	Close() error
-}
+// *net.UDPConn it uses. Config.WrapConn can interpose on it. It aliases
+// the internal datapath definition (both packages grew structurally
+// identical seams with the WrapConn hooks), so a wrapper written against
+// one works verbatim against the other.
+type PacketConn = datapath.PacketConn
 
 // Config tunes a Send loop.
 type Config struct {
