@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race chaos bench bench-sim bench-train bench-json bench-serve fuzz-scen ci
+.PHONY: all build vet test test-race chaos bench bench-sim bench-train bench-json bench-serve bench-topo fuzz-scen ci
 
 all: build vet test
 
@@ -15,10 +15,10 @@ test:
 
 # Race detector over the concurrency-bearing packages: the shard-parallel
 # public API (root + transport), the serving engine's coalescing shards,
-# the parallel collectors/schedulers, and the data-parallel PPO update +
-# pipelined trainer.
+# the parallel collectors/schedulers, the data-parallel PPO update +
+# pipelined trainer, and the sharded topology simulator's round barrier.
 test-race:
-	$(GO) test -race . ./transport ./internal/faults ./internal/rl ./internal/core ./internal/pantheon ./internal/serve
+	$(GO) test -race . ./transport ./internal/faults ./internal/rl ./internal/core ./internal/pantheon ./internal/serve ./internal/topo
 
 # Seeded chaos suite: the fault-injection package (bit-reproducible
 # same-seed plans, every wire/report/inference injector), safe-mode
@@ -69,11 +69,25 @@ bench-serve:
 	$(GO) run ./cmd/benchjson -agg median -out BENCH_serve.json < bench-serve.out.tmp
 	rm -f bench-serve.out.tmp
 
+# Topology-engine snapshot: the 10k-flow two-tier incast (serial vs sharded
+# workers) and steady-state multi-hop forwarding on the parking-lot chain
+# (engine vs per-packet reference), recorded to BENCH_topo.json. Five
+# repeats folded to per-metric medians and the same temp-file guard as
+# bench-json so a failing run never truncates the committed snapshot.
+bench-topo:
+	$(GO) test -run '^$$' -bench 'Topo' -benchmem -count 5 ./internal/topo > bench-topo.out.tmp
+	$(GO) run ./cmd/benchjson -agg median -out BENCH_topo.json < bench-topo.out.tmp
+	rm -f bench-topo.out.tmp
+
 # Differential fuzz smoke: 25 generator-seeded scenarios replayed through
-# both netsim engines (packet-train vs per-packet reference) must agree
-# bit-for-bit — the scenario generator as an engine-equivalence fuzzer.
-# Runs in a few seconds including the build.
+# both netsim engines (packet-train vs per-packet reference), then 25 more
+# topology scenarios through both topo engines (sharded vs per-packet
+# reference) — every pair must agree bit-for-bit AND satisfy the
+# engine-independent physical invariants (packet conservation, RTT ≥ path
+# propagation, per-link throughput ≤ capacity). Runs in a few seconds
+# including the build.
 fuzz-scen:
 	$(GO) run ./cmd/mocc-scen fuzz -n 25 -seed 1
+	$(GO) run ./cmd/mocc-scen fuzz -topo -n 25 -seed 1
 
 ci: all

@@ -65,7 +65,8 @@ subcommands:
   describe  print a scenario spec as canonical JSON (-spec file | -family f -seed n)
   run       execute a scenario on the simulator and print per-flow results
   suite     evaluate MOCC + baselines over generated scenario suites
-  fuzz      differential-fuzz the two netsim engines with generated scenarios
+  fuzz      differential-fuzz the simulator engine pairs with generated scenarios
+            (-topo rotates the multi-link topology families)
 `)
 }
 
@@ -94,7 +95,7 @@ func cmdList() {
 		Title:  "scenario generator families",
 		Header: []string{"family", "description"},
 	}
-	for _, f := range scenario.Families() {
+	for _, f := range scenario.AllFamilies() {
 		t.Add(string(f), scenario.FamilyDescription(f))
 	}
 	mustWrite(t)
@@ -154,6 +155,7 @@ func cmdRun(args []string) {
 	engine := fs.String("engine", "fast", "simulator engine: fast | reference")
 	scale := fs.String("scale", "quick", "model zoo training scale for learned schemes")
 	zooSeed := fs.Int64("zoo-seed", 1, "model zoo training seed")
+	workers := fs.Int("workers", 0, "topology engine workers (0 = GOMAXPROCS; results identical at every setting)")
 	fs.Parse(args)
 
 	s, baseDir := loadOrGenerate(*specPath, *family, *seed)
@@ -162,7 +164,8 @@ func cmdRun(args []string) {
 			BaseDir:  baseDir,
 			Resolver: zooResolver(*scale, *zooSeed),
 		},
-		Engine: scenario.Engine(*engine),
+		Engine:  scenario.Engine(*engine),
+		Workers: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -205,10 +208,11 @@ func cmdFuzz(args []string) {
 	n := fs.Int("n", 25, "number of generated scenarios to diff")
 	seed := fs.Int64("seed", 1, "generator seed offset")
 	families := fs.String("families", "", "comma-separated family subset (default all)")
+	topology := fs.Bool("topo", false, "rotate through the topology families (multi-link engines)")
 	verbose := fs.Bool("v", false, "print every scenario as it passes")
 	fs.Parse(args)
 
-	cfg := scenario.FuzzConfig{N: *n, Seed: *seed, Families: parseFamilies(*families)}
+	cfg := scenario.FuzzConfig{N: *n, Seed: *seed, Families: parseFamilies(*families), Topo: *topology}
 	if *verbose {
 		cfg.Progress = func(i int, s *scenario.Spec, packets int) {
 			fmt.Printf("  ok %3d  %-24s %8d pkts\n", i, s.Name, packets)

@@ -115,6 +115,13 @@ type delivery struct {
 // one-heap-event-per-packet delivery design. The ring doubles up to the
 // peak in-flight population and is reused thereafter: zero steady-state
 // allocations.
+//
+// Contract: this is exactly the package's single-bottleneck assumption.
+// Push order equals delivery order only because every packet is serialized
+// through ONE fixed-rate server and then adds ONE shared propagation delay;
+// with per-flow paths over multiple links, deliveries interleave and the
+// ring would reorder them. Multi-link simulation therefore lives in
+// internal/topo (per-link event queues), not here.
 type deliveryRing struct {
 	buf  []delivery
 	head int

@@ -22,6 +22,13 @@
 // and delivery — kept as the ground truth the equivalence tests hold the
 // fast engine to. Both engines order simultaneous events identically (see
 // eventBefore) and produce identical statistics.
+//
+// The package is deliberately single-bottleneck: every flow crosses the one
+// shared link, which is what makes the global-FIFO delivery ring and the
+// packet-train drain exact (see deliveryRing). Multi-link topologies —
+// named links, per-flow paths, parking-lot and incast fan-in — live in
+// internal/topo, which reproduces this engine bit-for-bit in the one-link
+// special case.
 package netsim
 
 import (

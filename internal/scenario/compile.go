@@ -52,10 +52,15 @@ func pktBytes(s *Spec, opt CompileOptions) int {
 	return DefaultPktBytes
 }
 
-// Bandwidth materializes the link's capacity schedule as a trace.Bandwidth
-// in pkts/s. Trace files resolve relative to baseDir.
+// Bandwidth materializes the single bottleneck's capacity schedule as a
+// trace.Bandwidth in pkts/s. Trace files resolve relative to baseDir.
 func (s *Spec) Bandwidth(baseDir string, pkt int) (trace.Bandwidth, error) {
-	l := s.Link
+	return s.linkBandwidth(s.Link, baseDir, pkt)
+}
+
+// linkBandwidth materializes one link's capacity source — the single
+// bottleneck or any entry of a topology's links section.
+func (s *Spec) linkBandwidth(l Link, baseDir string, pkt int) (trace.Bandwidth, error) {
 	switch {
 	case l.CapacityMbps > 0:
 		return trace.Constant(trace.MbpsToPktsPerSec(l.CapacityMbps, pkt)), nil
@@ -248,34 +253,89 @@ func (s *Spec) Compile(opt CompileOptions) (*Compiled, error) {
 // declared cross traffic — plus any additional fixed-rate flows — becomes
 // the environment's CrossTraffic schedule. Reactive secondary flows have no
 // gym equivalent and are ignored here (the netsim path models them fully).
+//
+// A topology spec keeps the gym's single-flow view by lowering the primary
+// flow's path to its minimum-peak-capacity bottleneck: that link's schedule
+// and queue drive the environment, the path's summed one-way delays become
+// the latency, link loss processes combine, and only cross traffic whose
+// path shares the bottleneck link is folded in.
 func (s *Spec) Gym(opt CompileOptions) (gym.Config, error) {
 	if err := s.Validate(); err != nil {
 		return gym.Config{}, err
 	}
 	pkt := pktBytes(s, opt)
-	bw, err := s.Bandwidth(opt.BaseDir, pkt)
-	if err != nil {
-		return gym.Config{}, err
-	}
 	primary := s.Flows[0]
+
+	// Single-bottleneck view of the spec: the sole link, or the primary
+	// path's narrowest one.
+	link := s.Link
+	latencyMs := s.Link.RTTms / 2
+	var bw trace.Bandwidth
+	var pathPeak float64
+	sharesBottleneck := func(path []string) bool { return true }
+	if s.Topology() {
+		bws := make([]trace.Bandwidth, len(s.Links))
+		for i, l := range s.Links {
+			b, err := s.linkBandwidth(l, opt.BaseDir, pkt)
+			if err != nil {
+				return gym.Config{}, err
+			}
+			bws[i] = b
+		}
+		bottleneck := -1
+		latencyMs = 0
+		lossPass := 1.0
+		for _, name := range primary.Path {
+			i := s.linkIndex(name)
+			latencyMs += s.Links[i].DelayMs
+			lossPass *= 1 - s.Links[i].LossRate
+			peak := peakCapacity(bws[i])
+			// MaxRate must cap against the PATH's minimum peak, not any
+			// single link's: the narrowest bottleneck binds the flow.
+			if bottleneck < 0 || peak < pathPeak {
+				bottleneck, pathPeak = i, peak
+			}
+		}
+		link = s.Links[bottleneck]
+		link.LossRate = 1 - lossPass
+		bw = bws[bottleneck]
+		sharesBottleneck = func(path []string) bool {
+			for _, name := range path {
+				if s.linkIndex(name) == bottleneck {
+					return true
+				}
+			}
+			return false
+		}
+	} else {
+		var err error
+		bw, err = s.Bandwidth(opt.BaseDir, pkt)
+		if err != nil {
+			return gym.Config{}, err
+		}
+		pathPeak = peakCapacity(bw)
+	}
+
 	cfg := gym.Config{
 		Bandwidth: bw,
-		LatencyMs: s.Link.RTTms / 2,
-		QueuePkts: s.Link.QueuePkts,
-		LossRate:  s.Link.LossRate,
+		LatencyMs: latencyMs,
+		QueuePkts: link.QueuePkts,
+		LossRate:  link.LossRate,
 		MIms:      primary.MIms,
 		// Cap the rate against the schedule's PEAK (gym's own default
 		// samples At(0), which under-caps schedules that open inside an
 		// outage — the same hazard Compile guards on the netsim path).
-		MaxRate: 8 * peakCapacity(bw),
+		MaxRate: 8 * pathPeak,
 		Seed:    flowSeed(s.Seed, 0, primary.Seed),
 	}
 	cross := crossSchedule{}
 	for _, x := range s.Cross {
-		cross.add(x, trace.MbpsToPktsPerSec(x.RateMbps, pkt))
+		if sharesBottleneck(x.Path) {
+			cross.add(x, trace.MbpsToPktsPerSec(x.RateMbps, pkt))
+		}
 	}
 	for _, f := range s.Flows[1:] {
-		if f.Scheme == "fixed" {
+		if f.Scheme == "fixed" && sharesBottleneck(f.Path) {
 			cross.add(Cross{StartSec: f.StartSec, StopSec: f.StopSec}, trace.MbpsToPktsPerSec(f.RateMbps, pkt))
 		}
 	}

@@ -80,7 +80,13 @@ func TestDiffEnginesReportsDivergence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := diffFlows(fa, fb); err == nil {
+	oa := make([]flowOutcome, len(fa))
+	ob := make([]flowOutcome, len(fb))
+	for i := range fa {
+		oa[i] = outcomeFromNetsim(fa[i])
+		ob[i] = outcomeFromNetsim(fb[i])
+	}
+	if err := diffFlows(oa, ob); err == nil {
 		t.Fatal("diffFlows missed a divergent pair")
 	} else if !strings.Contains(err.Error(), "flow") {
 		t.Errorf("divergence error %q does not name a flow", err)

@@ -24,9 +24,28 @@ const (
 	FlashCrowd    Family = "flash-crowd"       // staggered flow arrivals, mixed schemes and transfers
 )
 
-// Families returns every generator family in canonical order.
+// Topology families: multi-link (version 2) scenarios lowered onto the
+// sharded topo engine instead of netsim.
+const (
+	ParkingLot Family = "parking-lot" // two bottlenecks in series, one long + two short flows
+	Incast10k  Family = "incast-10k"  // 10k rack-homed senders converging on one core link
+)
+
+// Families returns every single-bottleneck generator family in canonical
+// order — the default fuzz/training rotation, unchanged by the topology
+// families (which carry very different packet budgets).
 func Families() []Family {
 	return []Family{Cellular, Wifi, Satellite, LossyWireless, Incast, FlashCrowd}
+}
+
+// TopoFamilies returns every topology generator family in canonical order.
+func TopoFamilies() []Family {
+	return []Family{ParkingLot, Incast10k}
+}
+
+// AllFamilies returns every generator family, single-bottleneck first.
+func AllFamilies() []Family {
+	return append(Families(), TopoFamilies()...)
 }
 
 // FamilyDescription is a one-line description for CLIs.
@@ -44,6 +63,10 @@ func FamilyDescription(f Family) string {
 		return "datacenter incast: 6-14 synchronized senders into a shallow buffer at sub-ms RTT"
 	case FlashCrowd:
 		return "flash crowd: staggered arrivals of mixed schemes and finite transfers on one bottleneck"
+	case ParkingLot:
+		return "parking lot: two bottlenecks in series, one long flow crossing both against a short flow on each"
+	case Incast10k:
+		return "10k-sender incast: rack links fanning into one 80-150 Mbps core link, fixed-rate overload"
 	default:
 		return "unknown family"
 	}
@@ -135,8 +158,12 @@ func Generate(f Family, seed int64) (*Spec, error) {
 		genIncast(rng, s)
 	case FlashCrowd:
 		genFlashCrowd(rng, s)
+	case ParkingLot:
+		genParkingLot(rng, s)
+	case Incast10k:
+		genIncast10k(rng, s)
 	default:
-		return nil, fmt.Errorf("scenario: unknown family %q (known: %v)", f, Families())
+		return nil, fmt.Errorf("scenario: unknown family %q (known: %v)", f, AllFamilies())
 	}
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: generator produced an invalid spec: %w", err)
@@ -276,6 +303,75 @@ func genFlashCrowd(rng *rand.Rand, s *Spec) {
 			fl.App = &App{Kind: "bulk", FileMBytes: round3(uniform(rng, 0.2, 1))}
 		}
 		s.Flows = append(s.Flows, fl)
+	}
+}
+
+// genParkingLot emits the classic two-bottleneck chain: a long flow crosses
+// both links while a short flow loads each — the minimal topology where
+// multi-link fairness differs from any single-bottleneck reduction.
+func genParkingLot(rng *rand.Rand, s *Spec) {
+	left := Link{
+		Name:         "left",
+		DelayMs:      round3(uniform(rng, 5, 20)),
+		CapacityMbps: round3(uniform(rng, 8, 30)),
+		QueuePkts:    intBetween(rng, 60, 300),
+	}
+	right := Link{
+		Name:         "right",
+		DelayMs:      round3(uniform(rng, 5, 20)),
+		CapacityMbps: round3(uniform(rng, 8, 30)),
+		QueuePkts:    intBetween(rng, 60, 300),
+	}
+	if rng.Float64() < 0.3 {
+		right.LossRate = round3(uniform(rng, 0, 0.01))
+	}
+	s.Links = []Link{left, right}
+	s.DurationSec = round3(uniform(rng, 6, 10))
+	s.Flows = []Flow{
+		{Scheme: pickScheme(rng), Label: "long", Path: []string{"left", "right"}},
+		{Scheme: pickScheme(rng), Label: "short-left", Path: []string{"left"},
+			StartSec: round3(uniform(rng, 0.3, 2))},
+		{Scheme: pickScheme(rng), Label: "short-right", Path: []string{"right"},
+			StartSec: round3(uniform(rng, 0.3, 2))},
+	}
+}
+
+// genIncast10k emits the scale scenario: 10,000 fixed-rate senders homed on
+// a handful of rack links all converging on one core link. Fixed-rate
+// senders and an explicit 200 ms monitor interval keep the packet count and
+// the MI-series memory bounded while still pushing ~10^5 packets and 10^4
+// flows through every engine.
+func genIncast10k(rng *rand.Rand, s *Spec) {
+	const n = 10000
+	racks := intBetween(rng, 4, 8)
+	coreMbps := round3(uniform(rng, 80, 150))
+	s.Links = make([]Link, 0, racks+1)
+	for i := 0; i < racks; i++ {
+		s.Links = append(s.Links, Link{
+			Name:         fmt.Sprintf("rack%d", i),
+			DelayMs:      round3(uniform(rng, 0.25, 1)),
+			CapacityMbps: round3(uniform(rng, 0.5, 1) * coreMbps),
+			QueuePkts:    intBetween(rng, 60, 200),
+		})
+	}
+	s.Links = append(s.Links, Link{
+		Name:         "core",
+		DelayMs:      round3(uniform(rng, 0.5, 2)),
+		CapacityMbps: coreMbps,
+		QueuePkts:    intBetween(rng, 100, 400),
+	})
+	s.DurationSec = round3(uniform(rng, 1.5, 2.5))
+	agg := uniform(rng, 2, 4)
+	per := round3(coreMbps * agg / n)
+	s.Flows = make([]Flow, 0, n)
+	for i := 0; i < n; i++ {
+		s.Flows = append(s.Flows, Flow{
+			Scheme:   "fixed",
+			RateMbps: per,
+			StartSec: round3(uniform(rng, 0, 0.3)),
+			MIms:     200,
+			Path:     []string{fmt.Sprintf("rack%d", i%racks), "core"},
+		})
 	}
 }
 

@@ -1,0 +1,109 @@
+package scenario
+
+import "fmt"
+
+// physical captures the engine-independent facts a compiled scenario pins
+// down — run length, each flow's propagation floor, and each link's peak
+// service rate — against which every executed run is checked. The checks
+// hold for ANY correct engine, so they catch bugs even when a differential
+// pair agrees (both engines wrong the same way), and they are cheap enough
+// to run on every Run and every fuzz iteration, single- and multi-link.
+type physical struct {
+	duration  float64
+	pathOWD   []float64 // per flow: one-way propagation delay of its path (s)
+	linkPeaks []float64 // per link: peak capacity (pkts/s)
+	flowLinks [][]int   // per flow: link indices its path traverses
+}
+
+// physical derives the invariant context of a single-bottleneck compile:
+// one link, every flow crossing it.
+func (c *Compiled) physical() physical {
+	p := physical{
+		duration:  c.Duration,
+		pathOWD:   make([]float64, len(c.Flows)),
+		linkPeaks: []float64{peakCapacity(c.Link.Capacity)},
+		flowLinks: make([][]int, len(c.Flows)),
+	}
+	for i := range c.Flows {
+		p.pathOWD[i] = c.Link.OWD
+		p.flowLinks[i] = []int{0}
+	}
+	return p
+}
+
+// physical derives the invariant context of a topology compile.
+func (c *CompiledTopo) physical() physical {
+	p := physical{
+		duration:  c.Duration,
+		pathOWD:   make([]float64, len(c.Flows)),
+		linkPeaks: c.LinkPeaks,
+		flowLinks: make([][]int, len(c.Flows)),
+	}
+	for i := range c.Flows {
+		p.pathOWD[i] = c.pathOWDSec(i)
+		p.flowLinks[i] = c.Flows[i].Path
+	}
+	return p
+}
+
+// rttSlack absorbs float rounding in RTT comparisons (the propagation floor
+// is itself a sum of the same float delays the engines add).
+const rttSlack = 1e-9
+
+// check verifies the physical invariants over one executed run's outcomes:
+//
+//  1. Packet conservation — no flow delivers or loses packets it never
+//     sent, in the totals and in the per-MI series.
+//  2. RTT floor — no packet (and hence no average) beats its path's
+//     round-trip propagation delay.
+//  3. Link capacity — no link delivers more than its peak service rate
+//     times the run length (+1 packet in flight at each boundary).
+func (p physical) check(outcomes []flowOutcome) error {
+	if len(outcomes) != len(p.pathOWD) {
+		return fmt.Errorf("outcome count %d does not match compiled flow count %d", len(outcomes), len(p.pathOWD))
+	}
+	linkDelivered := make([]float64, len(p.linkPeaks))
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Delivered+o.Lost > o.Sent {
+			return fmt.Errorf("flow %d (%s): delivered %d + lost %d exceeds sent %d (packets created from nothing)",
+				i, o.Label, o.Delivered, o.Lost, o.Sent)
+		}
+		var miSent, miDelivered, miLost float64
+		for j, s := range o.Stats {
+			miSent += s.Sent
+			miDelivered += s.Delivered
+			miLost += s.Lost
+			if s.Delivered > 0 && s.AvgRTT < 2*p.pathOWD[i]-rttSlack {
+				return fmt.Errorf("flow %d (%s): MI %d AvgRTT %.9gs beats the path propagation floor %.9gs",
+					i, o.Label, j, s.AvgRTT, 2*p.pathOWD[i])
+			}
+		}
+		const countSlack = 1e-6 // MI counters are float64 sums of integers
+		if miSent > float64(o.Sent)+countSlack || miDelivered > float64(o.Delivered)+countSlack || miLost > float64(o.Lost)+countSlack {
+			return fmt.Errorf("flow %d (%s): MI series totals (sent %g, delivered %g, lost %g) exceed flow totals (%d, %d, %d)",
+				i, o.Label, miSent, miDelivered, miLost, o.Sent, o.Delivered, o.Lost)
+		}
+		if o.Delivered > 0 {
+			avg := o.SumRTT / float64(o.Delivered)
+			if avg < 2*p.pathOWD[i]-rttSlack {
+				return fmt.Errorf("flow %d (%s): average RTT %.9gs beats the path propagation floor %.9gs",
+					i, o.Label, avg, 2*p.pathOWD[i])
+			}
+		}
+		for _, li := range p.flowLinks[i] {
+			linkDelivered[li] += float64(o.Delivered)
+		}
+	}
+	for li, sum := range linkDelivered {
+		// Departures from one link are spaced at least 1/peak apart, so at
+		// most peak*duration+1 packets can clear it; delivered packets on
+		// each path consumed one departure per traversed link.
+		limit := p.linkPeaks[li]*p.duration*(1+1e-9) + 2
+		if sum > limit {
+			return fmt.Errorf("link %d: %g packets delivered through it exceed peak capacity %g pkts/s over %gs (limit %g)",
+				li, sum, p.linkPeaks[li], p.duration, limit)
+		}
+	}
+	return nil
+}

@@ -6,15 +6,18 @@ import (
 
 	"mocc/internal/apps"
 	"mocc/internal/netsim"
+	"mocc/internal/topo"
 	"mocc/internal/trace"
 )
 
-// Engine selects which netsim engine executes a run.
+// Engine selects which simulator engine executes a run. The same pair
+// exists on both lowering targets: netsim for single-bottleneck specs, topo
+// for topology specs.
 type Engine string
 
 // Engines.
 const (
-	EngineFast      Engine = "fast"      // packet-train production engine
+	EngineFast      Engine = "fast"      // packet-train / sharded production engine
 	EngineReference Engine = "reference" // per-packet seed engine (ground truth)
 )
 
@@ -23,6 +26,10 @@ type RunOptions struct {
 	CompileOptions
 	// Engine defaults to EngineFast.
 	Engine Engine
+	// Workers sets the topology engine's worker-pool size (<= 0 selects
+	// GOMAXPROCS). Results are bit-identical at every setting; single-link
+	// specs ignore it.
+	Workers int
 }
 
 // FlowResult is one flow's outcome, App.Stats-style.
@@ -56,14 +63,71 @@ type Result struct {
 	Cross       []FlowResult `json:"cross,omitempty"`
 }
 
-// network abstracts the two engines' identical driving surface.
+// flowOutcome is the engine-neutral view of one executed flow: everything
+// the summaries, invariant checks and differential fuzzer consume, filled
+// identically from a netsim.Flow or a topo.Flow.
+type flowOutcome struct {
+	Label          string
+	Start, Stop    float64
+	Sent           int
+	Delivered      int
+	Lost           int
+	Completed      bool
+	CompletionTime float64
+	SumRTT         float64
+	Stats          []netsim.MIStat
+}
+
+func outcomeFromNetsim(f *netsim.Flow) flowOutcome {
+	return flowOutcome{
+		Label: f.Label, Start: f.Cfg.Start, Stop: f.Cfg.Stop,
+		Sent: f.SentTotal, Delivered: f.DeliveredTotal, Lost: f.LostTotal,
+		Completed: f.Completed, CompletionTime: f.CompletionTime,
+		SumRTT: f.SumRTT, Stats: f.Stats,
+	}
+}
+
+func outcomeFromTopo(f *topo.Flow) flowOutcome {
+	return flowOutcome{
+		Label: f.Label, Start: f.Cfg.Start, Stop: f.Cfg.Stop,
+		Sent: f.SentTotal, Delivered: f.DeliveredTotal, Lost: f.LostTotal,
+		Completed: f.Completed, CompletionTime: f.CompletionTime,
+		SumRTT: f.SumRTT, Stats: f.Stats,
+	}
+}
+
+// throughputSeries buckets an outcome's per-MI delivery counts into a
+// fixed-width rate series (pkts/s) — netsim.Flow.ThroughputSeries lifted to
+// the neutral view so video-app post-processing works on both engines.
+func (o *flowOutcome) throughputSeries(bucket, horizon float64) []float64 {
+	nB := int(math.Ceil(horizon / bucket))
+	out := make([]float64, nB)
+	for _, s := range o.Stats {
+		idx := int(s.Time / bucket)
+		if idx >= 0 && idx < nB {
+			out[idx] += s.Delivered
+		}
+	}
+	for i := range out {
+		out[i] /= bucket
+	}
+	return out
+}
+
+// network abstracts the two netsim engines' identical driving surface.
 type network interface {
 	AddFlow(cfg netsim.FlowConfig) *netsim.Flow
 	Run(duration float64)
 }
 
-// execute compiles and runs a spec on the chosen engine, returning the raw
-// flows (spec flows first, then cross flows).
+// topoNetwork abstracts the two topo engines likewise.
+type topoNetwork interface {
+	AddFlow(cfg topo.FlowConfig) *topo.Flow
+	Run(duration float64)
+}
+
+// execute compiles and runs a single-bottleneck spec on the chosen netsim
+// engine, returning the raw flows (spec flows first, then cross flows).
 func execute(spec *Spec, opt CompileOptions, engine Engine) (*Compiled, []*netsim.Flow, error) {
 	c, err := spec.Compile(opt)
 	if err != nil {
@@ -86,30 +150,87 @@ func execute(spec *Spec, opt CompileOptions, engine Engine) (*Compiled, []*netsi
 	return c, flows, nil
 }
 
-// Run executes a spec end-to-end on the packet-level simulator and reduces
-// each flow to its summary (plus ABR post-processing for video-app flows).
-func Run(spec *Spec, opt RunOptions) (*Result, error) {
-	c, flows, err := execute(spec, opt.CompileOptions, opt.Engine)
+// executeTopo compiles and runs a topology spec on the chosen topo engine.
+func executeTopo(spec *Spec, opt CompileOptions, engine Engine, workers int) (*CompiledTopo, []*topo.Flow, error) {
+	c, err := spec.CompileTopo(opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var n topoNetwork
+	switch engine {
+	case EngineReference:
+		n = topo.NewReference(c.Topo, spec.Seed)
+	case EngineFast, "":
+		e := topo.NewEngine(c.Topo, spec.Seed)
+		e.Workers = workers
+		n = e
+	default:
+		return nil, nil, fmt.Errorf("scenario: unknown engine %q (want %q or %q)", engine, EngineFast, EngineReference)
+	}
+	flows := make([]*topo.Flow, len(c.Flows))
+	for i, cfg := range c.Flows {
+		flows[i] = n.AddFlow(cfg)
+	}
+	n.Run(c.Duration)
+	return c, flows, nil
+}
+
+// Run executes a spec end-to-end — single-bottleneck specs on netsim,
+// topology specs on the sharded topo engine — checks the physical
+// invariants, and reduces each flow to its summary (plus ABR
+// post-processing for video-app flows).
+func Run(spec *Spec, opt RunOptions) (*Result, error) {
+	var (
+		outcomes []flowOutcome
+		phys     physical
+		numFlows int
+		duration float64
+		pkt      int
+	)
+	if spec.Topology() {
+		c, flows, err := executeTopo(spec, opt.CompileOptions, opt.Engine, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		outcomes = make([]flowOutcome, len(flows))
+		for i, f := range flows {
+			outcomes[i] = outcomeFromTopo(f)
+		}
+		phys = c.physical()
+		numFlows, duration, pkt = c.NumFlows, c.Duration, c.PktBytes
+	} else {
+		c, flows, err := execute(spec, opt.CompileOptions, opt.Engine)
+		if err != nil {
+			return nil, err
+		}
+		outcomes = make([]flowOutcome, len(flows))
+		for i, f := range flows {
+			outcomes[i] = outcomeFromNetsim(f)
+		}
+		phys = c.physical()
+		numFlows, duration, pkt = c.NumFlows, c.Duration, c.PktBytes
+	}
+	if err := phys.check(outcomes); err != nil {
+		return nil, fmt.Errorf("scenario %q: physical invariant violated: %w", spec.Name, err)
+	}
+
 	engine := opt.Engine
 	if engine == "" {
 		engine = EngineFast
 	}
-	res := &Result{Name: spec.Name, Engine: engine, DurationSec: c.Duration}
-	for i, f := range flows {
+	res := &Result{Name: spec.Name, Engine: engine, DurationSec: duration}
+	for i := range outcomes {
 		var sf *Flow
 		scheme := "cross"
-		if i < c.NumFlows {
+		if i < numFlows {
 			sf = &spec.Flows[i]
 			scheme = sf.Scheme
 		}
-		fr, err := summarizeFlow(f, sf, scheme, c)
+		fr, err := summarizeFlow(&outcomes[i], sf, scheme, duration, pkt)
 		if err != nil {
 			return nil, err
 		}
-		if i < c.NumFlows {
+		if i < numFlows {
 			res.Flows = append(res.Flows, fr)
 		} else {
 			res.Cross = append(res.Cross, fr)
@@ -118,47 +239,47 @@ func Run(spec *Spec, opt RunOptions) (*Result, error) {
 	return res, nil
 }
 
-// summarizeFlow reduces one netsim flow to a FlowResult over its active
+// summarizeFlow reduces one flow outcome to a FlowResult over its active
 // window.
-func summarizeFlow(f *netsim.Flow, sf *Flow, scheme string, c *Compiled) (FlowResult, error) {
-	start := f.Cfg.Start
-	end := c.Duration
-	if f.Cfg.Stop > 0 && f.Cfg.Stop < end {
-		end = f.Cfg.Stop
+func summarizeFlow(o *flowOutcome, sf *Flow, scheme string, duration float64, pktBytes int) (FlowResult, error) {
+	start := o.Start
+	end := duration
+	if o.Stop > 0 && o.Stop < end {
+		end = o.Stop
 	}
-	if f.Completed && f.CompletionTime < end {
-		end = f.CompletionTime
+	if o.Completed && o.CompletionTime < end {
+		end = o.CompletionTime
 	}
 	elapsed := math.Max(end-start, 1e-9)
 
 	fr := FlowResult{
-		Label:          f.Label,
+		Label:          o.Label,
 		Scheme:         scheme,
-		Sent:           f.SentTotal,
-		Delivered:      f.DeliveredTotal,
-		Lost:           f.LostTotal,
-		MIs:            len(f.Stats),
-		ThroughputMbps: trace.PktsPerSecToMbps(float64(f.DeliveredTotal)/elapsed, c.PktBytes),
-		Completed:      f.Completed,
+		Sent:           o.Sent,
+		Delivered:      o.Delivered,
+		Lost:           o.Lost,
+		MIs:            len(o.Stats),
+		ThroughputMbps: trace.PktsPerSecToMbps(float64(o.Delivered)/elapsed, pktBytes),
+		Completed:      o.Completed,
 	}
-	if f.Completed {
-		fr.CompletionSec = f.CompletionTime
+	if o.Completed {
+		fr.CompletionSec = o.CompletionTime
 	}
-	if f.DeliveredTotal > 0 {
-		fr.AvgRTTms = f.SumRTT / float64(f.DeliveredTotal) * 1000
+	if o.Delivered > 0 {
+		fr.AvgRTTms = o.SumRTT / float64(o.Delivered) * 1000
 	}
-	if f.SentTotal > 0 {
-		fr.LossRate = float64(f.LostTotal) / float64(f.SentTotal)
+	if o.Sent > 0 {
+		fr.LossRate = float64(o.Lost) / float64(o.Sent)
 	}
 	if sf != nil && sf.App != nil && sf.App.Kind == "video" {
-		series := f.ThroughputSeries(1, c.Duration)
+		series := o.throughputSeries(1, duration)
 		mbps := make([]float64, len(series))
 		for i, p := range series {
-			mbps[i] = trace.PktsPerSecToMbps(p, c.PktBytes)
+			mbps[i] = trace.PktsPerSecToMbps(p, pktBytes)
 		}
 		abr, err := apps.SimulateABR(mbps, apps.DefaultABRConfig())
 		if err != nil {
-			return FlowResult{}, fmt.Errorf("scenario: video app on flow %q: %w", f.Label, err)
+			return FlowResult{}, fmt.Errorf("scenario: video app on flow %q: %w", o.Label, err)
 		}
 		fr.ABR = &abr
 	}

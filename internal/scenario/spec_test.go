@@ -64,7 +64,7 @@ func TestSpecValidation(t *testing.T) {
 		mutate  func(*Spec)
 		wantSub string
 	}{
-		{"bad-version", func(s *Spec) { s.Version = 2 }, "version"},
+		{"bad-version", func(s *Spec) { s.Version = SpecVersion + 1 }, "version"},
 		{"no-name", func(s *Spec) { s.Name = "" }, "name"},
 		{"no-duration", func(s *Spec) { s.DurationSec = 0 }, "duration"},
 		{"no-flows", func(s *Spec) { s.Flows = nil }, "flow"},

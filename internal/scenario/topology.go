@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"mocc/internal/cc"
+	"mocc/internal/topo"
+	"mocc/internal/trace"
+)
+
+// CompiledTopo is a topology spec lowered onto the multi-link simulator:
+// the topo.Topology plus one topo flow per spec flow (in order) followed by
+// one fixed/on-off flow per cross-traffic entry — the multi-link mirror of
+// Compiled.
+type CompiledTopo struct {
+	Spec     *Spec
+	Topo     *topo.Topology
+	Flows    []topo.FlowConfig // Spec.Flows first, then Spec.Cross
+	NumFlows int               // prefix of Flows that are application flows
+	Duration float64
+	PktBytes int
+	// LinkPeaks holds each link's peak capacity in pkts/s (same order as
+	// Topo.Links) — the per-link throughput invariant checks against it.
+	LinkPeaks []float64
+}
+
+// CompileTopo lowers a topology spec onto topo configurations. Each call
+// constructs fresh controller instances, so a spec can be compiled once per
+// engine in a differential run. Specs without a links section must go
+// through Compile instead.
+func (s *Spec) CompileTopo(opt CompileOptions) (*CompiledTopo, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.Topology() {
+		return nil, fmt.Errorf("scenario %q: CompileTopo needs a links section (single-bottleneck specs compile via Compile)", s.Name)
+	}
+	pkt := pktBytes(s, opt)
+
+	links := make([]topo.LinkConfig, len(s.Links))
+	peaks := make([]float64, len(s.Links))
+	for i, l := range s.Links {
+		bw, err := s.linkBandwidth(l, opt.BaseDir, pkt)
+		if err != nil {
+			return nil, err
+		}
+		// Same outage-floor lowering as the netsim path: the topo link model
+		// shares netsim's admission-priced virtual queue, so true zero-rate
+		// segments would black the link out beyond the outage itself.
+		bw, err = netsimBandwidth(bw)
+		if err != nil {
+			return nil, err
+		}
+		links[i] = topo.LinkConfig{
+			Name:      l.Name,
+			Capacity:  bw,
+			Delay:     l.DelayMs / 1000,
+			QueuePkts: l.QueuePkts,
+			LossRate:  l.LossRate,
+		}
+		peaks[i] = peakCapacity(bw)
+	}
+	t, err := topo.New(links)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+
+	c := &CompiledTopo{
+		Spec:      s,
+		Topo:      t,
+		NumFlows:  len(s.Flows),
+		Duration:  s.DurationSec,
+		PktBytes:  pkt,
+		LinkPeaks: peaks,
+	}
+	resolve := func(path []string) ([]int, float64) {
+		idx := make([]int, len(path))
+		minPeak := math.Inf(1)
+		for i, name := range path {
+			idx[i] = s.linkIndex(name)
+			if p := peaks[idx[i]]; p < minPeak {
+				minPeak = p
+			}
+		}
+		return idx, minPeak
+	}
+	for i, f := range s.Flows {
+		alg, err := s.algorithm(f, opt, pkt)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: flow %d: %w", s.Name, i, err)
+		}
+		label := f.Label
+		if label == "" {
+			label = fmt.Sprintf("%s-%d", f.Scheme, i)
+		}
+		path, minPeak := resolve(f.Path)
+		cfg := topo.FlowConfig{
+			Label: label,
+			Alg:   alg,
+			Path:  path,
+			Start: f.StartSec,
+			Stop:  f.StopSec,
+			MIms:  f.MIms,
+			// Cap against the PATH's minimum peak: the narrowest link on the
+			// path binds the flow, exactly as Compile caps against the single
+			// bottleneck's peak.
+			MaxRate: 4 * minPeak,
+			Seed:    flowSeed(s.Seed, i, f.Seed),
+		}
+		if f.Scheme == "fixed" && f.RateMbps > 0 {
+			cfg.MaxRate = math.Max(cfg.MaxRate, 2*trace.MbpsToPktsPerSec(f.RateMbps, pkt))
+		}
+		if f.App != nil && f.App.Kind == "rtc" {
+			cfg.MaxRate = math.Max(cfg.MaxRate, 2*trace.MbpsToPktsPerSec(f.App.SourceMbps, pkt))
+		}
+		if f.App != nil && f.App.Kind == "bulk" {
+			cfg.PacketBudget = int(f.App.FileMBytes * 1e6 / float64(pkt))
+			if cfg.PacketBudget < 1 {
+				cfg.PacketBudget = 1
+			}
+		}
+		c.Flows = append(c.Flows, cfg)
+	}
+	for i, x := range s.Cross {
+		rate := trace.MbpsToPktsPerSec(x.RateMbps, pkt)
+		var alg cc.Algorithm
+		if x.OnOffSec > 0 {
+			alg = &onOffRate{rate: rate, halfPeriod: x.OnOffSec}
+		} else {
+			alg = &fixedRate{rate: rate}
+		}
+		path, _ := resolve(x.Path)
+		c.Flows = append(c.Flows, topo.FlowConfig{
+			Label:   fmt.Sprintf("cross-%d", i),
+			Alg:     alg,
+			Path:    path,
+			Start:   x.StartSec,
+			Stop:    x.StopSec,
+			MaxRate: 2 * rate,
+			Seed:    flowSeed(s.Seed, len(s.Flows)+i, 0),
+		})
+	}
+	return c, nil
+}
+
+// pathOWDSec returns the one-way propagation delay (seconds) of the i-th
+// compiled flow's path — the floor every RTT invariant compares against.
+func (c *CompiledTopo) pathOWDSec(i int) float64 {
+	return c.Topo.PathDelay(c.Flows[i].Path)
+}

@@ -1,0 +1,91 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchIncast runs the 10k-flow incast (4 racks + core, 2.5x overload, 2
+// simulated seconds) on the sharded engine at a fixed worker count and
+// reports packets/second of simulation throughput.
+func benchIncast(b *testing.B, workers int) {
+	tp, flows := incastTopology(4, 10_000, 10_000, 2.5, 2)
+	var packets int
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(tp, 7)
+		e.Workers = workers
+		for _, fc := range flows {
+			e.AddFlow(fc)
+		}
+		e.Run(2)
+		packets = 0
+		for _, f := range e.Flows {
+			packets += f.SentTotal
+		}
+	}
+	b.ReportMetric(float64(packets)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+	b.ReportMetric(float64(packets), "pkts/run")
+}
+
+// BenchmarkTopoIncast10k is the committed scale number: the 10k-flow
+// two-tier incast end to end (setup + run), serial vs sharded-parallel.
+func BenchmarkTopoIncast10k(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) { benchIncast(b, workers) })
+	}
+}
+
+// BenchmarkTopoParkingLot measures steady-state multi-hop forwarding on the
+// canonical two-bottleneck chain — per-packet cost with cross-shard
+// messaging on every hop, engine vs per-packet reference.
+func BenchmarkTopoParkingLot(b *testing.B) {
+	links := []LinkConfig{link("left", 5000, 0.01), link("right", 4000, 0.015)}
+	flows := []FlowConfig{
+		{Alg: &fixedRate{rate: 3500}, Path: []int{0, 1}},
+		{Alg: &fixedRate{rate: 2000}, Path: []int{0}},
+		{Alg: &fixedRate{rate: 1500}, Path: []int{1}},
+	}
+	run := func(b *testing.B, mk func(*Topology) interface {
+		AddFlow(FlowConfig) *Flow
+		Run(float64)
+	}) {
+		tp, err := New(links)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var packets int
+		for i := 0; i < b.N; i++ {
+			n := mk(tp)
+			var fs []*Flow
+			for _, fc := range flows {
+				fs = append(fs, n.AddFlow(fc))
+			}
+			n.Run(10)
+			packets = 0
+			for _, f := range fs {
+				packets += f.SentTotal
+			}
+		}
+		b.ReportMetric(float64(packets)/b.Elapsed().Seconds()*float64(b.N), "pkts/s")
+	}
+	b.Run("engine", func(b *testing.B) {
+		run(b, func(tp *Topology) interface {
+			AddFlow(FlowConfig) *Flow
+			Run(float64)
+		} {
+			return NewEngine(tp, 1)
+		})
+	})
+	b.Run("reference", func(b *testing.B) {
+		run(b, func(tp *Topology) interface {
+			AddFlow(FlowConfig) *Flow
+			Run(float64)
+		} {
+			return NewReference(tp, 1)
+		})
+	})
+}

@@ -1,0 +1,167 @@
+package topo
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// routed is one cross-shard message awaiting the round barrier.
+type routed struct {
+	dst int32
+	ev  event
+}
+
+// shard is one bottleneck link's execution context: the link's pending
+// events (control, pacing and inbound packets share one heap) and the
+// outbox of messages generated this round.
+type shard struct {
+	heap eventQueue
+	out  []routed
+}
+
+// Engine is the production topology simulator: one shard per link,
+// processed in parallel rounds with deterministic cross-shard event
+// exchange — conservative parallel discrete-event simulation with the
+// topology's minimum link delay as lookahead.
+//
+// Each round the coordinator takes the globally earliest pending event
+// time t and sets the horizon H = t + lookahead. Every shard then runs its
+// own events with time < H. That is safe because any message a shard emits
+// from an event at time u ≥ t arrives after at least one link's
+// propagation delay, i.e. at u + delay ≥ t + lookahead = H — no shard can
+// receive work for the window it is currently executing. Outboxes are
+// exchanged at the barrier; since eventBefore is a total order with no two
+// live events sharing a key, each heap's pop sequence is the sorted event
+// sequence regardless of insertion order, so the simulation is
+// bit-reproducible at any worker count, and identical to Reference, which
+// executes the same schedule on one heap.
+//
+// Shard state is disjoint: a shard owns its link's queue/RNG/sampler and
+// the full control state (pacing, monitor intervals, accumulators) of
+// every flow whose path starts at its link. Mid-path hops touch only the
+// local link; drops and deliveries travel home as messages. Workers
+// therefore never share mutable state inside a round, and Run is
+// `-race`-clean by construction.
+//
+// Not safe for concurrent use (a single Run drives its own workers).
+type Engine struct {
+	Topo  *Topology
+	Flows []*Flow
+
+	// Workers sets the worker-pool size; <= 0 selects GOMAXPROCS. The
+	// pool is capped at the shard (= link) count. Results are identical
+	// at every setting.
+	Workers int
+
+	core   core
+	shards []shard
+	now    float64
+	seed   int64
+}
+
+// NewEngine creates a sharded simulator over the topology. seed drives
+// every link's random-loss process, exactly as in NewReference.
+func NewEngine(t *Topology, seed int64) *Engine {
+	return &Engine{Topo: t, seed: seed}
+}
+
+// AddFlow registers a flow; call before Run.
+func (e *Engine) AddFlow(cfg FlowConfig) *Flow {
+	cfg = applyFlowDefaults(e.Topo, cfg)
+	f := &Flow{ID: len(e.Flows), Label: cfg.Label, Cfg: cfg}
+	e.Flows = append(e.Flows, f)
+	return f
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Run executes the simulation until the given duration (seconds). It may
+// be called once per Engine.
+func (e *Engine) Run(duration float64) {
+	e.core = core{topo: e.Topo, flows: e.Flows}
+	e.core.initRun(e.seed, duration)
+	e.shards = make([]shard, len(e.Topo.Links))
+	e.core.seedEvents(func(dst int32, ev event) {
+		e.shards[dst].heap.push(ev)
+	})
+
+	lookahead := e.Topo.minDelay()
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(e.shards) {
+		workers = len(e.shards)
+	}
+
+	var wg sync.WaitGroup
+	for {
+		minNext := math.Inf(1)
+		for i := range e.shards {
+			if h := &e.shards[i].heap; h.len() > 0 {
+				if t := h.peek().time; t < minNext {
+					minNext = t
+				}
+			}
+		}
+		if minNext > duration {
+			break
+		}
+		horizon := minNext + lookahead
+
+		if workers <= 1 {
+			for i := range e.shards {
+				e.runShard(i, horizon, duration)
+			}
+		} else {
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(e.shards); i += workers {
+						e.runShard(i, horizon, duration)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+
+		// Barrier: route every outbox in fixed shard order. (Insertion
+		// order into a destination heap does not even matter — see the
+		// Engine doc comment — but a fixed order keeps the reduction
+		// trivially deterministic.)
+		for i := range e.shards {
+			s := &e.shards[i]
+			for _, m := range s.out {
+				e.shards[m.dst].heap.push(m.ev)
+			}
+			s.out = s.out[:0]
+		}
+	}
+	e.now = duration
+	e.core.finishRun()
+}
+
+// runShard executes shard i's pending events with time < horizon (and
+// within the run duration). Follow-ups for the shard itself go straight
+// back on its heap; cross-link messages collect in the outbox.
+func (e *Engine) runShard(i int, horizon, duration float64) {
+	s := &e.shards[i]
+	local := func(dst int32, ev event) {
+		// Control and pacing follow-ups always target the emitting
+		// flow's home shard, which is the shard processing the event.
+		s.heap.push(ev)
+	}
+	msg := func(dst int32, ev event) {
+		s.out = append(s.out, routed{dst: dst, ev: ev})
+	}
+	for s.heap.len() > 0 {
+		t := s.heap.peek().time
+		if t >= horizon || t > duration {
+			break
+		}
+		e.core.handle(s.heap.pop(), local, msg)
+	}
+}

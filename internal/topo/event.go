@@ -1,0 +1,108 @@
+package topo
+
+// Event kinds, in same-timestamp priority order. The first three are
+// netsim's control kinds with identical ranks; evDeliver keeps its rank so
+// deliveries still precede same-instant transmissions; evLoss (a mid-path
+// drop reaching the sender's accounting — netsim has no analogue) slots
+// between them; evArrive is both a hop-0 transmission (netsim's evSend) and
+// a packet arriving at a downstream link. On a one-link topology only
+// Start/Stop/MI/Deliver/Arrive occur and the order degenerates to netsim's.
+const (
+	evStart int32 = iota
+	evStop
+	evMI
+	evDeliver
+	evLoss
+	evArrive
+)
+
+// event is one scheduled simulator action. Unlike netsim's, it carries no
+// flow pointer — shards resolve flowID against a shared read-only slice —
+// and adds the path hop index for multi-link traversals.
+type event struct {
+	time     float64
+	kind     int32
+	flowID   int32
+	hop      int32
+	_        int32   // padding keeps sendTime 8-byte aligned
+	sendTime float64 // deliver/arrive payload: when the packet entered the network
+}
+
+// eventBefore is the canonical schedule order: time, then kind priority,
+// then flow ID, then hop. Within one (time, kind, flow, hop) cell at most
+// one live event exists (pacing instants, MI boundaries, and per-link
+// departure times are all strictly increasing per flow), so the order is
+// total — which is what makes every heap's pop sequence independent of
+// insertion order, and with it the sharded engine independent of worker
+// count.
+func eventBefore(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.flowID != b.flowID {
+		return a.flowID < b.flowID
+	}
+	return a.hop < b.hop
+}
+
+// eventQueue is an inline 4-ary min-heap of event values ordered by
+// eventBefore — netsim's control-event heap, reused here as each shard's
+// single pending-event structure (control, pacing and cross-shard arrivals
+// all share it).
+type eventQueue struct {
+	ev []event
+}
+
+// len returns the number of pending events.
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// peek returns the minimum event; the queue must be non-empty.
+func (q *eventQueue) peek() event { return q.ev[0] }
+
+// push inserts e.
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventBefore(q.ev[i], q.ev[p]) {
+			break
+		}
+		q.ev[i], q.ev[p] = q.ev[p], q.ev[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event; the queue must be non-empty.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev = q.ev[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventBefore(q.ev[c], q.ev[min]) {
+				min = c
+			}
+		}
+		if !eventBefore(q.ev[min], q.ev[i]) {
+			break
+		}
+		q.ev[i], q.ev[min] = q.ev[min], q.ev[i]
+		i = min
+	}
+	return top
+}

@@ -1,0 +1,58 @@
+package topo
+
+// Reference is the ground-truth engine: a classical per-packet
+// discrete-event simulator driving the shared core handlers off one global
+// heap, one event per hop traversal. It is deliberately the simplest
+// possible execution of the event schedule — no shards, no rounds, no
+// message exchange — and the equivalence tests hold Engine to it
+// bit-for-bit, mirroring netsim's Network/ReferenceNetwork contract.
+//
+// Not safe for concurrent use.
+type Reference struct {
+	Topo  *Topology
+	Flows []*Flow
+
+	core   core
+	events eventQueue
+	now    float64
+	seed   int64
+}
+
+// NewReference creates a per-packet reference simulator over the topology.
+// seed drives every link's random-loss process.
+func NewReference(t *Topology, seed int64) *Reference {
+	return &Reference{Topo: t, seed: seed}
+}
+
+// AddFlow registers a flow; call before Run.
+func (r *Reference) AddFlow(cfg FlowConfig) *Flow {
+	cfg = applyFlowDefaults(r.Topo, cfg)
+	f := &Flow{ID: len(r.Flows), Label: cfg.Label, Cfg: cfg}
+	r.Flows = append(r.Flows, f)
+	return f
+}
+
+// Now returns the current simulation time.
+func (r *Reference) Now() float64 { return r.now }
+
+// Run executes the simulation until the given duration (seconds). It may
+// be called once per Reference.
+func (r *Reference) Run(duration float64) {
+	r.core = core{topo: r.Topo, flows: r.Flows}
+	r.core.initRun(r.seed, duration)
+	// The reference ignores destination shards: every follow-up goes back
+	// on the one global heap.
+	emit := func(_ int32, e event) { r.events.push(e) }
+	r.core.seedEvents(emit)
+
+	for r.events.len() > 0 {
+		e := r.events.pop()
+		if e.time > duration {
+			break
+		}
+		r.now = e.time
+		r.core.handle(e, emit, emit)
+	}
+	r.now = duration
+	r.core.finishRun()
+}

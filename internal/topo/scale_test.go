@@ -1,0 +1,105 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// incastTopology builds the scale scenario: nFlows fixed-rate senders homed
+// on `racks` access links all converging on one core link, offered load
+// `agg` times the core capacity.
+func incastTopology(racks, nFlows int, corePps, agg, dur float64) (*Topology, []FlowConfig) {
+	links := make([]LinkConfig, 0, racks+1)
+	for i := 0; i < racks; i++ {
+		links = append(links, link(fmt.Sprintf("rack%d", i), 2*corePps, 0.0005))
+	}
+	links = append(links, link("core", corePps, 0.001))
+	tp, err := New(links)
+	if err != nil {
+		panic(err)
+	}
+	per := corePps * agg / float64(nFlows)
+	flows := make([]FlowConfig, nFlows)
+	for i := range flows {
+		flows[i] = FlowConfig{
+			Alg:  &fixedRate{rate: per},
+			Path: []int{i % racks, racks},
+			// A long MI keeps the Stats series O(1) per flow at this scale.
+			MIms:    500,
+			MaxRate: 2 * per,
+			Start:   float64(i%97) / 97 * 0.3,
+		}
+	}
+	return tp, flows
+}
+
+// TestIncast100kScale pins the SoA sizing claim: one hundred thousand flows
+// through two bottleneck tiers must set up and run in seconds with O(flows)
+// allocations — not O(packets), and with no per-flow struct scatter.
+func TestIncast100kScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-flow scale run in -short mode")
+	}
+	const nFlows = 100_000
+	tp, flows := incastTopology(8, nFlows, 20_000, 2.5, 2)
+
+	start := time.Now()
+	e := NewEngine(tp, 7)
+	for _, fc := range flows {
+		e.AddFlow(fc)
+	}
+	e.Run(2)
+	elapsed := time.Since(start)
+
+	// The 1-core CI container must finish comfortably inside single-digit
+	// seconds; a generous bound still catches O(flows^2) regressions.
+	if elapsed > 30*time.Second {
+		t.Fatalf("100k-flow incast took %v, want seconds", elapsed)
+	}
+
+	var sent, delivered int
+	active := 0
+	for _, f := range e.Flows {
+		sent += f.SentTotal
+		delivered += f.DeliveredTotal
+		if f.SentTotal > 0 {
+			active++
+		}
+	}
+	if active < nFlows*9/10 {
+		t.Errorf("only %d of %d flows sent anything", active, nFlows)
+	}
+	if delivered == 0 || delivered > sent {
+		t.Errorf("implausible totals: sent %d, delivered %d", sent, delivered)
+	}
+	// The core link bounds aggregate delivery: 20k pkts/s for 2s, and every
+	// delivered packet crossed it.
+	if got, limit := delivered, int(20_000*2)+2; got > limit {
+		t.Errorf("delivered %d packets through a core that can carry %d", got, limit)
+	}
+	t.Logf("100k flows: %d sent, %d delivered in %v", sent, delivered, elapsed)
+}
+
+// TestIncastAllocBudget pins the allocation shape at a 10k-flow size small
+// enough for testing.AllocsPerRun: the whole run must stay O(flows)
+// allocations (flow structs, SoA block, heaps), with zero per-packet cost.
+func TestIncastAllocBudget(t *testing.T) {
+	const nFlows = 10_000
+	tp, flows := incastTopology(4, nFlows, 10_000, 2.5, 2)
+	allocs := testing.AllocsPerRun(1, func() {
+		e := NewEngine(tp, 7)
+		for _, fc := range flows {
+			e.AddFlow(fc)
+		}
+		e.Run(2)
+		if e.Flows[0].SentTotal == 0 {
+			t.Fatal("run moved no packets")
+		}
+	})
+	// ~4 allocations per flow covers Flow structs, the flows slice, Stats
+	// headers and heap growth; packets (~50k here) must not contribute.
+	if allocs > 8*nFlows {
+		t.Errorf("10k-flow run allocated %.0f times, want O(flows) (<= %d)", allocs, 8*nFlows)
+	}
+}

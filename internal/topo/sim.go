@@ -1,0 +1,151 @@
+package topo
+
+import "math"
+
+// core is the simulation state both engines share: the topology, the flow
+// set with its SoA hot block, and one linkState per link. Every event
+// handler lives here and is written against two emit functions — one for
+// same-shard follow-ups (the next pacing instant, the next MI boundary)
+// and one for cross-link messages (hop handoffs, deliveries, loss
+// notifications). Reference points both at its global heap; Engine points
+// the first at the owning shard's heap and the second at the shard's
+// outbox, exchanged at round barriers. Because the handlers are the same
+// code, the engines cannot drift: any schedule both execute in eventBefore
+// order yields bit-identical state.
+type core struct {
+	topo  *Topology
+	flows []*Flow
+	st    *soaState
+	links []linkState
+}
+
+// emitFn receives a follow-up event; dst is the link (= shard) index that
+// must process it.
+type emitFn func(dst int32, e event)
+
+func (c *core) initRun(seed int64, duration float64) {
+	c.st = newSoaState(len(c.flows))
+	c.links = make([]linkState, len(c.topo.Links))
+	for i, l := range c.topo.Links {
+		c.links[i] = newLinkState(l, i, seed)
+	}
+	for _, f := range c.flows {
+		c.st.startRun(c.topo, f, duration)
+	}
+}
+
+// home returns the flow's home link/shard: the first hop of its path,
+// where all of its control state lives.
+func (c *core) home(f *Flow) int32 { return int32(f.Cfg.Path[0]) }
+
+// tailDelay is the propagation delay from the entrance of path hop h to
+// the receiver — what a packet dropped entering hop h would still have
+// traversed, and therefore how long the resulting gap takes to become
+// observable at the endpoint.
+func (c *core) tailDelay(f *Flow, hop int32) float64 {
+	var d float64
+	path := f.Cfg.Path
+	for i := int(hop); i < len(path); i++ {
+		d += c.topo.Links[path[i]].Delay
+	}
+	return d
+}
+
+// handle dispatches one event at time e.time. local emits same-shard
+// follow-ups; msg emits cross-link messages (which, because every link
+// delay is at least the engine lookahead, always land at least one
+// lookahead in the future).
+func (c *core) handle(e event, local, msg emitFn) {
+	f := c.flows[e.flowID]
+	st := c.st
+	id := int(e.flowID)
+	switch e.kind {
+	case evStart:
+		st.flags[id] |= flagActive
+		st.miStart[id] = e.time
+		st.nextSend[id] = e.time
+		local(c.home(f), event{time: e.time, kind: evArrive, flowID: e.flowID, hop: 0, sendTime: e.time})
+		local(c.home(f), event{time: e.time + st.miDur[id], kind: evMI, flowID: e.flowID})
+	case evStop:
+		st.flags[id] &^= flagActive
+		st.flags[id] |= flagStopped
+	case evMI:
+		backlog := c.links[c.home(f)].backlog(e.time)
+		if st.closeMI(f, e.time, backlog) {
+			local(c.home(f), event{time: e.time + st.miDur[id], kind: evMI, flowID: e.flowID})
+		}
+	case evDeliver:
+		st.deliver(f, e.time, e.sendTime)
+	case evLoss:
+		st.lost[id]++
+		st.miLost[id]++
+	case evArrive:
+		c.handleArrive(f, e, local, msg)
+	}
+}
+
+// handleArrive moves one packet through one hop. Hop 0 is a transmission:
+// it is paced, counted against the flow's send totals, and a drop there is
+// charged immediately (exactly netsim's behaviour — the sender shares a
+// shard with its first link). Later hops only touch link state; their
+// drops and final deliveries travel back to the home shard as messages
+// stamped with the remaining propagation delay.
+func (c *core) handleArrive(f *Flow, e event, local, msg emitFn) {
+	st := c.st
+	id := int(e.flowID)
+	path := f.Cfg.Path
+	t := e.time
+	if e.hop == 0 {
+		if st.flags[id]&flagActive == 0 {
+			return // stale pacing event for a stopped or completed flow
+		}
+		st.sent[id]++
+		st.miSent[id]++
+		li := path[0]
+		dep, ok := c.links[li].admit(t)
+		if !ok {
+			st.lost[id]++
+			st.miLost[id]++
+		} else {
+			at := dep + c.links[li].cfg.Delay
+			if len(path) == 1 {
+				msg(int32(li), event{time: at, kind: evDeliver, flowID: e.flowID, sendTime: t})
+			} else {
+				msg(int32(path[1]), event{time: at, kind: evArrive, flowID: e.flowID, hop: 1, sendTime: t})
+			}
+		}
+		next := t + 1/math.Max(st.rate[id], 0.1)
+		st.nextSend[id] = next
+		local(int32(li), event{time: next, kind: evArrive, flowID: e.flowID, hop: 0, sendTime: next})
+		return
+	}
+	li := path[e.hop]
+	dep, ok := c.links[li].admit(t)
+	if !ok {
+		msg(c.home(f), event{time: t + c.tailDelay(f, e.hop), kind: evLoss, flowID: e.flowID, hop: e.hop})
+		return
+	}
+	at := dep + c.links[li].cfg.Delay
+	if int(e.hop) == len(path)-1 {
+		msg(c.home(f), event{time: at, kind: evDeliver, flowID: e.flowID, sendTime: e.sendTime})
+	} else {
+		msg(int32(path[e.hop+1]), event{time: at, kind: evArrive, flowID: e.flowID, hop: e.hop + 1, sendTime: e.sendTime})
+	}
+}
+
+// seedEvents pushes every flow's start/stop events via emit.
+func (c *core) seedEvents(emit emitFn) {
+	for _, f := range c.flows {
+		emit(c.home(f), event{time: f.Cfg.Start, kind: evStart, flowID: int32(f.ID)})
+		if f.Cfg.Stop > f.Cfg.Start {
+			emit(c.home(f), event{time: f.Cfg.Stop, kind: evStop, flowID: int32(f.ID)})
+		}
+	}
+}
+
+// finishRun copies every flow's SoA slot into its exported result fields.
+func (c *core) finishRun() {
+	for _, f := range c.flows {
+		c.st.finish(f)
+	}
+}

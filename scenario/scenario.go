@@ -42,6 +42,9 @@ type (
 	SchemeResolver = internal.SchemeResolver
 	// Compiled is a spec lowered onto the packet-level simulator.
 	Compiled = internal.Compiled
+	// CompiledTopo is a topology spec lowered onto the multi-link
+	// simulator (mocc/internal/topo).
+	CompiledTopo = internal.CompiledTopo
 	// Engine selects the simulator engine for a run.
 	Engine = internal.Engine
 	// RunOptions parameterize Run.
@@ -81,6 +84,10 @@ const (
 	LossyWireless = internal.LossyWireless
 	Incast        = internal.Incast
 	FlashCrowd    = internal.FlashCrowd
+
+	// Topology families (multi-link specs on the sharded topo engine).
+	ParkingLot = internal.ParkingLot
+	Incast10k  = internal.Incast10k
 )
 
 // Parse decodes and validates a JSON spec.
@@ -95,8 +102,15 @@ func Run(spec *Spec, opt RunOptions) (*Result, error) { return internal.Run(spec
 // Generate produces the deterministic scenario (family, seed) names.
 func Generate(f Family, seed int64) (*Spec, error) { return internal.Generate(f, seed) }
 
-// Families returns every generator family in canonical order.
+// Families returns every single-bottleneck generator family in canonical
+// order.
 func Families() []Family { return internal.Families() }
+
+// TopoFamilies returns every topology generator family in canonical order.
+func TopoFamilies() []Family { return internal.TopoFamilies() }
+
+// AllFamilies returns every generator family, single-bottleneck first.
+func AllFamilies() []Family { return internal.AllFamilies() }
 
 // FamilyDescription is a one-line family description for CLIs.
 func FamilyDescription(f Family) string { return internal.FamilyDescription(f) }
