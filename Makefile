@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race chaos bench bench-sim bench-train bench-json bench-serve bench-topo fuzz-scen ci
+.PHONY: all build vet test test-race chaos chaos-serve bench bench-sim bench-train bench-json bench-serve bench-topo fuzz-scen ci
 
 all: build vet test
 
@@ -31,6 +31,17 @@ chaos:
 	$(GO) test -short -count=1 -run 'SafeMode|OnlineAdapt|LoadModelFile|SaveLoad' .
 	$(GO) test -short -count=1 -run 'Chaos|Blackout' ./transport
 
+# Serving-resilience chaos suite: engine overload shedding (queue bound +
+# decision deadline), shard panic watchdog, epoch canary auto-rollback on a
+# finite-but-poisoned publish, crash-safe state snapshots, daemon demux
+# hardening against malformed datagrams, and client failover across a
+# daemon killed and restarted mid-load (seeded fault plans, zero Report
+# errors end to end).
+chaos-serve:
+	$(GO) test -short -count=1 -run 'Overload|Shed|QueueBound|Panic|Watchdog|Rollback|Canary|BaseEpoch' ./internal/serve
+	$(GO) test -short -count=1 -run 'Rollback|Canary|ServingState|EvictionChurn' .
+	$(GO) test -short -count=1 -run 'RateServer|ServeFlow|ServeConn|Failover|Restart|Malformed' ./transport
+
 # Micro-benchmarks for the NN/PPO hot path (run with -count for stability).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/nn ./internal/rl
@@ -58,8 +69,10 @@ bench-json:
 	rm -f bench.out.tmp
 
 # Serving-engine snapshot: the coalesced batched-inference path vs the
-# per-call single-sample baseline, at 64 and 10000 concurrent apps, recorded
-# to BENCH_serve.json (ns/report + reports/s in the same snapshot). Fixed
+# per-call single-sample baseline at 64 and 10000 concurrent apps, plus the
+# overload-shedding path (2x in-flight demand against a bounded queue:
+# shed fraction and p99 decision latency), recorded to BENCH_serve.json
+# (ns/report + reports/s + shed/report + p99-ns in the same snapshot). Fixed
 # iteration count for run-to-run comparability; five repeats folded to
 # per-metric medians so one hypervisor steal spike cannot skew a committed
 # number; same temp-file guard as bench-json so a failing run never

@@ -8,6 +8,7 @@ package mocc_test
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -142,4 +143,85 @@ func BenchmarkServeReportSingleSample(b *testing.B) {
 			driveReports(b, lib, g)
 		})
 	}
+}
+
+// BenchmarkServeReportOverload measures the shedding path under sustained
+// 2x overload: 128 always-runnable reporters against a single shard whose
+// queue bound admits half that (MaxQueue 64) with a 2ms decision deadline.
+// Beyond the usual ns/report it records the shed fraction and the p99
+// end-to-end decision latency — the resilience claim is that overload
+// degrades to bounded-latency NaN answers ("keep your rate"), never to an
+// unbounded queue. `make bench-serve` commits both into BENCH_serve.json.
+func BenchmarkServeReportOverload(b *testing.B) {
+	lib, err := mocc.New(servingModel(b), mocc.WithServing(mocc.ServingOptions{
+		Shards:   1,
+		MaxBatch: 16,
+		MaxQueue: 64,
+		Deadline: 2 * time.Millisecond,
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lib.Close()
+
+	const apps = 256
+	handles := make([]*mocc.App, apps)
+	for i := range handles {
+		if handles[i], err = lib.Register(mocc.BalancedPreference); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := mocc.Status{
+		Duration:     40 * time.Millisecond,
+		PacketsSent:  50,
+		PacketsAcked: 48,
+		PacketsLost:  2,
+		AvgRTT:       45 * time.Millisecond,
+		MinRTT:       40 * time.Millisecond,
+	}
+	const workers = 128
+	lat := make([][]time.Duration, workers)
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			samples := make([]time.Duration, 0, b.N*apps/workers+1)
+			for i := 0; i < b.N; i++ {
+				for j := w; j < len(handles); j += workers {
+					start := time.Now()
+					if _, err := handles[j].Report(st); err != nil {
+						b.Error(err)
+						return
+					}
+					samples = append(samples, time.Since(start))
+				}
+			}
+			lat[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+
+	var all []time.Duration
+	for _, s := range lat {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	stats := lib.ServingStats()
+	if decisions := stats.Reports + stats.Shed(); decisions > 0 {
+		b.ReportMetric(float64(stats.Shed())/float64(decisions), "shed/report")
+	}
+	if len(all) > 0 {
+		idx := len(all) * 99 / 100
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		b.ReportMetric(float64(all[idx]), "p99-ns")
+	}
+	total := float64(b.N) * float64(apps)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "reports/s")
 }

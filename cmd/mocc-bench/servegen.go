@@ -4,22 +4,23 @@ package main
 // simulated apps over one shared UDP socket, each sending report datagrams
 // as fast as the daemon answers, and print the sustained reports/sec plus
 // per-report decision-latency percentiles. One socket carries all flows
-// (10k apps would exhaust file descriptors otherwise); a central reader
-// demuxes rate replies to the per-app goroutines by flow id.
+// (10k apps would exhaust file descriptors otherwise); transport.ServeConn
+// demuxes rate replies to the per-app flows, and each flow's
+// transport.ServeFlow rides out daemon overload (shed answers keep the
+// previous rate) and daemon death (local AIMD fallback with backoff-probed
+// resync), so a daemon restart mid-run shows up in the fallback/resync
+// counters instead of as client errors.
 
 import (
-	"errors"
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
-	"net"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"mocc/internal/datapath"
+	"mocc"
+	"mocc/transport"
 )
 
 // serveGenConfig parameterises one load-generation run.
@@ -35,63 +36,14 @@ func runServeGen(cfg serveGenConfig, out io.Writer) error {
 	if cfg.Apps <= 0 {
 		return fmt.Errorf("serve-gen: need -apps >= 1, got %d", cfg.Apps)
 	}
-	raddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
-	if err != nil {
-		return fmt.Errorf("serve-gen: %w", err)
-	}
-	conn, err := net.DialUDP("udp", nil, raddr)
+	conn, err := transport.DialServe(cfg.Addr, transport.ServeConnConfig{})
 	if err != nil {
 		return fmt.Errorf("serve-gen: %w", err)
 	}
 	defer conn.Close()
 
-	// Per-flow reply channels, indexed by flow id. Buffered so a late or
-	// duplicated reply never blocks the reader.
-	replies := make([]chan rateReply, cfg.Apps)
-	for i := range replies {
-		replies[i] = make(chan rateReply, 4)
-	}
-
-	stop := make(chan struct{})
-	var readerDone sync.WaitGroup
-	readerDone.Add(1)
-	go func() {
-		defer readerDone.Done()
-		buf := make([]byte, 64*1024)
-		for {
-			n, err := conn.Read(buf)
-			if err != nil {
-				select {
-				case <-stop:
-					return // socket closed at shutdown
-				default:
-				}
-				if errors.Is(err, net.ErrClosed) {
-					return
-				}
-				continue // transient (e.g. ICMP refused while the daemon restarts)
-			}
-			seq, nanos, flow, rate, epoch, ok := datapath.DecodeRate(buf[:n])
-			if !ok || flow >= uint64(cfg.Apps) {
-				continue
-			}
-			select {
-			case replies[flow] <- rateReply{seq: seq, nanos: nanos, rate: rate, epoch: epoch}:
-			case <-stop:
-				return
-			default: // flow already gave up on this seq
-			}
-		}
-	}()
-
-	var (
-		total    atomic.Int64 // completed report->rate round trips
-		timeouts atomic.Int64
-		writeMu  sync.Mutex // serialize writes on the shared socket
-	)
 	results := make([][]time.Duration, cfg.Apps)
-	epochs := make([]uint64, cfg.Apps)
-
+	stats := make([]transport.ServeFlowStats, cfg.Apps)
 	deadline := time.Now().Add(cfg.Duration)
 	var wg sync.WaitGroup
 	for a := 0; a < cfg.Apps; a++ {
@@ -100,105 +52,65 @@ func runServeGen(cfg serveGenConfig, out io.Writer) error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(flow)))
 			w := randomPref(rng)
-			pkt := make([]byte, datapath.WireReportBytes)
-			var seq uint64
+			sf := conn.Flow(uint64(flow), w, transport.FailoverConfig{
+				Timeout:     500 * time.Millisecond,
+				Retries:     0,
+				BackoffBase: 100 * time.Millisecond,
+				BackoffMax:  time.Second,
+				Seed:        cfg.Seed,
+			})
 			lat := make([]time.Duration, 0, 256)
 			for time.Now().Before(deadline) {
-				seq++
-				rep := syntheticReport(uint64(flow), w, rng)
+				st := syntheticStatus(rng)
+				served := sf.Stats().Served
 				start := time.Now()
-				datapath.EncodeReport(pkt, seq, start.UnixNano(), rep)
-				writeMu.Lock()
-				_, werr := conn.Write(pkt)
-				writeMu.Unlock()
-				if werr != nil {
-					if errors.Is(werr, net.ErrClosed) {
-						return
-					}
-					// Transient (e.g. ICMP refused while the daemon
-					// restarts): back off briefly and try the next report.
-					timeouts.Add(1)
-					time.Sleep(50 * time.Millisecond)
-					continue
+				if _, err := sf.Report(st); err != nil {
+					break // ServeConn closed underneath us
 				}
-				if r, ok := awaitReply(replies[flow], seq, stop); ok {
-					if !math.IsNaN(r.rate) {
-						lat = append(lat, time.Since(start))
-						total.Add(1)
-						epochs[flow] = r.epoch
-					}
-				} else {
-					timeouts.Add(1)
+				if sf.Stats().Served > served {
+					// Answered by the daemon with a usable rate: that
+					// round trip is a decision latency sample.
+					lat = append(lat, time.Since(start))
+				} else if sf.Stats().FallbackActive {
+					// Local fallback decisions return instantly; pace them
+					// like a monitor interval instead of busy-spinning the
+					// load generator while the daemon is unreachable.
+					time.Sleep(time.Millisecond)
 				}
 			}
 			results[flow] = lat
+			stats[flow] = sf.Stats()
 		}(a)
 	}
 	wg.Wait()
-	close(stop)
-	conn.Close()
-	readerDone.Wait()
-
-	return writeServeGenTable(out, cfg, results, epochs, total.Load(), timeouts.Load())
+	return writeServeGenTable(out, cfg, results, stats)
 }
-
-type rateReply struct {
-	seq   uint64
-	nanos int64
-	rate  float64
-	epoch uint64
-}
-
-// awaitReply waits for the rate decision answering seq, discarding stale
-// replies from earlier timed-out reports. The timeout is short so one lost
-// datagram costs the flow half a second, not the rest of the run.
-func awaitReply(ch chan rateReply, seq uint64, stop chan struct{}) (rateReply, bool) {
-	timer := time.NewTimer(500 * time.Millisecond)
-	defer timer.Stop()
-	for {
-		select {
-		case r := <-ch:
-			if r.seq == seq {
-				return r, true
-			}
-		case <-timer.C:
-			return rateReply{}, false
-		case <-stop:
-			return rateReply{}, false
-		}
-	}
-}
-
-// pref is a flow's objective preference vector.
-type pref struct{ Thr, Lat, Loss float64 }
 
 // randomPref draws a normalized preference vector.
-func randomPref(rng *rand.Rand) pref {
+func randomPref(rng *rand.Rand) mocc.Weights {
 	a, b, c := rng.Float64()+0.05, rng.Float64()+0.05, rng.Float64()+0.05
 	s := a + b + c
-	return pref{Thr: a / s, Lat: b / s, Loss: c / s}
+	return mocc.Weights{Thr: a / s, Lat: b / s, Loss: c / s}
 }
 
-// syntheticReport fabricates one plausible monitor interval: a 40ms window
+// syntheticStatus fabricates one plausible monitor interval: a 40ms window
 // with mild jitter in delivery and loss, enough to exercise the history and
 // keep decisions flowing.
-func syntheticReport(flow uint64, w pref, rng *rand.Rand) datapath.WireReport {
+func syntheticStatus(rng *rand.Rand) mocc.Status {
 	sent := 40 + rng.Float64()*20
 	lost := sent * 0.01 * rng.Float64()
-	return datapath.WireReport{
-		Flow: flow,
-		Thr:  w.Thr, Lat: w.Lat, Loss: w.Loss,
-		DurationNs: (40 * time.Millisecond).Nanoseconds(),
-		Sent:       sent,
-		Acked:      sent - lost,
-		Lost:       lost,
-		AvgRTTNs:   (time.Duration(40+rng.Float64()*15) * time.Millisecond).Nanoseconds(),
-		MinRTTNs:   (40 * time.Millisecond).Nanoseconds(),
+	return mocc.Status{
+		Duration:     40 * time.Millisecond,
+		PacketsSent:  sent,
+		PacketsAcked: sent - lost,
+		PacketsLost:  lost,
+		AvgRTT:       time.Duration(40+rng.Float64()*15) * time.Millisecond,
+		MinRTT:       40 * time.Millisecond,
 	}
 }
 
 // writeServeGenTable merges per-app latencies and prints the run summary.
-func writeServeGenTable(out io.Writer, cfg serveGenConfig, results [][]time.Duration, epochs []uint64, total, timeouts int64) error {
+func writeServeGenTable(out io.Writer, cfg serveGenConfig, results [][]time.Duration, stats []transport.ServeFlowStats) error {
 	var all []time.Duration
 	for _, lat := range results {
 		all = append(all, lat...)
@@ -211,27 +123,38 @@ func writeServeGenTable(out io.Writer, cfg serveGenConfig, results [][]time.Dura
 		i := int(p * float64(len(all)-1))
 		return all[i]
 	}
-	maxEpoch := uint64(0)
-	for _, e := range epochs {
-		if e > maxEpoch {
-			maxEpoch = e
+	var agg transport.ServeFlowStats
+	for _, st := range stats {
+		agg.Served += st.Served
+		agg.Shed += st.Shed
+		agg.Timeouts += st.Timeouts
+		agg.Retries += st.Retries
+		agg.Fallbacks += st.Fallbacks
+		agg.FallbackReports += st.FallbackReports
+		agg.Resyncs += st.Resyncs
+		if st.Epoch > agg.Epoch {
+			agg.Epoch = st.Epoch
 		}
 	}
-	rps := float64(total) / cfg.Duration.Seconds()
+	rps := float64(agg.Served) / cfg.Duration.Seconds()
 	_, err := fmt.Fprintf(out,
 		"== mocc-serve load generation ==\n"+
-			"target        %s\n"+
-			"apps          %d\n"+
-			"duration      %s\n"+
-			"reports ok    %d\n"+
-			"timeouts      %d\n"+
-			"reports/sec   %.0f\n"+
-			"latency p50   %s\n"+
-			"latency p90   %s\n"+
-			"latency p99   %s\n"+
-			"latency max   %s\n"+
-			"model epoch   %d\n",
-		cfg.Addr, cfg.Apps, cfg.Duration, total, timeouts, rps,
-		pct(0.50), pct(0.90), pct(0.99), pct(1.0), maxEpoch)
+			"target          %s\n"+
+			"apps            %d\n"+
+			"duration        %s\n"+
+			"reports served  %d\n"+
+			"shed            %d\n"+
+			"timeouts        %d (retries %d)\n"+
+			"fallbacks       %d (local reports %d, resyncs %d)\n"+
+			"reports/sec     %.0f\n"+
+			"latency p50     %s\n"+
+			"latency p90     %s\n"+
+			"latency p99     %s\n"+
+			"latency max     %s\n"+
+			"model epoch     %d\n",
+		cfg.Addr, cfg.Apps, cfg.Duration, agg.Served, agg.Shed,
+		agg.Timeouts, agg.Retries,
+		agg.Fallbacks, agg.FallbackReports, agg.Resyncs,
+		rps, pct(0.50), pct(0.90), pct(0.99), pct(1.0), agg.Epoch)
 	return err
 }

@@ -10,13 +10,23 @@
 //	mocc-serve -addr :9053 -model mocc-model.json
 //	mocc-serve -addr :9053 -model mocc-model.json -watch 5s -idle-ttl 1m
 //	mocc-serve -addr :9053 -scale quick            # train in process
+//	mocc-serve -addr :9053 -state mocc-serve.state # crash-safe restart
 //
 // Flows are registered lazily on their first report, keyed by (source
 // address, flow id); an idle flow is evicted after -idle-ttl and simply
 // re-registers on its next report. With -watch, the model file is polled
-// and every change is hot-swapped into the live shards (Library.Publish):
-// flows keep reporting through the swap and never observe a torn model.
-// Drive it with `mocc-bench -serve-addr` for load generation.
+// and every change is hot-swapped into the live shards (Library.Publish)
+// after validation; a partially written file is skipped and retried on the
+// next poll, so writers should write-then-rename (mocc-train does). Drive
+// it with `mocc-bench -serve-addr` for load generation.
+//
+// Resilience: the daemon sheds decisions under overload (-max-queue,
+// -deadline; shed flows keep their previous rate), watches every published
+// epoch with a canary that auto-rolls back a model whose fleet fault rate
+// spikes (-canary-window, 0 disables), and — with -state — atomically
+// snapshots the served model+epoch on every change so a crashed daemon
+// restarts exactly where it stopped. Malformed datagrams are counted, never
+// fatal (-stats prints all counters).
 package main
 
 import (
@@ -26,12 +36,11 @@ import (
 	"os"
 	"os/signal"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"mocc"
-	"mocc/internal/datapath"
+	"mocc/transport"
 )
 
 func main() {
@@ -39,33 +48,74 @@ func main() {
 	log.SetPrefix("mocc-serve: ")
 
 	var (
-		addr      = flag.String("addr", ":9053", "UDP listen address")
-		modelPath = flag.String("model", "", "model file (mocc-train output); empty trains in process")
-		scale     = flag.String("scale", "quick", "in-process training scale when -model is empty: quick | standard")
-		seed      = flag.Int64("seed", 1, "in-process training seed")
-		shards    = flag.Int("shards", 0, "serving shards (0 = GOMAXPROCS)")
-		maxBatch  = flag.Int("max-batch", 0, "max coalesced decisions per forward pass (0 = default 64)")
-		flush     = flag.Duration("flush", 0, "micro-batch flush deadline (0 = default 200µs)")
-		idleTTL   = flag.Duration("idle-ttl", time.Minute, "evict flows idle this long (0 disables)")
-		watch     = flag.Duration("watch", 0, "poll -model for changes and hot-swap (0 disables)")
-		statsEach = flag.Duration("stats", 10*time.Second, "print serving/fleet stats this often (0 disables)")
+		addr       = flag.String("addr", ":9053", "UDP listen address")
+		modelPath  = flag.String("model", "", "model file (mocc-train output); empty trains in process")
+		scale      = flag.String("scale", "quick", "in-process training scale when -model is empty: quick | standard")
+		seed       = flag.Int64("seed", 1, "in-process training seed")
+		shards     = flag.Int("shards", 0, "serving shards (0 = GOMAXPROCS)")
+		maxBatch   = flag.Int("max-batch", 0, "max coalesced decisions per forward pass (0 = default 64)")
+		flush      = flag.Duration("flush", 0, "micro-batch flush deadline (0 = default 200µs)")
+		maxQueue   = flag.Int("max-queue", 0, "per-shard queue bound, shed beyond it (0 = default 4096, negative = unbounded)")
+		deadline   = flag.Duration("deadline", 25*time.Millisecond, "shed decisions queued longer than this (0 disables)")
+		idleTTL    = flag.Duration("idle-ttl", time.Minute, "evict flows idle this long (0 disables)")
+		watch      = flag.Duration("watch", 0, "poll -model for changes and hot-swap (0 disables)")
+		statePath  = flag.String("state", "", "crash-safe snapshot file: persist model+epoch, resume on restart (empty disables)")
+		canaryWin  = flag.Duration("canary-window", 3*time.Second, "epoch canary observation window (0 disables auto-rollback)")
+		canaryRate = flag.Float64("canary-fault-rate", 0.05, "fleet fault rate above which a canary epoch is rolled back")
+		statsEach  = flag.Duration("stats", 10*time.Second, "print serving/fleet stats this often (0 disables)")
 	)
 	flag.Parse()
 
-	model, err := loadOrTrain(*modelPath, *scale, *seed)
+	model, initialEpoch, resumed, err := resolveModel(*statePath, *modelPath, *scale, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	lib, err := mocc.New(model, mocc.WithServing(mocc.ServingOptions{
+
+	opts := mocc.ServingOptions{
 		Shards:        *shards,
 		MaxBatch:      *maxBatch,
 		FlushInterval: *flush,
+		MaxQueue:      *maxQueue,
+		Deadline:      *deadline,
 		IdleTTL:       *idleTTL,
-	}))
+		InitialEpoch:  initialEpoch,
+	}
+	if *canaryWin > 0 {
+		opts.Canary = &mocc.CanaryConfig{
+			Window:       *canaryWin,
+			MaxFaultRate: *canaryRate,
+		}
+	}
+	var lib *mocc.Library
+	var stateMu sync.Mutex
+	saveState := func(reason string) {
+		if *statePath == "" || lib == nil {
+			return
+		}
+		stateMu.Lock()
+		defer stateMu.Unlock()
+		if err := mocc.SaveServingState(*statePath, lib.Epoch(), lib.Model()); err != nil {
+			log.Printf("state: %v", err)
+			return
+		}
+		log.Printf("state: snapshotted epoch %d (%s)", lib.Epoch(), reason)
+	}
+	if opts.Canary != nil {
+		opts.Canary.OnRollback = func(ev mocc.RollbackEvent) {
+			log.Printf("canary: rolled back epoch %d -> %d (%d faults in %d reports)",
+				ev.From, ev.To, ev.Faults, ev.Reports)
+			saveState("canary rollback")
+		}
+	}
+	lib, err = mocc.New(model, mocc.WithServing(opts))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer lib.Close()
+	if resumed {
+		log.Printf("resumed epoch %d from %s", initialEpoch, *statePath)
+	}
+	saveState("startup")
 
 	udpAddr, err := net.ResolveUDPAddr("udp", *addr)
 	if err != nil {
@@ -75,17 +125,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving on %s (%d shards)", conn.LocalAddr(), lib.ServingStats().Shards)
+	srv := transport.NewRateServer(lib, conn)
+	log.Printf("serving on %s (%d shards)", srv.Addr(), lib.ServingStats().Shards)
 
-	d := &daemon{lib: lib, conn: conn, sessions: make(map[sessionKey]*session)}
 	stop := make(chan struct{})
 	var bg sync.WaitGroup
-
 	if *watch > 0 && *modelPath != "" {
 		bg.Add(1)
 		go func() {
 			defer bg.Done()
-			d.watchModel(*modelPath, *watch, stop)
+			watchModel(lib, *modelPath, *watch, stop, saveState)
 		}()
 	}
 	if *statsEach > 0 {
@@ -99,7 +148,7 @@ func main() {
 				case <-stop:
 					return
 				case <-tick.C:
-					d.logStats()
+					logStats(lib, srv)
 				}
 			}
 		}()
@@ -111,16 +160,35 @@ func main() {
 		<-sig
 		log.Print("shutting down")
 		close(stop)
-		conn.Close() // unblocks the read loop
+		srv.Close() // unblocks the read loop and stops the sessions
 	}()
 
-	d.readLoop(stop)
+	srv.Serve()
 	bg.Wait()
-	d.closeSessions()
-	d.logStats()
+	saveState("shutdown")
+	logStats(lib, srv)
 }
 
-// loadOrTrain resolves the serving model.
+// resolveModel picks the serving model and its starting epoch: a readable
+// -state snapshot wins (crash-safe resume), then -model, then in-process
+// training.
+func resolveModel(statePath, modelPath, scale string, seed int64) (m *mocc.Model, epoch uint64, resumed bool, err error) {
+	if statePath != "" {
+		if _, serr := os.Stat(statePath); serr == nil {
+			epoch, m, err = mocc.LoadServingState(statePath)
+			if err == nil {
+				return m, epoch, true, nil
+			}
+			// A corrupted snapshot must not keep the daemon down: log and
+			// fall through to the model file / training path.
+			log.Printf("state: ignoring %s: %v", statePath, err)
+		}
+	}
+	m, err = loadOrTrain(modelPath, scale, seed)
+	return m, 0, false, err
+}
+
+// loadOrTrain resolves the serving model from a file or in-process training.
 func loadOrTrain(path, scale string, seed int64) (*mocc.Model, error) {
 	if path != "" {
 		log.Printf("loading model %s", path)
@@ -135,142 +203,19 @@ func loadOrTrain(path, scale string, seed int64) (*mocc.Model, error) {
 	return mocc.TrainModel(opts)
 }
 
-// sessionKey identifies a flow: the datagram's source address plus its
-// self-assigned flow id (many flows may share one socket).
-type sessionKey struct {
-	addr string
-	flow uint64
-}
-
-// session is one registered flow: its library handle and the channel its
-// worker goroutine consumes, so a slow Report (one batch flush) never
-// blocks the socket read loop.
-type session struct {
-	app  *mocc.App
-	addr *net.UDPAddr
-	ch   chan reportMsg
-	w    mocc.Weights
-}
-
-type reportMsg struct {
-	seq   uint64
-	nanos int64
-	rep   datapath.WireReport
-}
-
-type daemon struct {
-	lib  *mocc.Library
-	conn *net.UDPConn
-
-	mu       sync.Mutex
-	sessions map[sessionKey]*session
-
-	rejected atomic.Int64 // registrations refused (invalid weights)
-	dropped  atomic.Int64 // reports dropped on a full session queue
-	replies  atomic.Int64 // rate datagrams sent
-}
-
-// readLoop is the socket hot path: decode, demux to the session worker,
-// never block.
-func (d *daemon) readLoop(stop chan struct{}) {
-	buf := make([]byte, 64*1024)
-	for {
-		n, raddr, err := d.conn.ReadFromUDP(buf)
-		if err != nil {
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			log.Printf("read: %v", err)
-			return
-		}
-		seq, nanos, rep, ok := datapath.DecodeReport(buf[:n])
-		if !ok {
-			continue
-		}
-		s := d.lookup(sessionKey{raddr.String(), rep.Flow}, raddr, rep)
-		if s == nil {
-			continue
-		}
-		select {
-		case s.ch <- reportMsg{seq: seq, nanos: nanos, rep: rep}:
-		default:
-			d.dropped.Add(1) // backpressure: drop rather than stall the socket
-		}
-	}
-}
-
-// lookup returns the flow's session, registering it on first contact.
-func (d *daemon) lookup(key sessionKey, raddr *net.UDPAddr, rep datapath.WireReport) *session {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if s, ok := d.sessions[key]; ok {
-		return s
-	}
-	w := mocc.Weights{Thr: rep.Thr, Lat: rep.Lat, Loss: rep.Loss}
-	app, err := d.lib.Register(w)
-	if err != nil {
-		d.rejected.Add(1)
-		return nil
-	}
-	laddr := *raddr
-	s := &session{app: app, addr: &laddr, ch: make(chan reportMsg, 16), w: w}
-	d.sessions[key] = s
-	go d.runSession(key, s)
-	return s
-}
-
-// drop removes a torn-down session so a later report re-registers.
-func (d *daemon) drop(key sessionKey, s *session) {
-	d.mu.Lock()
-	if d.sessions[key] == s {
-		delete(d.sessions, key)
-	}
-	d.mu.Unlock()
-}
-
-// runSession serializes one flow's Reports and writes the rate replies.
-func (d *daemon) runSession(key sessionKey, s *session) {
-	out := make([]byte, datapath.WireRateBytes)
-	for m := range s.ch {
-		if w := (mocc.Weights{Thr: m.rep.Thr, Lat: m.rep.Lat, Loss: m.rep.Loss}); w != s.w {
-			if err := s.app.SetWeights(w); err == nil {
-				s.w = w
-			}
-		}
-		rate, err := s.app.Report(mocc.Status{
-			Duration:     time.Duration(m.rep.DurationNs),
-			PacketsSent:  m.rep.Sent,
-			PacketsAcked: m.rep.Acked,
-			PacketsLost:  m.rep.Lost,
-			AvgRTT:       time.Duration(m.rep.AvgRTTNs),
-			MinRTT:       time.Duration(m.rep.MinRTTNs),
-		})
-		if err != nil {
-			// Evicted by the idle janitor (or unregistered): tear the
-			// session down; the flow's next report re-registers. Other
-			// errors are malformed statuses — ignore the report.
-			if _, alive := d.lib.App(s.app.ID()); !alive {
-				d.drop(key, s)
-				return
-			}
-			continue
-		}
-		datapath.EncodeRate(out, m.seq, m.nanos, m.rep.Flow, rate, d.lib.Epoch())
-		if _, err := d.conn.WriteToUDP(out, s.addr); err == nil {
-			d.replies.Add(1)
-		}
-	}
-}
-
 // watchModel polls the model file and hot-swaps every change into the live
-// shards.
-func (d *daemon) watchModel(path string, every time.Duration, stop chan struct{}) {
-	var lastMod time.Time
+// shards, validate-then-publish. A file that fails to load or validate —
+// typically a writer caught mid-write — is NOT treated as seen: the mtime
+// marker only advances on a successful publish, so the torn read is retried
+// on the next poll (by which point an atomic writer has renamed the
+// complete file into place). The error is logged once per distinct cause,
+// not once per poll.
+func watchModel(lib *mocc.Library, path string, every time.Duration, stop chan struct{}, saveState func(string)) {
+	var published time.Time
 	if fi, err := os.Stat(path); err == nil {
-		lastMod = fi.ModTime()
+		published = fi.ModTime()
 	}
+	lastErr := ""
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {
@@ -280,42 +225,42 @@ func (d *daemon) watchModel(path string, every time.Duration, stop chan struct{}
 		case <-tick.C:
 		}
 		fi, err := os.Stat(path)
-		if err != nil || !fi.ModTime().After(lastMod) {
+		if err != nil || !fi.ModTime().After(published) {
 			continue
 		}
-		lastMod = fi.ModTime()
 		m, err := mocc.LoadModelFile(path)
-		if err != nil {
-			log.Printf("watch: reload %s: %v", path, err)
-			continue
+		if err == nil {
+			var epoch uint64
+			if epoch, err = lib.Publish(m); err == nil {
+				published = fi.ModTime()
+				lastErr = ""
+				log.Printf("hot-swapped %s as epoch %d", path, epoch)
+				saveState("hot-swap")
+				continue
+			}
 		}
-		epoch, err := d.lib.Publish(m)
-		if err != nil {
-			log.Printf("watch: publish: %v", err)
-			continue
+		// Skip this poll; retry while the file keeps failing. Writers
+		// should write to a temp file and rename (mocc-train does), which
+		// makes a torn read a one-poll transient.
+		if msg := err.Error(); msg != lastErr {
+			lastErr = msg
+			log.Printf("watch: skipping %s (will retry): %v", path, err)
 		}
-		log.Printf("hot-swapped %s as epoch %d", path, epoch)
 	}
 }
 
-// closeSessions stops every session worker after the read loop has exited.
-func (d *daemon) closeSessions() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for key, s := range d.sessions {
-		close(s.ch)
-		delete(d.sessions, key)
-	}
-}
-
-func (d *daemon) logStats() {
-	st := d.lib.ServingStats()
-	fl := d.lib.FleetStats()
+func logStats(lib *mocc.Library, srv *transport.RateServer) {
+	st := lib.ServingStats()
+	fl := lib.FleetStats()
+	ds := srv.Stats()
 	avg := 0.0
 	if st.Batches > 0 {
 		avg = float64(st.Reports) / float64(st.Batches)
 	}
-	log.Printf("epoch %d | flows %d | reports %d (batches %d, avg %.1f, max %d) | replies %d dropped %d rejected %d | evicted %d | fleet thr %.0f pkts/s loss %.3f",
+	log.Printf("epoch %d | flows %d | reports %d (batches %d, avg %.1f, max %d) | shed %d (queue %d deadline %d, queued %d) | rollbacks %d panics %d restarts %d | replies %d dropped %d rejected %d malformed %d foreign %d | evicted %d | fleet thr %.0f pkts/s loss %.3f degraded %d",
 		st.Epoch, fl.Apps, st.Reports, st.Batches, avg, st.MaxBatch,
-		d.replies.Load(), d.dropped.Load(), d.rejected.Load(), st.Evicted, fl.Throughput, fl.LossRate)
+		st.Shed(), st.ShedQueue, st.ShedDeadline, st.Queued,
+		st.Rollbacks, st.Panics, st.Restarts,
+		ds.Replies, ds.Dropped, ds.Rejected, ds.Malformed, ds.Foreign,
+		st.Evicted, fl.Throughput, fl.LossRate, fl.FallbackActive)
 }

@@ -31,12 +31,25 @@ type ConnStats struct {
 	AcksDropped   int
 	AcksCorrupted int
 	AcksReordered int
+	// Control-plane (mocc-serve) datagrams: report datagrams are tampered
+	// on the write side exactly like data packets, rate replies on the
+	// read side exactly like acks.
+	ReportsSwallowed  int
+	ReportsCorrupted  int
+	ReportsDuplicated int
+	RatesDropped      int
+	RatesCorrupted    int
+	RatesReordered    int
 }
 
 // FaultConn applies a Plan's wire-layer injectors around an inner Conn:
-// Write tampers with outgoing data packets (blackout swallowing,
-// header corruption, duplication), Read tampers with incoming
-// acknowledgements (loss bursts, blackout, corruption, reordering).
+// Write tampers with outgoing datapath-bound datagrams — data packets and
+// mocc-serve report datagrams — (blackout swallowing, header corruption,
+// duplication); Read tampers with incoming ones — acknowledgements and
+// mocc-serve rate replies — (loss bursts, blackout, corruption,
+// reordering). Data and report share the write-side injector state, acks
+// and rates the read-side state: a connection carries one kind or the
+// other, so each plan's random streams stay bit-reproducible either way.
 //
 // Like the *net.UDPConn it wraps, a FaultConn supports one goroutine
 // calling Write concurrently with one goroutine calling Read (the
@@ -123,17 +136,24 @@ func corruptHeader(rng *rand.Rand, pkt []byte) {
 // buffer across sends).
 func (c *FaultConn) Write(b []byte) (int, error) {
 	typ, seq, ok := datapath.DecodeHeader(b)
-	if !ok || typ != datapath.WireTypeData {
+	if !ok || (typ != datapath.WireTypeData && typ != datapath.WireTypeReport) {
 		return c.inner.Write(b)
 	}
+	isReport := typ == datapath.WireTypeReport
 	c.wMu.Lock()
 	defer c.wMu.Unlock()
 
 	if c.plan.Blackout.covers(seq) {
 		// Swallowed after a successful send: the sender cannot tell the
 		// receiver has gone dark — exactly the blackout it must detect
-		// from the missing acks.
-		c.count(func(s *ConnStats) { s.DataSwallowed++ })
+		// from the missing acks (or, for a report, the missing rate reply).
+		c.count(func(s *ConnStats) {
+			if isReport {
+				s.ReportsSwallowed++
+			} else {
+				s.DataSwallowed++
+			}
+		})
 		return len(b), nil
 	}
 
@@ -146,7 +166,13 @@ func (c *FaultConn) Write(b []byte) (int, error) {
 		copy(c.scratch, b)
 		corruptHeader(c.corrDataRng, c.scratch)
 		out = c.scratch
-		c.count(func(s *ConnStats) { s.DataCorrupted++ })
+		c.count(func(s *ConnStats) {
+			if isReport {
+				s.ReportsCorrupted++
+			} else {
+				s.DataCorrupted++
+			}
+		})
 	}
 
 	n, err := c.inner.Write(out)
@@ -155,7 +181,13 @@ func (c *FaultConn) Write(b []byte) (int, error) {
 	}
 	if d := c.plan.Duplicate; d != nil && c.dupRng.Float64() < d.Prob {
 		_, _ = c.inner.Write(out)
-		c.count(func(s *ConnStats) { s.DataDuplicated++ })
+		c.count(func(s *ConnStats) {
+			if isReport {
+				s.ReportsDuplicated++
+			} else {
+				s.DataDuplicated++
+			}
+		})
 	}
 	if n > len(b) {
 		n = len(b)
@@ -186,19 +218,32 @@ func (c *FaultConn) Read(b []byte) (int, error) {
 			return n, err
 		}
 		typ, seq, ok := datapath.DecodeHeader(b[:n])
-		if !ok || typ != datapath.WireTypeAck {
+		if !ok || (typ != datapath.WireTypeAck && typ != datapath.WireTypeRate) {
 			c.reads++
 			return n, nil
 		}
+		isRate := typ == datapath.WireTypeRate
 
 		if c.plan.Blackout.covers(seq) {
-			c.count(func(s *ConnStats) { s.AcksDropped++ })
+			c.count(func(s *ConnStats) {
+				if isRate {
+					s.RatesDropped++
+				} else {
+					s.AcksDropped++
+				}
+			})
 			continue
 		}
 		if al := c.plan.AckLoss; al != nil {
 			if c.burstLeft > 0 {
 				c.burstLeft--
-				c.count(func(s *ConnStats) { s.AcksDropped++ })
+				c.count(func(s *ConnStats) {
+					if isRate {
+						s.RatesDropped++
+					} else {
+						s.AcksDropped++
+					}
+				})
 				continue
 			}
 			if c.ackRng.Float64() < al.Prob {
@@ -207,7 +252,13 @@ func (c *FaultConn) Read(b []byte) (int, error) {
 					burst = 1
 				}
 				c.burstLeft = burst - 1
-				c.count(func(s *ConnStats) { s.AcksDropped++ })
+				c.count(func(s *ConnStats) {
+					if isRate {
+						s.RatesDropped++
+					} else {
+						s.AcksDropped++
+					}
+				})
 				continue
 			}
 		}
@@ -220,12 +271,24 @@ func (c *FaultConn) Read(b []byte) (int, error) {
 				data:    append([]byte(nil), b[:n]...),
 				release: c.reads + delay,
 			})
-			c.count(func(s *ConnStats) { s.AcksReordered++ })
+			c.count(func(s *ConnStats) {
+				if isRate {
+					s.RatesReordered++
+				} else {
+					s.AcksReordered++
+				}
+			})
 			continue
 		}
 		if cr := c.plan.Corrupt; cr != nil && cr.Acks && c.corrAckRng.Float64() < cr.Prob {
 			corruptHeader(c.corrAckRng, b[:n])
-			c.count(func(s *ConnStats) { s.AcksCorrupted++ })
+			c.count(func(s *ConnStats) {
+				if isRate {
+					s.RatesCorrupted++
+				} else {
+					s.AcksCorrupted++
+				}
+			})
 		}
 		c.reads++
 		return n, nil

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"testing"
+
+	"mocc/internal/datapath"
+)
+
+// reportPkt / ratePkt build mocc-serve control-plane datagrams, the second
+// traffic class the wire injectors classify (reports on the write side like
+// data, rates on the read side like acks).
+func reportPkt(seq uint64) []byte {
+	pkt := make([]byte, datapath.WireReportBytes)
+	datapath.EncodeReport(pkt, seq, int64(seq)*1000, datapath.WireReport{
+		Flow: 1, Thr: 0.4, Lat: 0.3, Loss: 0.3,
+		DurationNs: 40e6, Sent: 50, Acked: 50, AvgRTTNs: 45e6, MinRTTNs: 40e6,
+	})
+	return pkt
+}
+
+func ratePkt(seq uint64) []byte {
+	pkt := make([]byte, datapath.WireRateBytes)
+	datapath.EncodeRate(pkt, seq, int64(seq)*1000, 1, 500, 1)
+	return pkt
+}
+
+// TestBlackoutSwallowsReportsAndRates pins the control-plane arm of the
+// blackout injector: report datagrams inside the window are swallowed after
+// a successful-looking send, rate replies inside it never reach the caller,
+// and the counters record both under their own names.
+func TestBlackoutSwallowsReportsAndRates(t *testing.T) {
+	plan := &Plan{Seed: 1, Blackout: &Blackout{Windows: []Window{{From: 3, To: 6}}}}
+	inner := &scriptConn{}
+	for _, s := range ackSeqs(t, 8) {
+		inner.in = append(inner.in, ratePkt(s))
+	}
+	fc := plan.WrapConn(inner)
+
+	for _, s := range ackSeqs(t, 8) {
+		if n, err := fc.Write(reportPkt(s)); err != nil || n != datapath.WireReportBytes {
+			t.Fatalf("Write(seq=%d) = (%d, %v)", s, n, err)
+		}
+	}
+	if got, want := len(inner.out), 5; got != want {
+		t.Fatalf("forwarded %d reports, want %d (seqs 3,4,5 swallowed)", got, want)
+	}
+	for _, pkt := range inner.out {
+		_, seq, _ := datapath.DecodeHeader(pkt)
+		if seq >= 3 && seq < 6 {
+			t.Fatalf("blacked-out report %d reached the wire", seq)
+		}
+	}
+
+	var delivered []uint64
+	for _, pkt := range readAll(fc) {
+		_, seq, _ := datapath.DecodeHeader(pkt)
+		delivered = append(delivered, seq)
+	}
+	if got, want := len(delivered), 5; got != want {
+		t.Fatalf("delivered %d rates, want %d", got, want)
+	}
+	for _, seq := range delivered {
+		if seq >= 3 && seq < 6 {
+			t.Fatalf("rate for blacked-out seq %d delivered", seq)
+		}
+	}
+
+	st := fc.Stats()
+	if st.ReportsSwallowed != 3 || st.RatesDropped != 3 {
+		t.Fatalf("stats = %+v, want 3 reports swallowed / 3 rates dropped", st)
+	}
+	if st.DataSwallowed != 0 || st.AcksDropped != 0 {
+		t.Fatalf("control-plane faults leaked into data-plane counters: %+v", st)
+	}
+}
+
+// TestServeWireTamperCounters pins that corruption, duplication, loss bursts
+// and reordering applied to control-plane datagrams land in the
+// Reports*/Rates* counters, disjoint from the data-plane ones, while the
+// plan's injector state stays shared (same seed, same draws).
+func TestServeWireTamperCounters(t *testing.T) {
+	plan := &Plan{
+		Seed:      7,
+		AckLoss:   &AckLoss{Prob: 0.3, Burst: 2},
+		Duplicate: &Duplicate{Prob: 0.5},
+		Reorder:   &Reorder{Prob: 0.3, Delay: 2},
+		Corrupt:   &Corrupt{Prob: 0.5, Data: true, Acks: true},
+	}
+	inner := &scriptConn{}
+	for _, s := range ackSeqs(t, 40) {
+		inner.in = append(inner.in, ratePkt(s))
+	}
+	fc := plan.WrapConn(inner)
+
+	for _, s := range ackSeqs(t, 40) {
+		if _, err := fc.Write(reportPkt(s)); err != nil {
+			t.Fatalf("Write(seq=%d): %v", s, err)
+		}
+	}
+	delivered := readAll(fc)
+
+	st := fc.Stats()
+	if st.ReportsCorrupted == 0 || st.ReportsDuplicated == 0 {
+		t.Fatalf("write-side injectors never fired on reports: %+v", st)
+	}
+	if st.RatesDropped == 0 || st.RatesReordered == 0 || st.RatesCorrupted == 0 {
+		t.Fatalf("read-side injectors never fired on rates: %+v", st)
+	}
+	if st.DataCorrupted+st.DataDuplicated+st.AcksDropped+st.AcksCorrupted+st.AcksReordered != 0 {
+		t.Fatalf("control-plane faults leaked into data-plane counters: %+v", st)
+	}
+	if got, want := len(inner.out), 40+st.ReportsDuplicated; got != want {
+		t.Fatalf("wire saw %d reports, want %d (40 + %d duplicates)", got, want, st.ReportsDuplicated)
+	}
+	// Reordered rates are stashed behind later reads; with the script
+	// drained, everything except the dropped ones must have come through.
+	if got, want := len(delivered), 40-st.RatesDropped; got > want {
+		t.Fatalf("delivered %d rates, want <= %d", got, want)
+	}
+}

@@ -12,6 +12,15 @@
 // happened to share its micro-batch, because the batched kernels preserve
 // each row's floating-point accumulation order. Batching changes latency
 // and throughput, never a decision.
+//
+// Resilience: the engine degrades instead of wedging. Each shard bounds its
+// pending queue (requests past the bound are shed with NaN — "leave the
+// rate unchanged", the established safe answer), optionally sheds requests
+// that waited past a decision deadline, recovers inference panics per batch
+// (the poisoned batch answers NaN, the shard keeps serving), and restarts a
+// crashed consumer goroutine under a watchdog rather than stranding its
+// queue. The previous model generation is retained so a bad Publish can be
+// undone by Rollback without having the old parameters at hand.
 package serve
 
 import (
@@ -42,6 +51,23 @@ type Config struct {
 	// default; negative disables the coalescing wait entirely (every
 	// wake flushes whatever is queued — useful in tests).
 	FlushInterval time.Duration
+	// MaxQueue bounds each shard's pending-request queue. A request
+	// arriving at a full shard is shed immediately: Act returns NaN
+	// ("leave the rate unchanged") without enqueueing, so overload
+	// surfaces as bounded queueing delay plus shed answers instead of
+	// unbounded latency. Defaults to 4096 per shard; negative disables
+	// the bound.
+	MaxQueue int
+	// Deadline, when positive, additionally sheds requests that already
+	// waited in the queue longer than this before reaching a forward
+	// pass: they are answered NaN instead of being served stale. Zero
+	// disables deadline shedding.
+	Deadline time.Duration
+	// BaseEpoch is the sequence number assigned to the initial model (the
+	// one passed to New). A daemon resuming from a crash-safe snapshot
+	// passes the snapshot's epoch here so clients observe a continuous
+	// epoch sequence across the restart. Defaults to 0.
+	BaseEpoch uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +79,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlushInterval == 0 {
 		c.FlushInterval = 200 * time.Microsecond
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4096
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0 // unlimited
+	}
+	if c.Deadline < 0 {
+		c.Deadline = 0
 	}
 	return c
 }
@@ -71,6 +106,7 @@ type request struct {
 	next *request // intrusive Treiber-stack link, owned by the shard after push
 	w    objective.Weights
 	obs  []float64
+	enq  time.Time // submit time, set only when deadline shedding is on
 	out  float64
 	done chan struct{}
 }
@@ -78,18 +114,29 @@ type request struct {
 // Stats is a point-in-time snapshot of engine counters.
 type Stats struct {
 	Shards   int    // configured shard count
-	Epoch    uint64 // current model generation (0 = the model passed to New)
+	Epoch    uint64 // current model generation (BaseEpoch = the model passed to New)
 	Reports  uint64 // decisions served
 	Batches  uint64 // forward passes run
 	MaxBatch int    // largest coalesced batch observed
 	Swaps    uint64 // epoch applications summed over shards
+
+	Queued       int64  // requests currently queued, summed over shards
+	ShedQueue    uint64 // requests shed at submit: shard queue at MaxQueue
+	ShedDeadline uint64 // requests shed in the shard: queued past Deadline
+	Panics       uint64 // inference panics recovered (batch answered NaN)
+	Restarts     uint64 // consumer goroutines restarted by the watchdog
+	Rollbacks    uint64 // generation rollbacks applied (Rollback)
 }
+
+// Shed returns the total requests shed for any reason.
+func (s Stats) Shed() uint64 { return s.ShedQueue + s.ShedDeadline }
 
 // Engine is the sharded batching inference engine. All methods are safe for
 // concurrent use.
 type Engine struct {
 	cfg    Config
 	epoch  atomic.Pointer[epochState]
+	prev   atomic.Pointer[epochState] // generation displaced by the last Publish/Rollback
 	shards []*shard
 
 	closed    atomic.Bool
@@ -97,20 +144,35 @@ type Engine struct {
 	closeOnce sync.Once
 	closedCh  chan struct{} // closed once every shard has exited
 
-	reports  atomic.Uint64
-	batches  atomic.Uint64
-	swaps    atomic.Uint64
-	maxBatch atomic.Int64
+	reports      atomic.Uint64
+	batches      atomic.Uint64
+	swaps        atomic.Uint64
+	maxBatch     atomic.Int64
+	shedQueue    atomic.Uint64
+	shedDeadline atomic.Uint64
+	panics       atomic.Uint64
+	restarts     atomic.Uint64
+	rollbacks    atomic.Uint64
+
+	// batchHook, when non-nil, runs inside the per-batch panic guard just
+	// before each forward pass; tests inject inference panics here. It
+	// must be installed before the first Act (the wake-channel send then
+	// orders the write before any consumer read).
+	batchHook func(n int)
+	// crashNext, when set, makes the next woken consumer panic at the top
+	// of its loop, exercising the watchdog restart path.
+	crashNext atomic.Bool
 }
 
-// New starts an engine serving decisions from m, which becomes epoch 0.
-// Epoch 0 is special: it may be the library's live, online-adapting model —
-// every batch still takes the read side of its parameter lock, so
-// concurrent OnlineAdapt iterations are arbitrated exactly as on the
-// single-sample path. Models published later must be frozen (see Publish).
+// New starts an engine serving decisions from m, which becomes epoch
+// cfg.BaseEpoch (0 by default). The initial epoch is special: it may be the
+// library's live, online-adapting model — every batch still takes the read
+// side of its parameter lock, so concurrent OnlineAdapt iterations are
+// arbitrated exactly as on the single-sample path. Models published later
+// must be frozen (see Publish).
 func New(m *core.Model, cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults(), closedCh: make(chan struct{})}
-	e.epoch.Store(&epochState{seq: 0, model: m})
+	e.epoch.Store(&epochState{seq: e.cfg.BaseEpoch, model: m})
 	e.shards = make([]*shard, e.cfg.Shards)
 	for i := range e.shards {
 		s := &shard{
@@ -120,7 +182,7 @@ func New(m *core.Model, cfg Config) *Engine {
 			done: make(chan struct{}),
 		}
 		e.shards[i] = s
-		go s.run()
+		go s.loop()
 	}
 	return e
 }
@@ -131,7 +193,8 @@ func New(m *core.Model, cfg Config) *Engine {
 // parameter set (each batch runs entirely on whichever generation its shard
 // held when the batch started). m must not be mutated after Publish —
 // callers hand over a frozen clone. Models failing the finite check are
-// rejected, mirroring OnlineAdapt's rollback guard.
+// rejected, mirroring OnlineAdapt's rollback guard. The displaced
+// generation is retained for Rollback.
 func (e *Engine) Publish(m *core.Model) (uint64, error) {
 	if m == nil {
 		return 0, errors.New("serve: Publish of nil model")
@@ -143,7 +206,30 @@ func (e *Engine) Publish(m *core.Model) (uint64, error) {
 		old := e.epoch.Load()
 		next := &epochState{seq: old.seq + 1, model: m}
 		if e.epoch.CompareAndSwap(old, next) {
+			e.prev.Store(old)
 			return next.seq, nil
+		}
+	}
+}
+
+// Rollback re-installs the generation displaced by the most recent Publish
+// (or Rollback) as a new epoch, returning the new sequence number and the
+// model now being served. It errors when nothing has ever been published.
+// A second Rollback undoes the first (the generations swap places), so an
+// accidental rollback is itself recoverable. Like Publish, the swap is one
+// atomic pointer store: shards pick it up between batches.
+func (e *Engine) Rollback() (uint64, *core.Model, error) {
+	for {
+		prev := e.prev.Load()
+		if prev == nil {
+			return 0, nil, errors.New("serve: no prior generation to roll back to")
+		}
+		cur := e.epoch.Load()
+		next := &epochState{seq: cur.seq + 1, model: prev.model}
+		if e.epoch.CompareAndSwap(cur, next) {
+			e.prev.Store(cur)
+			e.rollbacks.Add(1)
+			return next.seq, prev.model, nil
 		}
 	}
 }
@@ -153,13 +239,23 @@ func (e *Engine) Epoch() uint64 { return e.epoch.Load().seq }
 
 // Stats returns a point-in-time snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
+	var queued int64
+	for _, s := range e.shards {
+		queued += s.queued.Load()
+	}
 	return Stats{
-		Shards:   e.cfg.Shards,
-		Epoch:    e.Epoch(),
-		Reports:  e.reports.Load(),
-		Batches:  e.batches.Load(),
-		MaxBatch: int(e.maxBatch.Load()),
-		Swaps:    e.swaps.Load(),
+		Shards:       e.cfg.Shards,
+		Epoch:        e.Epoch(),
+		Reports:      e.reports.Load(),
+		Batches:      e.batches.Load(),
+		MaxBatch:     int(e.maxBatch.Load()),
+		Swaps:        e.swaps.Load(),
+		Queued:       queued,
+		ShedQueue:    e.shedQueue.Load(),
+		ShedDeadline: e.shedDeadline.Load(),
+		Panics:       e.panics.Load(),
+		Restarts:     e.restarts.Load(),
+		Rollbacks:    e.rollbacks.Load(),
 	}
 }
 
@@ -229,11 +325,18 @@ func (c *Client) Weights() objective.Weights { return c.w }
 // submit path is lock-free: one CAS push onto the shard's intrusive stack
 // plus at most one non-blocking channel wake. obs must stay valid and
 // unmodified until Act returns (it is read, never written, and no reference
-// is retained afterwards). After Close, Act returns NaN — the controller
-// layer treats a NaN action as "leave the rate unchanged".
+// is retained afterwards). Act returns NaN — which the controller layer
+// treats as "leave the rate unchanged" — after Close, when the shard's
+// queue is at MaxQueue (shed at the door, without blocking), or when the
+// request waited past the configured Deadline before being served.
 func (c *Client) Act(obs []float64) float64 {
 	e := c.eng
 	if e.closed.Load() {
+		return math.NaN()
+	}
+	s := c.sh
+	if max := e.cfg.MaxQueue; max > 0 && s.queued.Load() >= int64(max) {
+		e.shedQueue.Add(1)
 		return math.NaN()
 	}
 	e.inflight.Add(1)
@@ -246,7 +349,10 @@ func (c *Client) Act(obs []float64) float64 {
 	r := &c.req
 	r.w = c.w
 	r.obs = obs
-	s := c.sh
+	if e.cfg.Deadline > 0 {
+		r.enq = time.Now()
+	}
+	s.queued.Add(1)
 	for {
 		old := s.head.Load()
 		r.next = old
@@ -271,18 +377,30 @@ func (c *Client) Act(obs []float64) float64 {
 
 // shard is one batching queue plus its consumer goroutine.
 type shard struct {
-	eng  *Engine
-	head atomic.Pointer[request] // MPSC Treiber stack of pending requests
-	wake chan struct{}
-	stop chan struct{}
-	done chan struct{}
+	eng    *Engine
+	head   atomic.Pointer[request] // MPSC Treiber stack of pending requests
+	queued atomic.Int64            // pushed but not yet finished
+	wake   chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
 
-	// Consumer-private state below: only the run goroutine touches it.
+	// Consumer-private state below: only the consumer goroutine touches it.
+	started  bool // an inference view has been built at least once
 	epochSeq uint64
 	bi       *core.BatchInference
 	ws       []objective.Weights
 	obs      [][]float64
 	out      []float64
+	live     []*request // deadline-filtered chunk scratch
+}
+
+// finish delivers one result and releases the request's queue slot. The
+// request may be reused by its submitter immediately after the done send,
+// so no field is touched afterwards.
+func (s *shard) finish(r *request, v float64) {
+	r.out = v
+	s.queued.Add(-1)
+	r.done <- struct{}{}
 }
 
 // takeAll detaches the whole pending stack and appends it to into in one
@@ -300,10 +418,40 @@ func (s *shard) takeAll(into []*request) []*request {
 	return into
 }
 
+// loop is the consumer watchdog: it runs the consume loop and, if a panic
+// ever escapes the per-batch guards (a crashed consumer would otherwise
+// strand its queue forever — every submitter blocked on done, Close spinning
+// on inflight), answers everything still queued with NaN and restarts the
+// consumer instead of wedging the shard.
+func (s *shard) loop() {
+	defer close(s.done)
+	for s.consume() {
+		s.eng.restarts.Add(1)
+		var next *request
+		for r := s.head.Swap(nil); r != nil; r = next {
+			// The submitter may reuse r the instant finish delivers, so
+			// the link must be read before delivery.
+			next = r.next
+			s.finish(r, math.NaN())
+		}
+		s.bi = nil // rebuild the inference view on the next batch
+	}
+}
+
+// consume runs the consumer loop, recovering a panic into a restart.
+func (s *shard) consume() (restart bool) {
+	defer func() {
+		if recover() != nil {
+			restart = true
+		}
+	}()
+	s.run()
+	return false
+}
+
 // run is the shard consumer loop: sleep until woken, coalesce requests up
 // to MaxBatch or FlushInterval, serve, repeat.
 func (s *shard) run() {
-	defer close(s.done)
 	cfg := s.eng.cfg
 	deadline := time.NewTimer(time.Hour)
 	if !deadline.Stop() {
@@ -317,6 +465,9 @@ func (s *shard) run() {
 			batch = s.takeAll(batch[:0])
 			s.serve(batch)
 			return
+		}
+		if s.eng.crashNext.CompareAndSwap(true, false) {
+			panic("serve: injected consumer crash")
 		}
 		// Yield once before committing to a batch so every submitter that
 		// is already runnable gets to enqueue. Without this, on a
@@ -351,8 +502,39 @@ func (s *shard) run() {
 	}
 }
 
+// rebuild replaces the shard's inference view with one over ep's model,
+// recovering a panic (a poisoned generation) into a false return.
+func (s *shard) rebuild(ep *epochState) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+			s.bi = nil
+		}
+	}()
+	s.bi = ep.model.NewBatchInference()
+	return true
+}
+
+// actBatch runs one guarded forward pass over the first n staged rows,
+// recovering an inference panic into an error so one poisoned batch cannot
+// crash the shard.
+func (s *shard) actBatch(n int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: inference panic: %v", r)
+		}
+	}()
+	if h := s.eng.batchHook; h != nil {
+		h(n)
+	}
+	s.bi.ActBatch(s.ws, s.obs, s.out[:n])
+	return nil
+}
+
 // serve runs the coalesced requests through the current epoch's model in
-// MaxBatch-sized forward passes and delivers each result.
+// MaxBatch-sized forward passes and delivers each result. Requests past the
+// decision deadline are shed with NaN; a panicking forward pass sheds its
+// chunk the same way and the shard keeps serving.
 func (s *shard) serve(reqs []*request) {
 	if len(reqs) == 0 {
 		return
@@ -362,16 +544,42 @@ func (s *shard) serve(reqs []*request) {
 	// evaluator scratch only when the generation actually changed.
 	ep := s.eng.epoch.Load()
 	if s.bi == nil || ep.seq != s.epochSeq {
-		s.bi = ep.model.NewBatchInference()
+		first := !s.started
+		if !s.rebuild(ep) {
+			s.eng.panics.Add(1)
+			for _, r := range reqs {
+				s.finish(r, math.NaN())
+			}
+			return
+		}
+		s.started = true
 		s.epochSeq = ep.seq
-		if ep.seq != 0 {
+		if !first {
 			s.eng.swaps.Add(1)
 		}
 	}
-	for off := 0; off < len(reqs); off += s.eng.cfg.MaxBatch {
-		end := min(off+s.eng.cfg.MaxBatch, len(reqs))
+	maxB := s.eng.cfg.MaxBatch
+	dl := s.eng.cfg.Deadline
+	for off := 0; off < len(reqs); off += maxB {
+		end := min(off+maxB, len(reqs))
 		chunk := reqs[off:end]
+		if dl > 0 {
+			now := time.Now()
+			s.live = s.live[:0]
+			for _, r := range chunk {
+				if now.Sub(r.enq) > dl {
+					s.eng.shedDeadline.Add(1)
+					s.finish(r, math.NaN())
+				} else {
+					s.live = append(s.live, r)
+				}
+			}
+			chunk = s.live
+		}
 		n := len(chunk)
+		if n == 0 {
+			continue
+		}
 		s.ws = s.ws[:0]
 		s.obs = s.obs[:0]
 		for _, r := range chunk {
@@ -381,7 +589,14 @@ func (s *shard) serve(reqs []*request) {
 		if cap(s.out) < n {
 			s.out = make([]float64, n)
 		}
-		s.bi.ActBatch(s.ws, s.obs, s.out[:n])
+		if err := s.actBatch(n); err != nil {
+			s.eng.panics.Add(1)
+			s.bi = nil // fresh inference view before the next batch
+			for _, r := range chunk {
+				s.finish(r, math.NaN())
+			}
+			continue
+		}
 		// Counters are maintained here, one RMW per chunk, rather than one
 		// per request on the submit path.
 		s.eng.reports.Add(uint64(n))
@@ -392,8 +607,7 @@ func (s *shard) serve(reqs []*request) {
 			}
 		}
 		for i, r := range chunk {
-			r.out = s.out[i]
-			r.done <- struct{}{}
+			s.finish(r, s.out[i])
 		}
 	}
 	// Drop observation references so client buffers are not pinned
@@ -401,4 +615,8 @@ func (s *shard) serve(reqs []*request) {
 	for i := range s.obs {
 		s.obs[i] = nil
 	}
+	for i := range s.live {
+		s.live[i] = nil
+	}
+	s.live = s.live[:0]
 }

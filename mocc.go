@@ -168,6 +168,7 @@ type Library struct {
 	engine      *serve.Engine
 	idleTTL     time.Duration
 	janitorStop chan struct{}
+	canaryStop  chan struct{} // stops the epoch canary monitor (nil unless enabled)
 	evicted     atomic.Int64
 	closeOnce   sync.Once
 

@@ -231,14 +231,31 @@ func New(model *Model, opts ...Option) (*Library, error) {
 		if cfg.serving.IdleTTL < 0 {
 			return nil, fmt.Errorf("mocc: WithServing IdleTTL %v: must be non-negative", cfg.serving.IdleTTL)
 		}
-		l.engine = serve.New(model.m, serve.Config{
+		if cfg.serving.Deadline < 0 {
+			return nil, fmt.Errorf("mocc: WithServing Deadline %v: must be non-negative", cfg.serving.Deadline)
+		}
+		// The engine gets a frozen clone of the boot generation, never the
+		// live library model: Publish and OnlineAdapt mutate l.model in
+		// place, and the boot epoch must stay intact both for lazy shard
+		// rebuilds and as the first Publish's rollback target.
+		model.m.RLockParams()
+		boot := model.m.Clone()
+		model.m.RUnlockParams()
+		l.engine = serve.New(boot, serve.Config{
 			Shards:        cfg.serving.Shards,
 			MaxBatch:      cfg.serving.MaxBatch,
 			FlushInterval: cfg.serving.FlushInterval,
+			MaxQueue:      cfg.serving.MaxQueue,
+			Deadline:      cfg.serving.Deadline,
+			BaseEpoch:     cfg.serving.InitialEpoch,
 		})
 		if l.idleTTL = cfg.serving.IdleTTL; l.idleTTL > 0 {
 			l.janitorStop = make(chan struct{})
 			go l.janitor()
+		}
+		if cfg.serving.Canary != nil {
+			l.canaryStop = make(chan struct{})
+			go l.canaryLoop(cfg.serving.Canary.normalized())
 		}
 	}
 	return l, nil

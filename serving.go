@@ -28,6 +28,26 @@ type ServingOptions struct {
 	// unregistered) — which is the intended semantics for abandoned
 	// fleet members.
 	IdleTTL time.Duration
+	// MaxQueue bounds each shard's pending-decision queue: a Report
+	// arriving at a full shard is shed — its learned decision is NaN
+	// ("leave the rate unchanged"), so under safe mode the app degrades
+	// to its fallback controller instead of waiting without bound.
+	// Defaults to 4096 per shard; negative disables the bound.
+	MaxQueue int
+	// Deadline, when positive, additionally sheds decisions that waited
+	// in a shard queue longer than this before reaching a forward pass.
+	// Zero disables deadline shedding.
+	Deadline time.Duration
+	// InitialEpoch is the epoch sequence number assigned to the model the
+	// library was built with. A daemon resuming from a crash-safe
+	// snapshot (SaveServingState/LoadServingState) passes the snapshot's
+	// epoch so clients observe a continuous sequence across the restart.
+	InitialEpoch uint64
+	// Canary, when non-nil, enables the epoch canary: every Publish is
+	// monitored over a sliding window and automatically rolled back when
+	// the fleet's guard-fault rate under the new generation exceeds the
+	// threshold. See CanaryConfig.
+	Canary *CanaryConfig
 }
 
 // WithServing routes every handle's Report decision through a sharded
@@ -93,6 +113,32 @@ func (l *Library) Publish(m *Model) (uint64, error) {
 	return l.engine.Publish(frozen)
 }
 
+// Rollback re-installs the model generation displaced by the most recent
+// Publish (or Rollback) as a new epoch and returns its sequence number —
+// the manual escape hatch when a published model turns out to misbehave in
+// ways the finite check cannot catch. A second Rollback undoes the first.
+// The library model is synced to the rolled-back parameters so SaveModel,
+// Model and OnlineAdapt see the generation actually being served. The
+// automatic form of this is the epoch canary (ServingOptions.Canary).
+func (l *Library) Rollback() (uint64, error) {
+	if l.engine == nil {
+		return 0, errors.New("mocc: library was built without serving (WithServing)")
+	}
+	seq, m, err := l.engine.Rollback()
+	if err != nil {
+		return 0, fmt.Errorf("mocc: %w", err)
+	}
+	if m != l.model {
+		l.model.LockParams()
+		cerr := l.model.CopyFrom(m)
+		l.model.UnlockParams()
+		if cerr != nil {
+			return seq, fmt.Errorf("mocc: syncing rolled-back model: %w", cerr)
+		}
+	}
+	return seq, nil
+}
+
 // Epoch returns the serving engine's current model generation (0 before the
 // first Publish, and always 0 for a library built without serving).
 func (l *Library) Epoch() uint64 {
@@ -120,7 +166,25 @@ type ServingStats struct {
 	Swaps uint64
 	// Evicted counts handles removed by the IdleTTL janitor.
 	Evicted int64
+	// Queued is the number of decisions currently waiting in shard queues.
+	Queued int64
+	// ShedQueue / ShedDeadline count overload sheds: requests answered NaN
+	// ("leave the rate unchanged") because a shard queue was at MaxQueue,
+	// or because the request waited past the decision Deadline.
+	ShedQueue    uint64
+	ShedDeadline uint64
+	// Panics counts inference panics recovered per batch (the batch was
+	// answered NaN); Restarts counts consumer goroutines restarted by the
+	// shard watchdog after a panic escaped the per-batch guards.
+	Panics   uint64
+	Restarts uint64
+	// Rollbacks counts generation rollbacks (manual Library.Rollback plus
+	// canary-automatic ones).
+	Rollbacks uint64
 }
+
+// Shed returns the total requests shed for any reason.
+func (s ServingStats) Shed() uint64 { return s.ShedQueue + s.ShedDeadline }
 
 // ServingStats returns engine counters (the zero value when the library was
 // built without serving).
@@ -130,14 +194,20 @@ func (l *Library) ServingStats() ServingStats {
 	}
 	st := l.engine.Stats()
 	return ServingStats{
-		Enabled:  true,
-		Shards:   st.Shards,
-		Epoch:    st.Epoch,
-		Reports:  st.Reports,
-		Batches:  st.Batches,
-		MaxBatch: st.MaxBatch,
-		Swaps:    st.Swaps,
-		Evicted:  l.evicted.Load(),
+		Enabled:      true,
+		Shards:       st.Shards,
+		Epoch:        st.Epoch,
+		Reports:      st.Reports,
+		Batches:      st.Batches,
+		MaxBatch:     st.MaxBatch,
+		Swaps:        st.Swaps,
+		Evicted:      l.evicted.Load(),
+		Queued:       st.Queued,
+		ShedQueue:    st.ShedQueue,
+		ShedDeadline: st.ShedDeadline,
+		Panics:       st.Panics,
+		Restarts:     st.Restarts,
+		Rollbacks:    st.Rollbacks,
 	}
 }
 
@@ -175,6 +245,12 @@ type FleetStats struct {
 	Faults            int64
 	// Evicted counts handles removed by the IdleTTL janitor (serving only).
 	Evicted int64
+	// Serving-engine overload/resilience aggregates (zero without serving):
+	// decisions shed NaN under overload, decisions currently queued, and
+	// epoch rollbacks applied.
+	Shed      uint64
+	Queued    int64
+	Rollbacks uint64
 }
 
 // FleetStats returns the aggregated telemetry of every registered handle.
@@ -189,6 +265,12 @@ func (l *Library) FleetStats() FleetStats {
 	l.mu.RUnlock()
 
 	f := FleetStats{Apps: len(apps), Evicted: l.evicted.Load()}
+	if l.engine != nil {
+		est := l.engine.Stats()
+		f.Shed = est.Shed()
+		f.Queued = est.Queued
+		f.Rollbacks = est.Rollbacks
+	}
 	var rttWeighted, rateTime, durSecs float64
 	for _, a := range apps {
 		st := a.Stats()
@@ -232,6 +314,9 @@ func (l *Library) Close() {
 	l.closeOnce.Do(func() {
 		if l.janitorStop != nil {
 			close(l.janitorStop)
+		}
+		if l.canaryStop != nil {
+			close(l.canaryStop)
 		}
 		if l.engine != nil {
 			l.engine.Close()

@@ -457,3 +457,141 @@ func TestServingChurnRace(t *testing.T) {
 		t.Fatalf("Apps = %d after full churn", lib.Apps())
 	}
 }
+
+// TestFleetStatsEvictionChurn hammers the fleet-telemetry surface while the
+// idle janitor races handle registration: workers continuously register,
+// report, and abandon handles, an evictor advances a fake clock past the TTL
+// and scans, and pollers read FleetStats/ServingStats throughout. Gauges
+// must never go negative, the eviction counter must be monotonic, and an
+// evicted worker must always be able to lazily re-register. Run under
+// -race, this also pins the locking of every surface involved.
+func TestFleetStatsEvictionChurn(t *testing.T) {
+	var nanos atomic.Int64
+	nanos.Store(time.Hour.Nanoseconds())
+	clock := func() time.Time { return time.Unix(0, nanos.Load()) }
+
+	model := sharedLibrary(t).Model()
+	// IdleTTL unset so the janitor goroutine stays out; the evictor below
+	// runs the same scan deterministically under the fake clock.
+	lib, err := New(model, WithServing(ServingOptions{Shards: 2}), WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Close()
+	lib.idleTTL = time.Minute
+
+	var (
+		stop       = make(chan struct{})
+		wg         sync.WaitGroup
+		reRegister atomic.Int64 // lazy re-registrations after eviction
+		failMu     sync.Mutex
+		failure    string
+	)
+	fail := func(msg string) {
+		failMu.Lock()
+		if failure == "" {
+			failure = msg
+		}
+		failMu.Unlock()
+	}
+
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var app *App
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if app == nil {
+					a, err := lib.Register(BalancedPreference)
+					if err != nil {
+						fail("register: " + err.Error())
+						return
+					}
+					app = a
+					if round > 0 {
+						reRegister.Add(1)
+					}
+				}
+				if _, err := app.Report(servingStatus(w, round)); err != nil {
+					// Evicted underneath us mid-report: the contract is
+					// lazy re-registration on the next pass.
+					app = nil
+				}
+				if round%13 == 12 {
+					app = nil // abandon; the evictor collects it
+				}
+			}
+		}(w)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nanos.Add((2 * time.Minute).Nanoseconds())
+			lib.evictIdle()
+		}
+	}()
+
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEvicted int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f := lib.FleetStats()
+				if f.Apps < 0 || f.Queued < 0 || f.Reports < 0 || f.FallbackActive < 0 {
+					fail("negative FleetStats gauge")
+				}
+				if f.Evicted < lastEvicted {
+					fail("Evicted went backwards")
+				}
+				lastEvicted = f.Evicted
+				s := lib.ServingStats()
+				if s.Queued < 0 || s.Evicted < 0 {
+					fail("negative ServingStats gauge")
+				}
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if failure != "" {
+		t.Fatal(failure)
+	}
+	if reRegister.Load() == 0 {
+		t.Fatal("churn never exercised lazy re-registration")
+	}
+	if lib.ServingStats().Evicted == 0 {
+		t.Fatal("churn never evicted a handle")
+	}
+	// The library must still be fully serviceable after the storm.
+	app, err := lib.Register(BalancedPreference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Report(steadyStatus(50, 50, 0, 40*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if q := lib.ServingStats().Queued; q != 0 {
+		t.Fatalf("Queued = %d at quiescence, want 0", q)
+	}
+}

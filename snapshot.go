@@ -1,8 +1,12 @@
 package mocc
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
 
+	"mocc/internal/core"
 	"mocc/internal/nn"
 )
 
@@ -20,4 +24,71 @@ func loadSnapshot(path string) (nn.Snapshot, error) {
 		return nn.Snapshot{}, fmt.Errorf("mocc: model %q is corrupted: %w", path, err)
 	}
 	return snap, nil
+}
+
+// servingStateFormat versions the crash-safe daemon snapshot written by
+// SaveServingState.
+const servingStateFormat = "mocc-serving-state-v1"
+
+// servingStateFile is the on-disk form: the served model generation plus
+// its epoch sequence number, in one document so the pair can never tear.
+type servingStateFile struct {
+	Format string      `json:"format"`
+	Epoch  uint64      `json:"epoch"`
+	Model  nn.Snapshot `json:"model"`
+}
+
+// SaveServingState atomically persists the currently served model together
+// with its epoch sequence number, the crash-safe snapshot a serving daemon
+// resumes from after a restart (LoadServingState + ServingOptions
+// InitialEpoch). The write goes to a temp file in the same directory and is
+// renamed into place, so a crash mid-write leaves the previous snapshot
+// intact and readers never observe a torn file.
+func SaveServingState(path string, epoch uint64, m *Model) error {
+	if m == nil || m.m == nil {
+		return errors.New("mocc: SaveServingState of nil model")
+	}
+	m.m.RLockParams()
+	snap := m.m.Snapshot()
+	m.m.RUnlockParams()
+	if err := snap.Validate(); err != nil {
+		return fmt.Errorf("mocc: refusing to persist corrupted model: %w", err)
+	}
+	data, err := json.Marshal(servingStateFile{Format: servingStateFormat, Epoch: epoch, Model: snap})
+	if err != nil {
+		return fmt.Errorf("mocc: encoding serving state: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("mocc: writing serving state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("mocc: committing serving state: %w", err)
+	}
+	return nil
+}
+
+// LoadServingState reads a snapshot written by SaveServingState, validating
+// the model before it can reach a live engine.
+func LoadServingState(path string) (uint64, *Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("mocc: loading serving state %q: %w", path, err)
+	}
+	var st servingStateFile
+	if err := json.Unmarshal(data, &st); err != nil {
+		return 0, nil, fmt.Errorf("mocc: serving state %q: %w", path, err)
+	}
+	if st.Format != servingStateFormat {
+		return 0, nil, fmt.Errorf("mocc: serving state %q: unknown format %q", path, st.Format)
+	}
+	if err := st.Model.Validate(); err != nil {
+		return 0, nil, fmt.Errorf("mocc: serving state %q is corrupted: %w", path, err)
+	}
+	model := core.NewModel(core.HistoryLen, 0)
+	if err := model.Restore(st.Model); err != nil {
+		return 0, nil, fmt.Errorf("mocc: restoring serving state: %w", err)
+	}
+	return st.Epoch, &Model{m: model}, nil
 }

@@ -1,0 +1,450 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mocc"
+	"mocc/internal/cc"
+	"mocc/internal/datapath"
+)
+
+// ServeConn is the client side of a mocc-serve daemon: one shared UDP
+// socket carrying any number of flows' report/rate exchanges (10k flows
+// over per-flow sockets would exhaust file descriptors). A central reader
+// demuxes rate replies to per-flow channels by flow id; writes are
+// serialized on the shared socket.
+//
+// ServeConnConfig.WrapConn is the chaos seam: a fault-injection shim
+// (mocc/internal/faults.Plan.WrapConn) interposed here classifies report
+// datagrams on the write side and rate replies on the read side, so
+// daemon-path failover is pinned by the same seeded plans as the data path.
+type ServeConn struct {
+	conn datapath.PacketConn
+	raw  *net.UDPConn
+
+	mu    sync.Mutex
+	flows map[uint64]chan rateReply
+
+	writeMu sync.Mutex
+	seqMu   sync.Mutex
+	seq     uint64
+
+	closed     atomic.Bool
+	stop       chan struct{}
+	readerDone chan struct{}
+	malformed  atomic.Int64
+}
+
+// ServeConnConfig tunes DialServe.
+type ServeConnConfig struct {
+	// WrapConn, when non-nil, interposes on the socket (fault injection).
+	WrapConn func(PacketConn) PacketConn
+}
+
+// rateReply is one decoded rate datagram.
+type rateReply struct {
+	seq   uint64
+	nanos int64
+	rate  float64
+	epoch uint64
+}
+
+// DialServe connects a shared client socket to a mocc-serve daemon.
+func DialServe(addr string, cfg ServeConnConfig) (*ServeConn, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: serve dial: %w", err)
+	}
+	raw, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: serve dial: %w", err)
+	}
+	var conn datapath.PacketConn = raw
+	if cfg.WrapConn != nil {
+		conn = cfg.WrapConn(conn)
+	}
+	c := &ServeConn{
+		conn:       conn,
+		raw:        raw,
+		flows:      make(map[uint64]chan rateReply),
+		stop:       make(chan struct{}),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the socket and the reader down. Flows still blocked in a
+// Report unblock with an error.
+func (c *ServeConn) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(c.stop)
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// Malformed counts rate replies that failed to decode (corrupted headers,
+// truncated datagrams) and were dropped.
+func (c *ServeConn) Malformed() int64 { return c.malformed.Load() }
+
+// readLoop is the central demux: decode each rate reply and hand it to its
+// flow's channel. Malformed datagrams are counted and dropped; transient
+// socket errors (ICMP refused while the daemon restarts) are retried.
+func (c *ServeConn) readLoop() {
+	defer close(c.readerDone)
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			if c.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		seq, nanos, flow, rate, epoch, ok := datapath.DecodeRate(buf[:n])
+		if !ok {
+			c.malformed.Add(1)
+			continue
+		}
+		c.mu.Lock()
+		ch := c.flows[flow]
+		c.mu.Unlock()
+		if ch == nil {
+			continue
+		}
+		select {
+		case ch <- rateReply{seq: seq, nanos: nanos, rate: rate, epoch: epoch}:
+		default: // flow gave up on this seq long ago
+		}
+	}
+}
+
+// nextSeq allocates a socket-wide report sequence number. Sequence numbers
+// are what seeded fault plans key blackout windows on, so they are global
+// to the socket, mirroring the data-path sender.
+func (c *ServeConn) nextSeq() uint64 {
+	c.seqMu.Lock()
+	c.seq++
+	s := c.seq
+	c.seqMu.Unlock()
+	return s
+}
+
+// request performs one report->rate exchange: encode, write, await the
+// matching reply. ok=false is a timeout or a transient write failure (the
+// daemon is unreachable); a non-nil error means the ServeConn is closed.
+func (c *ServeConn) request(flow uint64, ch chan rateReply, rep datapath.WireReport, timeout time.Duration, pkt []byte) (rateReply, bool, error) {
+	seq := c.nextSeq()
+	datapath.EncodeReport(pkt, seq, time.Now().UnixNano(), rep)
+	c.writeMu.Lock()
+	_, werr := c.conn.Write(pkt)
+	c.writeMu.Unlock()
+	if werr != nil {
+		if c.closed.Load() || errors.Is(werr, net.ErrClosed) {
+			return rateReply{}, false, net.ErrClosed
+		}
+		// Transient (e.g. ICMP refused while the daemon restarts): report
+		// it as an unreachable daemon, not an error.
+		return rateReply{}, false, nil
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case r := <-ch:
+			if r.seq == seq {
+				return r, true, nil
+			}
+			// Stale reply from an earlier timed-out attempt: discard.
+		case <-timer.C:
+			return rateReply{}, false, nil
+		case <-c.stop:
+			return rateReply{}, false, net.ErrClosed
+		}
+	}
+}
+
+// FailoverConfig tunes a flow's retry/backoff/fallback behaviour. Zero
+// fields keep their defaults.
+type FailoverConfig struct {
+	// Timeout is the per-attempt wait for a rate reply (default 150ms).
+	Timeout time.Duration
+	// Retries is how many extra attempts a Report makes before the flow
+	// fails over to the local controller (default 1; negative means 0).
+	Retries int
+	// BackoffBase is the first retry (and first recovery-probe) delay;
+	// successive delays double up to BackoffMax, each jittered to 50-100%
+	// so a daemon restart is not greeted by a synchronized thundering
+	// herd. Defaults 50ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the jitter draw (default 1).
+	Seed int64
+}
+
+func (c FailoverConfig) withDefaults() FailoverConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 150 * time.Millisecond
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = c.BackoffBase
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ServeFlowStats is a point-in-time snapshot of one flow's client counters.
+type ServeFlowStats struct {
+	// Reports counts Report calls; Served those answered by the daemon
+	// with a usable rate; Shed those the daemon answered NaN (overload —
+	// the rate was left unchanged).
+	Reports int64
+	Served  int64
+	Shed    int64
+	// Timeouts counts attempts with no reply; Retries counts extra
+	// attempts made before failing over.
+	Timeouts int64
+	Retries  int64
+	// Fallbacks counts failover episodes (learned path lost); the flow
+	// then decides FallbackReports intervals with the local AIMD
+	// controller until a probe succeeds, which counts one resync.
+	Fallbacks       int64
+	FallbackReports int64
+	Resyncs         int64
+	// FallbackActive reports whether the flow is currently degraded.
+	FallbackActive bool
+	// Epoch is the last model generation observed in a rate reply.
+	Epoch uint64
+}
+
+// ServeFlow is one flow's failover-capable handle on a ServeConn: Report
+// sends the interval to the daemon with per-request timeout and retry, and
+// degrades to a local cc.AIMD controller — seeded from the last served
+// rate — while the daemon is unreachable, probing with capped exponential
+// backoff + jitter and resyncing to the learned path the moment a probe
+// gets a reply. Report never fails because the daemon is down; it only
+// errors when the ServeConn itself is closed or the status is invalid.
+//
+// A ServeFlow is owned by one goroutine: like App.Report, calls must be
+// serialized (different flows on one ServeConn are free to run
+// concurrently).
+type ServeFlow struct {
+	conn *ServeConn
+	flow uint64
+	w    mocc.Weights
+	cfg  FailoverConfig
+	ch   chan rateReply
+	pkt  []byte
+	rng  *rand.Rand
+
+	fallback   *cc.AIMD
+	lastServed float64 // last rate the daemon answered (0 before the first)
+	degraded   bool
+	probeDelay time.Duration
+	nextProbe  time.Time
+
+	mu    sync.Mutex // guards stats against concurrent Stats() readers
+	stats ServeFlowStats
+}
+
+// Flow registers a flow id on the shared socket and returns its handle.
+// Flow ids must be unique per ServeConn.
+func (c *ServeConn) Flow(flow uint64, w mocc.Weights, cfg FailoverConfig) *ServeFlow {
+	f := &ServeFlow{
+		conn:     c,
+		flow:     flow,
+		w:        w,
+		cfg:      cfg.withDefaults(),
+		ch:       make(chan rateReply, 4),
+		pkt:      make([]byte, datapath.WireReportBytes),
+		fallback: cc.NewAIMD(),
+	}
+	f.rng = rand.New(rand.NewSource(f.cfg.Seed + int64(flow)))
+	c.mu.Lock()
+	c.flows[flow] = f.ch
+	c.mu.Unlock()
+	return f
+}
+
+// SetWeights changes the preference carried by subsequent reports.
+func (f *ServeFlow) SetWeights(w mocc.Weights) { f.w = w }
+
+// Stats returns a snapshot of the flow's client counters.
+func (f *ServeFlow) Stats() ServeFlowStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// jitter spreads d over [d/2, d).
+func (f *ServeFlow) jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(f.rng.Float64()*float64(d/2))
+}
+
+// Report closes one monitor interval: the daemon's learned decision when
+// reachable, the local fallback when not. See the type comment for the
+// failover contract.
+func (f *ServeFlow) Report(st mocc.Status) (float64, error) {
+	if st.Duration <= 0 {
+		return 0, fmt.Errorf("transport: serve report: Duration %v must be positive", st.Duration)
+	}
+	f.mu.Lock()
+	f.stats.Reports++
+	f.mu.Unlock()
+	rep := wireReport(f.flow, f.w, st)
+
+	if f.degraded {
+		if time.Now().Before(f.nextProbe) {
+			return f.fallbackDecide(st), nil
+		}
+		// Probe the daemon: one attempt, no retries — a dead daemon must
+		// not stall the flow's monitor loop for more than one timeout.
+		r, ok, err := f.conn.request(f.flow, f.ch, rep, f.cfg.Timeout, f.pkt)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			f.mu.Lock()
+			f.stats.Timeouts++
+			f.mu.Unlock()
+			if f.probeDelay *= 2; f.probeDelay > f.cfg.BackoffMax {
+				f.probeDelay = f.cfg.BackoffMax
+			}
+			f.nextProbe = time.Now().Add(f.jitter(f.probeDelay))
+			return f.fallbackDecide(st), nil
+		}
+		// The daemon answered: resync to the learned path.
+		f.degraded = false
+		f.mu.Lock()
+		f.stats.Resyncs++
+		f.stats.FallbackActive = false
+		f.mu.Unlock()
+		return f.serveDecide(r, st), nil
+	}
+
+	backoff := f.cfg.BackoffBase
+	for attempt := 0; ; attempt++ {
+		r, ok, err := f.conn.request(f.flow, f.ch, rep, f.cfg.Timeout, f.pkt)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return f.serveDecide(r, st), nil
+		}
+		f.mu.Lock()
+		f.stats.Timeouts++
+		f.mu.Unlock()
+		if attempt >= f.cfg.Retries {
+			break
+		}
+		f.mu.Lock()
+		f.stats.Retries++
+		f.mu.Unlock()
+		time.Sleep(f.jitter(backoff))
+		if backoff *= 2; backoff > f.cfg.BackoffMax {
+			backoff = f.cfg.BackoffMax
+		}
+	}
+	// Every attempt timed out: fail over to the local controller.
+	f.degraded = true
+	f.probeDelay = f.cfg.BackoffBase
+	f.nextProbe = time.Now().Add(f.jitter(f.probeDelay))
+	f.mu.Lock()
+	f.stats.Fallbacks++
+	f.stats.FallbackActive = true
+	f.mu.Unlock()
+	return f.fallbackDecide(st), nil
+}
+
+// serveDecide applies one daemon reply. A NaN rate is the daemon shedding
+// under overload: the rate is left unchanged, exactly the safe-mode
+// convention the serving engine documents.
+func (f *ServeFlow) serveDecide(r rateReply, st mocc.Status) float64 {
+	f.mu.Lock()
+	f.stats.Epoch = r.epoch
+	f.mu.Unlock()
+	if math.IsNaN(r.rate) {
+		f.mu.Lock()
+		f.stats.Shed++
+		f.mu.Unlock()
+		if f.lastServed > 0 {
+			return f.lastServed
+		}
+		// Shed before any served decision: nothing to hold, use the
+		// fallback controller's opinion (without a failover episode).
+		return f.fallback.Update(ccReport(st))
+	}
+	f.lastServed = r.rate
+	// Keep the fallback controller seeded at the served operating point,
+	// so a later failover continues from the last known-good rate instead
+	// of restarting from the initial window.
+	f.fallback.SetRate(r.rate)
+	f.mu.Lock()
+	f.stats.Served++
+	f.mu.Unlock()
+	return r.rate
+}
+
+// fallbackDecide closes the interval with the local AIMD controller.
+func (f *ServeFlow) fallbackDecide(st mocc.Status) float64 {
+	f.mu.Lock()
+	f.stats.FallbackReports++
+	f.mu.Unlock()
+	return f.fallback.Update(ccReport(st))
+}
+
+// wireReport packs a flow's preference and interval into the wire form.
+func wireReport(flow uint64, w mocc.Weights, st mocc.Status) datapath.WireReport {
+	return datapath.WireReport{
+		Flow: flow,
+		Thr:  w.Thr, Lat: w.Lat, Loss: w.Loss,
+		DurationNs: st.Duration.Nanoseconds(),
+		Sent:       st.PacketsSent,
+		Acked:      st.PacketsAcked,
+		Lost:       st.PacketsLost,
+		AvgRTTNs:   st.AvgRTT.Nanoseconds(),
+		MinRTTNs:   st.MinRTT.Nanoseconds(),
+	}
+}
+
+// ccReport converts a public Status into the internal controller report.
+func ccReport(st mocc.Status) cc.Report {
+	d := st.Duration.Seconds()
+	r := cc.Report{
+		Duration:  d,
+		Sent:      st.PacketsSent,
+		Delivered: st.PacketsAcked,
+		Lost:      st.PacketsLost,
+		AvgRTT:    st.AvgRTT.Seconds(),
+		MinRTT:    st.MinRTT.Seconds(),
+	}
+	if d > 0 {
+		r.SendRate = r.Sent / d
+		r.Throughput = r.Delivered / d
+	}
+	if r.Sent > 0 {
+		r.LossRate = r.Lost / r.Sent
+	}
+	return r
+}
