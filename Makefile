@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race chaos chaos-serve bench bench-sim bench-train bench-json bench-serve bench-topo fuzz-scen ci
+.PHONY: all build vet test test-race chaos chaos-serve obs bench bench-sim bench-train bench-json bench-serve bench-topo fuzz-scen ci
 
 all: build vet test
 
@@ -18,7 +18,7 @@ test:
 # the parallel collectors/schedulers, the data-parallel PPO update +
 # pipelined trainer, and the sharded topology simulator's round barrier.
 test-race:
-	$(GO) test -race . ./transport ./internal/faults ./internal/rl ./internal/core ./internal/pantheon ./internal/serve ./internal/topo
+	$(GO) test -race . ./transport ./internal/faults ./internal/rl ./internal/core ./internal/pantheon ./internal/serve ./internal/topo ./internal/obs
 
 # Seeded chaos suite: the fault-injection package (bit-reproducible
 # same-seed plans, every wire/report/inference injector), safe-mode
@@ -41,6 +41,17 @@ chaos-serve:
 	$(GO) test -short -count=1 -run 'Overload|Shed|QueueBound|Panic|Watchdog|Rollback|Canary|BaseEpoch' ./internal/serve
 	$(GO) test -short -count=1 -run 'Rollback|Canary|ServingState|EvictionChurn' .
 	$(GO) test -short -count=1 -run 'RateServer|ServeFlow|ServeConn|Failover|Restart|Malformed' ./transport
+
+# Observability smoke: boot the complete daemon in-process (UDP rate server
+# + -metrics-addr HTTP exposition + stats ticker + canary), drive real flows
+# through it, scrape /metrics and /healthz asserting the key series, and
+# tear down in strict dependency order; then the internal/obs unit suite
+# (zero-alloc pins, exposition formats) and the root-level chaos/scrape
+# pins (flight recorder across a canary rollback, concurrent scrape churn).
+obs:
+	$(GO) test -count=1 -run 'TestDaemon' ./cmd/mocc-serve
+	$(GO) test -count=1 ./internal/obs
+	$(GO) test -count=1 -run 'TestObs|TestLibraryHealthz|TestHandler' .
 
 # Micro-benchmarks for the NN/PPO hot path (run with -count for stability).
 bench:
@@ -71,14 +82,16 @@ bench-json:
 # Serving-engine snapshot: the coalesced batched-inference path vs the
 # per-call single-sample baseline at 64 and 10000 concurrent apps, plus the
 # overload-shedding path (2x in-flight demand against a bounded queue:
-# shed fraction and p99 decision latency), recorded to BENCH_serve.json
+# shed fraction and p99 decision latency) and the observability tax
+# (ObsOverhead enabled-vs-disabled, pinned at 0 allocs and <5% ns/report),
+# recorded to BENCH_serve.json
 # (ns/report + reports/s + shed/report + p99-ns in the same snapshot). Fixed
 # iteration count for run-to-run comparability; five repeats folded to
 # per-metric medians so one hypervisor steal spike cannot skew a committed
 # number; same temp-file guard as bench-json so a failing run never
 # truncates the committed snapshot.
 bench-serve:
-	$(GO) test -run '^$$' -bench 'ServeReport' -benchmem -benchtime 150x -count 5 . > bench-serve.out.tmp
+	$(GO) test -run '^$$' -bench 'ServeReport|ObsOverhead' -benchmem -benchtime 150x -count 5 . > bench-serve.out.tmp
 	$(GO) run ./cmd/benchjson -agg median -out BENCH_serve.json < bench-serve.out.tmp
 	rm -f bench-serve.out.tmp
 

@@ -9,6 +9,8 @@ import (
 
 	"mocc/internal/cc"
 	"mocc/internal/objective"
+	"mocc/internal/obs"
+	"mocc/internal/serve"
 )
 
 // App is a registered application's handle. Its hot path — Report — runs
@@ -40,6 +42,13 @@ type App struct {
 	// learned decision, guard judges it and owns the fallback controller.
 	gp    *guardPolicy
 	guard *guard
+
+	// client is the serving-engine handle behind pol (nil without
+	// WithServing); it knows which model epoch served each decision.
+	client *serve.Client
+	// flight is the per-handle decision flight recorder (nil without
+	// WithObservability).
+	flight *obs.Flight
 }
 
 // appPolicy is what a handle needs from its decision backend: a cc.Policy
@@ -153,13 +162,15 @@ func (a *App) Report(st Status) (float64, error) {
 	if a.closed {
 		return 0, fmt.Errorf("mocc: app %d is unregistered", a.id)
 	}
+	now := a.lib.clock()
 	var rate float64
 	if a.guard != nil {
-		rate = a.guard.decide(a.alg, a.gp, st.report(), a.lib.clock())
+		rate = a.guard.decide(a.alg, a.gp, st.report(), now)
 	} else {
 		rate = a.alg.Update(st.report())
 	}
 	a.publishRate(rate)
+	a.observe(now, rate)
 
 	t := &a.tele
 	t.reports++
@@ -173,9 +184,62 @@ func (a *App) Report(st Status) (float64, error) {
 	if st.MinRTT > 0 && (t.minRTT == 0 || st.MinRTT < t.minRTT) {
 		t.minRTT = st.MinRTT
 	}
-	t.lastReport = a.lib.clock()
+	t.lastReport = now
 	return rate, nil
 }
+
+// observe records the decision in the handle's flight recorder and emits
+// guard trip/recover events. Called under a.mu with the guard state of
+// this decision still fresh. The clean path allocates nothing: the
+// flight store is a ring write, and events fire only on the rare
+// trip/recover transitions.
+func (a *App) observe(now time.Time, rate float64) {
+	g := a.guard
+	if a.flight != nil {
+		var d obs.Decision
+		d.TimeNs = now.UnixNano()
+		d.Rate = rate
+		d.Act = rate // without a guard observer the raw action is the rate
+		if a.client != nil {
+			d.Epoch = a.client.LastEpoch()
+		}
+		if a.gp != nil {
+			d.Act = a.gp.lastAct
+			d.LatNs = int64(a.gp.lastDur)
+		}
+		if g != nil {
+			d.Verdict = g.lastClass
+			if d.Verdict == obs.VerdictOK && g.active {
+				// Clean shadow probe while degraded: the returned rate
+				// came from the fallback controller.
+				d.Verdict = obs.VerdictFallback
+			}
+		}
+		a.flight.Record(d)
+	}
+	if g == nil || a.lib.obs.events == nil || (!g.justTripped && !g.justRecovered) {
+		return
+	}
+	var epoch uint64
+	if a.client != nil {
+		epoch = a.client.LastEpoch()
+	}
+	if g.justTripped {
+		a.lib.obs.events.Emit(obs.Event{Type: obs.EvSafeModeTrip, App: uint64(a.id),
+			Epoch: epoch, Msg: g.lastFault})
+	}
+	if g.justRecovered {
+		a.lib.obs.events.Emit(obs.Event{Type: obs.EvSafeModeRecover, App: uint64(a.id),
+			Epoch: epoch})
+	}
+}
+
+// FlightRecord returns the handle's retained recent decisions, oldest
+// first (nil when the library was built without WithObservability). It
+// is the programmatic form of the /flightrec endpoint: after a canary
+// rollback or guard trip, the dump holds the exact decisions that led
+// to it.
+func (a *App) FlightRecord() []obs.Decision { return a.flight.Dump() }
 
 // SetWeights retunes the application's preference live: the next Report
 // evaluates the model under the new weight vector while every other part of

@@ -1,6 +1,11 @@
 package mocc
 
-import "time"
+import (
+	"fmt"
+	"time"
+
+	"mocc/internal/obs"
+)
 
 // CanaryConfig tunes the epoch canary: a fleet health monitor that treats
 // every newly published model generation as a canary and automatically
@@ -131,7 +136,7 @@ func (l *Library) canaryLoop(cfg CanaryConfig) {
 		}
 		if served >= cfg.MinReports && float64(excess) > cfg.MaxFaultRate*float64(served) {
 			watching = false
-			to, err := l.Rollback()
+			to, err := l.rollback()
 			if err != nil {
 				continue // nothing to roll back to; re-judge on the next tick
 			}
@@ -139,6 +144,12 @@ func (l *Library) canaryLoop(cfg CanaryConfig) {
 			// displaced it; trust the epoch re-serving it, or the canary
 			// would condemn its own recovery.
 			trusted = to
+			l.obs.canaryRollbacks.Add(1)
+			if l.obs.events != nil {
+				l.obs.events.Emit(obs.Event{Type: obs.EvCanaryRollback, Epoch: to,
+					Msg: fmt.Sprintf("epoch %d condemned: %d excess faults over %d reports (threshold %.3g); the condemned decisions remain in the per-app flight recorders",
+						watch, excess, served, cfg.MaxFaultRate)})
+			}
 			if cfg.OnRollback != nil {
 				cfg.OnRollback(RollbackEvent{From: watch, To: to, Faults: excess, Reports: served})
 			}

@@ -15,11 +15,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
 	"mocc"
+	"mocc/internal/obs"
 	"mocc/transport"
 )
 
@@ -42,7 +42,12 @@ func runServeGen(cfg serveGenConfig, out io.Writer) error {
 	}
 	defer conn.Close()
 
-	results := make([][]time.Duration, cfg.Apps)
+	// One lock-free shared histogram replaces per-flow sample slices: all
+	// flows observe concurrently, and the percentiles come from the exact
+	// bucketing the daemon's mocc_serve_decision_latency_seconds series
+	// uses, so client- and server-side latency tables line up.
+	hist := obs.NewRegistry().Histogram("mocc_client_report_latency_seconds",
+		"Daemon-served decision latency.", 1e-9)
 	stats := make([]transport.ServeFlowStats, cfg.Apps)
 	deadline := time.Now().Add(cfg.Duration)
 	var wg sync.WaitGroup
@@ -59,7 +64,6 @@ func runServeGen(cfg serveGenConfig, out io.Writer) error {
 				BackoffMax:  time.Second,
 				Seed:        cfg.Seed,
 			})
-			lat := make([]time.Duration, 0, 256)
 			for time.Now().Before(deadline) {
 				st := syntheticStatus(rng)
 				served := sf.Stats().Served
@@ -70,7 +74,7 @@ func runServeGen(cfg serveGenConfig, out io.Writer) error {
 				if sf.Stats().Served > served {
 					// Answered by the daemon with a usable rate: that
 					// round trip is a decision latency sample.
-					lat = append(lat, time.Since(start))
+					hist.Observe(uint64(time.Since(start)))
 				} else if sf.Stats().FallbackActive {
 					// Local fallback decisions return instantly; pace them
 					// like a monitor interval instead of busy-spinning the
@@ -78,12 +82,11 @@ func runServeGen(cfg serveGenConfig, out io.Writer) error {
 					time.Sleep(time.Millisecond)
 				}
 			}
-			results[flow] = lat
 			stats[flow] = sf.Stats()
 		}(a)
 	}
 	wg.Wait()
-	return writeServeGenTable(out, cfg, results, stats)
+	return writeServeGenTable(out, cfg, hist.Snapshot(), stats)
 }
 
 // randomPref draws a normalized preference vector.
@@ -109,20 +112,10 @@ func syntheticStatus(rng *rand.Rand) mocc.Status {
 	}
 }
 
-// writeServeGenTable merges per-app latencies and prints the run summary.
-func writeServeGenTable(out io.Writer, cfg serveGenConfig, results [][]time.Duration, stats []transport.ServeFlowStats) error {
-	var all []time.Duration
-	for _, lat := range results {
-		all = append(all, lat...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		if len(all) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(all)-1))
-		return all[i]
-	}
+// writeServeGenTable prints the run summary from the shared latency
+// histogram snapshot and the per-flow client counters.
+func writeServeGenTable(out io.Writer, cfg serveGenConfig, lat obs.HistSnapshot, stats []transport.ServeFlowStats) error {
+	pct := func(p float64) time.Duration { return time.Duration(lat.Quantile(p)) }
 	var agg transport.ServeFlowStats
 	for _, st := range stats {
 		agg.Served += st.Served

@@ -11,6 +11,7 @@
 //	mocc-serve -addr :9053 -model mocc-model.json -watch 5s -idle-ttl 1m
 //	mocc-serve -addr :9053 -scale quick            # train in process
 //	mocc-serve -addr :9053 -state mocc-serve.state # crash-safe restart
+//	mocc-serve -addr :9053 -metrics-addr :9090     # scrape endpoints
 //
 // Flows are registered lazily on their first report, keyed by (source
 // address, flow id); an idle flow is evicted after -idle-ttl and simply
@@ -27,42 +28,50 @@
 // snapshots the served model+epoch on every change so a crashed daemon
 // restarts exactly where it stopped. Malformed datagrams are counted, never
 // fatal (-stats prints all counters).
+//
+// Observability: -metrics-addr serves /metrics (Prometheus text format),
+// /vars (flat JSON), /events (structured event tail: epoch publishes,
+// rollbacks, sheds, guard trips), /healthz (canary/overload-aware
+// liveness), /flightrec (per-flow decision flight recorder dumps) and
+// /debug/pprof/*. The -stats ticker reads the same counters the scrape
+// endpoints read, so the two views can never disagree.
 package main
 
 import (
 	"flag"
 	"log"
-	"net"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
 	"mocc"
-	"mocc/transport"
 )
+
+// logPrintf is the daemon's default log sink (tests substitute their own).
+func logPrintf(format string, args ...any) { log.Printf(format, args...) }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mocc-serve: ")
 
 	var (
-		addr       = flag.String("addr", ":9053", "UDP listen address")
-		modelPath  = flag.String("model", "", "model file (mocc-train output); empty trains in process")
-		scale      = flag.String("scale", "quick", "in-process training scale when -model is empty: quick | standard")
-		seed       = flag.Int64("seed", 1, "in-process training seed")
-		shards     = flag.Int("shards", 0, "serving shards (0 = GOMAXPROCS)")
-		maxBatch   = flag.Int("max-batch", 0, "max coalesced decisions per forward pass (0 = default 64)")
-		flush      = flag.Duration("flush", 0, "micro-batch flush deadline (0 = default 200µs)")
-		maxQueue   = flag.Int("max-queue", 0, "per-shard queue bound, shed beyond it (0 = default 4096, negative = unbounded)")
-		deadline   = flag.Duration("deadline", 25*time.Millisecond, "shed decisions queued longer than this (0 disables)")
-		idleTTL    = flag.Duration("idle-ttl", time.Minute, "evict flows idle this long (0 disables)")
-		watch      = flag.Duration("watch", 0, "poll -model for changes and hot-swap (0 disables)")
-		statePath  = flag.String("state", "", "crash-safe snapshot file: persist model+epoch, resume on restart (empty disables)")
-		canaryWin  = flag.Duration("canary-window", 3*time.Second, "epoch canary observation window (0 disables auto-rollback)")
-		canaryRate = flag.Float64("canary-fault-rate", 0.05, "fleet fault rate above which a canary epoch is rolled back")
-		statsEach  = flag.Duration("stats", 10*time.Second, "print serving/fleet stats this often (0 disables)")
+		addr        = flag.String("addr", ":9053", "UDP listen address")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP observability address serving /metrics, /vars, /events, /healthz, /flightrec and /debug/pprof (empty disables)")
+		modelPath   = flag.String("model", "", "model file (mocc-train output); empty trains in process")
+		scale       = flag.String("scale", "quick", "in-process training scale when -model is empty: quick | standard")
+		seed        = flag.Int64("seed", 1, "in-process training seed")
+		shards      = flag.Int("shards", 0, "serving shards (0 = GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 0, "max coalesced decisions per forward pass (0 = default 64)")
+		flush       = flag.Duration("flush", 0, "micro-batch flush deadline (0 = default 200µs)")
+		maxQueue    = flag.Int("max-queue", 0, "per-shard queue bound, shed beyond it (0 = default 4096, negative = unbounded)")
+		deadline    = flag.Duration("deadline", 25*time.Millisecond, "shed decisions queued longer than this (0 disables)")
+		idleTTL     = flag.Duration("idle-ttl", time.Minute, "evict flows idle this long (0 disables)")
+		watch       = flag.Duration("watch", 0, "poll -model for changes and hot-swap (0 disables)")
+		statePath   = flag.String("state", "", "crash-safe snapshot file: persist model+epoch, resume on restart (empty disables)")
+		canaryWin   = flag.Duration("canary-window", 3*time.Second, "epoch canary observation window (0 disables auto-rollback)")
+		canaryRate  = flag.Float64("canary-fault-rate", 0.05, "fleet fault rate above which a canary epoch is rolled back")
+		statsEach   = flag.Duration("stats", 10*time.Second, "print serving/fleet stats this often (0 disables)")
 	)
 	flag.Parse()
 
@@ -71,102 +80,54 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := mocc.ServingOptions{
-		Shards:        *shards,
-		MaxBatch:      *maxBatch,
-		FlushInterval: *flush,
-		MaxQueue:      *maxQueue,
-		Deadline:      *deadline,
-		IdleTTL:       *idleTTL,
-		InitialEpoch:  initialEpoch,
+	cfg := daemonConfig{
+		addr:        *addr,
+		metricsAddr: *metricsAddr,
+		opts: mocc.ServingOptions{
+			Shards:        *shards,
+			MaxBatch:      *maxBatch,
+			FlushInterval: *flush,
+			MaxQueue:      *maxQueue,
+			Deadline:      *deadline,
+			IdleTTL:       *idleTTL,
+		},
+		statePath: *statePath,
+		modelPath: *modelPath,
+		watch:     *watch,
+		statsEach: *statsEach,
 	}
 	if *canaryWin > 0 {
-		opts.Canary = &mocc.CanaryConfig{
+		cfg.opts.Canary = &mocc.CanaryConfig{
 			Window:       *canaryWin,
 			MaxFaultRate: *canaryRate,
 		}
 	}
-	var lib *mocc.Library
-	var stateMu sync.Mutex
-	saveState := func(reason string) {
-		if *statePath == "" || lib == nil {
-			return
-		}
-		stateMu.Lock()
-		defer stateMu.Unlock()
-		if err := mocc.SaveServingState(*statePath, lib.Epoch(), lib.Model()); err != nil {
-			log.Printf("state: %v", err)
-			return
-		}
-		log.Printf("state: snapshotted epoch %d (%s)", lib.Epoch(), reason)
-	}
-	if opts.Canary != nil {
-		opts.Canary.OnRollback = func(ev mocc.RollbackEvent) {
-			log.Printf("canary: rolled back epoch %d -> %d (%d faults in %d reports)",
-				ev.From, ev.To, ev.Faults, ev.Reports)
-			saveState("canary rollback")
-		}
-	}
-	lib, err = mocc.New(model, mocc.WithServing(opts))
+
+	d, err := newDaemon(model, initialEpoch, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer lib.Close()
 	if resumed {
 		log.Printf("resumed epoch %d from %s", initialEpoch, *statePath)
 	}
-	saveState("startup")
-
-	udpAddr, err := net.ResolveUDPAddr("udp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv := transport.NewRateServer(lib, conn)
-	log.Printf("serving on %s (%d shards)", srv.Addr(), lib.ServingStats().Shards)
-
-	stop := make(chan struct{})
-	var bg sync.WaitGroup
-	if *watch > 0 && *modelPath != "" {
-		bg.Add(1)
-		go func() {
-			defer bg.Done()
-			watchModel(lib, *modelPath, *watch, stop, saveState)
-		}()
-	}
-	if *statsEach > 0 {
-		bg.Add(1)
-		go func() {
-			defer bg.Done()
-			tick := time.NewTicker(*statsEach)
-			defer tick.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-tick.C:
-					logStats(lib, srv)
-				}
-			}
-		}()
-	}
+	d.saveState("startup")
+	log.Printf("serving on %s (%d shards)", d.srv.Addr(), d.lib.ServingStats().Shards)
+	d.start()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sig
 		log.Print("shutting down")
-		close(stop)
-		srv.Close() // unblocks the read loop and stops the sessions
+		d.shutdown()
 	}()
 
-	srv.Serve()
-	bg.Wait()
-	saveState("shutdown")
-	logStats(lib, srv)
+	d.serve()
+	// Covers an external close of the UDP socket too; after a signal this
+	// blocks until the handler's shutdown completes (sync.Once), so main
+	// never exits mid-teardown.
+	d.shutdown()
+	d.logStats()
 }
 
 // resolveModel picks the serving model and its starting epoch: a readable
@@ -247,20 +208,4 @@ func watchModel(lib *mocc.Library, path string, every time.Duration, stop chan s
 			log.Printf("watch: skipping %s (will retry): %v", path, err)
 		}
 	}
-}
-
-func logStats(lib *mocc.Library, srv *transport.RateServer) {
-	st := lib.ServingStats()
-	fl := lib.FleetStats()
-	ds := srv.Stats()
-	avg := 0.0
-	if st.Batches > 0 {
-		avg = float64(st.Reports) / float64(st.Batches)
-	}
-	log.Printf("epoch %d | flows %d | reports %d (batches %d, avg %.1f, max %d) | shed %d (queue %d deadline %d, queued %d) | rollbacks %d panics %d restarts %d | replies %d dropped %d rejected %d malformed %d foreign %d | evicted %d | fleet thr %.0f pkts/s loss %.3f degraded %d",
-		st.Epoch, fl.Apps, st.Reports, st.Batches, avg, st.MaxBatch,
-		st.Shed(), st.ShedQueue, st.ShedDeadline, st.Queued,
-		st.Rollbacks, st.Panics, st.Restarts,
-		ds.Replies, ds.Dropped, ds.Rejected, ds.Malformed, ds.Foreign,
-		st.Evicted, fl.Throughput, fl.LossRate, fl.FallbackActive)
 }

@@ -7,12 +7,19 @@
 //	mocc-train -scale quick -out model.json
 //	mocc-train -scale full -omega 36 -seed 7 -out mocc-full.json
 //	mocc-train -scale standard -workers 8 -pipeline -out model.json
+//	mocc-train -scale full -metrics-addr :9091 -out model.json
+//
+// With -metrics-addr, a long run can be watched live over HTTP: /metrics
+// and /vars expose the mocc_train_* series (iterations, environment
+// steps, last-iteration reward, PPO update latency) and /debug/pprof
+// profiles the trainer in place.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
@@ -31,6 +38,7 @@ func main() {
 		pipeline = flag.Bool("pipeline", false, "overlap rollout collection with PPO updates")
 		out      = flag.String("out", "mocc-model.json", "output model path")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		metrics  = flag.String("metrics-addr", "", "HTTP observability address serving /metrics, /vars and /debug/pprof for the live run (empty disables)")
 	)
 	flag.Parse()
 
@@ -61,6 +69,16 @@ func main() {
 	opts.Seed = *seed
 	if !*quiet {
 		opts.Progress = func(line string) { log.Print(line) }
+	}
+	if *metrics != "" {
+		sink := mocc.NewMetrics()
+		opts.Metrics = sink
+		go func() {
+			log.Printf("observability on http://%s/metrics", *metrics)
+			if err := http.ListenAndServe(*metrics, sink.Handler()); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
 	}
 
 	start := time.Now()

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"mocc/internal/objective"
+	"mocc/internal/obs"
 	"mocc/internal/rl"
 )
 
@@ -60,6 +62,35 @@ type TrainConfig struct {
 	Envs rl.EnvFactory
 	// Progress, when non-nil, receives a line per training milestone.
 	Progress func(string)
+	// Metrics, when non-nil, registers the training-throughput series
+	// (mocc_train_*): iteration and environment-step counters (steps/s
+	// falls out of their rates), the last iteration's mean reward, and a
+	// PPO update-latency histogram.
+	Metrics *obs.Registry
+}
+
+// trainMetrics is the trainer's instrumentation (zero value = off).
+type trainMetrics struct {
+	iterations *obs.Counter
+	envSteps   *obs.Counter
+	reward     *obs.Gauge
+	update     *obs.Histogram
+}
+
+func newTrainMetrics(reg *obs.Registry) trainMetrics {
+	if reg == nil {
+		return trainMetrics{}
+	}
+	return trainMetrics{
+		iterations: reg.Counter("mocc_train_iterations_total",
+			"PPO iterations completed across all phases."),
+		envSteps: reg.Counter("mocc_train_env_steps_total",
+			"Environment transitions collected (rate = training steps/s)."),
+		reward: reg.Gauge("mocc_train_reward",
+			"Mean per-step reward of the last completed iteration."),
+		update: reg.Histogram("mocc_train_update_seconds",
+			"PPO update latency per iteration.", 1e-9),
+	}
 }
 
 // DefaultTrainConfig returns a full-scale configuration following the paper;
@@ -110,6 +141,7 @@ type OfflineTrainer struct {
 	seedCtr   int64
 	envSteps  int  // transitions collected across all iterations
 	noOverlap bool // tests: run the pipelined schedule without concurrency
+	met       trainMetrics
 }
 
 // NewOfflineTrainer validates the configuration and prepares the trainer.
@@ -137,6 +169,7 @@ func NewOfflineTrainer(model *Model, cfg TrainConfig) (*OfflineTrainer, error) {
 		Cfg:     cfg,
 		ppo:     rl.NewPPO(model, cfg.PPO),
 		seedCtr: cfg.Seed,
+		met:     newTrainMetrics(cfg.Metrics),
 	}
 	// Pipelined training needs collector replicas even at one worker: the
 	// master is mid-update while the next rollouts are collected, so the
@@ -201,7 +234,10 @@ func (t *OfflineTrainer) Iterate(w objective.Weights) (float64, error) {
 	if t.collector == nil {
 		ro := rl.Collect(t.Model, t.Cfg.Envs, w, t.collectCfg(t.Cfg.RolloutSteps), t.nextSeed())
 		t.envSteps += len(ro.Trans)
+		t.met.envSteps.Add(uint64(len(ro.Trans)))
+		start := time.Now()
 		st := t.ppo.Update(ro)
+		t.met.update.Observe(uint64(time.Since(start)))
 		return st.MeanReward, nil
 	}
 	rollouts, err := t.collector.Collect(t.Model, t.Cfg.Envs, t.collectCfg(0), t.makeTasks(w))
@@ -209,15 +245,20 @@ func (t *OfflineTrainer) Iterate(w objective.Weights) (float64, error) {
 		return 0, err
 	}
 	t.countSteps(rollouts)
+	start := time.Now()
 	st := t.ppo.UpdateMulti(rollouts)
+	t.met.update.Observe(uint64(time.Since(start)))
 	return st.MeanReward, nil
 }
 
 // countSteps accumulates the transitions actually collected.
 func (t *OfflineTrainer) countSteps(rollouts []rl.Rollout) {
+	n := 0
 	for i := range rollouts {
-		t.envSteps += len(rollouts[i].Trans)
+		n += len(rollouts[i].Trans)
 	}
+	t.envSteps += n
+	t.met.envSteps.Add(uint64(n))
 }
 
 // progress emits a milestone line when configured.
@@ -241,6 +282,8 @@ func (t *OfflineTrainer) record(res *OfflineResult, s planStep, reward float64) 
 	} else {
 		res.TraverseIters++
 	}
+	t.met.iterations.Add(1)
+	t.met.reward.Set(reward)
 	res.Curve = append(res.Curve, CurvePoint{
 		Iteration: len(res.Curve), Objective: s.w, Reward: reward,
 	})
@@ -378,7 +421,9 @@ func (t *OfflineTrainer) runPipelined(plan []planStep, res *OfflineResult) error
 				}()
 			}
 		}
+		start := time.Now()
 		st := t.ppo.UpdateMulti(cur)
+		t.met.update.Observe(uint64(time.Since(start)))
 		if launched {
 			<-done
 		}

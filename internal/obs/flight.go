@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"sync"
+)
+
+// Guard verdict classes recorded per decision. These mirror the
+// safe-mode guard's fault taxonomy so a flight-recorder dump names the
+// reason a decision was judged bad without string formatting on the
+// hot path.
+const (
+	VerdictOK        uint8 = iota // decision served normally
+	VerdictPanic                  // model forward panicked
+	VerdictNonFinite              // action was NaN/Inf
+	VerdictEnvelope               // rate escaped the sane envelope
+	VerdictStall                  // inference exceeded the stall threshold
+	VerdictShed                   // engine refused (overload)
+	VerdictFallback               // answered by the safe-mode fallback controller
+)
+
+var verdictNames = [...]string{
+	VerdictOK:        "ok",
+	VerdictPanic:     "panic",
+	VerdictNonFinite: "non_finite",
+	VerdictEnvelope:  "envelope",
+	VerdictStall:     "stall",
+	VerdictShed:      "shed",
+	VerdictFallback:  "fallback",
+}
+
+// VerdictName returns the string form of a verdict class.
+func VerdictName(v uint8) string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return "unknown"
+}
+
+// Decision is one flight-recorder entry: everything needed to
+// post-mortem a single Report after the fact.
+type Decision struct {
+	Seq     uint64  `json:"seq"`     // per-app decision number
+	TimeNs  int64   `json:"time_ns"` // wall clock, UnixNano
+	Act     float64 `json:"act"`     // raw model action (pre-envelope)
+	Rate    float64 `json:"rate"`    // rate returned to the application
+	Epoch   uint64  `json:"epoch"`   // model epoch that served it
+	Verdict uint8   `json:"verdict"` // Verdict* class
+	LatNs   int64   `json:"lat_ns"`  // inference latency
+}
+
+// MarshalJSON renders the decision by hand: the whole point of the
+// flight recorder is retaining pathological decisions, and those carry
+// NaN/Inf actions that encoding/json refuses — non-finite floats are
+// rendered as quoted strings ("NaN", "+Inf", "-Inf") instead.
+func (d Decision) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 160)
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, d.Seq, 10)
+	b = append(b, `,"time_ns":`...)
+	b = strconv.AppendInt(b, d.TimeNs, 10)
+	b = append(b, `,"act":`...)
+	b = appendJSONFloat(b, d.Act)
+	b = append(b, `,"rate":`...)
+	b = appendJSONFloat(b, d.Rate)
+	b = append(b, `,"epoch":`...)
+	b = strconv.AppendUint(b, d.Epoch, 10)
+	b = append(b, `,"verdict":"`...)
+	b = append(b, VerdictName(d.Verdict)...)
+	b = append(b, `","lat_ns":`...)
+	b = strconv.AppendInt(b, d.LatNs, 10)
+	b = append(b, '}')
+	return b, nil
+}
+
+func appendJSONFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, `"NaN"`...)
+	case math.IsInf(v, 1):
+		return append(b, `"+Inf"`...)
+	case math.IsInf(v, -1):
+		return append(b, `"-Inf"`...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// Flight is a fixed-size ring of the last N decisions for one app
+// handle. Record costs a mutex lock plus a struct store — no
+// allocation. A nil *Flight is a no-op.
+type Flight struct {
+	mu   sync.Mutex
+	ring []Decision
+	next uint64
+}
+
+// NewFlight returns a recorder retaining the last n decisions
+// (default 64).
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = 64
+	}
+	return &Flight{ring: make([]Decision, n)}
+}
+
+// Record stamps d with the next per-app sequence number and stores it.
+func (f *Flight) Record(d Decision) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	d.Seq = f.next
+	f.ring[f.next%uint64(len(f.ring))] = d
+	f.next++
+	f.mu.Unlock()
+}
+
+// Dump returns the retained decisions, oldest first.
+func (f *Flight) Dump() []Decision {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	size := uint64(len(f.ring))
+	have := f.next
+	if have > size {
+		have = size
+	}
+	out := make([]Decision, have)
+	for i := uint64(0); i < have; i++ {
+		out[i] = f.ring[(f.next-have+i)%size]
+	}
+	return out
+}
+
+// Len returns the number of decisions recorded so far (not retained).
+func (f *Flight) Len() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+)
+
+// HandlerConfig wires the observability endpoints. Any nil field
+// disables its endpoint group.
+type HandlerConfig struct {
+	// Registry backs /metrics (Prometheus text) and /vars (flat JSON).
+	Registry *Registry
+	// Events backs /events (JSON tail, ?n= limit, default 100).
+	Events *EventLog
+	// Health backs /healthz: returns liveness plus detail fields merged
+	// into the JSON body. ok=false answers 503.
+	Health func() (ok bool, detail map[string]any)
+	// Flight backs /flightrec?app=N with a per-app decision dump.
+	Flight func(app uint64) ([]Decision, bool)
+	// FlightIndex lists app ids with recorders (GET /flightrec without
+	// ?app=).
+	FlightIndex func() []uint64
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// NewHandler returns an http.Handler serving the configured endpoints:
+// /metrics, /vars, /events, /healthz, /flightrec, /debug/pprof/*.
+func NewHandler(cfg HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	if cfg.Registry != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			cfg.Registry.WritePrometheus(w)
+		})
+		mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			cfg.Registry.WriteVars(w)
+		})
+	}
+	if cfg.Events != nil {
+		mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+			n := 100
+			if s := r.URL.Query().Get("n"); s != "" {
+				v, err := strconv.Atoi(s)
+				if err != nil || v <= 0 {
+					http.Error(w, "bad n", http.StatusBadRequest)
+					return
+				}
+				n = v
+			}
+			writeJSON(w, http.StatusOK, cfg.Events.Tail(n))
+		})
+	}
+	if cfg.Health != nil {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			ok, detail := cfg.Health()
+			body := make(map[string]any, len(detail)+1)
+			for k, v := range detail {
+				body[k] = v
+			}
+			status := http.StatusOK
+			if ok {
+				body["status"] = "ok"
+			} else {
+				body["status"] = "unhealthy"
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, body)
+		})
+	}
+	if cfg.Flight != nil {
+		mux.HandleFunc("/flightrec", func(w http.ResponseWriter, r *http.Request) {
+			s := r.URL.Query().Get("app")
+			if s == "" {
+				var apps []uint64
+				if cfg.FlightIndex != nil {
+					apps = cfg.FlightIndex()
+					sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+				}
+				writeJSON(w, http.StatusOK, map[string]any{"apps": apps})
+				return
+			}
+			id, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad app", http.StatusBadRequest)
+				return
+			}
+			dump, ok := cfg.Flight(id)
+			if !ok {
+				http.Error(w, "unknown app", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, http.StatusOK, dump)
+		})
+	}
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testHandler() (*Registry, *EventLog, *Flight) {
+	r := NewRegistry()
+	r.Counter("t_total", "help").Add(7)
+	l := NewEventLog(16)
+	f := NewFlight(8)
+	return r, l, f
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg, events, flight := testHandler()
+	events.Emit(Event{Type: EvEpochPublish, Epoch: 2})
+	flight.Record(Decision{Rate: 12.5, Verdict: VerdictOK})
+	healthy := true
+	h := NewHandler(HandlerConfig{
+		Registry: reg,
+		Events:   events,
+		Health: func() (bool, map[string]any) {
+			return healthy, map[string]any{"epoch": 2}
+		},
+		Flight: func(app uint64) ([]Decision, bool) {
+			if app != 1 {
+				return nil, false
+			}
+			return flight.Dump(), true
+		},
+		FlightIndex: func() []uint64 { return []uint64{1} },
+		Pprof:       true,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", path, nil)
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "t_total 7") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/vars"); code != 200 || !strings.Contains(body, `"t_total": 7`) {
+		t.Fatalf("/vars = %d %q", code, body)
+	}
+	code, body := get("/events?n=10")
+	if code != 200 || !strings.Contains(body, `"epoch_publish"`) {
+		t.Fatalf("/events = %d %q", code, body)
+	}
+	var evs []Event
+	if err := json.Unmarshal([]byte(body), &evs); err != nil || len(evs) != 1 {
+		t.Fatalf("events JSON: %v %q", err, body)
+	}
+	if code, _ := get("/events?n=bogus"); code != 400 {
+		t.Fatalf("bad n = %d", code)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"status": "ok"`) {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, `"unhealthy"`) {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+	if code, body := get("/flightrec"); code != 200 || !strings.Contains(body, `"apps"`) {
+		t.Fatalf("/flightrec index = %d %q", code, body)
+	}
+	if code, body := get("/flightrec?app=1"); code != 200 || !strings.Contains(body, `"rate": 12.5`) {
+		t.Fatalf("/flightrec?app=1 = %d %q", code, body)
+	}
+	if code, _ := get("/flightrec?app=99"); code != 404 {
+		t.Fatalf("unknown app = %d", code)
+	}
+	if code, _ := get("/flightrec?app=x"); code != 400 {
+		t.Fatalf("bad app = %d", code)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestHandlerDisabledGroups(t *testing.T) {
+	h := NewHandler(HandlerConfig{})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 404 {
+		t.Fatalf("disabled /metrics = %d", rec.Code)
+	}
+}

@@ -1,0 +1,390 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+)
+
+// numStripes is the number of padded cells per counter. Stripe owners
+// are assigned by the caller (shard index, handle hash, worker id), so
+// independent writers land on independent cache lines without any
+// per-goroutine ID tricks.
+const numStripes = 8
+
+// stripeCell is one cache line worth of counter state. The padding
+// keeps adjacent stripes from false-sharing.
+type stripeCell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing striped counter. A nil
+// *Counter is a no-op.
+type Counter struct {
+	name  string
+	help  string
+	cells [numStripes]stripeCell
+}
+
+// Counter registers (or returns the existing) counter under name.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(&Counter{name: name, help: help}).(*Counter)
+}
+
+// Add increments the counter by n on stripe 0.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.cells[0].v.Add(n)
+}
+
+// AddAt increments the counter by n on the given stripe. Callers with a
+// natural shard/worker index should pass it so concurrent writers do
+// not contend on one cache line; the stripe is masked into range.
+func (c *Counter) AddAt(stripe int, n uint64) {
+	if c == nil {
+		return
+	}
+	c.cells[stripe&(numStripes-1)].v.Add(n)
+}
+
+// Value sums the stripes.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) metricHelp() string { return c.help }
+func (c *Counter) metricKind() string { return "counter" }
+
+func (c *Counter) writeProm(bw *bufio.Writer) {
+	bw.WriteString(c.name)
+	bw.WriteByte(' ')
+	var buf [20]byte
+	bw.Write(strconv.AppendUint(buf[:0], c.Value(), 10))
+	bw.WriteByte('\n')
+}
+
+func (c *Counter) writeVar(bw *bufio.Writer) {
+	var buf [20]byte
+	bw.Write(strconv.AppendUint(buf[:0], c.Value(), 10))
+}
+
+// CounterFunc is a counter whose value is computed at scrape time from
+// an existing atomic the instrumented code already maintains — zero
+// added hot-path cost for values that are already counted somewhere.
+type CounterFunc struct {
+	name string
+	help string
+	fn   func() uint64
+}
+
+// CounterFunc registers a read-at-scrape counter backed by fn.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.register(&CounterFunc{name: name, help: help, fn: fn})
+}
+
+func (c *CounterFunc) metricName() string { return c.name }
+func (c *CounterFunc) metricHelp() string { return c.help }
+func (c *CounterFunc) metricKind() string { return "counter" }
+
+func (c *CounterFunc) writeProm(bw *bufio.Writer) {
+	bw.WriteString(c.name)
+	bw.WriteByte(' ')
+	var buf [20]byte
+	bw.Write(strconv.AppendUint(buf[:0], c.fn(), 10))
+	bw.WriteByte('\n')
+}
+
+func (c *CounterFunc) writeVar(bw *bufio.Writer) {
+	var buf [20]byte
+	bw.Write(strconv.AppendUint(buf[:0], c.fn(), 10))
+}
+
+// Gauge is a settable float64 value (stored as IEEE-754 bits in one
+// atomic word). A nil *Gauge is a no-op.
+type Gauge struct {
+	name string
+	help string
+	bits atomic.Uint64
+}
+
+// Gauge registers (or returns the existing) gauge under name. Returns
+// nil on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(&Gauge{name: name, help: help}).(*Gauge)
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) metricHelp() string { return g.help }
+func (g *Gauge) metricKind() string { return "gauge" }
+
+func (g *Gauge) writeProm(bw *bufio.Writer) { writePromLine(bw, g.name, g.Value()) }
+func (g *Gauge) writeVar(bw *bufio.Writer)  { formatFloat(bw, g.Value()) }
+
+// GaugeFunc is a gauge computed at scrape time from existing state.
+type GaugeFunc struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// GaugeFunc registers a read-at-scrape gauge backed by fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&GaugeFunc{name: name, help: help, fn: fn})
+}
+
+func (g *GaugeFunc) metricName() string { return g.name }
+func (g *GaugeFunc) metricHelp() string { return g.help }
+func (g *GaugeFunc) metricKind() string { return "gauge" }
+
+func (g *GaugeFunc) writeProm(bw *bufio.Writer) { writePromLine(bw, g.name, g.fn()) }
+func (g *GaugeFunc) writeVar(bw *bufio.Writer)  { formatFloat(bw, g.fn()) }
+
+// Histogram bucket layout: values 0..15 get exact buckets; above that
+// each power-of-two octave is split into 4 sub-buckets (12.5% relative
+// width), for 256 buckets total covering the full uint64 range. A
+// histogram stores raw uint64 observations (typically nanoseconds or a
+// unitless size) and applies Scale only at exposition time, so Observe
+// never touches floating point.
+const histBuckets = 256
+
+// histUpper[b] is the largest raw value that lands in bucket b.
+var histUpper [histBuckets]uint64
+
+func init() {
+	for b := 0; b < 16; b++ {
+		histUpper[b] = uint64(b)
+	}
+	for b := 16; b < histBuckets; b++ {
+		l := uint(5 + (b-16)/4) // bits.Len64 of values in this octave
+		sub := uint64((b - 16) % 4)
+		lo := uint64(1) << (l - 1)
+		width := uint64(1) << (l - 3)
+		up := lo + (sub+1)*width - 1
+		if up < lo { // overflow at the top of the range
+			up = math.MaxUint64
+		}
+		histUpper[b] = up
+	}
+}
+
+// histBucket maps a raw observation to its bucket index.
+func histBucket(v uint64) int {
+	if v < 16 {
+		return int(v)
+	}
+	l := uint(bits.Len64(v))
+	return 16 + int(l-5)*4 + int((v>>(l-3))&3)
+}
+
+// Histogram is a lock-free log-bucketed histogram. Observe costs one
+// bucket-index computation plus three atomic ops and never allocates.
+// A nil *Histogram is a no-op.
+type Histogram struct {
+	name  string
+	help  string
+	scale float64 // raw units -> exposition units (1e-9 for ns -> s)
+	sum   atomic.Uint64
+	max   atomic.Uint64
+	cells [histBuckets]atomic.Uint64
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+// scale converts stored raw units to exposition units (pass 1e-9 when
+// observing nanoseconds to expose seconds; 1 for unitless values).
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string, scale float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	return r.register(&Histogram{name: name, help: help, scale: scale}).(*Histogram)
+}
+
+// Observe records one raw value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.cells[histBucket(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a frozen copy of a histogram's state. Quantiles are
+// derived from bucket upper bounds (≤12.5% relative error above 15,
+// exact below), capped at the tracked maximum.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64 // raw units
+	Max     uint64 // raw units
+	buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram counters. The copy is not a single
+// atomic cut across buckets, but every bucket value is monotone, so
+// quantiles from a snapshot taken during concurrent Observes are
+// bracketed by the true before/after distributions.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.cells {
+		n := h.cells[i].Load()
+		s.buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Quantile returns the raw-unit value at quantile q in [0,1].
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		cum += s.buckets[b]
+		if cum >= target {
+			up := histUpper[b]
+			if up > s.Max {
+				up = s.Max
+			}
+			return up
+		}
+	}
+	return s.Max
+}
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) metricHelp() string { return h.help }
+func (h *Histogram) metricKind() string { return "histogram" }
+
+// Scale returns the raw-to-exposition unit multiplier.
+func (h *Histogram) Scale() float64 {
+	if h == nil {
+		return 1
+	}
+	return h.scale
+}
+
+func (h *Histogram) writeProm(bw *bufio.Writer) {
+	s := h.Snapshot()
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		if s.buckets[b] == 0 {
+			continue
+		}
+		cum += s.buckets[b]
+		bw.WriteString(h.name)
+		bw.WriteString(`_bucket{le="`)
+		formatFloat(bw, float64(histUpper[b])*h.scale)
+		bw.WriteString(`"} `)
+		var buf [20]byte
+		bw.Write(strconv.AppendUint(buf[:0], cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(h.name)
+	bw.WriteString(`_bucket{le="+Inf"} `)
+	var buf [20]byte
+	bw.Write(strconv.AppendUint(buf[:0], s.Count, 10))
+	bw.WriteByte('\n')
+	writePromLine(bw, h.name+"_sum", float64(s.Sum)*h.scale)
+	bw.WriteString(h.name)
+	bw.WriteString("_count ")
+	bw.Write(strconv.AppendUint(buf[:0], s.Count, 10))
+	bw.WriteByte('\n')
+}
+
+func (h *Histogram) writeVar(bw *bufio.Writer) {
+	s := h.Snapshot()
+	bw.WriteString(`{"count": `)
+	var buf [20]byte
+	bw.Write(strconv.AppendUint(buf[:0], s.Count, 10))
+	bw.WriteString(`, "sum": `)
+	formatFloat(bw, float64(s.Sum)*h.scale)
+	bw.WriteString(`, "max": `)
+	formatFloat(bw, float64(s.Max)*h.scale)
+	bw.WriteString(`, "p50": `)
+	formatFloat(bw, float64(s.Quantile(0.50))*h.scale)
+	bw.WriteString(`, "p90": `)
+	formatFloat(bw, float64(s.Quantile(0.90))*h.scale)
+	bw.WriteString(`, "p99": `)
+	formatFloat(bw, float64(s.Quantile(0.99))*h.scale)
+	bw.WriteByte('}')
+}

@@ -1,0 +1,175 @@
+// Package obs is the zero-dependency observability layer for the mocc
+// serving stack: lock-free counters/gauges, log-bucketed latency
+// histograms, a bounded structured event log, and a per-app decision
+// flight recorder, with Prometheus text-format and expvar-style JSON
+// exposition plus an HTTP handler bundling /metrics, /vars, /events,
+// /healthz, /flightrec and /debug/pprof.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost ~ one atomic add. Counter.Add is an atomic add on a
+//     cache-line-padded stripe; Histogram.Observe is a bucket-index
+//     computation (bits.Len64 + shifts) plus three atomic ops. Neither
+//     allocates — pinned by AllocsPerRun tests.
+//   - True no-op when disabled. A nil *Registry returns nil metrics from
+//     every constructor, and every method on a nil metric, event log, or
+//     flight recorder returns immediately, so instrumented code never
+//     branches on "is observability on" — it just calls through.
+//   - Snapshots are frozen. Scrapers read a copied snapshot (histogram
+//     buckets, event tail, flight-recorder dump), never live state, so a
+//     slow scrape cannot stall the serving hot path.
+//   - Zero dependencies. Standard library only; the Prometheus text
+//     format and the expvar-style JSON are rendered by hand.
+//
+// Metric names carry their labels pre-rendered (for example
+// "mocc_serve_sheds_total{cause=\"queue\"}"): the registry treats the
+// full string as the identity and the expositor splits the family name
+// back out for HELP/TYPE lines. This keeps the hot path free of label
+// lookup entirely — each labelled series is its own metric value.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metric is the registry-internal face of every metric kind.
+type metric interface {
+	metricName() string // full name, labels pre-rendered
+	metricHelp() string
+	metricKind() string // "counter" | "gauge" | "histogram"
+	writeProm(w *bufio.Writer)
+	writeVar(w *bufio.Writer)
+}
+
+// Registry holds a named set of metrics and renders them. A nil
+// *Registry is the disabled state: every constructor returns nil and
+// every nil metric method is a no-op.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]metric
+	ordered []metric
+	sorted  bool
+}
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+// register interns m under its full name. Re-registering the same name
+// with the same kind returns the existing metric (so independent
+// components can share a series); a kind mismatch is a programming
+// error and panics.
+func (r *Registry) register(m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byName[m.metricName()]; ok {
+		if old.metricKind() != m.metricKind() {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)",
+				m.metricName(), m.metricKind(), old.metricKind()))
+		}
+		return old
+	}
+	r.byName[m.metricName()] = m
+	r.ordered = append(r.ordered, m)
+	r.sorted = false
+	return m
+}
+
+// snapshotOrdered returns the metrics sorted by full name. Sorting is
+// cached between registrations; scrapes after the registry has settled
+// only copy the slice header under the lock.
+func (r *Registry) snapshotOrdered() []metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.sorted {
+		sort.Slice(r.ordered, func(i, j int) bool {
+			return r.ordered[i].metricName() < r.ordered[j].metricName()
+		})
+		r.sorted = true
+	}
+	return r.ordered
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Metrics sharing a family
+// (same name up to the label block) share one HELP/TYPE header.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	lastFamily := ""
+	for _, m := range r.snapshotOrdered() {
+		fam := familyOf(m.metricName())
+		if fam != lastFamily {
+			lastFamily = fam
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam)
+			bw.WriteByte(' ')
+			bw.WriteString(m.metricHelp())
+			bw.WriteByte('\n')
+			bw.WriteString("# TYPE ")
+			bw.WriteString(fam)
+			bw.WriteByte(' ')
+			bw.WriteString(m.metricKind())
+			bw.WriteByte('\n')
+		}
+		m.writeProm(bw)
+	}
+}
+
+// WriteVars renders every registered metric as one flat expvar-style
+// JSON object keyed by full metric name. Counters and gauges map to
+// numbers; histograms map to {count, sum, max, p50, p90, p99} objects
+// in exposition units.
+func (r *Registry) WriteVars(w io.Writer) {
+	if r == nil {
+		io.WriteString(w, "{}\n")
+		return
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	bw.WriteString("{\n")
+	ms := r.snapshotOrdered()
+	for i, m := range ms {
+		bw.WriteString(strconv.Quote(m.metricName()))
+		bw.WriteString(": ")
+		m.writeVar(bw)
+		if i < len(ms)-1 {
+			bw.WriteByte(',')
+		}
+		bw.WriteByte('\n')
+	}
+	bw.WriteString("}\n")
+}
+
+// familyOf strips the pre-rendered label block from a full metric name.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// formatFloat renders a float64 the way the Prometheus text format
+// expects (shortest round-trippable representation).
+func formatFloat(bw *bufio.Writer, v float64) {
+	var buf [32]byte
+	bw.Write(strconv.AppendFloat(buf[:0], v, 'g', -1, 64))
+}
+
+// writePromLine writes `name value\n` for a scalar sample.
+func writePromLine(bw *bufio.Writer, name string, v float64) {
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	formatFloat(bw, v)
+	bw.WriteByte('\n')
+}

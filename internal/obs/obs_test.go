@@ -1,0 +1,425 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterStripes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	for s := 0; s < 32; s++ {
+		c.AddAt(s, uint64(s+1))
+	}
+	c.Add(5)
+	want := uint64(5)
+	for s := 0; s < 32; s++ {
+		want += uint64(s + 1)
+	}
+	if got := c.Value(); got != want {
+		t.Fatalf("Value = %d, want %d", got, want)
+	}
+}
+
+func TestCounterReregister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help")
+	b := r.Counter("dup_total", "help")
+	if a != b {
+		t.Fatal("re-registering same name+kind should return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch should panic")
+		}
+	}()
+	r.Gauge("dup_total", "help")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "help")
+	g.Set(2.5)
+	g.Add(1.25)
+	if got := g.Value(); got != 3.75 {
+		t.Fatalf("Value = %v, want 3.75", got)
+	}
+	g.Add(-4)
+	if got := g.Value(); got != -0.25 {
+		t.Fatalf("Value = %v, want -0.25", got)
+	}
+}
+
+func TestNilRegistryNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", 1)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil metrics")
+	}
+	c.Add(1)
+	c.AddAt(3, 1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	r.CounterFunc("a", "", func() uint64 { return 0 })
+	r.GaugeFunc("b", "", func() float64 { return 0 })
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	var el *EventLog
+	el.Emit(Event{Type: EvShed})
+	if el.Tail(10) != nil || el.Seq() != 0 {
+		t.Fatal("nil event log must be empty")
+	}
+	var f *Flight
+	f.Record(Decision{})
+	if f.Dump() != nil || f.Len() != 0 {
+		t.Fatal("nil flight must be empty")
+	}
+	var lim *Limiter
+	if lim.Allow(time.Second) {
+		t.Fatal("nil limiter must refuse")
+	}
+}
+
+func TestHistBucketMonotone(t *testing.T) {
+	// Bucket index and upper bounds must be monotone and consistent:
+	// every value must land in a bucket whose upper bound is >= value
+	// and whose predecessor's upper bound is < value.
+	vals := []uint64{0, 1, 15, 16, 17, 19, 20, 31, 32, 63, 64, 100, 1000,
+		1 << 20, 1<<20 + 12345, 1 << 40, math.MaxUint64/2 + 1, math.MaxUint64}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	for _, v := range vals {
+		b := histBucket(v)
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucket(%d) = %d out of range", v, b)
+		}
+		if histUpper[b] < v {
+			t.Fatalf("bucket(%d) = %d but upper %d < value", v, b, histUpper[b])
+		}
+		if b > 0 && histUpper[b-1] >= v {
+			t.Fatalf("bucket(%d) = %d but previous upper %d >= value", v, b, histUpper[b-1])
+		}
+	}
+	for b := 1; b < histBuckets; b++ {
+		if histUpper[b] <= histUpper[b-1] {
+			t.Fatalf("histUpper not strictly increasing at %d", b)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "help", 1)
+	// 1000 samples uniform in [0, 100000): quantiles must be within the
+	// documented 12.5% relative bucket error.
+	rng := rand.New(rand.NewSource(42))
+	var raw []uint64
+	for i := 0; i < 1000; i++ {
+		v := uint64(rng.Intn(100000))
+		raw = append(raw, v)
+		h.Observe(v)
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Max != raw[len(raw)-1] {
+		t.Fatalf("Max = %d, want %d", s.Max, raw[len(raw)-1])
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := float64(s.Quantile(q))
+		exact := float64(raw[int(q*float64(len(raw)-1))])
+		if got < exact*0.999 || got > exact*1.126 {
+			t.Fatalf("Quantile(%v) = %v, exact %v: outside bucket error bound", q, got, exact)
+		}
+	}
+	if got := s.Quantile(1.0); got != s.Max {
+		t.Fatalf("Quantile(1) = %d, want max %d", got, s.Max)
+	}
+}
+
+func TestHistogramSmallExact(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("small", "help", 1)
+	for v := uint64(0); v < 16; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 7 {
+		t.Fatalf("median of 0..15 = %d, want 7 (exact buckets)", got)
+	}
+	if s.Sum != 120 {
+		t.Fatalf("Sum = %d, want 120", s.Sum)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`sheds_total{cause="queue"}`, "sheds by cause").Add(3)
+	r.Counter(`sheds_total{cause="deadline"}`, "sheds by cause").Add(1)
+	r.Gauge("depth", "queue depth").Set(42.5)
+	r.CounterFunc("reports_total", "reports", func() uint64 { return 99 })
+	r.GaugeFunc("apps", "live apps", func() float64 { return 7 })
+	h := r.Histogram("lat_seconds", "latency", 1e-9)
+	h.Observe(1500) // ns
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE sheds_total counter",
+		`sheds_total{cause="deadline"} 1`,
+		`sheds_total{cause="queue"} 3`,
+		"# TYPE depth gauge",
+		"depth 42.5",
+		"reports_total 99",
+		"apps 7",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family, not per labelled series.
+	if strings.Count(out, "# TYPE sheds_total") != 1 {
+		t.Fatalf("family header duplicated:\n%s", out)
+	}
+	// Histogram sum must be scaled to seconds.
+	if !strings.Contains(out, "lat_seconds_sum 1.5e-06") {
+		t.Fatalf("scaled sum missing:\n%s", out)
+	}
+}
+
+func TestVarsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(5)
+	h := r.Histogram("h", "", 1)
+	h.Observe(10)
+	var sb strings.Builder
+	r.WriteVars(&sb)
+	out := sb.String()
+	for _, want := range []string{`"c_total": 5`, `"count": 1`, `"p50": 10`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("vars missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventLogRingAndTail(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{Type: EvShed, Epoch: uint64(i)})
+	}
+	tail := l.Tail(100)
+	if len(tail) != 4 {
+		t.Fatalf("Tail len = %d, want ring size 4", len(tail))
+	}
+	for i, e := range tail {
+		if e.Seq != uint64(6+i) || e.Epoch != uint64(6+i) {
+			t.Fatalf("tail[%d] = seq %d epoch %d, want %d", i, e.Seq, e.Epoch, 6+i)
+		}
+		if e.Time.IsZero() {
+			t.Fatal("event time not stamped")
+		}
+	}
+	if got := l.Tail(2); len(got) != 2 || got[0].Seq != 8 {
+		t.Fatalf("Tail(2) = %+v", got)
+	}
+	if l.Seq() != 10 {
+		t.Fatalf("Seq = %d", l.Seq())
+	}
+}
+
+func TestEventSubscribe(t *testing.T) {
+	l := NewEventLog(8)
+	var got []Event
+	l.Subscribe(func(e Event) { got = append(got, e) })
+	l.Emit(Event{Type: EvCanaryRollback, Epoch: 3})
+	if len(got) != 1 || got[0].Type != EvCanaryRollback || got[0].Epoch != 3 {
+		t.Fatalf("subscriber saw %+v", got)
+	}
+}
+
+func TestEventTypeNames(t *testing.T) {
+	if EvCanaryRollback.String() != "canary_rollback" {
+		t.Fatalf("name = %q", EvCanaryRollback.String())
+	}
+	b, err := EvSafeModeTrip.MarshalJSON()
+	if err != nil || string(b) != `"safemode_trip"` {
+		t.Fatalf("marshal = %s, %v", b, err)
+	}
+	if EventType(200).String() != "unknown" {
+		t.Fatal("out-of-range type must stringify safely")
+	}
+}
+
+func TestFlightRing(t *testing.T) {
+	f := NewFlight(3)
+	for i := 0; i < 7; i++ {
+		f.Record(Decision{Rate: float64(i)})
+	}
+	dump := f.Dump()
+	if len(dump) != 3 {
+		t.Fatalf("Dump len = %d", len(dump))
+	}
+	for i, d := range dump {
+		if d.Seq != uint64(4+i) || d.Rate != float64(4+i) {
+			t.Fatalf("dump[%d] = %+v", i, d)
+		}
+	}
+	if f.Len() != 7 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	var lim Limiter
+	if !lim.Allow(time.Hour) {
+		t.Fatal("first Allow must pass")
+	}
+	if lim.Allow(time.Hour) {
+		t.Fatal("second Allow inside gap must refuse")
+	}
+	if !lim.Allow(0) {
+		t.Fatal("zero gap must always pass")
+	}
+}
+
+func TestVerdictNames(t *testing.T) {
+	if VerdictName(VerdictNonFinite) != "non_finite" || VerdictName(250) != "unknown" {
+		t.Fatal("verdict naming broken")
+	}
+}
+
+// TestConcurrentScrape hammers every metric kind from writer goroutines
+// while scraping both expositions — the in-package half of the race
+// coverage (the full-stack version lives in the root package).
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", 1)
+	l := NewEventLog(64)
+	f := NewFlight(16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.AddAt(id, 1)
+				g.Set(float64(i))
+				h.Observe(uint64(i % 1000))
+				f.Record(Decision{Rate: float64(i)})
+				if i%64 == 0 {
+					l.Emit(Event{Type: EvShed})
+				}
+			}
+		}(w)
+	}
+	deadline := time.After(100 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+			r.WriteVars(&sb)
+			l.Tail(32)
+			f.Dump()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Value() == 0 || h.Snapshot().Count == 0 {
+		t.Fatal("writers made no progress")
+	}
+}
+
+// Zero-alloc pins: the hot-path operations must not allocate.
+func TestZeroAllocCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("zc_total", "")
+	if n := testing.AllocsPerRun(1000, func() { c.AddAt(3, 1) }); n != 0 {
+		t.Fatalf("Counter.AddAt allocates %v per op", n)
+	}
+	var nilC *Counter
+	if n := testing.AllocsPerRun(1000, func() { nilC.Add(1) }); n != 0 {
+		t.Fatalf("nil Counter.Add allocates %v per op", n)
+	}
+}
+
+func TestZeroAllocHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("zh", "", 1e-9)
+	v := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() { v += 997; h.Observe(v) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op", n)
+	}
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() { nilH.Observe(1) }); n != 0 {
+		t.Fatalf("nil Histogram.Observe allocates %v per op", n)
+	}
+}
+
+func TestZeroAllocFlightAndGauge(t *testing.T) {
+	f := NewFlight(32)
+	d := Decision{Act: 1, Rate: 2, Epoch: 3}
+	if n := testing.AllocsPerRun(1000, func() { f.Record(d) }); n != 0 {
+		t.Fatalf("Flight.Record allocates %v per op", n)
+	}
+	r := NewRegistry()
+	g := r.Gauge("zg", "")
+	if n := testing.AllocsPerRun(1000, func() { g.Set(4.2) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v per op", n)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.AddAt(i, 1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_lat", "", 1e-9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) * 997)
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlight(64)
+	d := Decision{Act: 1, Rate: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(d)
+	}
+}

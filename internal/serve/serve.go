@@ -34,6 +34,7 @@ import (
 
 	"mocc/internal/core"
 	"mocc/internal/objective"
+	"mocc/internal/obs"
 )
 
 // Config sizes the engine. The zero value picks sensible defaults.
@@ -68,6 +69,18 @@ type Config struct {
 	// passes the snapshot's epoch here so clients observe a continuous
 	// epoch sequence across the restart. Defaults to 0.
 	BaseEpoch uint64
+	// Metrics, when non-nil, registers the engine's series on the
+	// registry: cumulative counters are CounterFuncs over the atomics the
+	// engine already maintains (zero added hot-path cost), and the only
+	// new hot-path work is the batch-size and decision-latency histograms
+	// plus one striped flush-cause counter add per flush. Nil disables
+	// everything at ~zero cost (nil-receiver no-ops).
+	Metrics *obs.Registry
+	// Events, when non-nil, receives structured engine events: epoch
+	// publishes, shard panics and watchdog restarts, and sheds (throttled
+	// to at most one event per second — the per-cause counters carry the
+	// volume).
+	Events *obs.EventLog
 }
 
 func (c Config) withDefaults() Config {
@@ -103,12 +116,13 @@ type epochState struct {
 // request is one in-flight decision. Each Client owns exactly one, reused
 // across calls: the submit path allocates nothing.
 type request struct {
-	next *request // intrusive Treiber-stack link, owned by the shard after push
-	w    objective.Weights
-	obs  []float64
-	enq  time.Time // submit time, set only when deadline shedding is on
-	out  float64
-	done chan struct{}
+	next  *request // intrusive Treiber-stack link, owned by the shard after push
+	w     objective.Weights
+	obs   []float64
+	enq   time.Time // submit time, set only when deadline shedding is on
+	out   float64
+	epoch uint64 // model generation that served (or shed) the request
+	done  chan struct{}
 }
 
 // Stats is a point-in-time snapshot of engine counters.
@@ -162,6 +176,75 @@ type Engine struct {
 	// crashNext, when set, makes the next woken consumer panic at the top
 	// of its loop, exercising the watchdog restart path.
 	crashNext atomic.Bool
+
+	// Observability sinks; every field is nil-safe, so the instrumented
+	// paths call through unconditionally.
+	met struct {
+		batchSize *obs.Histogram // coalesced chunk size per forward pass
+		latency   *obs.Histogram // submit-to-answer ns, sampled 1-in-8 per client
+		flushFull *obs.Counter   // flushes because the batch hit MaxBatch
+		flushIntv *obs.Counter   // flushes because FlushInterval elapsed
+		flushDrn  *obs.Counter   // flushes on the Close drain path
+		flushEagr *obs.Counter   // flushes with coalescing disabled/bypassed
+	}
+	events  *obs.EventLog
+	shedLim obs.Limiter
+}
+
+// registerMetrics wires the engine's series onto cfg.Metrics. Cumulative
+// counters read the atomics the engine already maintains, so they cost
+// nothing per request; only the histograms and flush-cause counters add
+// hot-path work, and those are nil (no-op) when metrics are disabled.
+func (e *Engine) registerMetrics() {
+	r := e.cfg.Metrics // nil registry => every handle below is nil
+	e.events = e.cfg.Events
+	r.CounterFunc("mocc_serve_reports_total", "Decisions served by the batching engine.",
+		func() uint64 { return e.reports.Load() })
+	r.CounterFunc("mocc_serve_batches_total", "Forward passes run.",
+		func() uint64 { return e.batches.Load() })
+	r.CounterFunc("mocc_serve_swaps_total", "Epoch applications summed over shards.",
+		func() uint64 { return e.swaps.Load() })
+	r.CounterFunc("mocc_serve_panics_total", "Inference panics recovered (batch answered NaN).",
+		func() uint64 { return e.panics.Load() })
+	r.CounterFunc("mocc_serve_restarts_total", "Shard consumers restarted by the watchdog.",
+		func() uint64 { return e.restarts.Load() })
+	r.CounterFunc("mocc_serve_rollbacks_total", "Generation rollbacks applied.",
+		func() uint64 { return e.rollbacks.Load() })
+	r.CounterFunc(`mocc_serve_sheds_total{cause="queue"}`, "Requests shed by cause.",
+		func() uint64 { return e.shedQueue.Load() })
+	r.CounterFunc(`mocc_serve_sheds_total{cause="deadline"}`, "Requests shed by cause.",
+		func() uint64 { return e.shedDeadline.Load() })
+	r.GaugeFunc("mocc_serve_queue_depth", "Requests queued across shards right now.",
+		func() float64 {
+			var queued int64
+			for _, s := range e.shards {
+				queued += s.queued.Load()
+			}
+			return float64(queued)
+		})
+	r.GaugeFunc("mocc_serve_epoch", "Currently published model generation.",
+		func() float64 { return float64(e.Epoch()) })
+	e.met.batchSize = r.Histogram("mocc_serve_batch_size",
+		"Coalesced requests per forward pass.", 1)
+	e.met.latency = r.Histogram("mocc_serve_decision_latency_seconds",
+		"Submit-to-answer decision latency, sampled 1 in 8 requests per client.", 1e-9)
+	e.met.flushFull = r.Counter(`mocc_serve_flushes_total{cause="full"}`,
+		"Shard flushes by cause.")
+	e.met.flushIntv = r.Counter(`mocc_serve_flushes_total{cause="interval"}`,
+		"Shard flushes by cause.")
+	e.met.flushDrn = r.Counter(`mocc_serve_flushes_total{cause="drain"}`,
+		"Shard flushes by cause.")
+	e.met.flushEagr = r.Counter(`mocc_serve_flushes_total{cause="eager"}`,
+		"Shard flushes by cause.")
+}
+
+// shedEvent emits a throttled EvShed; the per-cause counters carry the
+// real volume. cause is a static string, so the rare emission allocates
+// nothing on the caller's behalf beyond the event itself.
+func (e *Engine) shedEvent(cause string) {
+	if e.events != nil && e.shedLim.Allow(time.Second) {
+		e.events.Emit(obs.Event{Type: obs.EvShed, Epoch: e.Epoch(), Msg: cause})
+	}
 }
 
 // New starts an engine serving decisions from m, which becomes epoch
@@ -173,10 +256,12 @@ type Engine struct {
 func New(m *core.Model, cfg Config) *Engine {
 	e := &Engine{cfg: cfg.withDefaults(), closedCh: make(chan struct{})}
 	e.epoch.Store(&epochState{seq: e.cfg.BaseEpoch, model: m})
+	e.registerMetrics()
 	e.shards = make([]*shard, e.cfg.Shards)
 	for i := range e.shards {
 		s := &shard{
 			eng:  e,
+			idx:  i,
 			wake: make(chan struct{}, 1),
 			stop: make(chan struct{}),
 			done: make(chan struct{}),
@@ -207,6 +292,7 @@ func (e *Engine) Publish(m *core.Model) (uint64, error) {
 		next := &epochState{seq: old.seq + 1, model: m}
 		if e.epoch.CompareAndSwap(old, next) {
 			e.prev.Store(old)
+			e.events.Emit(obs.Event{Type: obs.EvEpochPublish, Epoch: next.seq})
 			return next.seq, nil
 		}
 	}
@@ -302,6 +388,7 @@ type Client struct {
 	eng *Engine
 	sh  *shard
 	w   objective.Weights
+	nth uint8 // request counter driving 1-in-8 latency sampling
 	req request
 }
 
@@ -337,6 +424,7 @@ func (c *Client) Act(obs []float64) float64 {
 	s := c.sh
 	if max := e.cfg.MaxQueue; max > 0 && s.queued.Load() >= int64(max) {
 		e.shedQueue.Add(1)
+		e.shedEvent("queue")
 		return math.NaN()
 	}
 	e.inflight.Add(1)
@@ -349,7 +437,15 @@ func (c *Client) Act(obs []float64) float64 {
 	r := &c.req
 	r.w = c.w
 	r.obs = obs
-	if e.cfg.Deadline > 0 {
+	// The latency histogram samples 1 in 8 requests per client: reading
+	// the clock twice per decision is the single largest observability
+	// cost on this path, and the percentiles of a fleet-scale request
+	// stream are statistically indistinguishable at a 1/8 sampling rate.
+	// A configured Deadline needs the enqueue time on every request
+	// regardless, so sampling then costs only the time.Since.
+	sample := e.met.latency != nil && c.nth&7 == 0
+	c.nth++
+	if e.cfg.Deadline > 0 || sample {
 		r.enq = time.Now()
 	}
 	s.queued.Add(1)
@@ -372,12 +468,20 @@ func (c *Client) Act(obs []float64) float64 {
 	<-r.done
 	r.obs = nil
 	e.inflight.Add(-1)
+	if sample {
+		e.met.latency.Observe(uint64(time.Since(r.enq)))
+	}
 	return r.out
 }
+
+// LastEpoch returns the model generation that served (or shed) the most
+// recent Act. Like Act itself it must be serialized per client.
+func (c *Client) LastEpoch() uint64 { return c.req.epoch }
 
 // shard is one batching queue plus its consumer goroutine.
 type shard struct {
 	eng    *Engine
+	idx    int                     // shard index; doubles as the metric stripe
 	head   atomic.Pointer[request] // MPSC Treiber stack of pending requests
 	queued atomic.Int64            // pushed but not yet finished
 	wake   chan struct{}
@@ -427,6 +531,8 @@ func (s *shard) loop() {
 	defer close(s.done)
 	for s.consume() {
 		s.eng.restarts.Add(1)
+		s.eng.events.Emit(obs.Event{Type: obs.EvShardRestart, Epoch: s.epochSeq,
+			Msg: fmt.Sprintf("shard %d consumer restarted", s.idx)})
 		var next *request
 		for r := s.head.Swap(nil); r != nil; r = next {
 			// The submitter may reuse r the instant finish delivers, so
@@ -463,6 +569,7 @@ func (s *shard) run() {
 		case <-s.wake:
 		case <-s.stop:
 			batch = s.takeAll(batch[:0])
+			s.countFlush(s.eng.met.flushDrn, len(batch))
 			s.serve(batch)
 			return
 		}
@@ -476,17 +583,26 @@ func (s *shard) run() {
 		// other clients on the shard starve until preemption.
 		runtime.Gosched()
 		batch = s.takeAll(batch[:0])
+		cause := s.eng.met.flushEagr
+		if len(batch) >= cfg.MaxBatch {
+			cause = s.eng.met.flushFull
+		}
 		if cfg.FlushInterval > 0 && len(batch) > 0 && len(batch) < cfg.MaxBatch {
 			deadline.Reset(cfg.FlushInterval)
+			cause = s.eng.met.flushIntv
 		coalesce:
 			for len(batch) < cfg.MaxBatch {
 				select {
 				case <-s.wake:
 					batch = s.takeAll(batch)
+					if len(batch) >= cfg.MaxBatch {
+						cause = s.eng.met.flushFull
+					}
 				case <-deadline.C:
 					break coalesce
 				case <-s.stop:
 					batch = s.takeAll(batch)
+					s.countFlush(s.eng.met.flushDrn, len(batch))
 					s.serve(batch)
 					return
 				}
@@ -498,7 +614,16 @@ func (s *shard) run() {
 				}
 			}
 		}
+		s.countFlush(cause, len(batch))
 		s.serve(batch)
+	}
+}
+
+// countFlush attributes one non-empty flush to its cause on the shard's
+// counter stripe.
+func (s *shard) countFlush(c *obs.Counter, n int) {
+	if n > 0 {
+		c.AddAt(s.idx, 1)
 	}
 }
 
@@ -547,7 +672,10 @@ func (s *shard) serve(reqs []*request) {
 		first := !s.started
 		if !s.rebuild(ep) {
 			s.eng.panics.Add(1)
+			s.eng.events.Emit(obs.Event{Type: obs.EvShardPanic, Epoch: ep.seq,
+				Msg: fmt.Sprintf("shard %d: poisoned generation, batch of %d answered NaN", s.idx, len(reqs))})
 			for _, r := range reqs {
+				r.epoch = ep.seq
 				s.finish(r, math.NaN())
 			}
 			return
@@ -569,6 +697,8 @@ func (s *shard) serve(reqs []*request) {
 			for _, r := range chunk {
 				if now.Sub(r.enq) > dl {
 					s.eng.shedDeadline.Add(1)
+					s.eng.shedEvent("deadline")
+					r.epoch = ep.seq
 					s.finish(r, math.NaN())
 				} else {
 					s.live = append(s.live, r)
@@ -591,8 +721,11 @@ func (s *shard) serve(reqs []*request) {
 		}
 		if err := s.actBatch(n); err != nil {
 			s.eng.panics.Add(1)
+			s.eng.events.Emit(obs.Event{Type: obs.EvShardPanic, Epoch: ep.seq,
+				Msg: fmt.Sprintf("shard %d: %v", s.idx, err)})
 			s.bi = nil // fresh inference view before the next batch
 			for _, r := range chunk {
+				r.epoch = ep.seq
 				s.finish(r, math.NaN())
 			}
 			continue
@@ -601,12 +734,14 @@ func (s *shard) serve(reqs []*request) {
 		// per request on the submit path.
 		s.eng.reports.Add(uint64(n))
 		s.eng.batches.Add(1)
+		s.eng.met.batchSize.Observe(uint64(n))
 		for cur := s.eng.maxBatch.Load(); int64(n) > cur; cur = s.eng.maxBatch.Load() {
 			if s.eng.maxBatch.CompareAndSwap(cur, int64(n)) {
 				break
 			}
 		}
 		for i, r := range chunk {
+			r.epoch = ep.seq
 			s.finish(r, s.out[i])
 		}
 	}

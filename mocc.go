@@ -41,6 +41,7 @@ import (
 	"mocc/internal/cc"
 	"mocc/internal/core"
 	"mocc/internal/objective"
+	"mocc/internal/obs"
 	"mocc/internal/rl"
 	"mocc/internal/serve"
 	"mocc/internal/trace"
@@ -164,13 +165,22 @@ type Library struct {
 
 	// engine is the sharded batching inference engine (nil unless built
 	// with WithServing); idleTTL/janitorStop/evicted drive its idle-handle
-	// janitor and closeOnce makes Library.Close idempotent.
+	// janitor and closeOnce makes Library.Close idempotent. bgWG tracks
+	// the janitor and canary goroutines so Close can wait for them to
+	// exit before the engine goes away; closed marks the library shut
+	// down for /healthz.
 	engine      *serve.Engine
 	idleTTL     time.Duration
 	janitorStop chan struct{}
 	canaryStop  chan struct{} // stops the epoch canary monitor (nil unless enabled)
 	evicted     atomic.Int64
 	closeOnce   sync.Once
+	closed      atomic.Bool
+	bgWG        sync.WaitGroup
+
+	// obs is the observability state (zero unless built with
+	// WithObservability; every use is nil-safe).
+	obs libObs
 
 	mu     sync.RWMutex // guards apps and nextID only — never held on the hot path
 	apps   map[AppID]*App
@@ -205,6 +215,11 @@ type TrainingOptions struct {
 	Seed int64
 	// Progress, when non-nil, receives training milestones.
 	Progress func(string)
+	// Metrics, when non-nil, registers the training-throughput series
+	// (mocc_train_*: iterations, environment steps, last-iteration
+	// reward, PPO update latency) on the sink — serve it with
+	// Metrics.Handler to watch a long offline run live.
+	Metrics *Metrics
 }
 
 // QuickTraining returns a laptop-scale configuration (seconds of training)
@@ -298,9 +313,13 @@ func (l *Library) Register(w Weights) (*App, error) {
 	// batched forward); otherwise it owns a private single-sample inference
 	// view. Both are bit-identical per decision.
 	if l.engine != nil {
-		app.pol = l.engine.NewClient(uint64(id), iw)
+		app.client = l.engine.NewClient(uint64(id), iw)
+		app.pol = app.client
 	} else {
 		app.pol = l.model.SharedPolicyFor(iw)
+	}
+	if l.obs.flightDepth > 0 {
+		app.flight = obs.NewFlight(l.obs.flightDepth)
 	}
 	// Safe mode interposes a decision observer between the shared model and
 	// the controller; App.SetWeights keeps retuning through app.pol.
@@ -311,6 +330,13 @@ func (l *Library) Register(w Weights) (*App, error) {
 	}
 	if l.safeMode != nil {
 		app.guard = newGuard(*l.safeMode)
+		// Fleet-level fault/trip/recovery counters survive handle churn
+		// (per-app guard telemetry dies with its handle); the handle id
+		// doubles as the counter stripe.
+		app.guard.stripe = int(id)
+		app.guard.mFaults = l.obs.faults
+		app.guard.mTrips = l.obs.trips
+		app.guard.mRecoveries = l.obs.recoveries
 	}
 	app.alg = cc.NewRLRate(fmt.Sprintf("mocc-app-%d", id), pol, l.model.HistoryLen)
 	app.alg.Reset(int64(id))
@@ -451,5 +477,6 @@ func trainConfig(opts TrainingOptions) core.TrainConfig {
 		PPO:             ppo,
 		Envs:            core.TrainingEnvs(trace.TrainingRanges(), core.HistoryLen),
 		Progress:        opts.Progress,
+		Metrics:         opts.Metrics.Registry(),
 	}
 }

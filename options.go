@@ -117,6 +117,7 @@ type libConfig struct {
 	noSafeMode     bool
 	inferenceFault func(act float64) float64
 	serving        *ServingOptions
+	observability  *ObservabilityOptions
 }
 
 // Option configures Library construction (see New).
@@ -206,6 +207,7 @@ func New(model *Model, opts ...Option) (*Library, error) {
 		apps:           make(map[AppID]*App),
 		inferenceFault: cfg.inferenceFault,
 	}
+	l.initObs(cfg.observability)
 	if !cfg.noSafeMode {
 		sm := cfg.safeMode.normalized()
 		l.safeMode = &sm
@@ -248,14 +250,25 @@ func New(model *Model, opts ...Option) (*Library, error) {
 			MaxQueue:      cfg.serving.MaxQueue,
 			Deadline:      cfg.serving.Deadline,
 			BaseEpoch:     cfg.serving.InitialEpoch,
+			Metrics:       l.obs.sink.Registry(),
+			Events:        l.obs.events,
 		})
 		if l.idleTTL = cfg.serving.IdleTTL; l.idleTTL > 0 {
 			l.janitorStop = make(chan struct{})
-			go l.janitor()
+			l.bgWG.Add(1)
+			go func() {
+				defer l.bgWG.Done()
+				l.janitor()
+			}()
 		}
 		if cfg.serving.Canary != nil {
 			l.canaryStop = make(chan struct{})
-			go l.canaryLoop(cfg.serving.Canary.normalized())
+			canaryCfg := cfg.serving.Canary.normalized()
+			l.bgWG.Add(1)
+			go func() {
+				defer l.bgWG.Done()
+				l.canaryLoop(canaryCfg)
+			}()
 		}
 	}
 	return l, nil

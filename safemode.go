@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mocc/internal/cc"
+	"mocc/internal/obs"
 )
 
 // SafeModeConfig tunes the guarded-inference layer that stands between the
@@ -100,6 +101,21 @@ type guard struct {
 	faults            int64
 	lastFault         string
 	lastFaultAt       time.Time
+
+	// Per-decision observability state (read by App.observe under the
+	// same App.mu that serialized decide): the verdict class of the last
+	// decision and whether it tripped or recovered the guard.
+	lastClass     uint8
+	justTripped   bool
+	justRecovered bool
+
+	// Fleet-level counters (nil without WithObservability — nil-receiver
+	// no-ops); stripe is the handle id, so concurrent handles do not
+	// share counter cache lines.
+	stripe      int
+	mFaults     *obs.Counter
+	mTrips      *obs.Counter
+	mRecoveries *obs.Counter
 }
 
 func newGuard(cfg SafeModeConfig) *guard {
@@ -119,19 +135,21 @@ func runLearned(alg *cc.RLRate, rep cc.Report) (rate float64, panicMsg string) {
 }
 
 // judge classifies the learned decision; the empty string means clean.
-func (g *guard) judge(learned float64, gp *guardPolicy, panicMsg string) string {
+// The uint8 is the obs.Verdict* class of the same verdict, recorded in
+// the flight recorder without string formatting.
+func (g *guard) judge(learned float64, gp *guardPolicy, panicMsg string) (string, uint8) {
 	switch {
 	case panicMsg != "":
-		return panicMsg
+		return panicMsg, obs.VerdictPanic
 	case !finite(gp.lastAct):
-		return fmt.Sprintf("non-finite policy action %v", gp.lastAct)
+		return fmt.Sprintf("non-finite policy action %v", gp.lastAct), obs.VerdictNonFinite
 	case !cc.ValidRate(learned):
 		return fmt.Sprintf("rate %v outside the pacing envelope [%v, %v]",
-			learned, float64(cc.MinPacingRate), float64(cc.MaxPacingRate))
+			learned, float64(cc.MinPacingRate), float64(cc.MaxPacingRate)), obs.VerdictEnvelope
 	case g.cfg.StallThreshold > 0 && gp.lastDur > g.cfg.StallThreshold:
-		return fmt.Sprintf("stalled inference (%v > %v)", gp.lastDur, g.cfg.StallThreshold)
+		return fmt.Sprintf("stalled inference (%v > %v)", gp.lastDur, g.cfg.StallThreshold), obs.VerdictStall
 	}
-	return ""
+	return "", obs.VerdictOK
 }
 
 // decide runs one monitor interval through the guard: the learned
@@ -139,13 +157,16 @@ func (g *guard) judge(learned float64, gp *guardPolicy, panicMsg string) string 
 // shadow probe when degraded), its verdict drives the trip/recover state
 // machine, and the returned rate is always inside the pacing envelope.
 func (g *guard) decide(alg *cc.RLRate, gp *guardPolicy, rep cc.Report, now time.Time) float64 {
+	g.justTripped, g.justRecovered = false, false
 	learned, panicMsg := runLearned(alg, rep)
-	verdict := g.judge(learned, gp, panicMsg)
+	verdict, class := g.judge(learned, gp, panicMsg)
+	g.lastClass = class
 	clean := verdict == ""
 	if clean {
 		g.lastGoodRate = learned
 	} else {
 		g.faults++
+		g.mFaults.AddAt(g.stripe, 1)
 		g.lastFault = verdict
 		g.lastFaultAt = now
 	}
@@ -158,6 +179,8 @@ func (g *guard) decide(alg *cc.RLRate, gp *guardPolicy, rep cc.Report, now time.
 		g.badStreak++
 		if g.badStreak >= g.cfg.TripAfter {
 			g.enterFallback(rep)
+			g.justTripped = true
+			g.mTrips.AddAt(g.stripe, 1)
 			g.fallbackIntervals++
 			return g.fallback.Rate()
 		}
@@ -176,6 +199,8 @@ func (g *guard) decide(alg *cc.RLRate, gp *guardPolicy, rep cc.Report, now time.
 			g.active = false
 			g.badStreak = 0
 			g.cleanStreak = 0
+			g.justRecovered = true
+			g.mRecoveries.AddAt(g.stripe, 1)
 			// Resync the learned controller to the connection's actual
 			// operating point; it takes over next interval.
 			alg.SetRate(fb)

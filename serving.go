@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mocc/internal/core"
+	"mocc/internal/obs"
 )
 
 // ServingOptions configures the sharded batching inference engine enabled
@@ -110,7 +111,11 @@ func (l *Library) Publish(m *Model) (uint64, error) {
 			return 0, fmt.Errorf("mocc: publishing foreign model: %w", cerr)
 		}
 	}
-	return l.engine.Publish(frozen)
+	seq, perr := l.engine.Publish(frozen)
+	if perr == nil {
+		l.obs.publishes.Add(1)
+	}
+	return seq, perr
 }
 
 // Rollback re-installs the model generation displaced by the most recent
@@ -121,6 +126,16 @@ func (l *Library) Publish(m *Model) (uint64, error) {
 // Model and OnlineAdapt see the generation actually being served. The
 // automatic form of this is the epoch canary (ServingOptions.Canary).
 func (l *Library) Rollback() (uint64, error) {
+	seq, err := l.rollback()
+	if err == nil && l.obs.events != nil {
+		l.obs.events.Emit(obs.Event{Type: obs.EvManualRollback, Epoch: seq})
+	}
+	return seq, err
+}
+
+// rollback is Rollback without the manual-rollback event, shared with
+// the canary (which emits its own richer event).
+func (l *Library) rollback() (uint64, error) {
 	if l.engine == nil {
 		return 0, errors.New("mocc: library was built without serving (WithServing)")
 	}
@@ -304,20 +319,26 @@ func (l *Library) FleetStats() FleetStats {
 	return f
 }
 
-// Close shuts a serving library down: the idle janitor stops and the engine
-// drains every queued decision before its shards exit. Outstanding handles
-// stay registered, but their learned path yields no further decisions —
-// under safe mode they degrade to the deterministic fallback controller,
-// without it each Report keeps its previous rate. Close is idempotent and a
-// no-op for libraries built without serving.
+// Close shuts a serving library down: the idle janitor and the canary
+// monitor stop — and are waited for, so no background goroutine of this
+// library outlives Close or touches the engine after it — then the
+// engine drains every queued decision before its shards exit.
+// Outstanding handles stay registered, but their learned path yields no
+// further decisions — under safe mode they degrade to the deterministic
+// fallback controller, without it each Report keeps its previous rate.
+// Close is idempotent and a no-op for libraries built without serving.
 func (l *Library) Close() {
 	l.closeOnce.Do(func() {
+		l.closed.Store(true)
 		if l.janitorStop != nil {
 			close(l.janitorStop)
 		}
 		if l.canaryStop != nil {
 			close(l.canaryStop)
 		}
+		// The canary calls engine.Stats/Epoch/Rollback; the janitor walks
+		// handles. Both must be gone before the engine shuts down.
+		l.bgWG.Wait()
 		if l.engine != nil {
 			l.engine.Close()
 		}

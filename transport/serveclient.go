@@ -13,6 +13,7 @@ import (
 	"mocc"
 	"mocc/internal/cc"
 	"mocc/internal/datapath"
+	"mocc/internal/obs"
 )
 
 // ServeConn is the client side of a mocc-serve daemon: one shared UDP
@@ -40,12 +41,65 @@ type ServeConn struct {
 	stop       chan struct{}
 	readerDone chan struct{}
 	malformed  atomic.Int64
+
+	met clientMetrics
 }
 
 // ServeConnConfig tunes DialServe.
 type ServeConnConfig struct {
 	// WrapConn, when non-nil, interposes on the socket (fault injection).
 	WrapConn func(PacketConn) PacketConn
+	// Metrics, when non-nil, registers the serve-client fleet series
+	// (mocc_client_*) on the sink and emits failover/resync events into
+	// its event log. Typically the same sink the daemon side passes to
+	// mocc.WithObservability, so client and server views of an outage
+	// land in one registry with identical latency bucketing.
+	Metrics *mocc.Metrics
+}
+
+// clientMetrics is the serve-client instrumentation shared by every flow
+// on a ServeConn. The zero value is observability-off: every method on a
+// nil counter/histogram/event log is a no-op, so the hot path needs no
+// branches beyond the nil latency check.
+type clientMetrics struct {
+	reports   *obs.Counter
+	served    *obs.Counter
+	shed      *obs.Counter
+	timeouts  *obs.Counter
+	retries   *obs.Counter
+	fallbacks *obs.Counter
+	fbReports *obs.Counter
+	resyncs   *obs.Counter
+	latency   *obs.Histogram
+	events    *obs.EventLog
+}
+
+func newClientMetrics(m *mocc.Metrics) clientMetrics {
+	reg := m.Registry()
+	if reg == nil {
+		return clientMetrics{}
+	}
+	return clientMetrics{
+		reports: reg.Counter("mocc_client_reports_total",
+			"Report calls made by serve-client flows."),
+		served: reg.Counter("mocc_client_served_total",
+			"Reports answered by the daemon with a usable rate."),
+		shed: reg.Counter("mocc_client_shed_total",
+			"Reports the daemon answered with an overload shed."),
+		timeouts: reg.Counter("mocc_client_timeouts_total",
+			"Report attempts that got no daemon reply in time."),
+		retries: reg.Counter("mocc_client_retries_total",
+			"Extra report attempts made before failing over."),
+		fallbacks: reg.Counter("mocc_client_fallbacks_total",
+			"Failover episodes: flows degrading to the local controller."),
+		fbReports: reg.Counter("mocc_client_fallback_reports_total",
+			"Monitor intervals decided by the local fallback controller."),
+		resyncs: reg.Counter("mocc_client_resyncs_total",
+			"Flows resyncing from the fallback to the learned path."),
+		latency: reg.Histogram("mocc_client_report_latency_seconds",
+			"Client-observed decision latency per Report, including retries and fallback decisions.", 1e-9),
+		events: m.EventLog(),
+	}
 }
 
 // rateReply is one decoded rate datagram.
@@ -76,6 +130,7 @@ func DialServe(addr string, cfg ServeConnConfig) (*ServeConn, error) {
 		flows:      make(map[uint64]chan rateReply),
 		stop:       make(chan struct{}),
 		readerDone: make(chan struct{}),
+		met:        newClientMetrics(cfg.Metrics),
 	}
 	go c.readLoop()
 	return c, nil
@@ -264,6 +319,11 @@ type ServeFlow struct {
 	probeDelay time.Duration
 	nextProbe  time.Time
 
+	// met shares the ServeConn's fleet counters; stripe is the flow id,
+	// so concurrent flows do not share counter cache lines.
+	met    clientMetrics
+	stripe int
+
 	mu    sync.Mutex // guards stats against concurrent Stats() readers
 	stats ServeFlowStats
 }
@@ -279,6 +339,8 @@ func (c *ServeConn) Flow(flow uint64, w mocc.Weights, cfg FailoverConfig) *Serve
 		ch:       make(chan rateReply, 4),
 		pkt:      make([]byte, datapath.WireReportBytes),
 		fallback: cc.NewAIMD(),
+		met:      c.met,
+		stripe:   int(flow),
 	}
 	f.rng = rand.New(rand.NewSource(f.cfg.Seed + int64(flow)))
 	c.mu.Lock()
@@ -306,12 +368,24 @@ func (f *ServeFlow) jitter(d time.Duration) time.Duration {
 // reachable, the local fallback when not. See the type comment for the
 // failover contract.
 func (f *ServeFlow) Report(st mocc.Status) (float64, error) {
+	if f.met.latency == nil {
+		return f.report(st)
+	}
+	start := time.Now()
+	rate, err := f.report(st)
+	f.met.latency.Observe(uint64(time.Since(start)))
+	return rate, err
+}
+
+// report is Report without the latency observation wrapper.
+func (f *ServeFlow) report(st mocc.Status) (float64, error) {
 	if st.Duration <= 0 {
 		return 0, fmt.Errorf("transport: serve report: Duration %v must be positive", st.Duration)
 	}
 	f.mu.Lock()
 	f.stats.Reports++
 	f.mu.Unlock()
+	f.met.reports.AddAt(f.stripe, 1)
 	rep := wireReport(f.flow, f.w, st)
 
 	if f.degraded {
@@ -328,6 +402,7 @@ func (f *ServeFlow) Report(st mocc.Status) (float64, error) {
 			f.mu.Lock()
 			f.stats.Timeouts++
 			f.mu.Unlock()
+			f.met.timeouts.AddAt(f.stripe, 1)
 			if f.probeDelay *= 2; f.probeDelay > f.cfg.BackoffMax {
 				f.probeDelay = f.cfg.BackoffMax
 			}
@@ -340,6 +415,9 @@ func (f *ServeFlow) Report(st mocc.Status) (float64, error) {
 		f.stats.Resyncs++
 		f.stats.FallbackActive = false
 		f.mu.Unlock()
+		f.met.resyncs.AddAt(f.stripe, 1)
+		f.met.events.Emit(obs.Event{Type: obs.EvResync, App: f.flow, Epoch: r.epoch,
+			Msg: "daemon reachable again; flow resynced to the learned path"})
 		return f.serveDecide(r, st), nil
 	}
 
@@ -355,12 +433,14 @@ func (f *ServeFlow) Report(st mocc.Status) (float64, error) {
 		f.mu.Lock()
 		f.stats.Timeouts++
 		f.mu.Unlock()
+		f.met.timeouts.AddAt(f.stripe, 1)
 		if attempt >= f.cfg.Retries {
 			break
 		}
 		f.mu.Lock()
 		f.stats.Retries++
 		f.mu.Unlock()
+		f.met.retries.AddAt(f.stripe, 1)
 		time.Sleep(f.jitter(backoff))
 		if backoff *= 2; backoff > f.cfg.BackoffMax {
 			backoff = f.cfg.BackoffMax
@@ -374,6 +454,9 @@ func (f *ServeFlow) Report(st mocc.Status) (float64, error) {
 	f.stats.Fallbacks++
 	f.stats.FallbackActive = true
 	f.mu.Unlock()
+	f.met.fallbacks.AddAt(f.stripe, 1)
+	f.met.events.Emit(obs.Event{Type: obs.EvFailover, App: f.flow,
+		Msg: fmt.Sprintf("daemon unreachable after %d attempts; flow degraded to the local controller", f.cfg.Retries+1)})
 	return f.fallbackDecide(st), nil
 }
 
@@ -388,6 +471,7 @@ func (f *ServeFlow) serveDecide(r rateReply, st mocc.Status) float64 {
 		f.mu.Lock()
 		f.stats.Shed++
 		f.mu.Unlock()
+		f.met.shed.AddAt(f.stripe, 1)
 		if f.lastServed > 0 {
 			return f.lastServed
 		}
@@ -403,6 +487,7 @@ func (f *ServeFlow) serveDecide(r rateReply, st mocc.Status) float64 {
 	f.mu.Lock()
 	f.stats.Served++
 	f.mu.Unlock()
+	f.met.served.AddAt(f.stripe, 1)
 	return r.rate
 }
 
@@ -411,6 +496,7 @@ func (f *ServeFlow) fallbackDecide(st mocc.Status) float64 {
 	f.mu.Lock()
 	f.stats.FallbackReports++
 	f.mu.Unlock()
+	f.met.fbReports.AddAt(f.stripe, 1)
 	return f.fallback.Update(ccReport(st))
 }
 

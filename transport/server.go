@@ -98,6 +98,33 @@ func NewRateServer(lib *mocc.Library, conn *net.UDPConn) *RateServer {
 // Addr returns the socket's local address.
 func (s *RateServer) Addr() string { return s.conn.LocalAddr().String() }
 
+// RegisterMetrics registers the daemon datagram counters (mocc_daemon_*)
+// on the sink. Every series is a scrape-time read of the counters the
+// server already keeps, so the socket hot path pays nothing.
+func (s *RateServer) RegisterMetrics(m *mocc.Metrics) {
+	reg := m.Registry()
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("mocc_daemon_sessions", "Currently registered flow sessions.",
+		func() float64 {
+			s.mu.Lock()
+			n := len(s.sessions)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	reg.CounterFunc("mocc_daemon_replies_total", "Rate datagrams sent to flows.",
+		func() uint64 { return uint64(s.replies.Load()) })
+	reg.CounterFunc("mocc_daemon_dropped_total", "Reports dropped on a full session queue.",
+		func() uint64 { return uint64(s.dropped.Load()) })
+	reg.CounterFunc("mocc_daemon_rejected_total", "Flow registrations refused (invalid preference).",
+		func() uint64 { return uint64(s.rejected.Load()) })
+	reg.CounterFunc("mocc_daemon_malformed_total", "Datagrams failing header or length validation.",
+		func() uint64 { return uint64(s.malformed.Load()) })
+	reg.CounterFunc("mocc_daemon_foreign_total", "Well-formed datagrams of a non-report type.",
+		func() uint64 { return uint64(s.foreign.Load()) })
+}
+
 // Stats returns a snapshot of the daemon counters.
 func (s *RateServer) Stats() RateServerStats {
 	s.mu.Lock()

@@ -32,6 +32,7 @@ import (
 
 	"mocc"
 	"mocc/internal/datapath"
+	"mocc/internal/obs"
 )
 
 // Receiver is a UDP sink that acknowledges every data packet, optionally
@@ -103,6 +104,38 @@ type Config struct {
 	// MaxOutstanding bounds the in-flight bookkeeping map; beyond it the
 	// oldest entries are evicted and counted lost (default 65536).
 	MaxOutstanding int
+
+	// Metrics, when non-nil, registers the sender-side path-health series
+	// (mocc_transport_*) on the sink and emits blackout begin/end events
+	// into its event log. Several concurrent Send loops may share one
+	// sink — series register idempotently and counters accumulate across
+	// transfers.
+	Metrics *mocc.Metrics
+}
+
+// txMetrics is the sender-side instrumentation (zero value = off; every
+// method on a nil counter/histogram/event log is a no-op).
+type txMetrics struct {
+	writeErrs   *obs.Counter
+	blackouts   *obs.Counter
+	blackoutDur *obs.Histogram
+	events      *obs.EventLog
+}
+
+func newTxMetrics(m *mocc.Metrics) txMetrics {
+	reg := m.Registry()
+	if reg == nil {
+		return txMetrics{}
+	}
+	return txMetrics{
+		writeErrs: reg.Counter("mocc_transport_write_errors_total",
+			"Failed socket writes across all Send loops."),
+		blackouts: reg.Counter("mocc_transport_blackouts_total",
+			"Detected ack-blackout spans across all Send loops."),
+		blackoutDur: reg.Histogram("mocc_transport_blackout_seconds",
+			"Duration of each ack-blackout span (sum is total dark time).", 1e-9),
+		events: m.EventLog(),
+	}
 }
 
 func (cfg *Config) applyDefaults() {
@@ -190,6 +223,8 @@ type sender struct {
 
 	consecWriteErrs int
 	lastWriteErr    error
+
+	met txMetrics
 }
 
 // Send paces packets to addr under the control of app for the given
@@ -231,6 +266,7 @@ func Send(addr string, app *mocc.App, duration time.Duration, cfg Config) (Stats
 		conn:        conn,
 		outstanding: make(map[uint64]time.Time),
 		evictCursor: 1,
+		met:         newTxMetrics(cfg.Metrics),
 	}
 	return s.run(duration)
 }
@@ -271,6 +307,7 @@ func (s *sender) run(duration time.Duration) (Stats, error) {
 		datapath.EncodeDataHeader(pkt, seq, time.Now().UnixNano())
 		if _, err := s.conn.Write(pkt); err != nil {
 			s.stats.WriteErrors++
+			s.met.writeErrs.Add(1)
 			s.consecWriteErrs++
 			s.lastWriteErr = err
 			if s.consecWriteErrs >= s.cfg.MaxConsecWriteErrs {
@@ -302,7 +339,7 @@ func (s *sender) run(duration time.Duration) (Stats, error) {
 	ackWG.Wait()
 
 	if s.inBlackout {
-		s.stats.BlackoutTime += time.Since(s.blackoutAt)
+		s.endBlackout("transfer ended mid-blackout")
 	}
 	s.stats.Duration = time.Since(start)
 	s.mu.Lock()
@@ -459,7 +496,7 @@ func (s *sender) blackoutStep(acked, sent, inFlight int) {
 		s.acklessMIs = 0
 		if s.inBlackout {
 			s.inBlackout = false
-			s.stats.BlackoutTime += time.Since(s.blackoutAt)
+			s.endBlackout("acks returned")
 		}
 		s.rate = s.appRate
 		return
@@ -471,6 +508,14 @@ func (s *sender) blackoutStep(acked, sent, inFlight int) {
 		s.inBlackout = true
 		s.blackoutAt = time.Now()
 		s.stats.Blackouts++
+		s.met.blackouts.Add(1)
+		if s.met.events != nil {
+			why := fmt.Sprintf("%d consecutive ackless monitor intervals", s.acklessMIs)
+			if s.readDead.Load() {
+				why = "fatal ack-socket read error"
+			}
+			s.met.events.Emit(obs.Event{Type: obs.EvBlackout, Msg: why})
+		}
 		s.rate = math.Max(s.appRate/4, s.cfg.BlackoutFloorPps)
 	} else if s.inBlackout {
 		s.rate = math.Max(s.rate/2, s.cfg.BlackoutFloorPps)
@@ -479,5 +524,18 @@ func (s *sender) blackoutStep(acked, sent, inFlight int) {
 	}
 	if s.inBlackout {
 		s.stats.BlackoutIntervals++
+	}
+}
+
+// endBlackout closes one blackout span's books: the stats accumulation
+// every transfer does, plus the duration observation and the end event
+// when a Metrics sink is attached.
+func (s *sender) endBlackout(why string) {
+	span := time.Since(s.blackoutAt)
+	s.stats.BlackoutTime += span
+	s.met.blackoutDur.Observe(uint64(span))
+	if s.met.events != nil {
+		s.met.events.Emit(obs.Event{Type: obs.EvBlackoutEnd,
+			Msg: fmt.Sprintf("%s after %v dark", why, span.Round(time.Millisecond))})
 	}
 }
